@@ -1,0 +1,104 @@
+// Ablation for §2.1's "primary ⋉̸ predicate": locating secondary-index
+// entries by key (merge with the sorted (key,RID) feed) vs by RID (hash
+// probe over the whole leaf level) vs by RID within key ranges (partitioned).
+// Exercises the exec operators directly on one secondary index.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "exec/hash_delete.h"
+#include "exec/merge_delete.h"
+#include "exec/partitioned_delete.h"
+
+namespace bulkdel {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  size_t memory = config.ScaledMemoryBytes(5.0);
+  std::printf("Ablation: primary ⋉̸ predicate on a secondary index\n");
+
+  ResultTable table("Probe predicate on I_B (15% deleted)", "predicate",
+                    {"sim minutes", "leaves visited"});
+  struct Variant {
+    const char* name;
+    int kind;  // 0 = by key (merge), 1 = by rid (hash), 2 = partitioned
+  };
+  const Variant variants[] = {
+      {"by key (merge)", 0},
+      {"by RID (hash)", 1},
+      {"by RID (partitioned)", 2},
+  };
+  for (const Variant& v : variants) {
+    auto bench = BuildBenchDb(config, {"A", "B"}, memory);
+    if (!bench.ok()) return 1;
+    auto* db = bench->db.get();
+    const Workload& w = bench->workload;
+
+    // Build the feed exactly as the table phase would: (B value, RID) of
+    // the doomed rows.
+    std::vector<int64_t> keys = w.MakeDeleteKeys(0.15, 9);
+    U64HashSet doomed_a(keys.size());
+    for (int64_t k : keys) doomed_a.Insert(static_cast<uint64_t>(k));
+    std::vector<KeyRid> feed;
+    for (size_t i = 0; i < w.rids.size(); ++i) {
+      if (doomed_a.Contains(static_cast<uint64_t>(w.values[0][i]))) {
+        feed.emplace_back(w.values[1][i], w.rids[i]);
+      }
+    }
+    auto* index = db->GetIndex("R", "B");
+    db->disk().ResetStats();
+    IoStats before = db->disk().stats();
+    BtreeBulkDeleteStats stats;
+    Status s;
+    switch (v.kind) {
+      case 0:
+        s = MergeDeleteIndexByEntries(index->tree.get(), &db->disk(), memory,
+                                      &feed, /*already_sorted=*/false,
+                                      ReorgMode::kFreeAtEmpty, &stats);
+        break;
+      case 1: {
+        std::vector<Rid> rids;
+        for (const KeyRid& e : feed) rids.push_back(e.rid);
+        s = HashDeleteIndexByRids(index->tree.get(), rids,
+                                  ReorgMode::kFreeAtEmpty, &stats);
+        break;
+      }
+      default: {
+        PartitionedDeleteStats pstats;
+        s = PartitionedHashDeleteIndex(index->tree.get(), &db->disk(), memory,
+                                       feed, ReorgMode::kFreeAtEmpty,
+                                       &pstats);
+        stats = pstats.btree;
+        break;
+      }
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    IoStats io = db->disk().stats() - before;
+    std::printf("%-22s deleted=%llu leaves=%llu sim=%.2f min\n", v.name,
+                static_cast<unsigned long long>(stats.entries_deleted),
+                static_cast<unsigned long long>(stats.leaves_visited),
+                static_cast<double>(io.simulated_micros) / 60e6);
+    table.AddCell(v.name, "sim minutes",
+                  static_cast<double>(io.simulated_micros) / 60e6);
+    table.AddCell(v.name, "leaves visited",
+                  static_cast<double>(stats.leaves_visited));
+  }
+  table.Print();
+  std::printf(
+      "\nexpectation: all predicates visit ~the whole leaf level once; the\n"
+      "key probe pays the feed sort, the RID probes skip it — differences\n"
+      "stay small, exactly the paper's point that predicate choice is a\n"
+      "planner degree of freedom rather than a correctness concern.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bulkdel
+
+int main(int argc, char** argv) { return bulkdel::bench::Run(argc, argv); }

@@ -1,0 +1,120 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bulkdel {
+namespace bench {
+
+BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--tuples=", 9) == 0) {
+      config.n_tuples = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--tuple-size=", 13) == 0) {
+      config.tuple_size =
+          static_cast<uint32_t>(std::strtoul(arg + 13, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "flags: --tuples=N --tuple-size=BYTES --seed=N\n"
+          "paper scale: --tuples=1000000 --tuple-size=512\n");
+      std::exit(0);
+    }
+  }
+  return config;
+}
+
+Result<BenchDb> BuildBenchDb(const BenchConfig& config,
+                             const std::vector<std::string>& columns,
+                             size_t memory_bytes, bool clustered_on_a,
+                             IndexOptions a_options) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = memory_bytes;
+  BenchDb bench;
+  BULKDEL_ASSIGN_OR_RETURN(bench.db, Database::Create(options));
+
+  WorkloadSpec spec;
+  spec.n_tuples = config.n_tuples;
+  spec.n_int_columns = config.n_int_columns;
+  spec.tuple_size = config.tuple_size;
+  spec.clustered_on_a = clustered_on_a;
+  spec.seed = config.seed;
+  BULKDEL_ASSIGN_OR_RETURN(
+      bench.workload,
+      SetUpPaperDatabase(bench.db.get(), spec, columns, a_options));
+  // Loading is not part of any experiment: reset counters.
+  bench.db->disk().ResetStats();
+  return bench;
+}
+
+Result<BulkDeleteReport> RunDelete(BenchDb* bench, double fraction,
+                                   Strategy strategy, uint64_t key_seed,
+                                   bool pre_sort_keys) {
+  BulkDeleteSpec spec;
+  spec.table = bench->workload.spec.table_name;
+  spec.key_column = "A";
+  spec.keys = bench->workload.MakeDeleteKeys(fraction, key_seed);
+  if (pre_sort_keys) {
+    std::sort(spec.keys.begin(), spec.keys.end());
+    spec.keys_sorted = true;
+  }
+  return bench->db->BulkDelete(spec, strategy);
+}
+
+ResultTable::ResultTable(std::string title, std::string x_label,
+                         std::vector<std::string> series)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_(std::move(series)) {}
+
+void ResultTable::AddCell(const std::string& x, const std::string& series,
+                          double sim_minutes) {
+  size_t xi = xs_.size();
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    if (xs_[i] == x) {
+      xi = i;
+      break;
+    }
+  }
+  if (xi == xs_.size()) {
+    xs_.push_back(x);
+    cells_.emplace_back(series_.size(), -1.0);
+  }
+  for (size_t s = 0; s < series_.size(); ++s) {
+    if (series_[s] == series) {
+      cells_[xi][s] = sim_minutes;
+      return;
+    }
+  }
+}
+
+void ResultTable::Print() const {
+  std::printf("\n== %s ==\n(simulated minutes under the 2001 disk model)\n\n",
+              title_.c_str());
+  std::printf("%-14s", x_label_.c_str());
+  for (const std::string& s : series_) std::printf(" | %18s", s.c_str());
+  std::printf("\n");
+  std::printf("--------------");
+  for (size_t s = 0; s < series_.size(); ++s) std::printf("-+-------------------");
+  std::printf("\n");
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    std::printf("%-14s", xs_[i].c_str());
+    for (double v : cells_[i]) {
+      if (v < 0) {
+        std::printf(" | %18s", "-");
+      } else {
+        std::printf(" | %18.2f", v);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace bulkdel

@@ -1,0 +1,97 @@
+// Future-work experiment (paper §5): bulk deletes from a *hash table* index.
+// The vertical idea transfers: instead of sorting the delete list into key
+// order, hash-partition it by bucket number — the physical layout of the
+// hash table — and touch each affected bucket chain once. Compared against
+// the traditional key-at-a-time probing.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hashidx/hash_index.h"
+#include "util/random.h"
+
+namespace bulkdel {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::printf("Future work: bulk deletes from an extendible-hash index\n");
+
+  ResultTable table("Hash-index deletes (simulated minutes)", "deleted (%)",
+                    {"traditional", "bulk (hash-partitioned)"});
+  for (double fraction : {0.05, 0.10, 0.15, 0.20}) {
+    char x[16];
+    std::snprintf(x, sizeof(x), "%.0f%%", fraction * 100);
+    for (int bulk = 0; bulk <= 1; ++bulk) {
+      DiskModel model;
+      DiskManager disk(model);
+      // Memory budget scaled as in the other benches.
+      BufferPool pool(&disk, config.ScaledMemoryBytes(5.0));
+      auto index = *HashIndex::Create(&pool);
+      Random rng(config.seed);
+      std::vector<int64_t> keys;
+      keys.reserve(config.n_tuples);
+      for (uint64_t i = 0; i < config.n_tuples; ++i) {
+        int64_t k = static_cast<int64_t>(i * 8 + rng.Uniform(8));
+        keys.push_back(k);
+        Status s = index.Insert(
+            k, Rid(static_cast<PageId>(i / 8 + 1),
+                   static_cast<uint16_t>(i % 8)));
+        if (!s.ok()) {
+          std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+      // Sample the doomed keys.
+      std::vector<int64_t> doomed;
+      uint64_t n = static_cast<uint64_t>(fraction *
+                                         static_cast<double>(keys.size()));
+      for (uint64_t i = 0; i < n; ++i) {
+        std::swap(keys[i], keys[i + rng.Uniform(keys.size() - i)]);
+        doomed.push_back(keys[i]);
+      }
+      disk.ResetStats();
+      Status s;
+      if (bulk) {
+        HashBulkDeleteStats stats;
+        s = index.BulkDeleteKeys(doomed, &stats);
+      } else {
+        for (int64_t k : doomed) {
+          auto rids = index.Search(k);
+          if (!rids.ok()) {
+            s = rids.status();
+            break;
+          }
+          for (const Rid& rid : *rids) {
+            s = index.Delete(k, rid);
+            if (!s.ok()) break;
+          }
+        }
+      }
+      if (!s.ok()) {
+        std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      Status flush = pool.FlushAll();
+      if (!flush.ok()) return 1;
+      IoStats io = disk.stats();
+      table.AddCell(x, bulk ? "bulk (hash-partitioned)" : "traditional",
+                    static_cast<double>(io.simulated_micros) / 60e6);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nexpectation: the traditional path pays ~2 random bucket I/Os per "
+      "key;\nthe partitioned bulk path reads/writes each affected bucket "
+      "chain once,\nso its cost is bounded by the bucket count — the same "
+      "flattening the\nB-tree experiments show, transferred to a hash "
+      "index.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bulkdel
+
+int main(int argc, char** argv) { return bulkdel::bench::Run(argc, argv); }

@@ -1,0 +1,82 @@
+// Interactive shell over the SQL statement layer. Run it and type
+// statements, or pipe a script:
+//
+//   printf 'CREATE TABLE R (A INT, B INT, PAD CHAR(48));\n...' \
+//     | build/examples/bulkdel_shell
+//
+// With no stdin input, a small built-in demo script runs instead, so the
+// binary is self-demonstrating.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+
+#include "core/database.h"
+#include "core/sql.h"
+
+using namespace bulkdel;
+
+namespace {
+const char* kDemoScript[] = {
+    "CREATE TABLE R (A INT, B INT, C INT, PAD CHAR(40))",
+    "CREATE UNIQUE INDEX ON R (A)",
+    "CREATE INDEX ON R (B) PRIORITY 1",
+    "CREATE INDEX ON R (C)",
+    "INSERT INTO R VALUES (1, 10, 100)",
+    "INSERT INTO R VALUES (2, 20, 200)",
+    "INSERT INTO R VALUES (3, 30, 300)",
+    "INSERT INTO R VALUES (4, 40, 400)",
+    "SELECT COUNT(*) FROM R",
+    "EXPLAIN DELETE FROM R WHERE A IN (1, 3)",
+    "DELETE FROM R WHERE A IN (1, 3)",
+    "SELECT COUNT(*) FROM R",
+    "SELECT COUNT(*) FROM R WHERE B BETWEEN 15 AND 45",
+};
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  auto db_or = Database::Create(options);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "create: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+
+  bool interactive = isatty(STDIN_FILENO);
+  bool piped_input = !interactive && std::cin.peek() != EOF;
+
+  auto run = [&](const std::string& line) {
+    if (line.empty()) return;
+    auto result = ExecuteStatement(db.get(), line);
+    if (result.ok()) {
+      std::printf("%s\n", result->c_str());
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+  };
+
+  if (!interactive && !piped_input) {
+    std::printf("bulkdel shell — demo script (pipe SQL on stdin to drive)\n");
+    for (const char* statement : kDemoScript) {
+      std::printf("sql> %s\n", statement);
+      run(statement);
+    }
+    return 0;
+  }
+
+  if (interactive) {
+    std::printf(
+        "bulkdel shell. Statements: CREATE TABLE/INDEX, INSERT, SELECT "
+        "COUNT(*), EXPLAIN DELETE, DELETE.\nCtrl-D to exit.\n");
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::printf("sql> ");
+    if (!std::getline(std::cin, line)) break;
+    run(line);
+  }
+  return 0;
+}

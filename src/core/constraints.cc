@@ -1,0 +1,210 @@
+#include "core/constraints.h"
+
+#include <algorithm>
+
+#include "exec/hash_delete.h"
+#include "sort/external_sort.h"
+
+namespace bulkdel {
+
+namespace {
+
+/// Values of `column` among the doomed rows. Fast path: the FK references
+/// the delete-key column itself, so the delete list *is* the value list.
+/// Otherwise: one read-only merge lookup on the key index yields the doomed
+/// RIDs; fetching the rows in RID order yields the values.
+Result<std::vector<int64_t>> DoomedValuesOfColumn(
+    Database* db, TableDef* table, const BulkDeleteSpec& spec, int column) {
+  const Schema& schema = *table->schema;
+  int key_column = schema.FindColumn(spec.key_column);
+  std::vector<int64_t> sorted_keys = spec.keys;
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+  if (column == key_column) return sorted_keys;
+
+  std::vector<Rid> rids;
+  IndexDef* key_index =
+      key_column >= 0 ? table->FindIndexOnColumn(key_column) : nullptr;
+  if (key_index != nullptr) {
+    BULKDEL_RETURN_IF_ERROR(key_index->tree->MergeLookupSortedKeys(
+        sorted_keys, [&](int64_t, const Rid& rid) {
+          rids.push_back(rid);
+          return Status::OK();
+        }));
+  } else {
+    // No access path: one scan probing a key hash.
+    U64HashSet set(sorted_keys.size());
+    for (int64_t k : sorted_keys) set.Insert(static_cast<uint64_t>(k));
+    BULKDEL_RETURN_IF_ERROR(
+        table->table->Scan([&](const Rid& rid, const char* tuple) {
+          if (set.Contains(static_cast<uint64_t>(
+                  schema.GetInt(tuple, static_cast<size_t>(key_column))))) {
+            rids.push_back(rid);
+          }
+          return Status::OK();
+        }));
+  }
+  BULKDEL_RETURN_IF_ERROR(
+      SortRids(&db->disk(), db->options().memory_budget_bytes, &rids));
+  std::vector<int64_t> values;
+  values.reserve(rids.size());
+  std::vector<char> tuple(schema.tuple_size());
+  for (const Rid& rid : rids) {
+    BULKDEL_RETURN_IF_ERROR(table->table->Get(rid, tuple.data()));
+    values.push_back(schema.GetInt(tuple.data(), static_cast<size_t>(column)));
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+/// References in the child to any of `parent_values` (sorted): counted via a
+/// merge pass on the child index when one exists, otherwise one hash-probed
+/// scan.
+Result<uint64_t> CountChildReferences(TableDef* child,
+                                      int child_column,
+                                      const std::vector<int64_t>& values) {
+  IndexDef* child_index = child->FindIndexOnColumn(child_column);
+  if (child_index != nullptr) {
+    return child_index->tree->CountMatchingSortedKeys(values);
+  }
+  U64HashSet set(values.size());
+  for (int64_t v : values) set.Insert(static_cast<uint64_t>(v));
+  uint64_t count = 0;
+  const Schema& schema = *child->schema;
+  BULKDEL_RETURN_IF_ERROR(
+      child->table->Scan([&](const Rid&, const char* tuple) {
+        if (set.Contains(static_cast<uint64_t>(
+                schema.GetInt(tuple, static_cast<size_t>(child_column))))) {
+          ++count;
+        }
+        return Status::OK();
+      }));
+  return count;
+}
+
+}  // namespace
+
+Status ProcessForeignKeysForBulkDelete(Database* db, TableDef* table,
+                                       const BulkDeleteSpec& spec,
+                                       Strategy strategy,
+                                       std::set<std::string>* cascade_path,
+                                       uint64_t* cascaded_rows) {
+  std::vector<const ForeignKeyDef*> fks;
+  for (const ForeignKeyDef& fk : db->catalog().foreign_keys()) {
+    if (fk.parent_table == table->name) fks.push_back(&fk);
+  }
+  if (fks.empty()) return Status::OK();
+
+  for (const ForeignKeyDef* fk : fks) {
+    BULKDEL_ASSIGN_OR_RETURN(
+        std::vector<int64_t> values,
+        DoomedValuesOfColumn(db, table, spec, fk->parent_column));
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    TableDef* child = db->GetTable(fk->child_table);
+    if (child == nullptr) {
+      return Status::Corruption("foreign key child table " + fk->child_table +
+                                " missing");
+    }
+    if (fk->action == FkAction::kRestrict) {
+      BULKDEL_ASSIGN_OR_RETURN(
+          uint64_t refs,
+          CountChildReferences(child, fk->child_column, values));
+      if (refs > 0) {
+        return Status::FailedPrecondition(
+            "bulk delete on " + table->name + " would orphan " +
+            std::to_string(refs) + " row(s) of " + fk->child_table +
+            " (RESTRICT)");
+      }
+      continue;
+    }
+    // CASCADE: bulk delete the referencing child rows first, recursively.
+    if (cascade_path->count(fk->child_table) > 0) {
+      return Status::FailedPrecondition("cyclic cascade through table " +
+                                        fk->child_table);
+    }
+    BulkDeleteSpec child_spec;
+    child_spec.table = fk->child_table;
+    child_spec.key_column =
+        child->schema->column(static_cast<size_t>(fk->child_column)).name;
+    child_spec.keys = std::move(values);
+    child_spec.keys_sorted = true;
+    BULKDEL_ASSIGN_OR_RETURN(
+        BulkDeleteReport child_report,
+        db->BulkDeleteWithCascadePath(child_spec, strategy, cascade_path));
+    *cascaded_rows +=
+        child_report.rows_deleted + child_report.cascaded_rows;
+  }
+  return Status::OK();
+}
+
+Status CheckChildInsert(Database* db, TableDef* child_table,
+                        const char* tuple) {
+  for (const ForeignKeyDef* fk :
+       db->catalog().ForeignKeysOf(child_table->name)) {
+    int64_t value = child_table->schema->GetInt(
+        tuple, static_cast<size_t>(fk->child_column));
+    TableDef* parent = db->GetTable(fk->parent_table);
+    if (parent == nullptr) {
+      return Status::Corruption("foreign key parent table missing");
+    }
+    IndexDef* parent_index = parent->FindIndexOnColumn(fk->parent_column);
+    if (parent_index == nullptr) {
+      return Status::FailedPrecondition(
+          "foreign key parent column lost its index");
+    }
+    BULKDEL_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                             parent_index->tree->Search(value));
+    if (rids.empty()) {
+      return Status::FailedPrecondition(
+          "insert into " + child_table->name + " violates FK: no " +
+          fk->parent_table + " row with value " + std::to_string(value));
+    }
+  }
+  return Status::OK();
+}
+
+Status ProcessParentRowDelete(Database* db, TableDef* parent_table,
+                              const char* tuple,
+                              std::set<std::string>* cascade_path) {
+  for (const ForeignKeyDef& fk : db->catalog().foreign_keys()) {
+    if (fk.parent_table != parent_table->name) continue;
+    int64_t value = parent_table->schema->GetInt(
+        tuple, static_cast<size_t>(fk.parent_column));
+    TableDef* child = db->GetTable(fk.child_table);
+    if (child == nullptr) continue;
+    IndexDef* child_index = child->FindIndexOnColumn(fk.child_column);
+    std::vector<Rid> referencing;
+    if (child_index != nullptr) {
+      BULKDEL_ASSIGN_OR_RETURN(referencing, child_index->tree->Search(value));
+    } else {
+      const Schema& schema = *child->schema;
+      BULKDEL_RETURN_IF_ERROR(
+          child->table->Scan([&](const Rid& rid, const char* t) {
+            if (schema.GetInt(t, static_cast<size_t>(fk.child_column)) ==
+                value) {
+              referencing.push_back(rid);
+            }
+            return Status::OK();
+          }));
+    }
+    if (referencing.empty()) continue;
+    if (fk.action == FkAction::kRestrict) {
+      return Status::FailedPrecondition(
+          "delete from " + parent_table->name + " would orphan " +
+          std::to_string(referencing.size()) + " row(s) of " +
+          fk.child_table + " (RESTRICT)");
+    }
+    if (cascade_path->count(fk.child_table) > 0) {
+      return Status::FailedPrecondition("cyclic cascade through table " +
+                                        fk.child_table);
+    }
+    cascade_path->insert(fk.child_table);
+    for (const Rid& rid : referencing) {
+      BULKDEL_RETURN_IF_ERROR(
+          db->DeleteRowWithCascadePath(fk.child_table, rid, cascade_path));
+    }
+    cascade_path->erase(fk.child_table);
+  }
+  return Status::OK();
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,45 @@
+#ifndef BULKDEL_CORE_CONSTRAINTS_H_
+#define BULKDEL_CORE_CONSTRAINTS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace bulkdel {
+
+/// Set-oriented referential-integrity processing for bulk deletes (§2.1):
+/// constraints are checked (and cascades executed) *before* the parent
+/// table or its indices are touched, "so that no work needs to be undone if
+/// an integrity constraint fails".
+///
+/// For every FK referencing the parent table: collect the doomed rows'
+/// referenced-column values (directly from the delete list when the FK
+/// references the delete key column, otherwise via one read-only merge
+/// lookup + table fetch), then either merge-count references in the child
+/// (RESTRICT — any hit fails the statement) or recursively bulk delete the
+/// referencing child rows (CASCADE).
+///
+/// `cascade_path` carries the tables already being deleted up-stack to
+/// reject cyclic cascades. `cascaded_rows` accumulates child deletions.
+Status ProcessForeignKeysForBulkDelete(Database* db, TableDef* table,
+                                       const BulkDeleteSpec& spec,
+                                       Strategy strategy,
+                                       std::set<std::string>* cascade_path,
+                                       uint64_t* cascaded_rows);
+
+/// Row-level FK checks for DML. Verifies every FK of `child_table` is
+/// satisfied by `tuple`'s values (the parent row must exist).
+Status CheckChildInsert(Database* db, TableDef* child_table,
+                        const char* tuple);
+
+/// Row-level FK processing when one parent row dies: RESTRICT fails if
+/// references exist; CASCADE recursively deletes referencing child rows.
+Status ProcessParentRowDelete(Database* db, TableDef* parent_table,
+                              const char* tuple,
+                              std::set<std::string>* cascade_path);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_CORE_CONSTRAINTS_H_

@@ -1,0 +1,498 @@
+#include "core/database.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include <algorithm>
+
+#include "core/constraints.h"
+#include "core/executors.h"
+#include "recovery/recovery_manager.h"
+#include "sort/external_sort.h"
+
+namespace bulkdel {
+
+std::string BulkDeleteReport::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "BulkDeleteReport strategy=%s rows=%llu index_entries=%llu\n"
+                "  simulated time: %.2f s   wall: %.1f ms\n"
+                "  io: %lld reads, %lld writes (%lld seq, %lld rand)\n",
+                StrategyName(strategy_used),
+                static_cast<unsigned long long>(rows_deleted),
+                static_cast<unsigned long long>(index_entries_deleted),
+                simulated_seconds(),
+                static_cast<double>(wall_micros) / 1000.0,
+                static_cast<long long>(io.reads),
+                static_cast<long long>(io.writes),
+                static_cast<long long>(io.sequential_accesses),
+                static_cast<long long>(io.random_accesses));
+  out += buf;
+  for (const PhaseStats& p : phases) {
+    std::snprintf(buf, sizeof(buf),
+                  "  phase %-16s items=%-8llu sim=%8.3f s  io=%lld/%lld\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.items),
+                  p.simulated_seconds(), static_cast<long long>(p.io.reads),
+                  static_cast<long long>(p.io.writes));
+    out += buf;
+  }
+  return out;
+}
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  if (db->options_.path.empty()) {
+    db->disk_ = std::make_unique<DiskManager>(db->options_.disk_model);
+  } else {
+    db->disk_ = std::make_unique<DiskManager>(db->options_.path,
+                                              /*truncate=*/true,
+                                              db->options_.disk_model);
+  }
+  db->log_ = std::make_unique<LogManager>();
+  db->pool_ = std::make_unique<BufferPool>(db->disk_.get(),
+                                           db->options_.memory_budget_bytes);
+  db->catalog_ = std::make_unique<Catalog>(db->pool_.get());
+  db->locks_ = std::make_unique<LockManager>();
+  BULKDEL_RETURN_IF_ERROR(db->catalog_->Format());
+  if (db->options_.enable_recovery_log) {
+    LogManager* log = db->log_.get();
+    db->pool_->SetPreWritebackHook([log] { log->Sync(); });
+  }
+  return db;
+}
+
+Result<TableDef*> Database::CreateTable(const std::string& name,
+                                        const Schema& schema) {
+  return catalog_->CreateTable(name, schema);
+}
+
+Result<IndexDef*> Database::CreateIndex(const std::string& table,
+                                        const std::string& column,
+                                        IndexOptions options, bool clustered) {
+  BULKDEL_ASSIGN_OR_RETURN(
+      IndexDef * index, catalog_->CreateIndex(table, column, options,
+                                              clustered));
+  // Backfill from existing rows: scan, external sort, bulk load — the same
+  // pipeline the drop & create executor uses to rebuild indices.
+  TableDef* t = GetTable(table);
+  if (t->table->tuple_count() > 0) {
+    const Schema& schema = *t->schema;
+    int col = index->column;
+    ExternalSorter<KeyRid> sorter(disk_.get(), options_.memory_budget_bytes);
+    BULKDEL_RETURN_IF_ERROR(
+        t->table->Scan([&](const Rid& rid, const char* tuple) {
+          return sorter.Add(
+              KeyRid(schema.GetInt(tuple, static_cast<size_t>(col)), rid));
+        }));
+    BULKDEL_ASSIGN_OR_RETURN(std::vector<KeyRid> entries,
+                             sorter.FinishToVector());
+    if (options.unique) {
+      for (size_t i = 1; i < entries.size(); ++i) {
+        if (entries[i].key == entries[i - 1].key) {
+          Status drop = index->tree->Drop();
+          (void)drop;
+          BULKDEL_RETURN_IF_ERROR(catalog_->RemoveIndex(table, column));
+          return Status::FailedPrecondition(
+              "cannot create unique index: duplicate value " +
+              std::to_string(entries[i].key));
+        }
+      }
+    }
+    BULKDEL_RETURN_IF_ERROR(index->tree->BulkLoad(entries));
+  }
+  return index;
+}
+
+Status Database::DropIndex(const std::string& table,
+                           const std::string& column) {
+  IndexDef* index = catalog_->GetIndex(table, column);
+  if (index == nullptr) {
+    return Status::NotFound("no index on " + table + "." + column);
+  }
+  // A unique index backing a foreign key's parent side is load-bearing.
+  TableDef* t = GetTable(table);
+  for (const ForeignKeyDef& fk : catalog_->foreign_keys()) {
+    if (fk.parent_table == table && fk.parent_column == index->column) {
+      return Status::FailedPrecondition(
+          "index " + index->name + " backs foreign key " + fk.Name());
+    }
+  }
+  (void)t;
+  BULKDEL_RETURN_IF_ERROR(index->tree->Drop());
+  return catalog_->RemoveIndex(table, column);
+}
+
+Status Database::ApplyIndexInsert(TableDef* table, IndexDef* index,
+                                  int64_t key, const Rid& rid) {
+  (void)table;
+  IndexMode mode = index->cc->mode.load();
+  if (mode == IndexMode::kOfflineSideFile) {
+    // Hold the append mutex so the bulk deleter's quiesce step can block us;
+    // re-check the mode, which may have flipped while we waited.
+    std::lock_guard<std::mutex> quiesce(index->cc->side_file.append_mutex());
+    if (index->cc->mode.load() == IndexMode::kOfflineSideFile) {
+      index->cc->side_file.Append(SideFileOp{/*is_insert=*/true, key, rid});
+      return Status::OK();
+    }
+    mode = index->cc->mode.load();
+  }
+  std::lock_guard<std::mutex> latch(index->cc->latch);
+  uint16_t flags = mode == IndexMode::kOfflineDirect
+                       ? BTreeNode::kEntryUndeletable
+                       : 0;
+  return index->tree->Insert(key, rid, flags);
+}
+
+Status Database::ApplyIndexDelete(TableDef* table, IndexDef* index,
+                                  int64_t key, const Rid& rid) {
+  (void)table;
+  IndexMode mode = index->cc->mode.load();
+  if (mode == IndexMode::kOfflineSideFile) {
+    std::lock_guard<std::mutex> quiesce(index->cc->side_file.append_mutex());
+    if (index->cc->mode.load() == IndexMode::kOfflineSideFile) {
+      index->cc->side_file.Append(SideFileOp{/*is_insert=*/false, key, rid});
+      return Status::OK();
+    }
+  }
+  std::lock_guard<std::mutex> latch(index->cc->latch);
+  Status s = index->tree->Delete(key, rid);
+  // A NotFound here can only mean the bulk deleter got to the entry first
+  // (or a side-file replay raced a fresh delete); the end state is the same.
+  if (s.IsNotFound()) return Status::OK();
+  return s;
+}
+
+Result<Rid> Database::InsertRow(const std::string& table_name,
+                                const std::vector<int64_t>& int_values) {
+  TableDef* t = GetTable(table_name);
+  if (t == nullptr) return Status::NotFound("no table " + table_name);
+  std::vector<char> tuple(t->schema->tuple_size(), 0);
+  size_t vi = 0;
+  for (size_t c = 0; c < t->schema->num_columns(); ++c) {
+    if (t->schema->column(c).type != ColumnType::kInt64) continue;
+    if (vi >= int_values.size()) {
+      return Status::InvalidArgument("too few values for " + table_name);
+    }
+    t->schema->SetInt(tuple.data(), c, int_values[vi++]);
+  }
+  if (vi != int_values.size()) {
+    return Status::InvalidArgument("too many values for " + table_name);
+  }
+
+  LockManager::SharedGuard lock(locks_.get(), table_name);
+  BULKDEL_RETURN_IF_ERROR(CheckChildInsert(this, t, tuple.data()));
+  Rid rid;
+  {
+    std::lock_guard<std::mutex> heap(t->heap_latch);
+    BULKDEL_ASSIGN_OR_RETURN(rid, t->table->Insert(tuple.data()));
+  }
+  for (auto& index : t->indices) {
+    int64_t key =
+        t->schema->GetInt(tuple.data(), static_cast<size_t>(index->column));
+    Status s = ApplyIndexInsert(t, index.get(), key, rid);
+    if (!s.ok()) {
+      // Undo the heap insert so a unique violation leaves no orphan row.
+      std::lock_guard<std::mutex> heap(t->heap_latch);
+      (void)t->table->Delete(rid);
+      return s;
+    }
+  }
+  return rid;
+}
+
+Status Database::DeleteRow(const std::string& table_name, const Rid& rid) {
+  std::set<std::string> cascade_path;
+  return DeleteRowWithCascadePath(table_name, rid, &cascade_path);
+}
+
+Status Database::DeleteRowWithCascadePath(
+    const std::string& table_name, const Rid& rid,
+    std::set<std::string>* cascade_path) {
+  TableDef* t = GetTable(table_name);
+  if (t == nullptr) return Status::NotFound("no table " + table_name);
+  LockManager::SharedGuard lock(locks_.get(), table_name);
+  std::vector<char> tuple(t->schema->tuple_size());
+  {
+    std::lock_guard<std::mutex> heap(t->heap_latch);
+    BULKDEL_RETURN_IF_ERROR(t->table->Get(rid, tuple.data()));
+  }
+  // Referential integrity first: a RESTRICT violation must leave the row
+  // untouched; CASCADE removes the referencing child rows.
+  BULKDEL_RETURN_IF_ERROR(
+      ProcessParentRowDelete(this, t, tuple.data(), cascade_path));
+  {
+    std::lock_guard<std::mutex> heap(t->heap_latch);
+    BULKDEL_RETURN_IF_ERROR(t->table->Delete(rid));
+  }
+  for (auto& index : t->indices) {
+    int64_t key =
+        t->schema->GetInt(tuple.data(), static_cast<size_t>(index->column));
+    BULKDEL_RETURN_IF_ERROR(ApplyIndexDelete(t, index.get(), key, rid));
+  }
+  return Status::OK();
+}
+
+Status Database::AddForeignKey(const std::string& child_table,
+                               const std::string& child_column,
+                               const std::string& parent_table,
+                               const std::string& parent_column,
+                               FkAction action) {
+  // Validate existing data before registering: every child value must have
+  // a parent row — done set-at-a-time with one merge lookup.
+  TableDef* child = GetTable(child_table);
+  TableDef* parent = GetTable(parent_table);
+  if (child == nullptr || parent == nullptr) {
+    return Status::NotFound("foreign key references unknown table");
+  }
+  int child_col = child->schema->FindColumn(child_column);
+  int parent_col = parent->schema->FindColumn(parent_column);
+  if (child_col < 0 || parent_col < 0) {
+    return Status::NotFound("foreign key references unknown column");
+  }
+  IndexDef* parent_index = parent->FindIndexOnColumn(parent_col);
+  if (parent_index == nullptr || !parent_index->options.unique) {
+    return Status::FailedPrecondition(
+        "foreign key parent column must carry a unique index");
+  }
+  std::vector<int64_t> child_values;
+  child_values.reserve(child->table->tuple_count());
+  const Schema& schema = *child->schema;
+  BULKDEL_RETURN_IF_ERROR(
+      child->table->Scan([&](const Rid&, const char* tuple) {
+        child_values.push_back(
+            schema.GetInt(tuple, static_cast<size_t>(child_col)));
+        return Status::OK();
+      }));
+  std::sort(child_values.begin(), child_values.end());
+  child_values.erase(
+      std::unique(child_values.begin(), child_values.end()),
+      child_values.end());
+  BULKDEL_ASSIGN_OR_RETURN(
+      uint64_t matched,
+      parent_index->tree->CountMatchingSortedKeys(child_values));
+  if (matched != child_values.size()) {
+    return Status::FailedPrecondition(
+        "existing data violates foreign key: " +
+        std::to_string(child_values.size() - matched) +
+        " child value(s) without parent");
+  }
+  return catalog_->AddForeignKey(child_table, child_column, parent_table,
+                                 parent_column, action);
+}
+
+Result<std::vector<int64_t>> Database::GetRow(const std::string& table_name,
+                                              const Rid& rid) {
+  TableDef* t = GetTable(table_name);
+  if (t == nullptr) return Status::NotFound("no table " + table_name);
+  LockManager::SharedGuard lock(locks_.get(), table_name);
+  std::vector<char> tuple(t->schema->tuple_size());
+  {
+    std::lock_guard<std::mutex> heap(t->heap_latch);
+    BULKDEL_RETURN_IF_ERROR(t->table->Get(rid, tuple.data()));
+  }
+  std::vector<int64_t> values;
+  for (size_t c = 0; c < t->schema->num_columns(); ++c) {
+    if (t->schema->column(c).type == ColumnType::kInt64) {
+      values.push_back(t->schema->GetInt(tuple.data(), c));
+    }
+  }
+  return values;
+}
+
+PlannerInput Database::MakePlannerInput(TableDef* table, IndexDef* key_index,
+                                        uint64_t n_delete,
+                                        bool keys_sorted) const {
+  PlannerInput input;
+  input.table.tuples = table->table->tuple_count();
+  input.table.pages = table->table->num_data_pages();
+  input.table.tuples_per_page =
+      std::max<uint32_t>(1, HeapPageTuplesPerPage(table));
+  input.n_delete = n_delete;
+  input.keys_sorted = keys_sorted;
+  for (const auto& index : table->indices) {
+    IndexInfo info;
+    info.name = index->name;
+    info.column = index->column;
+    info.entries = index->tree->entry_count();
+    info.leaves = index->tree->num_leaves();
+    info.height = index->tree->height();
+    info.unique = index->options.unique;
+    info.priority = index->options.priority;
+    info.clustered = index->clustered;
+    info.is_key_index = key_index != nullptr && index.get() == key_index;
+    input.indices.push_back(std::move(info));
+  }
+  return input;
+}
+
+uint32_t Database::HeapPageTuplesPerPage(TableDef* table) {
+  uint32_t pages = table->table->num_data_pages();
+  if (pages == 0) return 1;
+  return static_cast<uint32_t>(table->table->tuple_count() / pages);
+}
+
+Result<BulkDeletePlan> Database::ExplainBulkDelete(const BulkDeleteSpec& spec,
+                                                   Strategy strategy) {
+  TableDef* t = GetTable(spec.table);
+  if (t == nullptr) return Status::NotFound("no table " + spec.table);
+  IndexDef* key_index = catalog_->GetIndex(spec.table, spec.key_column);
+  PlannerInput input = MakePlannerInput(t, key_index, spec.keys.size(),
+                                        spec.keys_sorted);
+  CostModel cost(options_.disk_model, options_.memory_budget_bytes);
+  Planner planner(cost);
+  return planner.PlanFor(strategy, input);
+}
+
+Result<BulkDeleteReport> Database::BulkDelete(const BulkDeleteSpec& spec,
+                                              Strategy strategy) {
+  std::set<std::string> cascade_path;
+  return BulkDeleteWithCascadePath(spec, strategy, &cascade_path);
+}
+
+Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
+    const BulkDeleteSpec& spec, Strategy strategy,
+    std::set<std::string>* cascade_path) {
+  TableDef* t = GetTable(spec.table);
+  if (t == nullptr) return Status::NotFound("no table " + spec.table);
+  IndexDef* key_index = catalog_->GetIndex(spec.table, spec.key_column);
+
+  // Referential integrity, set-at-a-time and before any deletion (§2.1):
+  // RESTRICT violations abort here with nothing to undo; CASCADEs recurse.
+  cascade_path->insert(spec.table);
+  uint64_t cascaded_rows = 0;
+  Status fk_status = ProcessForeignKeysForBulkDelete(
+      this, t, spec, strategy, cascade_path, &cascaded_rows);
+  cascade_path->erase(spec.table);
+  BULKDEL_RETURN_IF_ERROR(fk_status);
+
+  BULKDEL_ASSIGN_OR_RETURN(BulkDeletePlan plan,
+                           ExplainBulkDelete(spec, strategy));
+  Result<BulkDeleteReport> result = [&]() -> Result<BulkDeleteReport> {
+    switch (plan.strategy) {
+      case Strategy::kTraditional:
+        if (key_index == nullptr) {
+          return Status::FailedPrecondition(
+              "traditional delete requires an index on " + spec.key_column);
+        }
+        return ExecuteTraditional(this, t, key_index, spec,
+                                  /*sort_first=*/false);
+      case Strategy::kTraditionalSorted:
+        if (key_index == nullptr) {
+          return Status::FailedPrecondition(
+              "traditional delete requires an index on " + spec.key_column);
+        }
+        return ExecuteTraditional(this, t, key_index, spec,
+                                  /*sort_first=*/true);
+      case Strategy::kDropCreate:
+        if (key_index == nullptr) {
+          return Status::FailedPrecondition(
+              "drop & create requires an index on " + spec.key_column);
+        }
+        return ExecuteDropCreate(this, t, key_index, spec);
+      case Strategy::kVerticalSortMerge:
+      case Strategy::kVerticalHash:
+      case Strategy::kVerticalPartitionedHash:
+        return ExecuteVertical(this, t, key_index, spec, plan);
+      case Strategy::kOptimizer:
+        return Status::Internal("planner returned unresolved strategy");
+    }
+    return Status::InvalidArgument("unknown strategy");
+  }();
+  if (result.ok()) {
+    result->cascaded_rows = cascaded_rows;
+    if (result->plan_explain.empty()) result->plan_explain = plan.Explain();
+  }
+  return result;
+}
+
+Status Database::Checkpoint() {
+  for (TableDef* t : catalog_->tables()) {
+    BULKDEL_RETURN_IF_ERROR(t->table->FlushMeta());
+    for (auto& index : t->indices) {
+      BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
+    }
+  }
+  BULKDEL_RETURN_IF_ERROR(catalog_->Persist());
+  log_->Sync();
+  BULKDEL_RETURN_IF_ERROR(pool_->FlushAll());
+  log_->Sync();
+  return Status::OK();
+}
+
+Status Database::VerifyIntegrity() {
+  for (TableDef* t : catalog_->tables()) {
+    // Collect live rows once.
+    std::map<uint64_t, std::vector<char>> rows;
+    BULKDEL_RETURN_IF_ERROR(t->table->Scan([&](const Rid& rid,
+                                               const char* tuple) {
+      rows.emplace(rid.Pack(),
+                   std::vector<char>(tuple, tuple + t->schema->tuple_size()));
+      return Status::OK();
+    }));
+    if (rows.size() != t->table->tuple_count()) {
+      return Status::Corruption("table " + t->name + " count mismatch");
+    }
+    for (auto& index : t->indices) {
+      BULKDEL_RETURN_IF_ERROR(index->tree->CheckInvariants());
+      if (index->tree->entry_count() != rows.size()) {
+        return Status::Corruption(
+            "index " + index->name + " has " +
+            std::to_string(index->tree->entry_count()) + " entries, table " +
+            std::to_string(rows.size()) + " rows");
+      }
+      uint64_t checked = 0;
+      Status s = index->tree->ScanAll([&](int64_t key, const Rid& rid,
+                                          uint16_t) {
+        auto it = rows.find(rid.Pack());
+        if (it == rows.end()) {
+          return Status::Corruption("index " + index->name +
+                                    " points at dead RID " + rid.ToString());
+        }
+        int64_t actual = t->schema->GetInt(
+            it->second.data(), static_cast<size_t>(index->column));
+        if (actual != key) {
+          return Status::Corruption("index " + index->name + " entry " +
+                                    std::to_string(key) +
+                                    " disagrees with row value " +
+                                    std::to_string(actual));
+        }
+        ++checked;
+        return Status::OK();
+      });
+      BULKDEL_RETURN_IF_ERROR(s);
+      if (checked != rows.size()) {
+        return Status::Corruption("index " + index->name + " scan count " +
+                                  std::to_string(checked) + " != rows " +
+                                  std::to_string(rows.size()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::SimulateCrashAndRecover() {
+  PageId catalog_page = catalog_->catalog_page();
+  // Volatile state vanishes.
+  pool_->DiscardAllForCrashTest();
+  log_->DropVolatileTail();
+  catalog_->ResetInMemory();
+  locks_ = std::make_unique<LockManager>();
+  // Note: an injected crash point deliberately survives the restart so tests
+  // can interrupt recovery itself (recovery must be idempotent).
+  // Restart: reopen the catalog and roll interrupted work forward.
+  BULKDEL_RETURN_IF_ERROR(catalog_->Load(catalog_page));
+  return RecoverDatabase(this);
+}
+
+Result<BulkDeleteReport> Database::BulkUpdateColumn(
+    const std::string& table, const std::string& set_column, int64_t delta,
+    const std::string& filter_column, int64_t lo, int64_t hi) {
+  return ExecuteBulkUpdate(this, table, set_column, delta, filter_column, lo,
+                           hi);
+}
+
+}  // namespace bulkdel

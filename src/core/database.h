@@ -1,0 +1,177 @@
+#ifndef BULKDEL_CORE_DATABASE_H_
+#define BULKDEL_CORE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/report.h"
+#include "plan/planner.h"
+#include "recovery/log_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "txn/lock_manager.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+/// Which protocol concurrent updaters use while indices are off-line during
+/// a bulk delete (paper §3.1). kNone runs the statement fully exclusively.
+enum class ConcurrencyProtocol { kNone, kSideFile, kDirectPropagation };
+
+struct DatabaseOptions {
+  /// The experiment's "available main memory": sizes the buffer pool and
+  /// bounds sorting / hash tables (the paper varies this 2–10 MB).
+  size_t memory_budget_bytes = 5ull << 20;
+  DiskModel disk_model;
+  ReorgMode reorg = ReorgMode::kFreeAtEmpty;
+  ConcurrencyProtocol concurrency = ConcurrencyProtocol::kNone;
+  /// Write the bulk-delete WAL + checkpoints so interrupted statements can be
+  /// rolled forward (§3.2). Off for pure benchmarking runs.
+  bool enable_recovery_log = false;
+  /// Entries per latch window while processing off-line indices; smaller
+  /// values let concurrent updaters interleave more often.
+  size_t bulk_chunk_entries = 8192;
+  /// Backing file; empty = in-memory (deterministic benchmarks).
+  std::string path;
+};
+
+/// What to delete: the paper's
+///   DELETE FROM R WHERE R.A IN (SELECT D.A FROM D)
+/// with `table` = R, `key_column` = A and `keys` = the contents of D.
+struct BulkDeleteSpec {
+  std::string table;
+  std::string key_column;
+  std::vector<int64_t> keys;
+  /// The keys are already sorted ascending (skips the sort phase of merge
+  /// plans; the traditional executor still probes them in the given order).
+  bool keys_sorted = false;
+};
+
+/// The database façade: storage + catalog + planner + executors.
+///
+/// Typical use:
+///   auto db = Database::Create(opts).TakeValue();
+///   db->CreateTable("R", schema);
+///   db->CreateIndex("R", "A", {.unique = true});
+///   ... load ...
+///   auto report = db->BulkDelete(spec, Strategy::kOptimizer);
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Create(DatabaseOptions options);
+
+  // -- DDL ------------------------------------------------------------------
+  Result<TableDef*> CreateTable(const std::string& name, const Schema& schema);
+  Result<IndexDef*> CreateIndex(const std::string& table,
+                                const std::string& column,
+                                IndexOptions options = {},
+                                bool clustered = false);
+  Status DropIndex(const std::string& table, const std::string& column);
+
+  /// FOREIGN KEY child(column) REFERENCES parent(column) with RESTRICT or
+  /// CASCADE semantics. Validates existing data (every child value must
+  /// have a parent row). The parent column must carry a unique index.
+  Status AddForeignKey(const std::string& child_table,
+                       const std::string& child_column,
+                       const std::string& parent_table,
+                       const std::string& parent_column,
+                       FkAction action = FkAction::kRestrict);
+  TableDef* GetTable(const std::string& name) {
+    return catalog_->GetTable(name);
+  }
+  IndexDef* GetIndex(const std::string& table, const std::string& column) {
+    return catalog_->GetIndex(table, column);
+  }
+
+  // -- DML (record-at-a-time, index-maintaining, concurrency-aware) ---------
+  Result<Rid> InsertRow(const std::string& table,
+                        const std::vector<int64_t>& int_values);
+  Status DeleteRow(const std::string& table, const Rid& rid);
+  Result<std::vector<int64_t>> GetRow(const std::string& table,
+                                      const Rid& rid);
+
+  // -- Bulk delete ------------------------------------------------------------
+  Result<BulkDeleteReport> BulkDelete(const BulkDeleteSpec& spec,
+                                      Strategy strategy);
+  /// The plan the given strategy would run, without executing it.
+  Result<BulkDeletePlan> ExplainBulkDelete(const BulkDeleteSpec& spec,
+                                           Strategy strategy);
+
+  /// Bulk UPDATE via bulk delete + re-insert on the affected index (§1's
+  /// Emp.salary example): sets `set_column` += delta for every row whose
+  /// `filter_column` lies in [lo, hi].
+  Result<BulkDeleteReport> BulkUpdateColumn(const std::string& table,
+                                            const std::string& set_column,
+                                            int64_t delta,
+                                            const std::string& filter_column,
+                                            int64_t lo, int64_t hi);
+
+  // -- Maintenance / introspection -------------------------------------------
+  /// Flushes everything (pages, metas, catalog) and syncs the log.
+  Status Checkpoint();
+  /// Structural validation of every table and index, plus cross-checks that
+  /// each index holds exactly one entry per (indexed column, live row).
+  Status VerifyIntegrity();
+
+  /// Crash testing: discard all volatile state (buffer pool, catalog cache,
+  /// un-synced log tail), then reopen from disk and run recovery, finishing
+  /// any interrupted bulk delete forward.
+  Status SimulateCrashAndRecover();
+
+  /// Makes the next bulk delete fail with kAborted when it reaches the named
+  /// phase ("sort-keys", "index:R.A", "table", ...; empty = disabled). The
+  /// injected failure happens *before* the phase's checkpoint.
+  void SetCrashPoint(const std::string& phase) { crash_point_ = phase; }
+  Status CheckCrashPoint(const std::string& phase) {
+    if (!crash_point_.empty() && crash_point_ == phase) {
+      crash_point_.clear();
+      return Status::Aborted("injected crash at phase " + phase);
+    }
+    return Status::OK();
+  }
+
+  DiskManager& disk() { return *disk_; }
+  BufferPool& pool() { return *pool_; }
+  Catalog& catalog() { return *catalog_; }
+  LockManager& locks() { return *locks_; }
+  LogManager& log() { return *log_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Planner inputs derived from live statistics.
+  PlannerInput MakePlannerInput(TableDef* table, IndexDef* key_index,
+                                uint64_t n_delete, bool keys_sorted) const;
+
+  /// Internal entry points used by the constraint machinery to thread the
+  /// set of tables currently being cascaded through (cycle detection).
+  Result<BulkDeleteReport> BulkDeleteWithCascadePath(
+      const BulkDeleteSpec& spec, Strategy strategy,
+      std::set<std::string>* cascade_path);
+  Status DeleteRowWithCascadePath(const std::string& table, const Rid& rid,
+                                  std::set<std::string>* cascade_path);
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  Status ApplyIndexInsert(TableDef* table, IndexDef* index, int64_t key,
+                          const Rid& rid);
+  Status ApplyIndexDelete(TableDef* table, IndexDef* index, int64_t key,
+                          const Rid& rid);
+  static uint32_t HeapPageTuplesPerPage(TableDef* table);
+
+  DatabaseOptions options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<LockManager> locks_;
+  std::string crash_point_;
+
+  friend class VerticalRun;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_CORE_DATABASE_H_

@@ -1,0 +1,105 @@
+#ifndef BULKDEL_CORE_EXECUTORS_H_
+#define BULKDEL_CORE_EXECUTORS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/report.h"
+#include "util/stopwatch.h"
+
+namespace bulkdel {
+
+/// Record-at-a-time execution (the paper's traditional/horizontal baseline):
+/// probe the key index per key, delete the record from the table and from
+/// every index before the next record.
+Result<BulkDeleteReport> ExecuteTraditional(Database* db, TableDef* table,
+                                            IndexDef* key_index,
+                                            const BulkDeleteSpec& spec,
+                                            bool sort_first);
+
+/// Drop every secondary index, delete traditionally using the key index,
+/// then rebuild the dropped indices with external sort + bulk load.
+Result<BulkDeleteReport> ExecuteDropCreate(Database* db, TableDef* table,
+                                           IndexDef* key_index,
+                                           const BulkDeleteSpec& spec);
+
+/// Vertical set-oriented execution following `plan` (the paper's
+/// contribution), with optional WAL/checkpoints and concurrency protocols.
+Result<BulkDeleteReport> ExecuteVertical(Database* db, TableDef* table,
+                                         IndexDef* key_index,
+                                         const BulkDeleteSpec& spec,
+                                         const BulkDeletePlan& plan);
+
+/// State of an interrupted bulk delete, reassembled from the durable log by
+/// the recovery manager.
+struct RecoveredBulkDelete {
+  uint64_t bd_id = 0;
+  std::string table;
+  std::string key_column;
+  std::set<std::string> phases_done;
+  bool committed = false;
+
+  struct List {
+    std::vector<PageId> pages;
+    uint64_t count = 0;
+  };
+  /// Materialized intermediate lists by label ("input-keys", "rids",
+  /// "feed:<index>").
+  std::map<std::string, List> lists;
+
+  /// WAL: entries removed from the key index after its last checkpoint.
+  std::vector<KeyRid> wal_index_entries;
+  /// WAL: rows removed from the table after its last checkpoint, with the
+  /// projected secondary-index key values.
+  std::vector<std::pair<Rid, std::vector<int64_t>>> wal_rows;
+};
+
+/// Rolls an interrupted bulk delete *forward* to completion (paper §3.2).
+Result<BulkDeleteReport> ResumeVertical(Database* db,
+                                        const RecoveredBulkDelete& state);
+
+/// Bulk UPDATE of one column implemented as bulk delete + bulk re-insert on
+/// the affected index (paper §1's Emp.salary example).
+Result<BulkDeleteReport> ExecuteBulkUpdate(Database* db,
+                                           const std::string& table,
+                                           const std::string& set_column,
+                                           int64_t delta,
+                                           const std::string& filter_column,
+                                           int64_t lo, int64_t hi);
+
+/// Captures per-phase I/O deltas and wall time into a report.
+class PhaseTracker {
+ public:
+  PhaseTracker(DiskManager* disk, BulkDeleteReport* report)
+      : disk_(disk), report_(report) {}
+
+  void Begin(const std::string& name) {
+    current_ = name;
+    start_io_ = disk_->stats();
+    watch_.Restart();
+  }
+
+  void End(uint64_t items) {
+    PhaseStats phase;
+    phase.name = current_;
+    phase.io = disk_->stats() - start_io_;
+    phase.wall_micros = watch_.ElapsedMicros();
+    phase.items = items;
+    report_->phases.push_back(std::move(phase));
+  }
+
+ private:
+  DiskManager* disk_;
+  BulkDeleteReport* report_;
+  std::string current_;
+  IoStats start_io_;
+  Stopwatch watch_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_CORE_EXECUTORS_H_

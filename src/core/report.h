@@ -1,0 +1,51 @@
+#ifndef BULKDEL_CORE_REPORT_H_
+#define BULKDEL_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "storage/disk_manager.h"
+
+namespace bulkdel {
+
+/// Per-phase measurement of one bulk-delete execution.
+struct PhaseStats {
+  std::string name;
+  IoStats io;            ///< I/O performed by this phase
+  int64_t wall_micros = 0;
+  uint64_t items = 0;    ///< records/entries processed by this phase
+
+  double simulated_seconds() const {
+    return static_cast<double>(io.simulated_micros) * 1e-6;
+  }
+};
+
+/// Result of Database::BulkDelete. The headline metric is
+/// `simulated_seconds()` — elapsed time under the 2001-era DiskModel — which
+/// is what the paper's figures plot; raw I/O counters and host wall time are
+/// included for completeness.
+struct BulkDeleteReport {
+  Strategy strategy_used = Strategy::kVerticalSortMerge;
+  uint64_t rows_deleted = 0;
+  uint64_t index_entries_deleted = 0;
+  /// Child rows removed by CASCADE foreign keys (recursively).
+  uint64_t cascaded_rows = 0;
+  std::vector<PhaseStats> phases;
+  IoStats io;
+  int64_t wall_micros = 0;
+  std::string plan_explain;
+
+  double simulated_seconds() const {
+    return static_cast<double>(io.simulated_micros) * 1e-6;
+  }
+  double simulated_minutes() const { return simulated_seconds() / 60.0; }
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_CORE_REPORT_H_

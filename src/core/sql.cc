@@ -1,0 +1,391 @@
+#include "core/sql.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "exec/delete_list.h"
+
+namespace bulkdel {
+
+namespace {
+
+/// Tokenizer: identifiers/keywords, integer literals, punctuation.
+struct Token {
+  enum Kind { kWord, kNumber, kPunct, kEnd } kind = kEnd;
+  std::string text;
+  int64_t number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Token Next() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) return Token{Token::kEnd, "", 0};
+    char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{Token::kWord, input_.substr(start, pos_ - start), 0};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      Token t{Token::kNumber, input_.substr(start, pos_ - start), 0};
+      t.number = std::strtoll(t.text.c_str(), nullptr, 10);
+      return t;
+    }
+    ++pos_;
+    return Token{Token::kPunct, std::string(1, c), 0};
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+bool KeywordIs(const Token& t, const char* kw) {
+  if (t.kind != Token::kWord) return false;
+  const std::string& s = t.text;
+  size_t i = 0;
+  for (; kw[i] != '\0'; ++i) {
+    if (i >= s.size() ||
+        std::toupper(static_cast<unsigned char>(s[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return i == s.size();
+}
+
+Status ParseError(const std::string& what, const Token& got) {
+  return Status::InvalidArgument("parse error: expected " + what + ", got '" +
+                                 (got.kind == Token::kEnd ? "<end>" : got.text) +
+                                 "'");
+}
+
+}  // namespace
+
+Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
+                                       const std::string& statement) {
+  Lexer lexer(statement);
+  Token t = lexer.Next();
+  if (!KeywordIs(t, "DELETE")) return ParseError("DELETE", t);
+  t = lexer.Next();
+  if (!KeywordIs(t, "FROM")) return ParseError("FROM", t);
+  t = lexer.Next();
+  if (t.kind != Token::kWord) return ParseError("table name", t);
+
+  BulkDeleteSpec spec;
+  spec.table = t.text;
+  TableDef* table = db->GetTable(spec.table);
+  if (table == nullptr) {
+    return Status::NotFound("no table " + spec.table);
+  }
+
+  t = lexer.Next();
+  if (!KeywordIs(t, "WHERE")) return ParseError("WHERE", t);
+  t = lexer.Next();
+  if (t.kind != Token::kWord) return ParseError("column name", t);
+  spec.key_column = t.text;
+  if (table->schema->FindColumn(spec.key_column) < 0) {
+    return Status::NotFound("no column " + spec.key_column + " in " +
+                            spec.table);
+  }
+
+  t = lexer.Next();
+  if (KeywordIs(t, "IN")) {
+    t = lexer.Next();
+    if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
+    t = lexer.Next();
+    if (KeywordIs(t, "SELECT")) {
+      // IN (SELECT col2 FROM table2)
+      t = lexer.Next();
+      if (t.kind != Token::kWord) return ParseError("column name", t);
+      std::string sub_column = t.text;
+      t = lexer.Next();
+      if (!KeywordIs(t, "FROM")) return ParseError("FROM", t);
+      t = lexer.Next();
+      if (t.kind != Token::kWord) return ParseError("table name", t);
+      TableDef* d_table = db->GetTable(t.text);
+      if (d_table == nullptr) {
+        return Status::NotFound("no table " + t.text);
+      }
+      int col = d_table->schema->FindColumn(sub_column);
+      if (col < 0) {
+        return Status::NotFound("no column " + sub_column + " in " + t.text);
+      }
+      t = lexer.Next();
+      if (t.kind != Token::kPunct || t.text != ")") return ParseError(")", t);
+      BULKDEL_ASSIGN_OR_RETURN(spec.keys,
+                               ExtractKeysFromTable(d_table->table.get(), col));
+    } else {
+      // IN (literal, literal, ...)
+      while (true) {
+        if (t.kind != Token::kNumber) return ParseError("integer literal", t);
+        spec.keys.push_back(t.number);
+        t = lexer.Next();
+        if (t.kind == Token::kPunct && t.text == ",") {
+          t = lexer.Next();
+          continue;
+        }
+        if (t.kind == Token::kPunct && t.text == ")") break;
+        return ParseError(", or )", t);
+      }
+    }
+  } else if (KeywordIs(t, "BETWEEN")) {
+    t = lexer.Next();
+    if (t.kind != Token::kNumber) return ParseError("integer literal", t);
+    int64_t lo = t.number;
+    t = lexer.Next();
+    if (!KeywordIs(t, "AND")) return ParseError("AND", t);
+    t = lexer.Next();
+    if (t.kind != Token::kNumber) return ParseError("integer literal", t);
+    int64_t hi = t.number;
+    // Extract the key list: index range scan when available, else a scan.
+    IndexDef* index = db->GetIndex(spec.table, spec.key_column);
+    if (index != nullptr) {
+      BULKDEL_RETURN_IF_ERROR(index->tree->RangeScan(
+          lo, hi, [&](int64_t key, const Rid&) {
+            spec.keys.push_back(key);
+            return Status::OK();
+          }));
+      spec.keys_sorted = true;
+    } else {
+      int col = table->schema->FindColumn(spec.key_column);
+      BULKDEL_ASSIGN_OR_RETURN(
+          spec.keys, ExtractKeysByScanPredicate(table->table.get(), col, col,
+                                                lo, hi));
+    }
+  } else {
+    return ParseError("IN or BETWEEN", t);
+  }
+
+  t = lexer.Next();
+  if (t.kind == Token::kPunct && t.text == ";") t = lexer.Next();
+  if (t.kind != Token::kEnd) return ParseError("end of statement", t);
+  return spec;
+}
+
+Result<BulkDeleteReport> ExecuteSql(Database* db, const std::string& statement,
+                                    Strategy strategy) {
+  BULKDEL_ASSIGN_OR_RETURN(BulkDeleteSpec spec,
+                           ParseBulkDelete(db, statement));
+  return db->BulkDelete(spec, strategy);
+}
+
+namespace {
+
+Result<std::string> ExecuteCreate(Database* db, Lexer* lexer) {
+  Token t = lexer->Next();
+  bool unique = false;
+  if (KeywordIs(t, "UNIQUE")) {
+    unique = true;
+    t = lexer->Next();
+  }
+  if (KeywordIs(t, "TABLE")) {
+    if (unique) return ParseError("INDEX after UNIQUE", t);
+    t = lexer->Next();
+    if (t.kind != Token::kWord) return ParseError("table name", t);
+    std::string table = t.text;
+    t = lexer->Next();
+    if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
+    std::vector<Column> columns;
+    while (true) {
+      t = lexer->Next();
+      if (t.kind != Token::kWord) return ParseError("column name", t);
+      std::string name = t.text;
+      t = lexer->Next();
+      if (KeywordIs(t, "INT") || KeywordIs(t, "INTEGER") ||
+          KeywordIs(t, "BIGINT")) {
+        columns.push_back(Column::Int64(name));
+      } else if (KeywordIs(t, "CHAR")) {
+        t = lexer->Next();
+        if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
+        t = lexer->Next();
+        if (t.kind != Token::kNumber || t.number <= 0) {
+          return ParseError("positive width", t);
+        }
+        columns.push_back(
+            Column::FixedBytes(name, static_cast<uint32_t>(t.number)));
+        t = lexer->Next();
+        if (t.kind != Token::kPunct || t.text != ")") return ParseError(")", t);
+      } else {
+        return ParseError("INT or CHAR(n)", t);
+      }
+      t = lexer->Next();
+      if (t.kind == Token::kPunct && t.text == ",") continue;
+      if (t.kind == Token::kPunct && t.text == ")") break;
+      return ParseError(", or )", t);
+    }
+    BULKDEL_RETURN_IF_ERROR(
+        db->CreateTable(table, Schema{std::move(columns)}).status());
+    return std::string("created table " + table);
+  }
+  if (!KeywordIs(t, "INDEX")) return ParseError("TABLE or INDEX", t);
+  t = lexer->Next();
+  if (!KeywordIs(t, "ON")) return ParseError("ON", t);
+  t = lexer->Next();
+  if (t.kind != Token::kWord) return ParseError("table name", t);
+  std::string table = t.text;
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
+  t = lexer->Next();
+  if (t.kind != Token::kWord) return ParseError("column name", t);
+  std::string column = t.text;
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != ")") return ParseError(")", t);
+  IndexOptions options;
+  options.unique = unique;
+  bool clustered = false;
+  t = lexer->Next();
+  while (t.kind == Token::kWord) {
+    if (KeywordIs(t, "CLUSTERED")) {
+      clustered = true;
+    } else if (KeywordIs(t, "PRIORITY")) {
+      t = lexer->Next();
+      if (t.kind != Token::kNumber) return ParseError("priority value", t);
+      options.priority = static_cast<int16_t>(t.number);
+    } else {
+      return ParseError("CLUSTERED or PRIORITY", t);
+    }
+    t = lexer->Next();
+  }
+  BULKDEL_RETURN_IF_ERROR(
+      db->CreateIndex(table, column, options, clustered).status());
+  return std::string("created index " + table + "." + column);
+}
+
+Result<std::string> ExecuteInsert(Database* db, Lexer* lexer) {
+  Token t = lexer->Next();
+  if (!KeywordIs(t, "INTO")) return ParseError("INTO", t);
+  t = lexer->Next();
+  if (t.kind != Token::kWord) return ParseError("table name", t);
+  std::string table = t.text;
+  t = lexer->Next();
+  if (!KeywordIs(t, "VALUES")) return ParseError("VALUES", t);
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
+  std::vector<int64_t> values;
+  while (true) {
+    t = lexer->Next();
+    if (t.kind != Token::kNumber) return ParseError("integer literal", t);
+    values.push_back(t.number);
+    t = lexer->Next();
+    if (t.kind == Token::kPunct && t.text == ",") continue;
+    if (t.kind == Token::kPunct && t.text == ")") break;
+    return ParseError(", or )", t);
+  }
+  BULKDEL_ASSIGN_OR_RETURN(Rid rid, db->InsertRow(table, values));
+  return std::string("inserted 1 row at " + rid.ToString());
+}
+
+Result<std::string> ExecuteSelectCount(Database* db, Lexer* lexer) {
+  // SELECT COUNT(*) FROM t [WHERE col BETWEEN lo AND hi]
+  Token t = lexer->Next();
+  if (!KeywordIs(t, "COUNT")) return ParseError("COUNT", t);
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != "*") return ParseError("*", t);
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != ")") return ParseError(")", t);
+  t = lexer->Next();
+  if (!KeywordIs(t, "FROM")) return ParseError("FROM", t);
+  t = lexer->Next();
+  if (t.kind != Token::kWord) return ParseError("table name", t);
+  TableDef* table = db->GetTable(t.text);
+  if (table == nullptr) return Status::NotFound("no table " + t.text);
+  t = lexer->Next();
+  if (t.kind == Token::kEnd ||
+      (t.kind == Token::kPunct && t.text == ";")) {
+    return std::string("count = " +
+                       std::to_string(table->table->tuple_count()));
+  }
+  if (!KeywordIs(t, "WHERE")) return ParseError("WHERE", t);
+  t = lexer->Next();
+  if (t.kind != Token::kWord) return ParseError("column name", t);
+  int col = table->schema->FindColumn(t.text);
+  if (col < 0) return Status::NotFound("no column " + t.text);
+  std::string column = t.text;
+  t = lexer->Next();
+  if (!KeywordIs(t, "BETWEEN")) return ParseError("BETWEEN", t);
+  t = lexer->Next();
+  if (t.kind != Token::kNumber) return ParseError("integer literal", t);
+  int64_t lo = t.number;
+  t = lexer->Next();
+  if (!KeywordIs(t, "AND")) return ParseError("AND", t);
+  t = lexer->Next();
+  if (t.kind != Token::kNumber) return ParseError("integer literal", t);
+  int64_t hi = t.number;
+  uint64_t count = 0;
+  IndexDef* index = table->FindIndexOnColumn(col);
+  if (index != nullptr) {
+    BULKDEL_RETURN_IF_ERROR(index->tree->RangeScan(
+        lo, hi, [&](int64_t, const Rid&) {
+          ++count;
+          return Status::OK();
+        }));
+  } else {
+    const Schema& schema = *table->schema;
+    BULKDEL_RETURN_IF_ERROR(
+        table->table->Scan([&](const Rid&, const char* tuple) {
+          int64_t v = schema.GetInt(tuple, static_cast<size_t>(col));
+          if (v >= lo && v <= hi) ++count;
+          return Status::OK();
+        }));
+  }
+  return std::string("count = " + std::to_string(count) + " (" + column +
+                     " between " + std::to_string(lo) + " and " +
+                     std::to_string(hi) + ")");
+}
+
+}  // namespace
+
+Result<std::string> ExecuteStatement(Database* db,
+                                     const std::string& statement,
+                                     Strategy strategy) {
+  Lexer lexer(statement);
+  Token t = lexer.Next();
+  if (KeywordIs(t, "CREATE")) return ExecuteCreate(db, &lexer);
+  if (KeywordIs(t, "INSERT")) return ExecuteInsert(db, &lexer);
+  if (KeywordIs(t, "SELECT")) return ExecuteSelectCount(db, &lexer);
+  if (KeywordIs(t, "EXPLAIN")) {
+    std::string rest = statement;
+    size_t pos = rest.find_first_not_of(" \t");
+    pos = rest.find(' ', pos);  // skip the EXPLAIN token
+    if (pos == std::string::npos) {
+      return Status::InvalidArgument("EXPLAIN what?");
+    }
+    BULKDEL_ASSIGN_OR_RETURN(BulkDeleteSpec spec,
+                             ParseBulkDelete(db, rest.substr(pos + 1)));
+    BULKDEL_ASSIGN_OR_RETURN(BulkDeletePlan plan,
+                             db->ExplainBulkDelete(spec, strategy));
+    return plan.Explain();
+  }
+  if (KeywordIs(t, "DELETE")) {
+    BULKDEL_ASSIGN_OR_RETURN(BulkDeleteReport report,
+                             ExecuteSql(db, statement, strategy));
+    return std::string("deleted " + std::to_string(report.rows_deleted) +
+                       " row(s) [" + StrategyName(report.strategy_used) +
+                       ", " + std::to_string(report.simulated_seconds()) +
+                       " simulated s]");
+  }
+  return ParseError("CREATE, INSERT, SELECT, EXPLAIN or DELETE", t);
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,46 @@
+#ifndef BULKDEL_CORE_SQL_H_
+#define BULKDEL_CORE_SQL_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+/// Minimal SQL front end for the statement class the paper studies:
+///
+///   DELETE FROM <table> WHERE <col> IN (<int literal>, ...)
+///   DELETE FROM <table> WHERE <col> IN (SELECT <col2> FROM <table2>)
+///   DELETE FROM <table> WHERE <col> BETWEEN <lo> AND <hi>
+///
+/// The IN-subquery form is the paper's running example (table D holds the
+/// keys of the records to delete); the subquery is evaluated as a scan of
+/// the referenced table projecting <col2>. BETWEEN extracts the key list
+/// through an index range scan when one exists, else a table scan.
+/// Keywords are case-insensitive; identifiers are case-sensitive.
+Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
+                                       const std::string& statement);
+
+/// Parses and executes in one step.
+Result<BulkDeleteReport> ExecuteSql(Database* db, const std::string& statement,
+                                    Strategy strategy = Strategy::kOptimizer);
+
+/// General statement dispatcher for the interactive shell and scripts.
+/// Supports, in addition to the DELETE forms above:
+///
+///   CREATE TABLE <t> (<col> INT, ..., <col> CHAR(<n>))
+///   CREATE [UNIQUE] INDEX ON <t> (<col>) [CLUSTERED] [PRIORITY <p>]
+///   INSERT INTO <t> VALUES (<int>, ...)
+///   SELECT COUNT(*) FROM <t> [WHERE <col> BETWEEN <lo> AND <hi>]
+///   EXPLAIN DELETE FROM ...      (prints the chosen plan, runs nothing)
+///
+/// Returns a human-readable result line (row counts, plan text, report
+/// summary).
+Result<std::string> ExecuteStatement(Database* db,
+                                     const std::string& statement,
+                                     Strategy strategy = Strategy::kOptimizer);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_CORE_SQL_H_

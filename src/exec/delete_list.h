@@ -1,0 +1,29 @@
+#ifndef BULKDEL_EXEC_DELETE_LIST_H_
+#define BULKDEL_EXEC_DELETE_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/heap_table.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+/// Extraction of the delete list — the paper's table D holding the key values
+/// of every record to delete (produced by the first step of archiving).
+
+/// Projects column `column` of every tuple in `d_table`.
+Result<std::vector<int64_t>> ExtractKeysFromTable(HeapTable* d_table,
+                                                  int column);
+
+/// Projects `key_column` of every tuple in `table` whose `filter_column`
+/// value lies in [lo, hi] — the "find all orders processed more than three
+/// months ago" sub-query of the archiving scenario, run as a table scan.
+Result<std::vector<int64_t>> ExtractKeysByScanPredicate(HeapTable* table,
+                                                        int key_column,
+                                                        int filter_column,
+                                                        int64_t lo, int64_t hi);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_EXEC_DELETE_LIST_H_

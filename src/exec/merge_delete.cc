@@ -1,0 +1,61 @@
+#include "exec/merge_delete.h"
+
+namespace bulkdel {
+
+Status MergeDeleteIndexByKeys(BTree* index, DiskManager* disk,
+                              size_t sort_budget_bytes,
+                              std::vector<int64_t>* keys, bool already_sorted,
+                              ReorgMode reorg, std::vector<Rid>* deleted_rids,
+                              BtreeBulkDeleteStats* stats,
+                              SortStats* sort_stats) {
+  if (!already_sorted) {
+    BULKDEL_RETURN_IF_ERROR(
+        SortKeys(disk, sort_budget_bytes, keys, sort_stats));
+  }
+  return index->BulkDeleteSortedKeys(*keys, reorg, deleted_rids, stats);
+}
+
+Status MergeDeleteIndexByEntries(BTree* index, DiskManager* disk,
+                                 size_t sort_budget_bytes,
+                                 std::vector<KeyRid>* entries,
+                                 bool already_sorted, ReorgMode reorg,
+                                 BtreeBulkDeleteStats* stats,
+                                 SortStats* sort_stats) {
+  if (!already_sorted) {
+    BULKDEL_RETURN_IF_ERROR(
+        SortKeyRids(disk, sort_budget_bytes, entries, sort_stats));
+  }
+  return index->BulkDeleteSortedEntries(*entries, reorg, stats);
+}
+
+Status MergeDeleteTable(HeapTable* table, DiskManager* disk,
+                        size_t sort_budget_bytes, std::vector<Rid>* rids,
+                        bool already_sorted, std::vector<IndexFeed>* feeds,
+                        uint64_t* deleted_count, SortStats* sort_stats) {
+  if (!already_sorted) {
+    BULKDEL_RETURN_IF_ERROR(SortRids(disk, sort_budget_bytes, rids,
+                                     sort_stats));
+  }
+  const Schema& schema = table->schema();
+  if (feeds != nullptr) {
+    for (IndexFeed& feed : *feeds) {
+      if (feed.column < 0 ||
+          static_cast<size_t>(feed.column) >= schema.num_columns()) {
+        return Status::InvalidArgument("bad feed column");
+      }
+      feed.entries.reserve(rids->size());
+    }
+  }
+  return table->BulkDeleteSortedRids(
+      *rids,
+      [&](const Rid& rid, const char* tuple) {
+        if (feeds == nullptr) return;
+        for (IndexFeed& feed : *feeds) {
+          feed.entries.emplace_back(
+              schema.GetInt(tuple, static_cast<size_t>(feed.column)), rid);
+        }
+      },
+      deleted_count);
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,59 @@
+#ifndef BULKDEL_EXEC_MERGE_DELETE_H_
+#define BULKDEL_EXEC_MERGE_DELETE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/btree.h"
+#include "sort/external_sort.h"
+#include "table/heap_table.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+/// Sort/merge-based bulk-delete operators (paper §2.2.1 / Fig. 3). Each
+/// operator first sorts the (small) delete list to match the physical
+/// clustering of its target — keys for an index leaf level, RIDs for the base
+/// table — then performs one sequential pass, avoiding the random I/O of the
+/// traditional record-at-a-time approach.
+
+/// ⋉̸ on an index by key: sorts `keys` in place (spilling under
+/// `sort_budget_bytes` through `disk`) unless `already_sorted`, then removes
+/// every matching entry in one leaf-level pass. Deleted RIDs are appended to
+/// `deleted_rids` (key order) when non-null.
+Status MergeDeleteIndexByKeys(BTree* index, DiskManager* disk,
+                              size_t sort_budget_bytes,
+                              std::vector<int64_t>* keys, bool already_sorted,
+                              ReorgMode reorg,
+                              std::vector<Rid>* deleted_rids = nullptr,
+                              BtreeBulkDeleteStats* stats = nullptr,
+                              SortStats* sort_stats = nullptr);
+
+/// ⋉̸ on an index by exact (key, RID) entries.
+Status MergeDeleteIndexByEntries(BTree* index, DiskManager* disk,
+                                 size_t sort_budget_bytes,
+                                 std::vector<KeyRid>* entries,
+                                 bool already_sorted, ReorgMode reorg,
+                                 BtreeBulkDeleteStats* stats = nullptr,
+                                 SortStats* sort_stats = nullptr);
+
+/// Per-secondary-index projection collected while deleting from the table:
+/// the (column value, RID) stream that is piped into the next ⋉̸.
+struct IndexFeed {
+  int column = -1;
+  std::vector<KeyRid> entries;
+};
+
+/// ⋉̸ on the base table by RID: sorts `rids` into physical order unless
+/// `already_sorted`, deletes in one page-ordered pass, and projects
+/// `feeds[i].column` of every deleted tuple into `feeds[i].entries` —
+/// the split output streams of the paper's Fig. 3 plan.
+Status MergeDeleteTable(HeapTable* table, DiskManager* disk,
+                        size_t sort_budget_bytes, std::vector<Rid>* rids,
+                        bool already_sorted, std::vector<IndexFeed>* feeds,
+                        uint64_t* deleted_count,
+                        SortStats* sort_stats = nullptr);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_EXEC_MERGE_DELETE_H_

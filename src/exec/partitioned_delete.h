@@ -1,0 +1,39 @@
+#ifndef BULKDEL_EXEC_PARTITIONED_DELETE_H_
+#define BULKDEL_EXEC_PARTITIONED_DELETE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/btree.h"
+#include "storage/disk_manager.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+struct PartitionedDeleteStats {
+  int partitions = 0;
+  int64_t pages_spilled = 0;  ///< partition staging I/O (when list > budget)
+  BtreeBulkDeleteStats btree;
+};
+
+/// Range-partitioned hash ⋉̸ on an index (paper §2.2.2 / Fig. 5).
+///
+/// When the RID list's hash table exceeds the memory budget, the (key, RID)
+/// list is range-partitioned by key into partitions whose hash tables fit;
+/// each partition's bulk delete is then a main-memory hash probe over the
+/// contiguous leaf range covering the partition's keys, so no leaf page is
+/// read more than once in total. Entries are matched by RID inside their key
+/// range, which is exact because a record contributes one entry per index.
+///
+/// Partitions larger than the budget are staged through scratch pages of
+/// `disk` (charged I/O); a list that fits is partitioned in memory at no I/O
+/// cost.
+Status PartitionedHashDeleteIndex(BTree* index, DiskManager* disk,
+                                  size_t memory_budget_bytes,
+                                  const std::vector<KeyRid>& entries,
+                                  ReorgMode reorg,
+                                  PartitionedDeleteStats* stats = nullptr);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_EXEC_PARTITIONED_DELETE_H_

@@ -1,0 +1,492 @@
+#include "gridfile/grid_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "util/coding.h"
+
+namespace bulkdel {
+
+namespace {
+constexpr uint32_t kGridMagic = 0x47524431;  // "GRD1"
+constexpr int kMaxDirBits = 10;  // 1024 u32 cells fit one directory page
+
+/// Bucket page: [u16 count][u16 pad][u32 overflow][8 pad]; entries at 16,
+/// stride 24: [i64 x][i64 y][u32 rid.page][u16 rid.slot][2 pad].
+class GBucket {
+ public:
+  static constexpr uint32_t kHeaderSize = 16;
+  static constexpr uint32_t kEntrySize = 24;
+  static constexpr uint16_t Capacity() {
+    return (kPageSize - kHeaderSize) / kEntrySize;
+  }
+
+  explicit GBucket(char* data) : data_(data) {}
+
+  void Init() {
+    std::memset(data_, 0, kPageSize);
+    StoreU32(data_ + 4, kInvalidPageId);
+  }
+
+  uint16_t count() const { return LoadU16(data_); }
+  void set_count(uint16_t c) { StoreU16(data_, c); }
+  PageId overflow() const { return LoadU32(data_ + 4); }
+  void set_overflow(PageId p) { StoreU32(data_ + 4, p); }
+
+  int64_t X(uint16_t i) const { return LoadI64(Entry(i)); }
+  int64_t Y(uint16_t i) const { return LoadI64(Entry(i) + 8); }
+  Rid RidAt(uint16_t i) const {
+    return Rid(LoadU32(Entry(i) + 16), LoadU16(Entry(i) + 20));
+  }
+  bool Append(int64_t x, int64_t y, const Rid& rid) {
+    if (count() >= Capacity()) return false;
+    char* e = Entry(count());
+    StoreI64(e, x);
+    StoreI64(e + 8, y);
+    StoreU32(e + 16, rid.page);
+    StoreU16(e + 20, rid.slot);
+    StoreU16(e + 22, 0);
+    set_count(count() + 1);
+    return true;
+  }
+  void RemoveAt(uint16_t i) {
+    uint16_t n = count();
+    if (i + 1 < n) std::memcpy(Entry(i), Entry(n - 1), kEntrySize);
+    set_count(n - 1);
+  }
+
+ private:
+  char* Entry(uint16_t i) const {
+    return data_ + kHeaderSize + static_cast<uint32_t>(i) * kEntrySize;
+  }
+  char* data_;
+};
+
+struct GEntry {
+  int64_t x, y;
+  Rid rid;
+};
+}  // namespace
+
+Result<GridFile> GridFile::Create(BufferPool* pool) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool->NewPage());
+  GridFile grid(pool, meta.page_id());
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool->NewPage());
+  grid.directory_page_ = dir.page_id();
+  BULKDEL_ASSIGN_OR_RETURN(PageId bucket, grid.NewBucket());
+  StoreU32(dir.data(), bucket);
+  dir.MarkDirty();
+  StoreU32(meta.data(), kGridMagic);
+  meta.MarkDirty();
+  meta.Release();
+  dir.Release();
+  BULKDEL_RETURN_IF_ERROR(grid.FlushMeta());
+  return grid;
+}
+
+Result<GridFile> GridFile::Open(BufferPool* pool, PageId meta_page) {
+  GridFile grid(pool, meta_page);
+  BULKDEL_RETURN_IF_ERROR(grid.LoadMeta());
+  return grid;
+}
+
+Status GridFile::LoadMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  if (LoadU32(meta.data()) != kGridMagic) {
+    return Status::Corruption("bad grid file magic");
+  }
+  dx_ = static_cast<int>(LoadU32(meta.data() + 4));
+  dy_ = static_cast<int>(LoadU32(meta.data() + 8));
+  entry_count_ = LoadU64(meta.data() + 12);
+  directory_page_ = LoadU32(meta.data() + 20);
+  return Status::OK();
+}
+
+Status GridFile::FlushMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  StoreU32(meta.data(), kGridMagic);
+  StoreU32(meta.data() + 4, static_cast<uint32_t>(dx_));
+  StoreU32(meta.data() + 8, static_cast<uint32_t>(dy_));
+  StoreU64(meta.data() + 12, entry_count_);
+  StoreU32(meta.data() + 20, directory_page_);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Result<PageId> GridFile::DirEntry(uint32_t cell) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+  return static_cast<PageId>(LoadU32(dir.data() + 4 * cell));
+}
+
+Result<PageId> GridFile::NewBucket() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+  GBucket bucket(page.data());
+  bucket.Init();
+  page.MarkDirty();
+  return page.page_id();
+}
+
+Status GridFile::Insert(int64_t x, int64_t y, const Rid& rid) {
+  if (x < 0 || x >= kDomain || y < 0 || y >= kDomain) {
+    return Status::InvalidArgument("point outside grid domain");
+  }
+  for (int attempt = 0; attempt <= 2 * kMaxDirBits + 2; ++attempt) {
+    uint32_t cell = CellOf(x, y);
+    BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(cell));
+    PageId cur = head;
+    PageId tail = head;
+    PageId space_page = kInvalidPageId;
+    while (cur != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      GBucket bucket(guard.data());
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        if (bucket.X(i) == x && bucket.Y(i) == y && bucket.RidAt(i) == rid) {
+          return Status::AlreadyExists("entry already in grid file");
+        }
+      }
+      if (space_page == kInvalidPageId &&
+          bucket.count() < GBucket::Capacity()) {
+        space_page = cur;
+      }
+      tail = cur;
+      cur = bucket.overflow();
+    }
+    if (space_page != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(space_page));
+      GBucket bucket(guard.data());
+      bucket.Append(x, y, rid);
+      guard.MarkDirty();
+      ++entry_count_;
+      return Status::OK();
+    }
+    Status split = SplitBucket(cell);
+    if (split.ok()) continue;
+    if (split.code() != StatusCode::kResourceExhausted) return split;
+    // Directory exhausted: chain an overflow page.
+    BULKDEL_ASSIGN_OR_RETURN(PageId fresh, NewBucket());
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard tguard, pool_->FetchPage(tail));
+      GBucket tbucket(tguard.data());
+      tbucket.set_overflow(fresh);
+      tguard.MarkDirty();
+    }
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(fresh));
+    GBucket bucket(guard.data());
+    bucket.Append(x, y, rid);
+    guard.MarkDirty();
+    ++entry_count_;
+    return Status::OK();
+  }
+  return Status::Internal("grid insert did not converge");
+}
+
+Status GridFile::SplitBucket(uint32_t cell) {
+  BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(cell));
+
+  // Determine the bucket's cell region by scanning the directory.
+  uint32_t n_cells = num_cells();
+  uint32_t min_cx = ~0u, max_cx = 0, min_cy = ~0u, max_cy = 0;
+  {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+    for (uint32_t c = 0; c < n_cells; ++c) {
+      if (LoadU32(dir.data() + 4 * c) != head) continue;
+      uint32_t cx = c >> dy_;
+      uint32_t cy = c & ((1u << dy_) - 1);
+      min_cx = std::min(min_cx, cx);
+      max_cx = std::max(max_cx, cx);
+      min_cy = std::min(min_cy, cy);
+      max_cy = std::max(max_cy, cy);
+    }
+  }
+  bool spans_x = max_cx > min_cx;
+  bool spans_y = max_cy > min_cy;
+
+  if (!spans_x && !spans_y) {
+    // Single-cell region: the directory must grow first.
+    if (dx_ + dy_ + 1 > kMaxDirBits) {
+      return Status::ResourceExhausted("grid directory full");
+    }
+    bool double_x = dx_ <= dy_;
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+    std::vector<uint32_t> old(n_cells);
+    for (uint32_t c = 0; c < n_cells; ++c) {
+      old[c] = LoadU32(dir.data() + 4 * c);
+    }
+    if (double_x) {
+      ++dx_;
+      for (uint32_t c = 0; c < (n_cells << 1); ++c) {
+        uint32_t cx = c >> dy_;
+        uint32_t cy = c & ((1u << dy_) - 1);
+        StoreU32(dir.data() + 4 * c, old[((cx >> 1) << dy_) | cy]);
+      }
+    } else {
+      ++dy_;
+      for (uint32_t c = 0; c < (n_cells << 1); ++c) {
+        uint32_t cx = c >> dy_;
+        uint32_t cy = c & ((1u << dy_) - 1);
+        StoreU32(dir.data() + 4 * c, old[(cx << (dy_ - 1)) | (cy >> 1)]);
+      }
+    }
+    dir.MarkDirty();
+    // The bucket's region now spans two cells; recurse to do the real split.
+    uint32_t recell = double_x ? (((min_cx << 1) << dy_) | min_cy)
+                               : ((min_cx << dy_) | (min_cy << 1));
+    return SplitBucket(recell);
+  }
+
+  // Split the wider dimension at the midpoint of the cell region.
+  bool split_x = spans_x && (!spans_y || (max_cx - min_cx) >= (max_cy - min_cy));
+  uint32_t mid_cx = (min_cx + max_cx + 1) / 2;  // first cx of the new bucket
+  uint32_t mid_cy = (min_cy + max_cy + 1) / 2;
+
+  // Collect the whole chain's entries and free overflow pages.
+  std::vector<GEntry> entries;
+  {
+    PageId cur = head;
+    bool first = true;
+    std::vector<PageId> overflow_pages;
+    while (cur != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      GBucket bucket(guard.data());
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        entries.push_back(GEntry{bucket.X(i), bucket.Y(i), bucket.RidAt(i)});
+      }
+      PageId next = bucket.overflow();
+      if (!first) overflow_pages.push_back(cur);
+      first = false;
+      cur = next;
+    }
+    for (PageId p : overflow_pages) {
+      BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(p));
+    }
+  }
+
+  BULKDEL_ASSIGN_OR_RETURN(PageId sibling, NewBucket());
+  {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(head));
+    GBucket bucket(guard.data());
+    bucket.Init();
+    guard.MarkDirty();
+  }
+  // Re-point the upper half of the region.
+  {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+    for (uint32_t c = 0; c < n_cells; ++c) {
+      if (LoadU32(dir.data() + 4 * c) != head &&
+          LoadU32(dir.data() + 4 * c) != sibling) {
+        continue;
+      }
+      uint32_t cx = c >> dy_;
+      uint32_t cy = c & ((1u << dy_) - 1);
+      bool high = split_x ? cx >= mid_cx : cy >= mid_cy;
+      StoreU32(dir.data() + 4 * c, high ? sibling : head);
+    }
+    dir.MarkDirty();
+  }
+
+  // Redistribute entries by coordinate.
+  for (const GEntry& e : entries) {
+    uint32_t cx = static_cast<uint32_t>(e.x >> (kDomainBits - dx_));
+    uint32_t cy = static_cast<uint32_t>(e.y >> (kDomainBits - dy_));
+    bool high = split_x ? cx >= mid_cx : cy >= mid_cy;
+    PageId target = high ? sibling : head;
+    while (true) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(target));
+      GBucket bucket(guard.data());
+      if (bucket.Append(e.x, e.y, e.rid)) {
+        guard.MarkDirty();
+        break;
+      }
+      if (bucket.overflow() == kInvalidPageId) {
+        BULKDEL_ASSIGN_OR_RETURN(PageId fresh, NewBucket());
+        bucket.set_overflow(fresh);
+        guard.MarkDirty();
+        target = fresh;
+      } else {
+        target = bucket.overflow();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GridFile::Delete(int64_t x, int64_t y, const Rid& rid) {
+  uint32_t cell = CellOf(x, y);
+  BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(cell));
+  PageId prev = kInvalidPageId;
+  PageId cur = head;
+  while (cur != kInvalidPageId) {
+    PageId next;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      GBucket bucket(guard.data());
+      next = bucket.overflow();
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        if (bucket.X(i) == x && bucket.Y(i) == y && bucket.RidAt(i) == rid) {
+          bucket.RemoveAt(i);
+          guard.MarkDirty();
+          --entry_count_;
+          if (cur != head && bucket.count() == 0) {
+            guard.Release();
+            BULKDEL_ASSIGN_OR_RETURN(PageGuard pguard, pool_->FetchPage(prev));
+            GBucket pbucket(pguard.data());
+            pbucket.set_overflow(next);
+            pguard.MarkDirty();
+            pguard.Release();
+            BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(cur));
+          }
+          return Status::OK();
+        }
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  return Status::NotFound("entry not in grid file");
+}
+
+Status GridFile::SearchRange(
+    int64_t x1, int64_t y1, int64_t x2, int64_t y2,
+    const std::function<Status(int64_t, int64_t, const Rid&)>& visitor) {
+  uint32_t cx1 = static_cast<uint32_t>(std::max<int64_t>(x1, 0) >>
+                                       (kDomainBits - dx_));
+  uint32_t cx2 = static_cast<uint32_t>(
+      std::min<int64_t>(x2, kDomain - 1) >> (kDomainBits - dx_));
+  uint32_t cy1 = static_cast<uint32_t>(std::max<int64_t>(y1, 0) >>
+                                       (kDomainBits - dy_));
+  uint32_t cy2 = static_cast<uint32_t>(
+      std::min<int64_t>(y2, kDomain - 1) >> (kDomainBits - dy_));
+  std::set<PageId> seen;
+  for (uint32_t cx = cx1; cx <= cx2; ++cx) {
+    for (uint32_t cy = cy1; cy <= cy2; ++cy) {
+      BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry((cx << dy_) | cy));
+      if (!seen.insert(head).second) continue;
+      PageId cur = head;
+      while (cur != kInvalidPageId) {
+        BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+        GBucket bucket(guard.data());
+        for (uint16_t i = 0; i < bucket.count(); ++i) {
+          int64_t x = bucket.X(i), y = bucket.Y(i);
+          if (x >= x1 && x <= x2 && y >= y1 && y <= y2) {
+            BULKDEL_RETURN_IF_ERROR(visitor(x, y, bucket.RidAt(i)));
+          }
+        }
+        cur = bucket.overflow();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GridFile::ScanAll(
+    const std::function<Status(int64_t, int64_t, const Rid&)>& visitor) {
+  return SearchRange(0, 0, kDomain - 1, kDomain - 1, visitor);
+}
+
+Status GridFile::ProcessChain(
+    PageId head, const std::function<bool(int64_t, int64_t, const Rid&)>& pred,
+    uint64_t* deleted, uint64_t* overflow_pages) {
+  PageId prev = kInvalidPageId;
+  PageId cur = head;
+  while (cur != kInvalidPageId) {
+    PageId next;
+    bool empty_overflow;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      GBucket bucket(guard.data());
+      next = bucket.overflow();
+      if (cur != head) ++*overflow_pages;
+      bool modified = false;
+      uint16_t i = 0;
+      while (i < bucket.count()) {
+        if (pred(bucket.X(i), bucket.Y(i), bucket.RidAt(i))) {
+          bucket.RemoveAt(i);
+          ++*deleted;
+          modified = true;
+        } else {
+          ++i;
+        }
+      }
+      if (modified) guard.MarkDirty();
+      empty_overflow = cur != head && bucket.count() == 0;
+    }
+    if (empty_overflow) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard pguard, pool_->FetchPage(prev));
+      GBucket pbucket(pguard.data());
+      pbucket.set_overflow(next);
+      pguard.MarkDirty();
+      pguard.Release();
+      BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(cur));
+    } else {
+      prev = cur;
+    }
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Status GridFile::BulkDelete(
+    const std::vector<std::tuple<int64_t, int64_t, Rid>>& doomed,
+    GridBulkDeleteStats* stats) {
+  GridBulkDeleteStats local;
+  // Cell-partition the delete list; several cells may share a bucket, so
+  // group by the bucket head page.
+  std::map<PageId, std::vector<std::tuple<int64_t, int64_t, uint64_t>>>
+      by_bucket;
+  for (const auto& [x, y, rid] : doomed) {
+    if (x < 0 || x >= kDomain || y < 0 || y >= kDomain) continue;
+    BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(CellOf(x, y)));
+    by_bucket[head].emplace_back(x, y, rid.Pack());
+  }
+  for (auto& [head, list] : by_bucket) {
+    std::sort(list.begin(), list.end());
+    ++local.buckets_visited;
+    uint64_t deleted = 0;
+    BULKDEL_RETURN_IF_ERROR(ProcessChain(
+        head,
+        [&](int64_t x, int64_t y, const Rid& rid) {
+          return std::binary_search(
+              list.begin(), list.end(),
+              std::make_tuple(x, y, rid.Pack()));
+        },
+        &deleted, &local.overflow_pages_visited));
+    local.entries_deleted += deleted;
+  }
+  entry_count_ -= local.entries_deleted;
+  BULKDEL_RETURN_IF_ERROR(FlushMeta());
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status GridFile::CheckInvariants() {
+  uint64_t total = 0;
+  std::set<PageId> seen;
+  uint32_t n_cells = num_cells();
+  for (uint32_t c = 0; c < n_cells; ++c) {
+    BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(c));
+    if (!seen.insert(head).second) continue;
+    PageId cur = head;
+    while (cur != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      GBucket bucket(guard.data());
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        uint32_t cell = CellOf(bucket.X(i), bucket.Y(i));
+        BULKDEL_ASSIGN_OR_RETURN(PageId owner, DirEntry(cell));
+        if (owner != head) {
+          return Status::Corruption("grid entry in wrong bucket");
+        }
+      }
+      total += bucket.count();
+      cur = bucket.overflow();
+    }
+  }
+  if (total != entry_count_) {
+    return Status::Corruption("grid file count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace bulkdel

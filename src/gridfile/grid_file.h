@@ -1,0 +1,111 @@
+#ifndef BULKDEL_GRIDFILE_GRID_FILE_H_
+#define BULKDEL_GRIDFILE_GRID_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "table/rid.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+struct GridBulkDeleteStats {
+  uint64_t entries_deleted = 0;
+  uint64_t buckets_visited = 0;
+  uint64_t overflow_pages_visited = 0;
+};
+
+/// Two-dimensional grid file mapping points to RIDs — the last of the three
+/// index families in the paper's future work (§5: "hash tables, R-trees, or
+/// grid files").
+///
+/// Simplified EXCELL-style organization: the directory is a 2^dx × 2^dy grid
+/// over the fixed domain [0, 2^30)² with midpoint splits, so a point's cell
+/// is (x >> (30-dx), y >> (30-dy)). Several cells may share one bucket; an
+/// overflowing bucket whose region spans more than one cell splits in half,
+/// otherwise the directory doubles (alternating dimensions) — and once the
+/// directory page is full, overflow chains absorb further growth. This keeps
+/// the classic grid-file property (any exact-match probe costs one directory
+/// access + one bucket access) without dynamic linear scales; skewed data
+/// degrades to chains, uniform data stays balanced. See DESIGN.md.
+///
+/// Bulk deletes adapt the delete list to this physical layout by
+/// *cell-partitioning*: doomed points are grouped by bucket via the grid
+/// directory, and each affected bucket chain is read and written exactly
+/// once — the grid-file analogue of sorting for a B-tree and of
+/// hash-partitioning for a hash table.
+class GridFile {
+ public:
+  /// Points must lie in [0, kDomain)².
+  static constexpr int64_t kDomainBits = 30;
+  static constexpr int64_t kDomain = 1ll << kDomainBits;
+
+  static Result<GridFile> Create(BufferPool* pool);
+  static Result<GridFile> Open(BufferPool* pool, PageId meta_page);
+
+  GridFile(GridFile&&) = default;
+  GridFile& operator=(GridFile&&) = default;
+
+  PageId meta_page() const { return meta_page_; }
+  uint64_t entry_count() const { return entry_count_; }
+  int dx() const { return dx_; }
+  int dy() const { return dy_; }
+  uint32_t num_cells() const { return 1u << (dx_ + dy_); }
+
+  Status Insert(int64_t x, int64_t y, const Rid& rid);
+
+  /// Traditional delete: one directory probe + bucket-chain search.
+  Status Delete(int64_t x, int64_t y, const Rid& rid);
+
+  /// All entries with x in [x1,x2], y in [y1,y2].
+  Status SearchRange(
+      int64_t x1, int64_t y1, int64_t x2, int64_t y2,
+      const std::function<Status(int64_t, int64_t, const Rid&)>& visitor);
+
+  /// Bulk delete of exact (x, y, rid) entries, cell-partitioned.
+  Status BulkDelete(const std::vector<std::tuple<int64_t, int64_t, Rid>>& doomed,
+                    GridBulkDeleteStats* stats = nullptr);
+
+  Status ScanAll(
+      const std::function<Status(int64_t, int64_t, const Rid&)>& visitor);
+
+  Status FlushMeta();
+
+  /// Validates: every entry lies in its bucket's cell region, counts match.
+  Status CheckInvariants();
+
+ private:
+  explicit GridFile(BufferPool* pool, PageId meta_page)
+      : pool_(pool), meta_page_(meta_page) {}
+
+  uint32_t CellOf(int64_t x, int64_t y) const {
+    uint32_t cx = static_cast<uint32_t>(x >> (kDomainBits - dx_));
+    uint32_t cy = static_cast<uint32_t>(y >> (kDomainBits - dy_));
+    return (cx << dy_) | cy;
+  }
+
+  Status LoadMeta();
+  Result<PageId> DirEntry(uint32_t cell);
+  Result<PageId> NewBucket();
+
+  /// Splits the bucket containing `cell` (halving its cell region or
+  /// doubling the directory); ResourceExhausted when the directory is full.
+  Status SplitBucket(uint32_t cell);
+
+  Status ProcessChain(
+      PageId head,
+      const std::function<bool(int64_t, int64_t, const Rid&)>& pred,
+      uint64_t* deleted, uint64_t* overflow_pages);
+
+  BufferPool* pool_;
+  PageId meta_page_;
+  PageId directory_page_ = kInvalidPageId;
+  int dx_ = 0, dy_ = 0;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_GRIDFILE_GRID_FILE_H_

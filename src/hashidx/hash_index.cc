@@ -1,0 +1,501 @@
+#include "hashidx/hash_index.h"
+
+#include <algorithm>
+
+#include <cstring>
+
+#include "exec/hash_delete.h"
+#include "util/coding.h"
+
+namespace bulkdel {
+
+namespace {
+constexpr uint32_t kHashMagic = 0x48534831;  // "HSH1"
+constexpr uint32_t kMetaDepthOff = 4;
+constexpr uint32_t kMetaCountOff = 8;
+constexpr uint32_t kMetaDirOff = 16;
+
+constexpr int kMaxGlobalDepth = 10;  // 1024 u32 slots fit one directory page
+
+/// View over a bucket page.
+class Bucket {
+ public:
+  static constexpr uint32_t kHeaderSize = 16;
+  static constexpr uint32_t kEntrySize = 16;
+  static constexpr uint16_t Capacity() {
+    return (kPageSize - kHeaderSize) / kEntrySize;
+  }
+
+  explicit Bucket(char* data) : data_(data) {}
+
+  void Init(uint8_t local_depth) {
+    std::memset(data_, 0, kPageSize);
+    data_[0] = static_cast<char>(local_depth);
+    StoreU32(data_ + 4, kInvalidPageId);  // overflow
+  }
+
+  uint8_t local_depth() const { return static_cast<uint8_t>(data_[0]); }
+  void set_local_depth(uint8_t d) { data_[0] = static_cast<char>(d); }
+  uint16_t count() const { return LoadU16(data_ + 2); }
+  void set_count(uint16_t c) { StoreU16(data_ + 2, c); }
+  PageId overflow() const { return LoadU32(data_ + 4); }
+  void set_overflow(PageId p) { StoreU32(data_ + 4, p); }
+
+  int64_t Key(uint16_t i) const { return LoadI64(Entry(i)); }
+  Rid RidAt(uint16_t i) const {
+    return Rid(LoadU32(Entry(i) + 8), LoadU16(Entry(i) + 12));
+  }
+  void Set(uint16_t i, int64_t key, const Rid& rid) {
+    char* e = Entry(i);
+    StoreI64(e, key);
+    StoreU32(e + 8, rid.page);
+    StoreU16(e + 12, rid.slot);
+    StoreU16(e + 14, 0);
+  }
+  bool Append(int64_t key, const Rid& rid) {
+    if (count() >= Capacity()) return false;
+    Set(count(), key, rid);
+    set_count(count() + 1);
+    return true;
+  }
+  void RemoveAt(uint16_t i) {
+    uint16_t n = count();
+    if (i + 1 < n) {
+      std::memcpy(Entry(i), Entry(n - 1), kEntrySize);
+    }
+    set_count(n - 1);
+  }
+
+ private:
+  char* Entry(uint16_t i) const {
+    return data_ + kHeaderSize + static_cast<uint32_t>(i) * kEntrySize;
+  }
+  char* data_;
+};
+}  // namespace
+
+uint64_t HashIndex::HashKey(int64_t key) {
+  uint64_t v = static_cast<uint64_t>(key);
+  v ^= v >> 30;
+  v *= 0xbf58476d1ce4e5b9ULL;
+  v ^= v >> 27;
+  v *= 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return v;
+}
+
+Result<HashIndex> HashIndex::Create(BufferPool* pool) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool->NewPage());
+  HashIndex index(pool, meta.page_id());
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool->NewPage());
+  index.directory_page_ = dir.page_id();
+  index.global_depth_ = 0;
+  BULKDEL_ASSIGN_OR_RETURN(PageId bucket, index.NewBucket(0));
+  StoreU32(dir.data(), bucket);
+  dir.MarkDirty();
+  StoreU32(meta.data(), kHashMagic);
+  meta.MarkDirty();
+  meta.Release();
+  dir.Release();
+  BULKDEL_RETURN_IF_ERROR(index.FlushMeta());
+  return index;
+}
+
+Result<HashIndex> HashIndex::Open(BufferPool* pool, PageId meta_page) {
+  HashIndex index(pool, meta_page);
+  BULKDEL_RETURN_IF_ERROR(index.LoadMeta());
+  return index;
+}
+
+Status HashIndex::LoadMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  if (LoadU32(meta.data()) != kHashMagic) {
+    return Status::Corruption("bad hash index magic");
+  }
+  global_depth_ = static_cast<int>(LoadU32(meta.data() + kMetaDepthOff));
+  entry_count_ = LoadU64(meta.data() + kMetaCountOff);
+  directory_page_ = LoadU32(meta.data() + kMetaDirOff);
+  return Status::OK();
+}
+
+Status HashIndex::FlushMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  StoreU32(meta.data(), kHashMagic);
+  StoreU32(meta.data() + kMetaDepthOff, static_cast<uint32_t>(global_depth_));
+  StoreU64(meta.data() + kMetaCountOff, entry_count_);
+  StoreU32(meta.data() + kMetaDirOff, directory_page_);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Result<PageId> HashIndex::DirEntry(uint32_t slot) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+  return static_cast<PageId>(LoadU32(dir.data() + 4 * slot));
+}
+
+Status HashIndex::SetDirEntry(uint32_t slot, PageId bucket) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+  StoreU32(dir.data() + 4 * slot, bucket);
+  dir.MarkDirty();
+  return Status::OK();
+}
+
+Result<PageId> HashIndex::NewBucket(uint8_t local_depth) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+  Bucket bucket(page.data());
+  bucket.Init(local_depth);
+  page.MarkDirty();
+  return page.page_id();
+}
+
+Status HashIndex::Insert(int64_t key, const Rid& rid) {
+  for (int attempt = 0; attempt <= kMaxGlobalDepth + 1; ++attempt) {
+    uint32_t slot = DirSlotFor(key);
+    BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(slot));
+    // Duplicate check + find a page with space along the chain.
+    PageId cur = head;
+    PageId space_page = kInvalidPageId;
+    PageId tail = head;
+    uint8_t head_depth = 0;
+    while (cur != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      Bucket bucket(guard.data());
+      if (cur == head) head_depth = bucket.local_depth();
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        if (bucket.Key(i) == key && bucket.RidAt(i) == rid) {
+          return Status::AlreadyExists("entry already in hash index");
+        }
+      }
+      if (space_page == kInvalidPageId &&
+          bucket.count() < Bucket::Capacity()) {
+        space_page = cur;
+      }
+      tail = cur;
+      cur = bucket.overflow();
+    }
+    if (space_page != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(space_page));
+      Bucket bucket(guard.data());
+      bucket.Append(key, rid);
+      guard.MarkDirty();
+      ++entry_count_;
+      return Status::OK();
+    }
+    // Chain full: split the primary bucket if the depths allow, else chain
+    // one more overflow page.
+    if (head_depth < kMaxGlobalDepth) {
+      Status split = SplitBucket(slot);
+      if (split.ok()) continue;  // re-probe: the key may map elsewhere now
+      if (split.code() != StatusCode::kResourceExhausted) return split;
+    }
+    BULKDEL_ASSIGN_OR_RETURN(PageId fresh, NewBucket(head_depth));
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard tguard, pool_->FetchPage(tail));
+      Bucket tbucket(tguard.data());
+      tbucket.set_overflow(fresh);
+      tguard.MarkDirty();
+    }
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(fresh));
+    Bucket bucket(guard.data());
+    bucket.Append(key, rid);
+    guard.MarkDirty();
+    ++entry_count_;
+    return Status::OK();
+  }
+  return Status::Internal("hash insert did not converge");
+}
+
+Status HashIndex::SplitBucket(uint32_t dir_slot) {
+  BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(dir_slot));
+  uint8_t old_depth;
+  {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(head));
+    old_depth = Bucket(guard.data()).local_depth();
+  }
+  if (old_depth >= kMaxGlobalDepth) {
+    return Status::ResourceExhausted("bucket at max depth");
+  }
+  if (old_depth == global_depth_) {
+    // Double the directory.
+    if (global_depth_ + 1 > kMaxGlobalDepth) {
+      return Status::ResourceExhausted("directory page full");
+    }
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+    uint32_t n = 1u << global_depth_;
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t v = LoadU32(dir.data() + 4 * i);
+      StoreU32(dir.data() + 4 * (i + n), v);
+    }
+    dir.MarkDirty();
+    ++global_depth_;
+  }
+
+  // Collect the whole chain's entries, then redistribute on the new bit.
+  std::vector<KeyRid> entries;
+  std::vector<PageId> overflow_pages;
+  {
+    PageId cur = head;
+    bool first = true;
+    while (cur != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      Bucket bucket(guard.data());
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        entries.emplace_back(bucket.Key(i), bucket.RidAt(i));
+      }
+      PageId next = bucket.overflow();
+      if (!first) overflow_pages.push_back(cur);
+      first = false;
+      cur = next;
+    }
+  }
+  for (PageId p : overflow_pages) {
+    BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(p));
+  }
+
+  uint8_t new_depth = static_cast<uint8_t>(old_depth + 1);
+  BULKDEL_ASSIGN_OR_RETURN(PageId sibling, NewBucket(new_depth));
+  {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(head));
+    Bucket bucket(guard.data());
+    bucket.Init(new_depth);
+    guard.MarkDirty();
+  }
+
+  // Rewire directory: among the slots that pointed at `head`, those with the
+  // new bit set now point at `sibling`.
+  uint32_t pattern = dir_slot & ((1u << old_depth) - 1);
+  {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard dir, pool_->FetchPage(directory_page_));
+    uint32_t n = 1u << global_depth_;
+    for (uint32_t i = 0; i < n; ++i) {
+      if ((i & ((1u << old_depth) - 1)) != pattern) continue;
+      bool high = (i >> old_depth) & 1;
+      StoreU32(dir.data() + 4 * i, high ? sibling : head);
+    }
+    dir.MarkDirty();
+  }
+
+  // Reinsert the collected entries into the two fresh chains.
+  for (const KeyRid& e : entries) {
+    bool high = (HashKey(e.key) >> old_depth) & 1;
+    PageId target = high ? sibling : head;
+    // Append along the chain, adding overflow pages as needed.
+    while (true) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(target));
+      Bucket bucket(guard.data());
+      if (bucket.Append(e.key, e.rid)) {
+        guard.MarkDirty();
+        break;
+      }
+      if (bucket.overflow() == kInvalidPageId) {
+        BULKDEL_ASSIGN_OR_RETURN(PageId fresh, NewBucket(new_depth));
+        bucket.set_overflow(fresh);
+        guard.MarkDirty();
+        target = fresh;
+      } else {
+        target = bucket.overflow();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashIndex::Delete(int64_t key, const Rid& rid) {
+  uint32_t slot = DirSlotFor(key);
+  BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(slot));
+  PageId prev = kInvalidPageId;
+  PageId cur = head;
+  while (cur != kInvalidPageId) {
+    PageId next;
+    bool emptied_overflow = false;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      Bucket bucket(guard.data());
+      next = bucket.overflow();
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        if (bucket.Key(i) == key && bucket.RidAt(i) == rid) {
+          bucket.RemoveAt(i);
+          guard.MarkDirty();
+          --entry_count_;
+          emptied_overflow = cur != head && bucket.count() == 0;
+          if (emptied_overflow) {
+            // Unlink and free the empty overflow page (free-at-empty).
+            guard.Release();
+            BULKDEL_ASSIGN_OR_RETURN(PageGuard pguard, pool_->FetchPage(prev));
+            Bucket pbucket(pguard.data());
+            pbucket.set_overflow(next);
+            pguard.MarkDirty();
+            pguard.Release();
+            BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(cur));
+          }
+          return Status::OK();
+        }
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  return Status::NotFound("entry not in hash index");
+}
+
+Result<std::vector<Rid>> HashIndex::Search(int64_t key) {
+  std::vector<Rid> rids;
+  uint32_t slot = DirSlotFor(key);
+  BULKDEL_ASSIGN_OR_RETURN(PageId cur, DirEntry(slot));
+  while (cur != kInvalidPageId) {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+    Bucket bucket(guard.data());
+    for (uint16_t i = 0; i < bucket.count(); ++i) {
+      if (bucket.Key(i) == key) rids.push_back(bucket.RidAt(i));
+    }
+    cur = bucket.overflow();
+  }
+  return rids;
+}
+
+Status HashIndex::ProcessChain(
+    PageId head, const std::function<bool(int64_t, const Rid&)>& pred,
+    uint64_t* deleted, uint64_t* overflow_pages) {
+  PageId prev = kInvalidPageId;
+  PageId cur = head;
+  while (cur != kInvalidPageId) {
+    PageId next;
+    bool empty_overflow;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      Bucket bucket(guard.data());
+      next = bucket.overflow();
+      if (cur != head) ++*overflow_pages;
+      bool modified = false;
+      uint16_t i = 0;
+      while (i < bucket.count()) {
+        if (pred(bucket.Key(i), bucket.RidAt(i))) {
+          bucket.RemoveAt(i);
+          ++*deleted;
+          modified = true;
+        } else {
+          ++i;
+        }
+      }
+      if (modified) guard.MarkDirty();
+      empty_overflow = cur != head && bucket.count() == 0;
+    }
+    if (empty_overflow) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard pguard, pool_->FetchPage(prev));
+      Bucket pbucket(pguard.data());
+      pbucket.set_overflow(next);
+      pguard.MarkDirty();
+      pguard.Release();
+      BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(cur));
+    } else {
+      prev = cur;
+    }
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Status HashIndex::BulkDeleteKeys(const std::vector<int64_t>& keys,
+                                 HashBulkDeleteStats* stats) {
+  HashBulkDeleteStats local;
+  // Hash-partition the delete list by directory slot — the hash-table
+  // analogue of sorting the list into a B-tree's key order.
+  std::vector<std::pair<uint32_t, int64_t>> partitioned;
+  partitioned.reserve(keys.size());
+  for (int64_t k : keys) partitioned.emplace_back(DirSlotFor(k), k);
+  std::sort(partitioned.begin(), partitioned.end());
+
+  size_t i = 0;
+  while (i < partitioned.size()) {
+    uint32_t slot = partitioned[i].first;
+    U64HashSet doomed(16);
+    while (i < partitioned.size() && partitioned[i].first == slot) {
+      doomed.Insert(static_cast<uint64_t>(partitioned[i].second));
+      ++i;
+    }
+    BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(slot));
+    ++local.buckets_visited;
+    uint64_t deleted = 0;
+    BULKDEL_RETURN_IF_ERROR(ProcessChain(
+        head,
+        [&](int64_t key, const Rid&) {
+          return doomed.Contains(static_cast<uint64_t>(key));
+        },
+        &deleted, &local.overflow_pages_visited));
+    local.entries_deleted += deleted;
+  }
+  entry_count_ -= local.entries_deleted;
+  BULKDEL_RETURN_IF_ERROR(FlushMeta());
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status HashIndex::ScanAll(
+    const std::function<Status(int64_t, const Rid&)>& visitor) {
+  uint32_t n = num_buckets();
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(slot));
+    uint8_t ld;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(head));
+      ld = Bucket(guard.data()).local_depth();
+    }
+    // Visit each bucket only from its canonical (lowest) directory slot.
+    if (slot != (slot & ((1u << ld) - 1))) continue;
+    PageId cur = head;
+    while (cur != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      Bucket bucket(guard.data());
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        BULKDEL_RETURN_IF_ERROR(visitor(bucket.Key(i), bucket.RidAt(i)));
+      }
+      cur = bucket.overflow();
+    }
+  }
+  return Status::OK();
+}
+
+Status HashIndex::CheckInvariants() {
+  uint64_t total = 0;
+  uint32_t n = num_buckets();
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    BULKDEL_ASSIGN_OR_RETURN(PageId head, DirEntry(slot));
+    uint8_t ld;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(head));
+      ld = Bucket(guard.data()).local_depth();
+    }
+    if (ld > global_depth_) {
+      return Status::Corruption("local depth exceeds global depth");
+    }
+    // Every slot sharing the pattern must point to the same page.
+    uint32_t pattern = slot & ((1u << ld) - 1);
+    BULKDEL_ASSIGN_OR_RETURN(PageId canonical, DirEntry(pattern));
+    if (canonical != head) {
+      return Status::Corruption("directory slots disagree for one bucket");
+    }
+    if (slot != pattern) continue;  // count each bucket once
+    PageId cur = head;
+    while (cur != kInvalidPageId) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      Bucket bucket(guard.data());
+      for (uint16_t i = 0; i < bucket.count(); ++i) {
+        uint32_t expect =
+            static_cast<uint32_t>(HashKey(bucket.Key(i)) & ((1u << ld) - 1));
+        if (expect != pattern) {
+          return Status::Corruption("entry hashed to wrong bucket");
+        }
+      }
+      total += bucket.count();
+      cur = bucket.overflow();
+    }
+  }
+  if (total != entry_count_) {
+    return Status::Corruption("hash index count mismatch: stored " +
+                              std::to_string(entry_count_) + ", found " +
+                              std::to_string(total));
+  }
+  return Status::OK();
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,67 @@
+#include "plan/plan.h"
+
+#include <cstdio>
+
+namespace bulkdel {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kTraditional:
+      return "traditional";
+    case Strategy::kTraditionalSorted:
+      return "traditional-sorted";
+    case Strategy::kDropCreate:
+      return "drop-and-create";
+    case Strategy::kVerticalSortMerge:
+      return "vertical-sort-merge";
+    case Strategy::kVerticalHash:
+      return "vertical-hash";
+    case Strategy::kVerticalPartitionedHash:
+      return "vertical-partitioned-hash";
+    case Strategy::kOptimizer:
+      return "optimizer";
+  }
+  return "unknown";
+}
+
+const char* DeleteMethodName(DeleteMethod m) {
+  switch (m) {
+    case DeleteMethod::kMerge:
+      return "merge";
+    case DeleteMethod::kClassicHash:
+      return "hash";
+    case DeleteMethod::kPartitionedHash:
+      return "partitioned-hash";
+  }
+  return "unknown";
+}
+
+std::string BulkDeletePlan::Explain() const {
+  std::string out = "BulkDeletePlan strategy=";
+  out += StrategyName(strategy);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), " est=%.1f ms\n", est_micros / 1000.0);
+  out += buf;
+  int i = 1;
+  for (const PlanStep& step : steps) {
+    std::snprintf(buf, sizeof(buf), "  %d. %s %s", i++,
+                  step.is_table ? "table" : "index", step.structure.c_str());
+    out += buf;
+    out += "  [";
+    out += DeleteMethodName(step.method);
+    out += " by ";
+    out += step.probe == ProbeBy::kKey ? "key" : "rid";
+    if (step.input_sorted) out += ", input pre-sorted";
+    out += "]";
+    std::snprintf(buf, sizeof(buf), " est=%.1f ms", step.est_micros / 1000.0);
+    out += buf;
+    if (!step.note.empty()) {
+      out += "  -- ";
+      out += step.note;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,69 @@
+#ifndef BULKDEL_PLAN_PLAN_H_
+#define BULKDEL_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+namespace bulkdel {
+
+/// Execution strategies for a bulk DELETE statement.
+enum class Strategy {
+  /// Record-at-a-time ("horizontal"): probe the key index per key, delete the
+  /// record from the table and every index before the next record.
+  kTraditional,
+  /// Traditional, but the delete list is sorted first (the paper's
+  /// sorted/trad baseline).
+  kTraditionalSorted,
+  /// Drop all secondary indices, delete traditionally, rebuild them.
+  kDropCreate,
+  /// Vertical set-oriented processing with sort/merge ⋉̸ operators (Fig. 3).
+  kVerticalSortMerge,
+  /// Vertical with classic main-memory hash ⋉̸ operators (Fig. 4).
+  kVerticalHash,
+  /// Vertical with range-partitioned hash ⋉̸ operators (Fig. 5).
+  kVerticalPartitionedHash,
+  /// Let the cost-based planner pick the strategy and per-structure methods.
+  kOptimizer,
+};
+
+const char* StrategyName(Strategy s);
+
+/// Join method of one ⋉̸ operator (paper §2.1: "⋉̸ method").
+enum class DeleteMethod {
+  kMerge,            ///< sort the list, one merging leaf/page pass
+  kClassicHash,      ///< main-memory hash set, one probing pass
+  kPartitionedHash,  ///< range partitions of memory-fitting hash sets
+};
+
+const char* DeleteMethodName(DeleteMethod m);
+
+/// Primary ⋉̸ predicate (paper §2.1): locate doomed entries by key or by RID.
+enum class ProbeBy { kKey, kRid };
+
+/// One vertical step: a ⋉̸ against a single structure.
+struct PlanStep {
+  std::string structure;  ///< "R" for the table, "R.A" etc. for indices
+  bool is_table = false;
+  DeleteMethod method = DeleteMethod::kMerge;
+  ProbeBy probe = ProbeBy::kKey;
+  /// The incoming list already matches the structure's physical order, so
+  /// the sort is elided (clustered-index interesting orders, §2.2.1).
+  bool input_sorted = false;
+  double est_micros = 0;
+  std::string note;
+};
+
+/// A complete bulk-delete plan, either horizontal (a single conceptual step)
+/// or vertical (one ⋉̸ per structure, in processing order: key index first,
+/// then the base table, then unique indices, then the rest — §3.1.3).
+struct BulkDeletePlan {
+  Strategy strategy = Strategy::kVerticalSortMerge;
+  std::vector<PlanStep> steps;
+  double est_micros = 0;
+
+  std::string Explain() const;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_PLAN_PLAN_H_

@@ -1,0 +1,186 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+
+namespace bulkdel {
+
+namespace {
+const IndexInfo* FindKeyIndex(const PlannerInput& input) {
+  for (const IndexInfo& index : input.indices) {
+    if (index.is_key_index) return &index;
+  }
+  return nullptr;
+}
+}  // namespace
+
+BulkDeletePlan Planner::MakeHorizontal(Strategy strategy,
+                                       const PlannerInput& input) const {
+  BulkDeletePlan plan;
+  plan.strategy = strategy;
+  PlanStep step;
+  step.structure = "(all structures, record-at-a-time)";
+  step.is_table = true;
+  step.method = DeleteMethod::kMerge;  // nominal; horizontal has no ⋉̸
+  step.probe = ProbeBy::kKey;
+  step.input_sorted =
+      strategy == Strategy::kTraditionalSorted || input.keys_sorted;
+  step.est_micros = cost_.TraditionalCost(
+      input.table, input.indices, input.n_delete,
+      strategy == Strategy::kTraditionalSorted);
+  step.note = "horizontal: probe key index per record, delete everywhere";
+  plan.steps.push_back(step);
+  plan.est_micros = step.est_micros;
+  return plan;
+}
+
+BulkDeletePlan Planner::MakeDropCreate(const PlannerInput& input) const {
+  BulkDeletePlan plan;
+  plan.strategy = Strategy::kDropCreate;
+  PlanStep step;
+  step.structure = "(drop secondaries, delete, rebuild)";
+  step.is_table = true;
+  step.method = DeleteMethod::kMerge;
+  step.probe = ProbeBy::kKey;
+  step.est_micros =
+      cost_.DropCreateCost(input.table, input.indices, input.n_delete);
+  plan.steps.push_back(step);
+  plan.est_micros = step.est_micros;
+  return plan;
+}
+
+Result<BulkDeletePlan> Planner::MakeVertical(const PlannerInput& input,
+                                             int forced_method) const {
+  const IndexInfo* key_index = FindKeyIndex(input);
+  BulkDeletePlan plan;
+  plan.strategy = forced_method < 0 ? Strategy::kVerticalSortMerge
+                  : static_cast<DeleteMethod>(forced_method) ==
+                          DeleteMethod::kMerge
+                      ? Strategy::kVerticalSortMerge
+                  : static_cast<DeleteMethod>(forced_method) ==
+                          DeleteMethod::kClassicHash
+                      ? Strategy::kVerticalHash
+                      : Strategy::kVerticalPartitionedHash;
+
+  // Step 1: the key index, probed by key. Merge is the only applicable
+  // method when the incoming list holds bare keys (no RIDs to hash yet) —
+  // unless we hash by *key*, which the classic-hash strategy does.
+  if (key_index != nullptr) {
+    PlanStep step;
+    step.structure = key_index->name;
+    step.is_table = false;
+    step.probe = ProbeBy::kKey;
+    DeleteMethod m = forced_method < 0
+                         ? DeleteMethod::kMerge
+                         : static_cast<DeleteMethod>(forced_method);
+    if (m == DeleteMethod::kPartitionedHash) m = DeleteMethod::kMerge;
+    step.method = m;
+    step.input_sorted = input.keys_sorted && m == DeleteMethod::kMerge;
+    step.est_micros =
+        m == DeleteMethod::kMerge
+            ? cost_.IndexMergePassCost(*key_index, input.n_delete)
+            : cost_.IndexHashPassCost(*key_index, input.n_delete);
+    step.note = "locates doomed RIDs";
+    plan.steps.push_back(step);
+  }
+
+  // Step 2: the base table, probed by RID, merge (page-ordered) pass. When
+  // the key index is clustered the RID list arrives already in page order.
+  {
+    PlanStep step;
+    step.structure = "table";
+    step.is_table = true;
+    step.probe = ProbeBy::kRid;
+    step.method = DeleteMethod::kMerge;
+    step.input_sorted = key_index != nullptr && key_index->clustered;
+    step.est_micros = cost_.TablePassCost(input.table, input.n_delete);
+    step.note = key_index == nullptr
+                    ? "no key index: full scan probing a key hash set"
+                    : "projects secondary-index feeds";
+    if (key_index == nullptr) step.probe = ProbeBy::kKey;
+    plan.steps.push_back(step);
+  }
+
+  // Steps 3..n: secondary indices, unique first (§3.1.3), cheapest method.
+  std::vector<const IndexInfo*> secondaries;
+  for (const IndexInfo& index : input.indices) {
+    if (!index.is_key_index) secondaries.push_back(&index);
+  }
+  std::stable_sort(secondaries.begin(), secondaries.end(),
+                   [](const IndexInfo* a, const IndexInfo* b) {
+                     if (a->unique != b->unique) return a->unique > b->unique;
+                     return a->priority > b->priority;
+                   });
+  for (const IndexInfo* index : secondaries) {
+    PlanStep step;
+    step.structure = index->name;
+    step.is_table = false;
+    double merge_cost = cost_.IndexMergePassCost(*index, input.n_delete);
+    double hash_cost = cost_.IndexHashPassCost(*index, input.n_delete);
+    double part_cost = cost_.IndexPartitionedPassCost(*index, input.n_delete);
+    bool hash_fits = cost_.HashSetFits(input.n_delete);
+    DeleteMethod method;
+    if (forced_method >= 0) {
+      method = static_cast<DeleteMethod>(forced_method);
+      if (method == DeleteMethod::kClassicHash && !hash_fits) {
+        // The paper's fallback: partition when the hash table exceeds memory.
+        method = DeleteMethod::kPartitionedHash;
+      }
+    } else if (hash_fits && hash_cost <= merge_cost) {
+      method = DeleteMethod::kClassicHash;
+    } else if (!hash_fits && part_cost < merge_cost) {
+      method = DeleteMethod::kPartitionedHash;
+    } else {
+      method = DeleteMethod::kMerge;
+    }
+    step.method = method;
+    step.probe = method == DeleteMethod::kMerge ? ProbeBy::kKey : ProbeBy::kRid;
+    step.input_sorted = index->clustered && method == DeleteMethod::kMerge &&
+                        key_index != nullptr && key_index->clustered;
+    step.est_micros = method == DeleteMethod::kMerge     ? merge_cost
+                      : method == DeleteMethod::kClassicHash ? hash_cost
+                                                             : part_cost;
+    if (index->unique) step.note = "unique: processed before non-unique";
+    plan.steps.push_back(step);
+  }
+
+  for (const PlanStep& step : plan.steps) plan.est_micros += step.est_micros;
+  return plan;
+}
+
+Result<BulkDeletePlan> Planner::PlanFor(Strategy strategy,
+                                        const PlannerInput& input) const {
+  switch (strategy) {
+    case Strategy::kTraditional:
+    case Strategy::kTraditionalSorted:
+      return MakeHorizontal(strategy, input);
+    case Strategy::kDropCreate:
+      return MakeDropCreate(input);
+    case Strategy::kVerticalSortMerge:
+      return MakeVertical(input, static_cast<int>(DeleteMethod::kMerge));
+    case Strategy::kVerticalHash:
+      return MakeVertical(input, static_cast<int>(DeleteMethod::kClassicHash));
+    case Strategy::kVerticalPartitionedHash:
+      return MakeVertical(input,
+                          static_cast<int>(DeleteMethod::kPartitionedHash));
+    case Strategy::kOptimizer:
+      return Choose(input);
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+Result<BulkDeletePlan> Planner::Choose(const PlannerInput& input) const {
+  std::vector<BulkDeletePlan> candidates;
+  candidates.push_back(MakeHorizontal(Strategy::kTraditionalSorted, input));
+  candidates.push_back(MakeDropCreate(input));
+  BULKDEL_ASSIGN_OR_RETURN(BulkDeletePlan vertical,
+                           MakeVertical(input, /*forced_method=*/-1));
+  candidates.push_back(std::move(vertical));
+
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].est_micros < candidates[best].est_micros) best = i;
+  }
+  return candidates[best];
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,54 @@
+#ifndef BULKDEL_PLAN_PLANNER_H_
+#define BULKDEL_PLAN_PLANNER_H_
+
+#include <vector>
+
+#include "plan/cost_model.h"
+#include "plan/plan.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+/// Everything the planner needs to know about one bulk DELETE.
+struct PlannerInput {
+  TableInfo table;
+  std::vector<IndexInfo> indices;  ///< exactly one flagged is_key_index
+  uint64_t n_delete = 0;
+  bool keys_sorted = false;  ///< delete list arrives pre-sorted
+};
+
+/// Cost-based planner for bulk DELETE statements.
+///
+/// The paper observes that the ⋉̸ operator behaves like a join, so the
+/// optimizer chooses (a) horizontal vs vertical processing, (b) the ⋉̸
+/// method per structure (merge / classic hash / partitioned hash), and
+/// (c) the primary probe predicate (key for the key index, RID downstream).
+/// Processing order is fixed by correctness: the key index locates the RIDs,
+/// the base table produces the projections, and unique indices go before
+/// non-unique ones so they can come back on-line at commit (§3.1.3).
+class Planner {
+ public:
+  explicit Planner(const CostModel& cost) : cost_(cost) {}
+
+  /// Builds the plan for a forced strategy (kOptimizer picks the cheapest).
+  Result<BulkDeletePlan> PlanFor(Strategy strategy,
+                                 const PlannerInput& input) const;
+
+  /// Cost-based choice among all strategies, with per-index method mixing
+  /// for the vertical plan.
+  Result<BulkDeletePlan> Choose(const PlannerInput& input) const;
+
+ private:
+  BulkDeletePlan MakeHorizontal(Strategy strategy,
+                                const PlannerInput& input) const;
+  BulkDeletePlan MakeDropCreate(const PlannerInput& input) const;
+  /// `forced_method` < 0 means pick the cheapest method per index.
+  Result<BulkDeletePlan> MakeVertical(const PlannerInput& input,
+                                      int forced_method) const;
+
+  const CostModel& cost_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_PLAN_PLANNER_H_

@@ -1,0 +1,21 @@
+#include "recovery/log_manager.h"
+
+#include <set>
+
+namespace bulkdel {
+
+void LogManager::TruncateCompleted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<uint64_t> completed;
+  for (const LogRecord& r : durable_) {
+    if (r.type == LogRecordType::kEnd) completed.insert(r.bd_id);
+  }
+  if (completed.empty()) return;
+  std::vector<LogRecord> kept;
+  for (LogRecord& r : durable_) {
+    if (completed.count(r.bd_id) == 0) kept.push_back(std::move(r));
+  }
+  durable_ = std::move(kept);
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,104 @@
+#ifndef BULKDEL_RECOVERY_LOG_MANAGER_H_
+#define BULKDEL_RECOVERY_LOG_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "table/rid.h"
+
+namespace bulkdel {
+
+/// Bulk-delete log record types (paper §3.2). The log makes an interrupted
+/// bulk delete restartable *forward*: recovery finishes the deletion from the
+/// last checkpoint instead of rolling it back.
+enum class LogRecordType : uint8_t {
+  /// A bulk delete started: carries table / key column identity.
+  kBegin,
+  /// An intermediate delete list was materialized to stable scratch pages
+  /// ("the results of the join variants should be materialized to stable
+  /// storage"). `label` names it ("input-keys", "rids", "feed:R.B", ...).
+  kListMaterialized,
+  /// One index entry was removed by the bulk deleter (physiological redo
+  /// info: phase label + key + RID). Durable before the page write-back via
+  /// the buffer pool's pre-writeback hook.
+  kEntryDeleted,
+  /// One table record was removed; carries the projected secondary-index key
+  /// values so the downstream feeds can be reconstructed after a crash.
+  kRowDeleted,
+  /// A whole phase (one structure) finished and a checkpoint was taken.
+  kPhaseDone,
+  /// Table + unique indices done; the statement is committed and the table
+  /// lock can be released (§3.1).
+  kCommit,
+  /// All indices caught up; the bulk delete is fully finished.
+  kEnd,
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  uint64_t bd_id = 0;
+  std::string label;            ///< phase / list label, table name for kBegin
+  std::string aux;              ///< key column for kBegin
+  std::vector<PageId> pages;    ///< kListMaterialized: scratch pages
+  uint64_t count = 0;           ///< kListMaterialized: item count
+  int64_t key = 0;              ///< kEntryDeleted
+  Rid rid;                      ///< kEntryDeleted / kRowDeleted
+  std::vector<int64_t> values;  ///< kRowDeleted: projected index keys
+};
+
+/// Append-only log with explicit durability. Appended records are volatile
+/// until Sync(); a simulated crash drops the un-synced tail, exactly like a
+/// lost OS buffer. The buffer pool's pre-writeback hook calls Sync() so no
+/// page write can precede the durability of the log records describing it
+/// (the WAL rule).
+class LogManager {
+ public:
+  uint64_t NextBulkDeleteId() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++last_bd_id_;
+  }
+
+  void Append(LogRecord record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    volatile_.push_back(std::move(record));
+  }
+
+  /// Makes every appended record durable.
+  void Sync() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (LogRecord& r : volatile_) durable_.push_back(std::move(r));
+    volatile_.clear();
+  }
+
+  /// Crash simulation: lose the un-synced tail.
+  void DropVolatileTail() {
+    std::lock_guard<std::mutex> lock(mu_);
+    volatile_.clear();
+  }
+
+  std::vector<LogRecord> DurableSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_;
+  }
+
+  /// Discards records of completed bulk deletes (log truncation after kEnd).
+  void TruncateCompleted();
+
+  size_t durable_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return durable_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t last_bd_id_ = 0;
+  std::vector<LogRecord> durable_;
+  std::vector<LogRecord> volatile_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_RECOVERY_LOG_MANAGER_H_

@@ -1,0 +1,100 @@
+#include "recovery/recovery_manager.h"
+
+#include <map>
+#include <set>
+
+#include "core/database.h"
+#include "core/executors.h"
+
+namespace bulkdel {
+
+namespace {
+/// Log analysis: reassembles the state of the (at most one) bulk delete that
+/// began but never logged kEnd.
+Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(
+    const std::vector<LogRecord>& records) {
+  std::map<uint64_t, RecoveredBulkDelete> open;
+  std::set<uint64_t> ended;
+  for (const LogRecord& r : records) {
+    if (r.type == LogRecordType::kEnd) {
+      ended.insert(r.bd_id);
+      open.erase(r.bd_id);
+      continue;
+    }
+    if (ended.count(r.bd_id) > 0) continue;
+    RecoveredBulkDelete& state = open[r.bd_id];
+    state.bd_id = r.bd_id;
+    switch (r.type) {
+      case LogRecordType::kBegin:
+        state.table = r.label;
+        state.key_column = r.aux;
+        break;
+      case LogRecordType::kListMaterialized: {
+        RecoveredBulkDelete::List list;
+        list.pages = r.pages;
+        list.count = r.count;
+        state.lists[r.label] = std::move(list);
+        break;
+      }
+      case LogRecordType::kEntryDeleted:
+        // Only the key-index phase logs entry WAL records; entries removed
+        // before that phase's checkpoint are superseded by the "rids" list.
+        if (state.phases_done.count(r.label) == 0) {
+          state.wal_index_entries.emplace_back(r.key, r.rid);
+        }
+        break;
+      case LogRecordType::kRowDeleted:
+        if (state.phases_done.count("table") == 0 &&
+            state.phases_done.count("table-no-index") == 0) {
+          state.wal_rows.emplace_back(r.rid, r.values);
+        }
+        break;
+      case LogRecordType::kPhaseDone:
+        state.phases_done.insert(r.label);
+        break;
+      case LogRecordType::kCommit:
+        state.committed = true;
+        break;
+      case LogRecordType::kEnd:
+        break;
+    }
+  }
+  return open;
+}
+}  // namespace
+
+Status RecoverDatabase(Database* db) {
+  BULKDEL_ASSIGN_OR_RETURN(auto open,
+                           Analyze(db->log().DurableSnapshot()));
+  for (auto& [bd_id, state] : open) {
+    if (state.table.empty()) continue;  // Begin record itself not durable
+    if (state.lists.count("input-keys") == 0) {
+      // The input list never became durable, so (by the WAL rule) no page
+      // write happened either: the statement left no trace and is dropped.
+      LogRecord end;
+      end.type = LogRecordType::kEnd;
+      end.bd_id = bd_id;
+      db->log().Append(std::move(end));
+      db->log().Sync();
+      continue;
+    }
+    // Roll the statement forward to completion (paper §3.2: a bulk deletion
+    // in progress at the crash is finished, not rolled back).
+    BULKDEL_ASSIGN_OR_RETURN(BulkDeleteReport report,
+                             ResumeVertical(db, state));
+    (void)report;
+    // The cached counts of the touched structures may predate the crash;
+    // re-derive them from the data.
+    TableDef* table = db->GetTable(state.table);
+    if (table != nullptr) {
+      BULKDEL_RETURN_IF_ERROR(table->table->RecountFromScan());
+      for (auto& index : table->indices) {
+        BULKDEL_RETURN_IF_ERROR(index->tree->RecountFromScan());
+      }
+    }
+  }
+  db->log().TruncateCompleted();
+  return db->Checkpoint();
+}
+
+}  // namespace bulkdel

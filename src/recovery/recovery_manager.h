@@ -1,0 +1,20 @@
+#ifndef BULKDEL_RECOVERY_RECOVERY_MANAGER_H_
+#define BULKDEL_RECOVERY_RECOVERY_MANAGER_H_
+
+#include "util/status.h"
+
+namespace bulkdel {
+
+class Database;
+
+/// Restart recovery (paper §3.2): analyzes the durable log and, if a bulk
+/// delete began but never logged its end, rolls it *forward* to completion
+/// from the last checkpoint — the interrupted statement is finished, not
+/// rolled back, because the delete lists were materialized to stable storage
+/// and every destructive pass is idempotent. Afterwards the counts of the
+/// affected structures are re-derived and the log is truncated.
+Status RecoverDatabase(Database* db);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_RECOVERY_RECOVERY_MANAGER_H_

@@ -1,0 +1,604 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "exec/hash_delete.h"
+#include "util/coding.h"
+
+namespace bulkdel {
+
+namespace {
+constexpr uint32_t kRtreeMagic = 0x52545231;  // "RTR1"
+
+/// Node page view. Layout:
+///   header 16: [u8 level][u8 pad][u16 count][12 reserved]
+///   entries at 16, stride 40: [i64 x1][i64 y1][i64 x2][i64 y2]
+///                             [u32 ref][u16 slot][2 pad]
+/// Leaf entries store a RID in (ref, slot); inner entries store a child page
+/// in ref.
+class RNode {
+ public:
+  static constexpr uint32_t kHeaderSize = 16;
+  static constexpr uint32_t kEntrySize = 40;
+  static constexpr uint16_t Capacity() {
+    return (kPageSize - kHeaderSize) / kEntrySize;
+  }
+
+  explicit RNode(char* data) : data_(data) {}
+
+  void Init(uint8_t level) {
+    std::memset(data_, 0, kPageSize);
+    data_[0] = static_cast<char>(level);
+  }
+
+  uint8_t level() const { return static_cast<uint8_t>(data_[0]); }
+  bool is_leaf() const { return level() == 0; }
+  uint16_t count() const { return LoadU16(data_ + 2); }
+  void set_count(uint16_t c) { StoreU16(data_ + 2, c); }
+
+  Rect RectAt(uint16_t i) const {
+    const char* e = Entry(i);
+    return Rect{LoadI64(e), LoadI64(e + 8), LoadI64(e + 16), LoadI64(e + 24)};
+  }
+  Rid RidAt(uint16_t i) const {
+    return Rid(LoadU32(Entry(i) + 32), LoadU16(Entry(i) + 36));
+  }
+  PageId ChildAt(uint16_t i) const { return LoadU32(Entry(i) + 32); }
+
+  void Set(uint16_t i, const Rect& r, uint32_t ref, uint16_t slot) {
+    char* e = Entry(i);
+    StoreI64(e, r.x1);
+    StoreI64(e + 8, r.y1);
+    StoreI64(e + 16, r.x2);
+    StoreI64(e + 24, r.y2);
+    StoreU32(e + 32, ref);
+    StoreU16(e + 36, slot);
+    StoreU16(e + 38, 0);
+  }
+  void SetRect(uint16_t i, const Rect& r) {
+    char* e = Entry(i);
+    StoreI64(e, r.x1);
+    StoreI64(e + 8, r.y1);
+    StoreI64(e + 16, r.x2);
+    StoreI64(e + 24, r.y2);
+  }
+  bool Append(const Rect& r, uint32_t ref, uint16_t slot) {
+    if (count() >= Capacity()) return false;
+    Set(count(), r, ref, slot);
+    set_count(count() + 1);
+    return true;
+  }
+  void RemoveAt(uint16_t i) {
+    uint16_t n = count();
+    if (i + 1 < n) {
+      std::memcpy(Entry(i), Entry(n - 1), kEntrySize);
+    }
+    set_count(n - 1);
+  }
+
+  Rect ComputeMbr() const {
+    Rect mbr = RectAt(0);
+    for (uint16_t i = 1; i < count(); ++i) mbr = mbr.Union(RectAt(i));
+    return mbr;
+  }
+
+ private:
+  char* Entry(uint16_t i) const {
+    return data_ + kHeaderSize + static_cast<uint32_t>(i) * kEntrySize;
+  }
+  char* data_;
+};
+
+struct TempEntry {
+  Rect rect;
+  uint32_t ref;
+  uint16_t slot;
+};
+
+/// Guttman's quadratic split of cap+1 entries into two groups.
+void QuadraticSplit(std::vector<TempEntry>& entries,
+                    std::vector<TempEntry>* left,
+                    std::vector<TempEntry>* right) {
+  const size_t n = entries.size();
+  const size_t min_fill = std::max<size_t>(n / 4, 1);
+  // Seeds: the pair wasting the most area.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double waste = entries[i].rect.Union(entries[j].rect).Area() -
+                     entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  std::vector<bool> assigned(n, false);
+  left->push_back(entries[seed_a]);
+  right->push_back(entries[seed_b]);
+  assigned[seed_a] = assigned[seed_b] = true;
+  Rect lmbr = entries[seed_a].rect;
+  Rect rmbr = entries[seed_b].rect;
+  size_t remaining = n - 2;
+  while (remaining > 0) {
+    // Forced assignment to satisfy minimum fill.
+    if (left->size() + remaining == min_fill ||
+        right->size() + remaining == min_fill) {
+      std::vector<TempEntry>* target =
+          left->size() + remaining == min_fill ? left : right;
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          target->push_back(entries[i]);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // Pick the entry with the strongest preference.
+    size_t best = n;
+    double best_diff = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      double d1 = lmbr.EnlargementTo(entries[i].rect);
+      double d2 = rmbr.EnlargementTo(entries[i].rect);
+      double diff = d1 > d2 ? d1 - d2 : d2 - d1;
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    double d1 = lmbr.EnlargementTo(entries[best].rect);
+    double d2 = rmbr.EnlargementTo(entries[best].rect);
+    bool go_left = d1 < d2 || (d1 == d2 && left->size() < right->size());
+    if (go_left) {
+      left->push_back(entries[best]);
+      lmbr = lmbr.Union(entries[best].rect);
+    } else {
+      right->push_back(entries[best]);
+      rmbr = rmbr.Union(entries[best].rect);
+    }
+    assigned[best] = true;
+    --remaining;
+  }
+}
+}  // namespace
+
+Result<RTree> RTree::Create(BufferPool* pool) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool->NewPage());
+  RTree tree(pool, meta.page_id());
+  BULKDEL_ASSIGN_OR_RETURN(PageId root, tree.NewNode(0));
+  tree.root_ = root;
+  tree.height_ = 1;
+  StoreU32(meta.data(), kRtreeMagic);
+  meta.MarkDirty();
+  meta.Release();
+  BULKDEL_RETURN_IF_ERROR(tree.FlushMeta());
+  return tree;
+}
+
+Result<RTree> RTree::Open(BufferPool* pool, PageId meta_page) {
+  RTree tree(pool, meta_page);
+  BULKDEL_RETURN_IF_ERROR(tree.LoadMeta());
+  return tree;
+}
+
+Status RTree::LoadMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  if (LoadU32(meta.data()) != kRtreeMagic) {
+    return Status::Corruption("bad rtree magic");
+  }
+  root_ = LoadU32(meta.data() + 4);
+  height_ = static_cast<int>(LoadU32(meta.data() + 8));
+  entry_count_ = LoadU64(meta.data() + 12);
+  num_nodes_ = LoadU32(meta.data() + 20);
+  return Status::OK();
+}
+
+Status RTree::FlushMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  StoreU32(meta.data(), kRtreeMagic);
+  StoreU32(meta.data() + 4, root_);
+  StoreU32(meta.data() + 8, static_cast<uint32_t>(height_));
+  StoreU64(meta.data() + 12, entry_count_);
+  StoreU32(meta.data() + 20, num_nodes_);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Result<PageId> RTree::NewNode(uint8_t level) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+  RNode node(page.data());
+  node.Init(level);
+  page.MarkDirty();
+  ++num_nodes_;
+  return page.page_id();
+}
+
+Status RTree::Insert(const Rect& rect, const Rid& rid) {
+  Rect root_mbr;
+  BULKDEL_ASSIGN_OR_RETURN(std::optional<Split> split,
+                           InsertRec(root_, rect, rid, &root_mbr));
+  if (split.has_value()) {
+    uint8_t old_level;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(root_));
+      old_level = RNode(guard.data()).level();
+    }
+    BULKDEL_ASSIGN_OR_RETURN(PageId new_root,
+                             NewNode(static_cast<uint8_t>(old_level + 1)));
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(new_root));
+    RNode node(guard.data());
+    node.Append(split->mbr, root_, 0);
+    node.Append(split->right_mbr, split->right, 0);
+    guard.MarkDirty();
+    root_ = new_root;
+    ++height_;
+  }
+  ++entry_count_;
+  return Status::OK();
+}
+
+Result<std::optional<RTree::Split>> RTree::InsertRec(PageId page,
+                                                     const Rect& rect,
+                                                     const Rid& rid,
+                                                     Rect* node_mbr) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+  RNode node(guard.data());
+
+  if (node.is_leaf()) {
+    if (node.Append(rect, rid.page, rid.slot)) {
+      guard.MarkDirty();
+      *node_mbr = node.ComputeMbr();
+      return std::optional<Split>();
+    }
+    // Overflow: gather everything and split quadratically.
+    std::vector<TempEntry> entries;
+    entries.reserve(node.count() + 1);
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      Rid r = node.RidAt(i);
+      entries.push_back(TempEntry{node.RectAt(i), r.page, r.slot});
+    }
+    entries.push_back(TempEntry{rect, rid.page, rid.slot});
+    std::vector<TempEntry> left_group, right_group;
+    QuadraticSplit(entries, &left_group, &right_group);
+    BULKDEL_ASSIGN_OR_RETURN(PageId right_page, NewNode(0));
+    node.set_count(0);
+    for (const TempEntry& e : left_group) node.Append(e.rect, e.ref, e.slot);
+    guard.MarkDirty();
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard rguard, pool_->FetchPage(right_page));
+    RNode rnode(rguard.data());
+    for (const TempEntry& e : right_group) rnode.Append(e.rect, e.ref, e.slot);
+    rguard.MarkDirty();
+    Split split;
+    split.mbr = node.ComputeMbr();
+    split.right = right_page;
+    split.right_mbr = rnode.ComputeMbr();
+    *node_mbr = split.mbr;
+    return std::optional<Split>(split);
+  }
+
+  // Choose the child needing the least enlargement (ties: smaller area).
+  uint16_t best = 0;
+  double best_enlargement = 0;
+  double best_area = 0;
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    Rect child_mbr = node.RectAt(i);
+    double enlargement = child_mbr.EnlargementTo(rect);
+    double area = child_mbr.Area();
+    if (i == 0 || enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  PageId child = node.ChildAt(best);
+  guard.Release();
+
+  Rect child_mbr;
+  BULKDEL_ASSIGN_OR_RETURN(std::optional<Split> child_split,
+                           InsertRec(child, rect, rid, &child_mbr));
+
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard reguard, pool_->FetchPage(page));
+  RNode renode(reguard.data());
+  renode.SetRect(best, child_mbr);
+  reguard.MarkDirty();
+  if (!child_split.has_value()) {
+    *node_mbr = renode.ComputeMbr();
+    return std::optional<Split>();
+  }
+  renode.SetRect(best, child_split->mbr);
+  if (renode.Append(child_split->right_mbr, child_split->right, 0)) {
+    *node_mbr = renode.ComputeMbr();
+    return std::optional<Split>();
+  }
+  // This inner node overflows too.
+  std::vector<TempEntry> entries;
+  entries.reserve(renode.count() + 1);
+  for (uint16_t i = 0; i < renode.count(); ++i) {
+    entries.push_back(TempEntry{renode.RectAt(i), renode.ChildAt(i), 0});
+  }
+  entries.push_back(
+      TempEntry{child_split->right_mbr, child_split->right, 0});
+  std::vector<TempEntry> left_group, right_group;
+  QuadraticSplit(entries, &left_group, &right_group);
+  BULKDEL_ASSIGN_OR_RETURN(PageId right_page, NewNode(renode.level()));
+  renode.set_count(0);
+  for (const TempEntry& e : left_group) renode.Append(e.rect, e.ref, 0);
+  reguard.MarkDirty();
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard rguard, pool_->FetchPage(right_page));
+  RNode rnode(rguard.data());
+  for (const TempEntry& e : right_group) rnode.Append(e.rect, e.ref, 0);
+  rguard.MarkDirty();
+  Split split;
+  split.mbr = renode.ComputeMbr();
+  split.right = right_page;
+  split.right_mbr = rnode.ComputeMbr();
+  *node_mbr = split.mbr;
+  return std::optional<Split>(split);
+}
+
+Status RTree::Delete(const Rect& rect, const Rid& rid) {
+  bool found = false, now_empty = false;
+  Rect new_mbr;
+  BULKDEL_RETURN_IF_ERROR(
+      DeleteRec(root_, rect, rid, &found, &now_empty, &new_mbr));
+  if (!found) return Status::NotFound("entry not in rtree");
+  --entry_count_;
+  // Collapse a degenerate root chain.
+  while (height_ > 1) {
+    PageId only_child = kInvalidPageId;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(root_));
+      RNode node(guard.data());
+      if (node.is_leaf() || node.count() != 1) break;
+      only_child = node.ChildAt(0);
+    }
+    BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(root_));
+    --num_nodes_;
+    root_ = only_child;
+    --height_;
+  }
+  return Status::OK();
+}
+
+Status RTree::DeleteRec(PageId page, const Rect& rect, const Rid& rid,
+                        bool* found, bool* now_empty, Rect* new_mbr) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+  RNode node(guard.data());
+  if (node.is_leaf()) {
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      if (node.RectAt(i) == rect && node.RidAt(i) == rid) {
+        node.RemoveAt(i);
+        guard.MarkDirty();
+        *found = true;
+        break;
+      }
+    }
+    *now_empty = node.count() == 0;
+    if (!*now_empty) *new_mbr = node.ComputeMbr();
+    return Status::OK();
+  }
+  for (uint16_t i = 0; i < node.count() && !*found; ++i) {
+    if (!node.RectAt(i).Contains(rect)) continue;
+    PageId child = node.ChildAt(i);
+    bool child_empty = false;
+    Rect child_mbr;
+    // Release while recursing to bound pin depth; re-fetch after.
+    guard.Release();
+    BULKDEL_RETURN_IF_ERROR(
+        DeleteRec(child, rect, rid, found, &child_empty, &child_mbr));
+    BULKDEL_ASSIGN_OR_RETURN(guard, pool_->FetchPage(page));
+    node = RNode(guard.data());
+    if (!*found) continue;
+    if (child_empty) {
+      BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(child));
+      --num_nodes_;
+      node.RemoveAt(i);
+    } else {
+      node.SetRect(i, child_mbr);
+    }
+    guard.MarkDirty();
+    break;
+  }
+  *now_empty = node.count() == 0;
+  if (!*now_empty) *new_mbr = node.ComputeMbr();
+  return Status::OK();
+}
+
+Status RTree::SearchIntersect(
+    const Rect& query,
+    const std::function<Status(const Rect&, const Rid&)>& visitor) {
+  // Iterative DFS with an explicit stack keeps pin depth at one.
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+    RNode node(guard.data());
+    for (uint16_t i = 0; i < node.count(); ++i) {
+      if (!node.RectAt(i).Intersects(query)) continue;
+      if (node.is_leaf()) {
+        BULKDEL_RETURN_IF_ERROR(visitor(node.RectAt(i), node.RidAt(i)));
+      } else {
+        stack.push_back(node.ChildAt(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RTree::ScanAll(
+    const std::function<Status(const Rect&, const Rid&)>& visitor) {
+  return SearchIntersect(
+      Rect{INT64_MIN / 2, INT64_MIN / 2, INT64_MAX / 2, INT64_MAX / 2},
+      visitor);
+}
+
+Status RTree::BulkDeleteByRids(const std::vector<Rid>& rids,
+                               RtreeBulkDeleteStats* stats) {
+  RtreeBulkDeleteStats local;
+  U64HashSet set(rids.size());
+  for (const Rid& rid : rids) set.Insert(rid.Pack());
+  bool root_empty = false;
+  Rect root_mbr;
+  BULKDEL_RETURN_IF_ERROR(BulkDeleteRec(
+      root_,
+      [&](const Rid& rid) { return set.Contains(rid.Pack()); }, &local,
+      &root_empty, &root_mbr));
+  entry_count_ -= local.entries_deleted;
+  // The root may have degenerated: collapse inner chains of one child; an
+  // empty leaf root simply stays (empty tree).
+  while (height_ > 1) {
+    PageId only_child = kInvalidPageId;
+    bool empty_inner = false;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(root_));
+      RNode node(guard.data());
+      if (node.is_leaf()) break;
+      if (node.count() == 1) {
+        only_child = node.ChildAt(0);
+      } else if (node.count() == 0) {
+        empty_inner = true;
+      } else {
+        break;
+      }
+    }
+    BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(root_));
+    --num_nodes_;
+    ++local.nodes_freed;
+    if (empty_inner) {
+      BULKDEL_ASSIGN_OR_RETURN(PageId fresh, NewNode(0));
+      root_ = fresh;
+      height_ = 1;
+      break;
+    }
+    root_ = only_child;
+    --height_;
+  }
+  BULKDEL_RETURN_IF_ERROR(FlushMeta());
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status RTree::BulkDeleteRec(PageId page,
+                            const std::function<bool(const Rid&)>& pred,
+                            RtreeBulkDeleteStats* stats, bool* now_empty,
+                            Rect* new_mbr) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page));
+  RNode node(guard.data());
+  if (node.is_leaf()) {
+    ++stats->leaves_visited;
+    bool modified = false;
+    uint16_t i = 0;
+    while (i < node.count()) {
+      if (pred(node.RidAt(i))) {
+        node.RemoveAt(i);
+        ++stats->entries_deleted;
+        modified = true;
+      } else {
+        ++i;
+      }
+    }
+    if (modified) guard.MarkDirty();
+    *now_empty = node.count() == 0;
+    if (!*now_empty) *new_mbr = node.ComputeMbr();
+    return Status::OK();
+  }
+  ++stats->inner_visited;
+  // Copy the child list out so recursion holds one pin at a time.
+  std::vector<PageId> children;
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    children.push_back(node.ChildAt(i));
+  }
+  guard.Release();
+  std::vector<bool> empty(children.size());
+  std::vector<Rect> mbrs(children.size());
+  for (size_t i = 0; i < children.size(); ++i) {
+    bool child_empty = false;
+    BULKDEL_RETURN_IF_ERROR(
+        BulkDeleteRec(children[i], pred, stats, &child_empty, &mbrs[i]));
+    empty[i] = child_empty;
+    if (child_empty) {
+      BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(children[i]));
+      --num_nodes_;
+      ++stats->nodes_freed;
+    }
+  }
+  BULKDEL_ASSIGN_OR_RETURN(guard, pool_->FetchPage(page));
+  node = RNode(guard.data());
+  // Rewrite surviving children with tightened MBRs.
+  uint16_t write = 0;
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    PageId child = node.ChildAt(i);
+    for (size_t j = 0; j < children.size(); ++j) {
+      if (children[j] != child) continue;
+      if (!empty[j]) {
+        node.Set(write, mbrs[j], child, 0);
+        ++write;
+      }
+      break;
+    }
+  }
+  node.set_count(write);
+  guard.MarkDirty();
+  *now_empty = write == 0;
+  if (!*now_empty) *new_mbr = node.ComputeMbr();
+  return Status::OK();
+}
+
+namespace {
+struct RCheckContext {
+  BufferPool* pool;
+  uint64_t entries = 0;
+  uint32_t nodes = 0;
+};
+
+Status CheckRNode(RCheckContext* ctx, PageId page, int expected_level,
+                  const Rect* bound) {
+  char buf[kPageSize];
+  {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, ctx->pool->FetchPage(page));
+    std::memcpy(buf, guard.data(), kPageSize);
+  }
+  RNode node(buf);
+  if (node.level() != expected_level) {
+    return Status::Corruption("rtree level mismatch");
+  }
+  ++ctx->nodes;
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    if (bound != nullptr && !bound->Contains(node.RectAt(i))) {
+      return Status::Corruption("rtree entry escapes parent MBR");
+    }
+  }
+  if (node.is_leaf()) {
+    ctx->entries += node.count();
+    return Status::OK();
+  }
+  for (uint16_t i = 0; i < node.count(); ++i) {
+    Rect child_bound = node.RectAt(i);
+    BULKDEL_RETURN_IF_ERROR(
+        CheckRNode(ctx, node.ChildAt(i), expected_level - 1, &child_bound));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status RTree::CheckInvariants() {
+  RCheckContext ctx;
+  ctx.pool = pool_;
+  BULKDEL_RETURN_IF_ERROR(CheckRNode(&ctx, root_, height_ - 1, nullptr));
+  if (ctx.entries != entry_count_) {
+    return Status::Corruption("rtree entry count mismatch");
+  }
+  if (ctx.nodes != num_nodes_) {
+    return Status::Corruption("rtree node count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,136 @@
+#ifndef BULKDEL_RTREE_RTREE_H_
+#define BULKDEL_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "table/rid.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+/// Axis-aligned rectangle with integer coordinates (a point is a degenerate
+/// rectangle).
+struct Rect {
+  int64_t x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  static Rect Point(int64_t x, int64_t y) { return Rect{x, y, x, y}; }
+
+  bool Intersects(const Rect& o) const {
+    return x1 <= o.x2 && o.x1 <= x2 && y1 <= o.y2 && o.y1 <= y2;
+  }
+  bool Contains(const Rect& o) const {
+    return x1 <= o.x1 && o.x2 <= x2 && y1 <= o.y1 && o.y2 <= y2;
+  }
+  /// Area as double (coordinates can be large).
+  double Area() const {
+    return static_cast<double>(x2 - x1) * static_cast<double>(y2 - y1);
+  }
+  Rect Union(const Rect& o) const {
+    return Rect{x1 < o.x1 ? x1 : o.x1, y1 < o.y1 ? y1 : o.y1,
+                x2 > o.x2 ? x2 : o.x2, y2 > o.y2 ? y2 : o.y2};
+  }
+  double EnlargementTo(const Rect& o) const {
+    return Union(o).Area() - Area();
+  }
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x1 == b.x1 && a.y1 == b.y1 && a.x2 == b.x2 && a.y2 == b.y2;
+  }
+};
+
+struct RtreeBulkDeleteStats {
+  uint64_t entries_deleted = 0;
+  uint64_t leaves_visited = 0;
+  uint64_t inner_visited = 0;
+  uint64_t nodes_freed = 0;
+};
+
+/// Guttman R-tree (quadratic split) mapping rectangles to RIDs — the third
+/// index family of the paper's future work (§5: "hash tables, R-trees, or
+/// grid files").
+///
+/// The vertical bulk-delete insight transfers even though an R-tree has no
+/// sort order to adapt the delete list to: the ⋉̸-by-RID predicate needs no
+/// order at all. BulkDeleteByRids performs one depth-first pass over the
+/// whole tree, probing every leaf entry against a main-memory RID hash set,
+/// dropping emptied subtrees (free-at-empty) and tightening bounding boxes
+/// on the way back up — each node is read and written at most once,
+/// regardless of the delete-list size. The traditional path locates every
+/// entry with a spatial search from the root.
+class RTree {
+ public:
+  static Result<RTree> Create(BufferPool* pool);
+  static Result<RTree> Open(BufferPool* pool, PageId meta_page);
+
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  PageId meta_page() const { return meta_page_; }
+  uint64_t entry_count() const { return entry_count_; }
+  int height() const { return height_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  Status Insert(const Rect& rect, const Rid& rid);
+
+  /// Traditional delete: spatial search for the exact (rect, rid) entry,
+  /// remove it, free-at-empty upward, tighten MBRs.
+  Status Delete(const Rect& rect, const Rid& rid);
+
+  /// All (rect, rid) entries intersecting `query`.
+  Status SearchIntersect(
+      const Rect& query,
+      const std::function<Status(const Rect&, const Rid&)>& visitor);
+
+  /// Bulk delete by RID predicate: one DFS pass over the tree.
+  Status BulkDeleteByRids(const std::vector<Rid>& rids,
+                          RtreeBulkDeleteStats* stats = nullptr);
+
+  /// Visits every leaf entry.
+  Status ScanAll(
+      const std::function<Status(const Rect&, const Rid&)>& visitor);
+
+  Status FlushMeta();
+
+  /// Validates: uniform leaf depth, every child MBR contained in the
+  /// parent's stored MBR, counts correct.
+  Status CheckInvariants();
+
+ private:
+  explicit RTree(BufferPool* pool, PageId meta_page)
+      : pool_(pool), meta_page_(meta_page) {}
+
+  struct Split {
+    Rect mbr;       // tightened MBR of the original node
+    PageId right;   // new sibling
+    Rect right_mbr;
+  };
+
+  Status LoadMeta();
+  Result<PageId> NewNode(uint8_t level);
+
+  Result<std::optional<Split>> InsertRec(PageId page, const Rect& rect,
+                                         const Rid& rid, Rect* node_mbr);
+  /// Quadratic split of a full node; the new entry has already been placed.
+  Status SplitNode(PageId page, Split* split);
+
+  Status DeleteRec(PageId page, const Rect& rect, const Rid& rid, bool* found,
+                   bool* now_empty, Rect* new_mbr);
+
+  Status BulkDeleteRec(PageId page,
+                       const std::function<bool(const Rid&)>& pred,
+                       RtreeBulkDeleteStats* stats, bool* now_empty,
+                       Rect* new_mbr);
+
+  BufferPool* pool_;
+  PageId meta_page_;
+  PageId root_ = kInvalidPageId;
+  int height_ = 1;
+  uint64_t entry_count_ = 0;
+  uint32_t num_nodes_ = 0;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_RTREE_RTREE_H_

@@ -1,0 +1,36 @@
+#include "sort/external_sort.h"
+
+namespace bulkdel {
+
+namespace {
+template <typename T, typename Less>
+Status SortVector(DiskManager* disk, size_t budget_bytes, std::vector<T>* v,
+                  SortStats* stats, Less less) {
+  ExternalSorter<T, Less> sorter(disk, budget_bytes, less);
+  BULKDEL_RETURN_IF_ERROR(sorter.AddAll(*v));
+  size_t i = 0;
+  BULKDEL_RETURN_IF_ERROR(sorter.Finish([&](const T& item) {
+    (*v)[i++] = item;
+    return Status::OK();
+  }));
+  if (stats != nullptr) *stats = sorter.stats();
+  return Status::OK();
+}
+}  // namespace
+
+Status SortRids(DiskManager* disk, size_t budget_bytes, std::vector<Rid>* rids,
+                SortStats* stats) {
+  return SortVector(disk, budget_bytes, rids, stats, std::less<Rid>());
+}
+
+Status SortKeyRids(DiskManager* disk, size_t budget_bytes,
+                   std::vector<KeyRid>* entries, SortStats* stats) {
+  return SortVector(disk, budget_bytes, entries, stats, std::less<KeyRid>());
+}
+
+Status SortKeys(DiskManager* disk, size_t budget_bytes,
+                std::vector<int64_t>* keys, SortStats* stats) {
+  return SortVector(disk, budget_bytes, keys, stats, std::less<int64_t>());
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,204 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bulkdel {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  if (pool_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_->mu_);
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ == nullptr) return;
+  pool_->Unpin(frame_, page_id_);
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t budget_bytes) : disk_(disk) {
+  size_t n = std::max<size_t>(budget_bytes / kPageSize, 4);
+  frames_.resize(n);
+  free_frames_.reserve(n);
+  for (size_t i = n; i-- > 0;) free_frames_.push_back(i);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BULKDEL_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  BULKDEL_ASSIGN_OR_RETURN(size_t f, AcquireFrame());
+  Frame& frame = frames_[f];
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // a new page must reach disk even if never modified
+  frame.in_use = true;
+  if (!frame.data) frame.data = std::make_unique<char[]>(kPageSize);
+  std::memset(frame.data.get(), 0, kPageSize);
+  page_table_[page_id] = f;
+  return PageGuard(this, f, page_id, frame.data.get());
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count == 0 && frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageGuard(this, it->second, page_id, frame.data.get());
+  }
+  ++stats_.misses;
+  BULKDEL_ASSIGN_OR_RETURN(size_t f, AcquireFrame());
+  Frame& frame = frames_[f];
+  if (!frame.data) frame.data = std::make_unique<char[]>(kPageSize);
+  BULKDEL_RETURN_IF_ERROR(disk_->ReadPage(page_id, frame.data.get()));
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.in_use = true;
+  page_table_[page_id] = f;
+  return PageGuard(this, f, page_id, frame.data.get());
+}
+
+Status BufferPool::DeletePage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count > 0) {
+      return Status::FailedPrecondition("DeletePage on pinned page " +
+                                        std::to_string(page_id));
+    }
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    frame.in_use = false;
+    frame.dirty = false;
+    free_frames_.push_back(it->second);
+    page_table_.erase(it);
+  }
+  return disk_->FreePage(page_id);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Flush in page-id order: a checkpoint is a mostly-sequential sweep.
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
+  }
+  std::sort(dirty.begin(), dirty.end(), [&](size_t a, size_t b) {
+    return frames_[a].page_id < frames_[b].page_id;
+  });
+  if (!dirty.empty() && pre_writeback_hook_) pre_writeback_hook_();
+  for (size_t i : dirty) {
+    BULKDEL_RETURN_IF_ERROR(
+        disk_->WritePage(frames_[i].page_id, frames_[i].data.get()));
+    ++stats_.dirty_writebacks;
+    frames_[i].dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Reset() {
+  BULKDEL_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (!frame.in_use) continue;
+    if (frame.pin_count > 0) {
+      return Status::FailedPrecondition("Reset with pinned page " +
+                                        std::to_string(frame.page_id));
+    }
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_it);
+      frame.in_lru = false;
+    }
+    frame.in_use = false;
+    page_table_.erase(frame.page_id);
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+void BufferPool::DiscardAllForCrashTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  page_table_.clear();
+  free_frames_.clear();
+  for (size_t i = frames_.size(); i-- > 0;) {
+    frames_[i] = Frame();
+    free_frames_.push_back(i);
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = BufferPoolStats();
+}
+
+void BufferPool::Unpin(size_t frame_index, PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& frame = frames_[frame_index];
+  if (!frame.in_use || frame.page_id != page_id) return;  // already recycled
+  if (frame.pin_count > 0 && --frame.pin_count == 0) {
+    lru_.push_front(frame_index);
+    frame.lru_it = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+Result<size_t> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all frames pinned (capacity " +
+        std::to_string(frames_.size()) + ")");
+  }
+  size_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& frame = frames_[victim];
+  frame.in_lru = false;
+  if (frame.dirty) {
+    if (pre_writeback_hook_) pre_writeback_hook_();
+    BULKDEL_RETURN_IF_ERROR(
+        disk_->WritePage(frame.page_id, frame.data.get()));
+    ++stats_.dirty_writebacks;
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  frame.in_use = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,145 @@
+#ifndef BULKDEL_STORAGE_BUFFER_POOL_H_
+#define BULKDEL_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bulkdel {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a guard lives, the frame cannot be
+/// evicted. Destroying (or Release()-ing) the guard unpins the page and, if
+/// MarkDirty() was called, schedules a write-back on eviction/flush.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, PageId page_id, char* data)
+      : pool_(pool), frame_(frame), page_id_(page_id), data_(data) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Marks the page as modified; it will be written back before eviction.
+  void MarkDirty();
+
+  /// Unpins immediately (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  char* data_ = nullptr;
+};
+
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t dirty_writebacks = 0;
+};
+
+/// Fixed-budget LRU buffer pool over a DiskManager.
+///
+/// The byte budget models the experiment's "available main memory": the
+/// paper varies it between 2 and 10 MB (Fig. 9). The pool never holds more
+/// than budget/kPageSize frames; every miss beyond that evicts the
+/// least-recently-used unpinned frame, writing it back if dirty.
+///
+/// Thread safety: all operations are internally synchronized with one mutex.
+/// Concurrent mutation of the *contents* of distinct pinned pages is safe;
+/// callers serialize access to the same page with higher-level latches.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t budget_bytes);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Allocates a fresh zeroed page on disk and pins it (dirty).
+  Result<PageGuard> NewPage();
+
+  /// Pins `page_id`, reading it from disk on a miss.
+  Result<PageGuard> FetchPage(PageId page_id);
+
+  /// Drops `page_id` from the pool (must be unpinned) and frees it on disk.
+  Status DeletePage(PageId page_id);
+
+  /// Writes back every dirty frame. Frames stay resident.
+  Status FlushAll();
+
+  /// Writes back and drops every frame (must all be unpinned). Used to
+  /// simulate a clean shutdown or to reset cache state between benchmark
+  /// phases.
+  Status Reset();
+
+  /// Drops every frame *without* writing dirty ones back. This is the crash
+  /// switch for the recovery tests: volatile state vanishes, the DiskManager
+  /// keeps only what was flushed.
+  void DiscardAllForCrashTest();
+
+  /// Invoked immediately before any dirty frame is written to disk (eviction
+  /// or flush). The recovery layer uses this to enforce the WAL rule: log
+  /// records become durable before the page changes they describe. The hook
+  /// runs with the pool mutex held and must not call back into the pool.
+  void SetPreWritebackHook(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pre_writeback_hook_ = std::move(hook);
+  }
+
+  size_t capacity_frames() const { return frames_.size(); }
+  size_t budget_bytes() const { return frames_.size() * kPageSize; }
+  BufferPoolStats stats() const;
+  void ResetStats();
+  DiskManager* disk() { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::unique_ptr<char[]> data;
+    std::list<size_t>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame, PageId page_id);
+  /// Finds a frame to host a new page: a never-used frame or the LRU victim.
+  /// Called with mu_ held. Writes back the victim if dirty.
+  Result<size_t> AcquireFrame();
+
+  DiskManager* disk_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = most recent, back = victim candidate
+  BufferPoolStats stats_;
+  std::function<void()> pre_writeback_hook_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,144 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bulkdel {
+
+DiskManager::DiskManager(DiskModel model) : model_(model) {}
+
+DiskManager::DiskManager(const std::string& path, bool truncate,
+                         DiskModel model)
+    : model_(model) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  // A failed open leaves fd_ == -1; the first I/O reports the error. Existing
+  // file contents define the page count.
+  if (fd_ >= 0) {
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size > 0) file_pages_ = static_cast<uint32_t>(size / kPageSize);
+  }
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    if (fd_ < 0) {
+      std::memset(pages_[id].get(), 0, kPageSize);
+    }
+    return id;
+  }
+  if (fd_ < 0) {
+    PageId id = static_cast<PageId>(pages_.size());
+    auto page = std::make_unique<char[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+    pages_.push_back(std::move(page));
+    return id;
+  }
+  PageId id = file_pages_++;
+  return id;
+}
+
+Status DiskManager::FreePage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BULKDEL_RETURN_IF_ERROR(CheckBounds(page_id));
+  free_list_.push_back(page_id);
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BULKDEL_RETURN_IF_ERROR(CheckBounds(page_id));
+  Account(page_id, /*is_write=*/false);
+  if (fd_ < 0) {
+    std::memcpy(out, pages_[page_id].get(), kPageSize);
+    return Status::OK();
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(page_id) * kPageSize);
+  if (n < 0) return Status::IOError(std::strerror(errno));
+  if (n < static_cast<ssize_t>(kPageSize)) {
+    // Page beyond current file end (allocated but never written): zeros.
+    std::memset(out + n, 0, kPageSize - n);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BULKDEL_RETURN_IF_ERROR(CheckBounds(page_id));
+  Account(page_id, /*is_write=*/true);
+  if (fd_ < 0) {
+    std::memcpy(pages_[page_id].get(), data, kPageSize);
+    return Status::OK();
+  }
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(page_id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+uint32_t DiskManager::NumAllocatedPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ < 0 ? static_cast<uint32_t>(pages_.size()) : file_pages_;
+}
+
+uint32_t DiskManager::NumFreePages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(free_list_.size());
+}
+
+IoStats DiskManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void DiskManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = IoStats();
+  last_accessed_ = kInvalidPageId;
+}
+
+Status DiskManager::CheckBounds(PageId page_id) const {
+  uint32_t limit = fd_ < 0 ? static_cast<uint32_t>(pages_.size()) : file_pages_;
+  if (page_id >= limit) {
+    return Status::InvalidArgument("page id " + std::to_string(page_id) +
+                                   " out of bounds (" + std::to_string(limit) +
+                                   " pages)");
+  }
+  return Status::OK();
+}
+
+void DiskManager::Account(PageId page_id, bool is_write) {
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  // Sequential if the head is already at or directly before this page.
+  bool sequential =
+      last_accessed_ != kInvalidPageId &&
+      (page_id == last_accessed_ || page_id == last_accessed_ + 1);
+  if (sequential) {
+    ++stats_.sequential_accesses;
+    stats_.simulated_micros += model_.sequential_page_micros;
+  } else {
+    ++stats_.random_accesses;
+    stats_.simulated_micros += model_.random_page_micros;
+  }
+  last_accessed_ = page_id;
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,111 @@
+#ifndef BULKDEL_STORAGE_DISK_MANAGER_H_
+#define BULKDEL_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/disk_model.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bulkdel {
+
+/// Counters accumulated by the DiskManager. All page accesses in the system
+/// go through here (buffer pool misses, write-backs, sort spills), so these
+/// counters are the ground truth for the benchmark harness.
+struct IoStats {
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t sequential_accesses = 0;
+  int64_t random_accesses = 0;
+  /// Simulated elapsed disk time under the DiskModel, in microseconds.
+  int64_t simulated_micros = 0;
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.reads = reads - other.reads;
+    d.writes = writes - other.writes;
+    d.sequential_accesses = sequential_accesses - other.sequential_accesses;
+    d.random_accesses = random_accesses - other.random_accesses;
+    d.simulated_micros = simulated_micros - other.simulated_micros;
+    return d;
+  }
+};
+
+/// Page-granular storage with allocation, a free list, and I/O accounting.
+///
+/// Two backings are supported:
+///  * in-memory (empty path): pages live in a heap vector. This is the
+///    default for tests and benchmarks — the simulated DiskModel provides
+///    timing, so results are deterministic and host-independent.
+///  * file-backed (non-empty path): pages are pread/pwritten to a file.
+///
+/// Crash semantics for the recovery tests: the DiskManager itself *is* the
+/// durable medium. Simulating a crash means discarding every volatile layer
+/// above it (buffer pool, catalogs) and re-opening against the same
+/// DiskManager contents.
+///
+/// Thread safety: all public methods are internally synchronized.
+class DiskManager {
+ public:
+  /// In-memory backing.
+  explicit DiskManager(DiskModel model = DiskModel());
+  /// File backing; the file is created (truncated) if `truncate` is set.
+  DiskManager(const std::string& path, bool truncate,
+              DiskModel model = DiskModel());
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a page (reusing a freed page if available). The page contents
+  /// are zeroed. Allocation itself performs no charged I/O; the first write
+  /// does.
+  Result<PageId> AllocatePage();
+
+  /// Returns a page to the free list. Freeing is a metadata operation.
+  Status FreePage(PageId page_id);
+
+  /// Reads `kPageSize` bytes of `page_id` into `out`.
+  Status ReadPage(PageId page_id, char* out);
+
+  /// Writes `kPageSize` bytes from `data` to `page_id`.
+  Status WritePage(PageId page_id, const char* data);
+
+  /// Number of pages ever allocated (high-water mark), including freed ones.
+  uint32_t NumAllocatedPages() const;
+  /// Pages currently on the free list.
+  uint32_t NumFreePages() const;
+
+  IoStats stats() const;
+  void ResetStats();
+  const DiskModel& disk_model() const { return model_; }
+
+ private:
+  Status CheckBounds(PageId page_id) const;
+  /// Classifies the access against the previous head position and charges
+  /// simulated time. Must be called with mu_ held.
+  void Account(PageId page_id, bool is_write);
+
+  DiskModel model_;
+  mutable std::mutex mu_;
+
+  // In-memory backing (used when fd_ < 0).
+  std::vector<std::unique_ptr<char[]>> pages_;
+
+  // File backing.
+  int fd_ = -1;
+  uint32_t file_pages_ = 0;
+
+  std::vector<PageId> free_list_;
+  IoStats stats_;
+  PageId last_accessed_ = kInvalidPageId;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_STORAGE_DISK_MANAGER_H_

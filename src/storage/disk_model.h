@@ -1,0 +1,37 @@
+#ifndef BULKDEL_STORAGE_DISK_MODEL_H_
+#define BULKDEL_STORAGE_DISK_MODEL_H_
+
+#include <cstdint>
+
+namespace bulkdel {
+
+/// Cost model of the paper's disk setup (Seagate Medalist Pro, 7200 rpm,
+/// Solaris direct I/O, 4 KiB pages).
+///
+/// The paper's results are I/O bound and were measured with direct I/O, i.e.
+/// every page access hit the disk. On a modern host the same file sits in
+/// the page cache, so wall time no longer reflects the effect the paper
+/// measures. The DiskManager therefore *also* accounts simulated time: each
+/// page access is classified as sequential (page adjacent to the previous
+/// access) or random (requires repositioning) and charged accordingly.
+/// Benchmarks report this simulated time next to raw wall time and raw I/O
+/// counts; the paper-vs-measured comparison in EXPERIMENTS.md uses it.
+///
+/// Calibration: the paper's own measurements imply the constants. Their
+/// merge-based bulk delete is dominated by one sequential read+write pass
+/// over the 131k-page table and finishes in ~25 min => ~4.5 ms per
+/// sequential 4 KiB direct-I/O page (synchronous single-page direct I/O
+/// pays most of a rotation per request). Their sorted/trad at 15% performs
+/// ~150k random table-page accesses in ~65 min => ~12 ms per random page
+/// (seek + rotational latency). We round to 4 ms / 12 ms.
+struct DiskModel {
+  /// Cost of a 4 KiB transfer that continues a sequential run.
+  int64_t sequential_page_micros = 4000;
+
+  /// Cost of a 4 KiB access that requires repositioning the arm.
+  int64_t random_page_micros = 12000;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_STORAGE_DISK_MODEL_H_

@@ -1,0 +1,19 @@
+#ifndef BULKDEL_STORAGE_PAGE_H_
+#define BULKDEL_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace bulkdel {
+
+/// Identifier of a 4 KiB page inside a database file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (end of chains, empty pointers).
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Fixed page size, matching the paper's prototype (4096 bytes).
+inline constexpr uint32_t kPageSize = 4096;
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_STORAGE_PAGE_H_

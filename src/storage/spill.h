@@ -1,0 +1,77 @@
+#ifndef BULKDEL_STORAGE_SPILL_H_
+#define BULKDEL_STORAGE_SPILL_H_
+
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+/// A vector of trivially-copyable records materialized to disk pages.
+///
+/// Used (a) by the range-partitioned hash plan to stage partitions that do
+/// not fit the memory budget, and (b) by the recovery manager to make the
+/// intermediate delete lists durable, so an interrupted bulk delete can be
+/// rolled *forward* after a crash (paper §3.2: "the results of the join
+/// variants should be materialized to stable storage").
+template <typename T>
+struct SpilledList {
+  std::vector<PageId> pages;
+  uint64_t count = 0;
+
+  static constexpr size_t kItemsPerPage = kPageSize / sizeof(T);
+};
+
+template <typename T>
+Result<SpilledList<T>> SpillToDisk(DiskManager* disk,
+                                   const std::vector<T>& items) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  SpilledList<T> list;
+  list.count = items.size();
+  char page[kPageSize];
+  for (size_t i = 0; i < items.size(); i += SpilledList<T>::kItemsPerPage) {
+    size_t n = std::min(SpilledList<T>::kItemsPerPage, items.size() - i);
+    std::memset(page, 0, kPageSize);
+    std::memcpy(page, items.data() + i, n * sizeof(T));
+    BULKDEL_ASSIGN_OR_RETURN(PageId id, disk->AllocatePage());
+    BULKDEL_RETURN_IF_ERROR(disk->WritePage(id, page));
+    list.pages.push_back(id);
+  }
+  return list;
+}
+
+template <typename T>
+Result<std::vector<T>> ReadSpilled(DiskManager* disk,
+                                   const SpilledList<T>& list) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> items;
+  items.resize(list.count);
+  char page[kPageSize];
+  size_t i = 0;
+  for (PageId id : list.pages) {
+    BULKDEL_RETURN_IF_ERROR(disk->ReadPage(id, page));
+    size_t n = std::min(SpilledList<T>::kItemsPerPage,
+                        static_cast<size_t>(list.count) - i);
+    std::memcpy(items.data() + i, page, n * sizeof(T));
+    i += n;
+  }
+  return items;
+}
+
+template <typename T>
+Status FreeSpilled(DiskManager* disk, SpilledList<T>* list) {
+  for (PageId id : list->pages) {
+    BULKDEL_RETURN_IF_ERROR(disk->FreePage(id));
+  }
+  list->pages.clear();
+  list->count = 0;
+  return Status::OK();
+}
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_STORAGE_SPILL_H_

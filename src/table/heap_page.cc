@@ -1,0 +1,59 @@
+#include "table/heap_page.h"
+
+#include <cstring>
+
+namespace bulkdel {
+
+uint16_t HeapPage::CapacityFor(uint32_t tuple_size) {
+  // capacity * tuple_size + ceil(capacity/8) <= kPageSize - kHeaderSize.
+  // Solve in bits: capacity * (8*tuple_size + 1) <= 8*(kPageSize - header).
+  uint32_t budget_bits = 8u * (kPageSize - kHeaderSize);
+  uint32_t per_tuple_bits = 8u * tuple_size + 1u;
+  uint32_t cap = budget_bits / per_tuple_bits;
+  // Guard against bitmap rounding: shrink until the layout actually fits.
+  while (cap > 0 &&
+         kHeaderSize + (cap + 7u) / 8u + cap * tuple_size > kPageSize) {
+    --cap;
+  }
+  return static_cast<uint16_t>(cap);
+}
+
+void HeapPage::Init() {
+  std::memset(data_, 0, kPageSize);
+  StoreU16(data_, 0);                            // live_count
+  StoreU16(data_ + 2, CapacityFor(tuple_size_));  // capacity
+  StoreU32(data_ + 4, kInvalidPageId);            // next_page
+}
+
+int HeapPage::Insert(const char* tuple) {
+  uint16_t cap = capacity();
+  if (live_count() >= cap) return -1;
+  for (uint16_t slot = 0; slot < cap; ++slot) {
+    if (!SlotOccupied(slot)) {
+      std::memcpy(TupleAt(slot), tuple, tuple_size_);
+      SetSlot(slot, true);
+      set_live_count(live_count() + 1);
+      return slot;
+    }
+  }
+  return -1;
+}
+
+bool HeapPage::Delete(uint16_t slot) {
+  if (slot >= capacity() || !SlotOccupied(slot)) return false;
+  SetSlot(slot, false);
+  set_live_count(live_count() - 1);
+  return true;
+}
+
+void HeapPage::SetSlot(uint16_t slot, bool occupied) {
+  char& byte = data_[kHeaderSize + slot / 8];
+  char mask = static_cast<char>(1 << (slot % 8));
+  if (occupied) {
+    byte |= mask;
+  } else {
+    byte &= ~mask;
+  }
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,73 @@
+#ifndef BULKDEL_TABLE_HEAP_PAGE_H_
+#define BULKDEL_TABLE_HEAP_PAGE_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+#include "util/coding.h"
+
+namespace bulkdel {
+
+/// Slotted page holding fixed-size tuples.
+///
+/// Layout:
+///   [u16 live_count][u16 capacity][u32 next_page][bitmap][tuples...]
+///
+/// `capacity` slots of `tuple_size` bytes follow a presence bitmap. Pages of
+/// one table are chained through `next_page` in insertion order, so a chain
+/// walk is a (mostly) sequential scan in RID order.
+///
+/// This is a stateless view over a raw page buffer; the caller owns pinning
+/// and dirty marking.
+class HeapPage {
+ public:
+  HeapPage(char* data, uint32_t tuple_size)
+      : data_(data), tuple_size_(tuple_size) {}
+
+  /// Max tuples a page of this tuple size can hold.
+  static uint16_t CapacityFor(uint32_t tuple_size);
+
+  /// Formats a zeroed buffer as an empty heap page.
+  void Init();
+
+  uint16_t live_count() const { return LoadU16(data_); }
+  uint16_t capacity() const { return LoadU16(data_ + 2); }
+  PageId next_page() const { return LoadU32(data_ + 4); }
+  void set_next_page(PageId p) { StoreU32(data_ + 4, p); }
+
+  bool IsFull() const { return live_count() >= capacity(); }
+  bool IsEmpty() const { return live_count() == 0; }
+
+  bool SlotOccupied(uint16_t slot) const {
+    return (data_[kHeaderSize + slot / 8] >> (slot % 8)) & 1;
+  }
+
+  /// Inserts `tuple` into the first free slot; returns the slot or -1 if full.
+  int Insert(const char* tuple);
+
+  /// Frees `slot`. Returns false if the slot was not occupied.
+  bool Delete(uint16_t slot);
+
+  /// Pointer to the tuple bytes of `slot` (occupied or not).
+  char* TupleAt(uint16_t slot) {
+    return data_ + DataOffset() + static_cast<uint32_t>(slot) * tuple_size_;
+  }
+  const char* TupleAt(uint16_t slot) const {
+    return data_ + DataOffset() + static_cast<uint32_t>(slot) * tuple_size_;
+  }
+
+ private:
+  static constexpr uint32_t kHeaderSize = 8;
+
+  uint32_t BitmapBytes() const { return (capacity() + 7u) / 8u; }
+  uint32_t DataOffset() const { return kHeaderSize + BitmapBytes(); }
+  void SetSlot(uint16_t slot, bool occupied);
+  void set_live_count(uint16_t c) { StoreU16(data_, c); }
+
+  char* data_;
+  uint32_t tuple_size_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_TABLE_HEAP_PAGE_H_

@@ -1,0 +1,285 @@
+#include "table/heap_table.h"
+
+#include <cstring>
+
+#include "table/heap_page.h"
+#include "util/coding.h"
+
+namespace bulkdel {
+
+namespace {
+// Header page layout offsets.
+constexpr uint32_t kMagicOff = 0;
+constexpr uint32_t kFirstOff = 4;
+constexpr uint32_t kLastOff = 8;
+constexpr uint32_t kCountOff = 12;
+constexpr uint32_t kTupleSizeOff = 20;
+constexpr uint32_t kNumPagesOff = 24;
+constexpr uint32_t kTableMagic = 0x54424C31;  // "TBL1"
+}  // namespace
+
+Result<HeapTable> HeapTable::Create(BufferPool* pool, const Schema& schema) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard header, pool->NewPage());
+  HeapTable table(pool, &schema, header.page_id());
+  StoreU32(header.data() + kMagicOff, kTableMagic);
+  StoreU32(header.data() + kFirstOff, kInvalidPageId);
+  StoreU32(header.data() + kLastOff, kInvalidPageId);
+  StoreU64(header.data() + kCountOff, 0);
+  StoreU32(header.data() + kTupleSizeOff, schema.tuple_size());
+  StoreU32(header.data() + kNumPagesOff, 0);
+  header.MarkDirty();
+  return table;
+}
+
+Result<HeapTable> HeapTable::Open(BufferPool* pool, const Schema& schema,
+                                  PageId header_page) {
+  HeapTable table(pool, &schema, header_page);
+  BULKDEL_RETURN_IF_ERROR(table.LoadMeta());
+  return table;
+}
+
+Status HeapTable::LoadMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard header, pool_->FetchPage(header_page_));
+  if (LoadU32(header.data() + kMagicOff) != kTableMagic) {
+    return Status::Corruption("bad table header magic on page " +
+                              std::to_string(header_page_));
+  }
+  if (LoadU32(header.data() + kTupleSizeOff) != schema_->tuple_size()) {
+    return Status::Corruption("schema tuple size mismatch");
+  }
+  first_data_page_ = LoadU32(header.data() + kFirstOff);
+  last_data_page_ = LoadU32(header.data() + kLastOff);
+  tuple_count_ = LoadU64(header.data() + kCountOff);
+  num_data_pages_ = LoadU32(header.data() + kNumPagesOff);
+  return Status::OK();
+}
+
+Status HeapTable::FlushMeta() {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard header, pool_->FetchPage(header_page_));
+  StoreU32(header.data() + kFirstOff, first_data_page_);
+  StoreU32(header.data() + kLastOff, last_data_page_);
+  StoreU64(header.data() + kCountOff, tuple_count_);
+  StoreU32(header.data() + kNumPagesOff, num_data_pages_);
+  header.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapTable::AppendDataPage(PageId* new_page) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+  HeapPage hp(page.data(), schema_->tuple_size());
+  hp.Init();
+  page.MarkDirty();
+  *new_page = page.page_id();
+  page.Release();
+  if (first_data_page_ == kInvalidPageId) {
+    first_data_page_ = *new_page;
+  } else {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard last, pool_->FetchPage(last_data_page_));
+    HeapPage last_hp(last.data(), schema_->tuple_size());
+    last_hp.set_next_page(*new_page);
+    last.MarkDirty();
+  }
+  last_data_page_ = *new_page;
+  ++num_data_pages_;
+  return Status::OK();
+}
+
+Result<Rid> HeapTable::Insert(const char* tuple) {
+  // Try pages known to have space first (slots freed by deletes).
+  while (!pages_with_space_.empty()) {
+    PageId candidate = pages_with_space_.back();
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(candidate));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    int slot = hp.Insert(tuple);
+    if (slot >= 0) {
+      page.MarkDirty();
+      if (hp.IsFull()) pages_with_space_.pop_back();
+      ++tuple_count_;
+      return Rid(candidate, static_cast<uint16_t>(slot));
+    }
+    pages_with_space_.pop_back();  // stale entry
+  }
+  // Append to the tail page, allocating a new one when full.
+  if (last_data_page_ != kInvalidPageId) {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(last_data_page_));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    int slot = hp.Insert(tuple);
+    if (slot >= 0) {
+      page.MarkDirty();
+      ++tuple_count_;
+      return Rid(last_data_page_, static_cast<uint16_t>(slot));
+    }
+  }
+  PageId fresh;
+  BULKDEL_RETURN_IF_ERROR(AppendDataPage(&fresh));
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(fresh));
+  HeapPage hp(page.data(), schema_->tuple_size());
+  int slot = hp.Insert(tuple);
+  if (slot < 0) {
+    return Status::Internal("fresh heap page rejected insert");
+  }
+  page.MarkDirty();
+  ++tuple_count_;
+  return Rid(fresh, static_cast<uint16_t>(slot));
+}
+
+Status HeapTable::Get(const Rid& rid, char* out) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page));
+  HeapPage hp(page.data(), schema_->tuple_size());
+  if (rid.slot >= hp.capacity() || !hp.SlotOccupied(rid.slot)) {
+    return Status::NotFound("no tuple at " + rid.ToString());
+  }
+  std::memcpy(out, hp.TupleAt(rid.slot), schema_->tuple_size());
+  return Status::OK();
+}
+
+bool HeapTable::Exists(const Rid& rid) {
+  auto page = pool_->FetchPage(rid.page);
+  if (!page.ok()) return false;
+  HeapPage hp(page->data(), schema_->tuple_size());
+  return rid.slot < hp.capacity() && hp.SlotOccupied(rid.slot);
+}
+
+Status HeapTable::Delete(const Rid& rid, char* deleted_tuple) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page));
+  HeapPage hp(page.data(), schema_->tuple_size());
+  if (rid.slot >= hp.capacity() || !hp.SlotOccupied(rid.slot)) {
+    return Status::NotFound("no tuple at " + rid.ToString());
+  }
+  if (deleted_tuple != nullptr) {
+    std::memcpy(deleted_tuple, hp.TupleAt(rid.slot), schema_->tuple_size());
+  }
+  bool was_full = hp.IsFull();
+  hp.Delete(rid.slot);
+  page.MarkDirty();
+  --tuple_count_;
+  if (was_full) pages_with_space_.push_back(rid.page);
+  return Status::OK();
+}
+
+Status HeapTable::UpdateInPlace(const Rid& rid, const char* tuple) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page));
+  HeapPage hp(page.data(), schema_->tuple_size());
+  if (rid.slot >= hp.capacity() || !hp.SlotOccupied(rid.slot)) {
+    return Status::NotFound("no tuple at " + rid.ToString());
+  }
+  std::memcpy(hp.TupleAt(rid.slot), tuple, schema_->tuple_size());
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapTable::Scan(
+    const std::function<Status(const Rid&, const char*)>& visitor) {
+  PageId current = first_data_page_;
+  while (current != kInvalidPageId) {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(current));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    uint16_t cap = hp.capacity();
+    for (uint16_t slot = 0; slot < cap; ++slot) {
+      if (!hp.SlotOccupied(slot)) continue;
+      BULKDEL_RETURN_IF_ERROR(visitor(Rid(current, slot), hp.TupleAt(slot)));
+    }
+    current = hp.next_page();
+  }
+  return Status::OK();
+}
+
+Status HeapTable::ScanDeleteIf(
+    const std::function<bool(const Rid&, const char*)>& pred,
+    const std::function<void(const Rid&, const char*)>& on_delete,
+    uint64_t* deleted_count) {
+  uint64_t deleted = 0;
+  PageId current = first_data_page_;
+  while (current != kInvalidPageId) {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(current));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    bool was_full = hp.IsFull();
+    bool modified = false;
+    uint16_t cap = hp.capacity();
+    for (uint16_t slot = 0; slot < cap; ++slot) {
+      if (!hp.SlotOccupied(slot)) continue;
+      Rid rid(current, slot);
+      const char* tuple = hp.TupleAt(slot);
+      if (!pred(rid, tuple)) continue;
+      if (on_delete) on_delete(rid, tuple);
+      hp.Delete(slot);
+      modified = true;
+      ++deleted;
+    }
+    if (modified) {
+      page.MarkDirty();
+      if (was_full && !hp.IsFull()) pages_with_space_.push_back(current);
+    }
+    current = hp.next_page();
+  }
+  tuple_count_ -= deleted;
+  if (deleted_count != nullptr) *deleted_count = deleted;
+  return Status::OK();
+}
+
+Status HeapTable::BulkDeleteSortedRids(
+    const std::vector<Rid>& rids,
+    const std::function<void(const Rid&, const char*)>& on_delete,
+    uint64_t* deleted_count, uint64_t* missing) {
+  uint64_t deleted = 0;
+  uint64_t absent = 0;
+  size_t i = 0;
+  while (i < rids.size()) {
+    PageId page_id = rids[i].page;
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(page_id));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    bool was_full = hp.IsFull();
+    bool modified = false;
+    for (; i < rids.size() && rids[i].page == page_id; ++i) {
+      uint16_t slot = rids[i].slot;
+      if (slot >= hp.capacity() || !hp.SlotOccupied(slot)) {
+        ++absent;
+        continue;
+      }
+      if (on_delete) on_delete(rids[i], hp.TupleAt(slot));
+      hp.Delete(slot);
+      modified = true;
+      ++deleted;
+    }
+    if (modified) {
+      page.MarkDirty();
+      if (was_full && !hp.IsFull()) pages_with_space_.push_back(page_id);
+    }
+  }
+  tuple_count_ -= deleted;
+  if (deleted_count != nullptr) *deleted_count = deleted;
+  if (missing != nullptr) *missing = absent;
+  return Status::OK();
+}
+
+Status HeapTable::RecountFromScan() {
+  uint64_t count = 0;
+  BULKDEL_RETURN_IF_ERROR(Scan([&](const Rid&, const char*) {
+    ++count;
+    return Status::OK();
+  }));
+  tuple_count_ = count;
+  return FlushMeta();
+}
+
+Status HeapTable::Drop() {
+  PageId current = first_data_page_;
+  while (current != kInvalidPageId) {
+    PageId next;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(current));
+      HeapPage hp(page.data(), schema_->tuple_size());
+      next = hp.next_page();
+    }
+    BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(current));
+    current = next;
+  }
+  BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(header_page_));
+  first_data_page_ = last_data_page_ = kInvalidPageId;
+  tuple_count_ = 0;
+  num_data_pages_ = 0;
+  pages_with_space_.clear();
+  return Status::OK();
+}
+
+}  // namespace bulkdel

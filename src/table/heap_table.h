@@ -1,0 +1,115 @@
+#ifndef BULKDEL_TABLE_HEAP_TABLE_H_
+#define BULKDEL_TABLE_HEAP_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "table/rid.h"
+#include "table/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bulkdel {
+
+/// Heap file of fixed-size tuples over the buffer pool.
+///
+/// Pages are chained in insertion order through their `next_page` header
+/// field; since new pages are allocated in ascending page-id order, a chain
+/// walk is a sequential scan and ascending-RID access is ascending-page
+/// access. Tuple slots freed by deletes are reused by later inserts
+/// (free-space management à la [6,14] of the paper, simplified to a
+/// pages-with-space list).
+///
+/// The header page persists {first, last, count, pages}; the in-memory copy
+/// is authoritative between FlushMeta() calls, and RecountFromScan() rebuilds
+/// the count after a crash.
+class HeapTable {
+ public:
+  /// Creates a new empty table; allocates its header page.
+  static Result<HeapTable> Create(BufferPool* pool, const Schema& schema);
+
+  /// Opens an existing table rooted at `header_page`.
+  static Result<HeapTable> Open(BufferPool* pool, const Schema& schema,
+                                PageId header_page);
+
+  HeapTable(HeapTable&&) = default;
+  HeapTable& operator=(HeapTable&&) = default;
+
+  PageId header_page() const { return header_page_; }
+  const Schema& schema() const { return *schema_; }
+  uint64_t tuple_count() const { return tuple_count_; }
+  uint32_t num_data_pages() const { return num_data_pages_; }
+  PageId first_data_page() const { return first_data_page_; }
+
+  /// Appends/fills a tuple; returns its RID.
+  Result<Rid> Insert(const char* tuple);
+
+  /// Copies the tuple at `rid` into `out` (tuple_size bytes).
+  Status Get(const Rid& rid, char* out);
+
+  /// Returns true if the tuple existed at `rid`.
+  bool Exists(const Rid& rid);
+
+  /// Deletes the tuple at `rid`. If `deleted_tuple` is non-null the tuple
+  /// bytes are copied out first. NotFound if the slot is empty.
+  Status Delete(const Rid& rid, char* deleted_tuple = nullptr);
+
+  /// Overwrites the tuple at `rid` in place (fixed-size tuples keep their
+  /// slot, so the RID — and therefore every index entry — stays valid).
+  Status UpdateInPlace(const Rid& rid, const char* tuple);
+
+  /// Sequential scan in chain (≈ RID) order. The visitor may not mutate the
+  /// table. Stops early on non-OK from the visitor.
+  Status Scan(const std::function<Status(const Rid&, const char*)>& visitor);
+
+  /// Scan that deletes every tuple for which `pred` returns true, invoking
+  /// `on_delete` with the doomed tuple first. This is the probe half of the
+  /// hash-based bulk-delete operator on the base table.
+  Status ScanDeleteIf(
+      const std::function<bool(const Rid&, const char*)>& pred,
+      const std::function<void(const Rid&, const char*)>& on_delete,
+      uint64_t* deleted_count);
+
+  /// Deletes an ascending-sorted RID list in one physical pass, touching each
+  /// page once. `on_delete` sees each tuple before removal. RIDs that do not
+  /// exist are counted in `*missing` (idempotent re-execution after a crash
+  /// relies on this). This is the merge-based bulk-delete operator on the
+  /// base table (the R ⋉̸ step of the paper's Fig. 3).
+  Status BulkDeleteSortedRids(
+      const std::vector<Rid>& rids,
+      const std::function<void(const Rid&, const char*)>& on_delete,
+      uint64_t* deleted_count, uint64_t* missing = nullptr);
+
+  /// Persists header metadata (count, chain endpoints).
+  Status FlushMeta();
+
+  /// Rebuilds the tuple count by scanning; used after crash recovery.
+  Status RecountFromScan();
+
+  /// Frees every data page and the header page. The table is unusable after.
+  Status Drop();
+
+ private:
+  HeapTable(BufferPool* pool, const Schema* schema, PageId header_page)
+      : pool_(pool), schema_(schema), header_page_(header_page) {}
+
+  Status AppendDataPage(PageId* new_page);
+  Status LoadMeta();
+
+  BufferPool* pool_;
+  const Schema* schema_;
+  PageId header_page_;
+  PageId first_data_page_ = kInvalidPageId;
+  PageId last_data_page_ = kInvalidPageId;
+  uint64_t tuple_count_ = 0;
+  uint32_t num_data_pages_ = 0;
+  /// Pages known to have at least one free slot (may contain stale entries;
+  /// verified on use).
+  std::vector<PageId> pages_with_space_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_TABLE_HEAP_TABLE_H_

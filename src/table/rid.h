@@ -1,0 +1,55 @@
+#ifndef BULKDEL_TABLE_RID_H_
+#define BULKDEL_TABLE_RID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "storage/page.h"
+
+namespace bulkdel {
+
+/// Row identifier: physical address of a record, composed of a page id and a
+/// slot number within the page (the paper's "4.2" notation). RIDs order by
+/// (page, slot), so sorting a RID list yields the physical scan order of the
+/// table.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  Rid() = default;
+  Rid(PageId p, uint16_t s) : page(p), slot(s) {}
+
+  bool valid() const { return page != kInvalidPageId; }
+
+  /// Packs to a single integer preserving the (page, slot) order; used for
+  /// sorting RID lists and as hash-table keys.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    return Rid(static_cast<PageId>(v >> 16), static_cast<uint16_t>(v & 0xFFFF));
+  }
+
+  std::string ToString() const {
+    return std::to_string(page) + "." + std::to_string(slot);
+  }
+
+  friend bool operator==(const Rid& a, const Rid& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+  friend bool operator!=(const Rid& a, const Rid& b) { return !(a == b); }
+  friend bool operator<(const Rid& a, const Rid& b) {
+    return a.Pack() < b.Pack();
+  }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const {
+    return std::hash<uint64_t>()(r.Pack());
+  }
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_TABLE_RID_H_

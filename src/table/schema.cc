@@ -1,0 +1,43 @@
+#include "table/schema.h"
+
+namespace bulkdel {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t off = 0;
+  for (const Column& c : columns_) {
+    offsets_.push_back(off);
+    off += c.size;
+  }
+  tuple_size_ = off;
+}
+
+Result<Schema> Schema::PaperStyle(int n_ints, uint32_t tuple_size) {
+  if (n_ints < 1 || n_ints > 26) {
+    return Status::InvalidArgument("n_ints must be in [1, 26]");
+  }
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(n_ints) + 1);
+  for (int i = 0; i < n_ints; ++i) {
+    cols.push_back(Column::Int64(std::string(1, static_cast<char>('A' + i))));
+  }
+  uint32_t ints_bytes = static_cast<uint32_t>(n_ints) * 8;
+  if (tuple_size != 0) {
+    if (tuple_size < ints_bytes) {
+      return Status::InvalidArgument("tuple_size smaller than int columns");
+    }
+    if (tuple_size > ints_bytes) {
+      cols.push_back(Column::FixedBytes("PAD", tuple_size - ints_bytes));
+    }
+  }
+  return Schema(std::move(cols));
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,69 @@
+#ifndef BULKDEL_TABLE_SCHEMA_H_
+#define BULKDEL_TABLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/result.h"
+
+namespace bulkdel {
+
+enum class ColumnType : uint8_t {
+  kInt64,      ///< 8-byte signed integer (all indexed attributes).
+  kFixedBytes  ///< fixed-length opaque padding (the paper's attribute K).
+};
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Byte width; 8 for kInt64, arbitrary for kFixedBytes.
+  uint32_t size = 8;
+
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ColumnType::kInt64, 8};
+  }
+  static Column FixedBytes(std::string name, uint32_t size) {
+    return Column{std::move(name), ColumnType::kFixedBytes, size};
+  }
+};
+
+/// Fixed-length record layout. The paper's table R has ten duplicate-free
+/// random integer attributes A..J plus a padding string K for a 512-byte
+/// tuple; fixed-length layouts keep slotted pages trivial and RID arithmetic
+/// exact, which is all the experiments need.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Convenience: `n_ints` int64 columns named A, B, C, ... plus padding to
+  /// reach `tuple_size` bytes (0 = no padding). Mirrors the paper's R.
+  static Result<Schema> PaperStyle(int n_ints, uint32_t tuple_size);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+  uint32_t tuple_size() const { return tuple_size_; }
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Index of the column with `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  int64_t GetInt(const char* tuple, size_t col) const {
+    return LoadI64(tuple + offsets_[col]);
+  }
+  void SetInt(char* tuple, size_t col, int64_t v) const {
+    StoreI64(tuple + offsets_[col], v);
+  }
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t tuple_size_ = 0;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_TABLE_SCHEMA_H_

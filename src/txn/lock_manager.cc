@@ -1,0 +1,46 @@
+#include "txn/lock_manager.h"
+
+namespace bulkdel {
+
+LockManager::Entry* LockManager::GetEntry(const std::string& resource) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  auto it = entries_.find(resource);
+  if (it == entries_.end()) {
+    it = entries_.emplace(resource, std::make_unique<Entry>()).first;
+  }
+  return it->second.get();
+}
+
+void LockManager::LockExclusive(const std::string& resource) {
+  Entry* e = GetEntry(resource);
+  std::unique_lock<std::mutex> lock(e->m);
+  e->cv.wait(lock, [&] { return !e->writer && e->readers == 0; });
+  e->writer = true;
+}
+
+void LockManager::UnlockExclusive(const std::string& resource) {
+  Entry* e = GetEntry(resource);
+  {
+    std::lock_guard<std::mutex> lock(e->m);
+    e->writer = false;
+  }
+  e->cv.notify_all();
+}
+
+void LockManager::LockShared(const std::string& resource) {
+  Entry* e = GetEntry(resource);
+  std::unique_lock<std::mutex> lock(e->m);
+  e->cv.wait(lock, [&] { return !e->writer; });
+  ++e->readers;
+}
+
+void LockManager::UnlockShared(const std::string& resource) {
+  Entry* e = GetEntry(resource);
+  {
+    std::lock_guard<std::mutex> lock(e->m);
+    --e->readers;
+  }
+  e->cv.notify_all();
+}
+
+}  // namespace bulkdel

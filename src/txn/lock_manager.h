@@ -1,0 +1,63 @@
+#ifndef BULKDEL_TXN_LOCK_MANAGER_H_
+#define BULKDEL_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace bulkdel {
+
+/// Table-granularity shared/exclusive locks.
+///
+/// The paper argues (§3.1) that processing the base table under anything
+/// finer than a table lock is pointless for bulk deletes — lock escalation
+/// would promote to a table lock anyway — so the bulk deleter takes an
+/// exclusive lock on R until the table and all unique indices are processed,
+/// then releases it while the remaining (off-line) indices catch up.
+/// Updater transactions take shared locks.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  void LockExclusive(const std::string& resource);
+  void UnlockExclusive(const std::string& resource);
+  void LockShared(const std::string& resource);
+  void UnlockShared(const std::string& resource);
+
+  /// RAII helpers.
+  class SharedGuard {
+   public:
+    SharedGuard(LockManager* lm, std::string resource)
+        : lm_(lm), resource_(std::move(resource)) {
+      lm_->LockShared(resource_);
+    }
+    ~SharedGuard() { lm_->UnlockShared(resource_); }
+    SharedGuard(const SharedGuard&) = delete;
+    SharedGuard& operator=(const SharedGuard&) = delete;
+
+   private:
+    LockManager* lm_;
+    std::string resource_;
+  };
+
+ private:
+  struct Entry {
+    std::mutex m;
+    std::condition_variable cv;
+    int readers = 0;
+    bool writer = false;
+  };
+
+  Entry* GetEntry(const std::string& resource);
+
+  std::mutex map_mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_TXN_LOCK_MANAGER_H_

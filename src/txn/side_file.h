@@ -1,0 +1,77 @@
+#ifndef BULKDEL_TXN_SIDE_FILE_H_
+#define BULKDEL_TXN_SIDE_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "table/rid.h"
+
+namespace bulkdel {
+
+/// How an index behaves while a bulk delete is propagating deletions to it
+/// (paper §3.1). Off-line indices cannot serve reads or predicate locking.
+enum class IndexMode : uint8_t {
+  kOnline,
+  /// Updaters append their changes to a side-file; the bulk deleter applies
+  /// it after finishing the index, quiescing briefly to drain the tail
+  /// (§3.1.1, after Mohan & Narang [17]).
+  kOfflineSideFile,
+  /// Updaters install changes directly into the off-line index under a
+  /// latch; inserted entries are marked undeletable so the bulk deleter
+  /// cannot remove a re-used RID (§3.1.2).
+  kOfflineDirect,
+};
+
+/// One logical index maintenance operation logged to a side-file.
+struct SideFileOp {
+  bool is_insert = true;
+  int64_t key = 0;
+  Rid rid;
+};
+
+/// Append-only queue of index operations made while the index is off-line.
+class SideFile {
+ public:
+  void Append(const SideFileOp& op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(op);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_.size();
+  }
+
+  /// Removes and returns up to `max` ops from the front.
+  std::vector<SideFileOp> DrainBatch(size_t max) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = std::min(max, ops_.size());
+    std::vector<SideFileOp> batch(ops_.begin(), ops_.begin() + n);
+    ops_.erase(ops_.begin(), ops_.begin() + n);
+    return batch;
+  }
+
+  /// The quiesce mutex: holding it blocks appenders, letting the bulk deleter
+  /// drain the final tail and flip the index on-line atomically.
+  std::mutex& append_mutex() { return append_mu_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::mutex append_mu_;
+  std::deque<SideFileOp> ops_;
+};
+
+/// Concurrency state attached to each index.
+struct IndexConcurrencyState {
+  std::atomic<IndexMode> mode{IndexMode::kOnline};
+  SideFile side_file;
+  /// Serializes all structural operations on the B-tree (single-writer).
+  std::mutex latch;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_TXN_SIDE_FILE_H_

@@ -1,0 +1,41 @@
+#ifndef BULKDEL_UTIL_CODING_H_
+#define BULKDEL_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace bulkdel {
+
+// Alignment-safe little-endian fixed-width load/store helpers. All on-page
+// data goes through these so node layouts are well-defined bytes, not
+// reinterpret-casted structs.
+
+inline void StoreU16(void* dst, uint16_t v) { std::memcpy(dst, &v, sizeof(v)); }
+inline void StoreU32(void* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+inline void StoreU64(void* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+inline void StoreI64(void* dst, int64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+
+inline uint16_t LoadU16(const void* src) {
+  uint16_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint32_t LoadU32(const void* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint64_t LoadU64(const void* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline int64_t LoadI64(const void* src) {
+  int64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_UTIL_CODING_H_

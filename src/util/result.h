@@ -1,0 +1,69 @@
+#ifndef BULKDEL_UTIL_RESULT_H_
+#define BULKDEL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace bulkdel {
+
+/// Status-or-value. `Result<T>` is either an OK status with a T, or a non-OK
+/// status with no value. Accessing value() on an error aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// without a value is a programming error.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out; the Result must be OK.
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Result; binds the value to `lhs` on success.
+#define BULKDEL_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto BULKDEL_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!BULKDEL_CONCAT_(_res_, __LINE__).ok())     \
+    return BULKDEL_CONCAT_(_res_, __LINE__).status(); \
+  lhs = BULKDEL_CONCAT_(_res_, __LINE__).TakeValue()
+
+#define BULKDEL_CONCAT_(a, b) BULKDEL_CONCAT_IMPL_(a, b)
+#define BULKDEL_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_UTIL_RESULT_H_

@@ -1,0 +1,34 @@
+#ifndef BULKDEL_UTIL_STOPWATCH_H_
+#define BULKDEL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bulkdel {
+
+/// Wall-clock stopwatch for the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall time in microseconds since construction/Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_UTIL_STOPWATCH_H_

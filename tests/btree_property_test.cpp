@@ -1,0 +1,261 @@
+// Property-style randomized testing of the B-link tree against a reference
+// model (std::multimap over composite entries), across fan-outs, duplicate
+// densities and reorganization modes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "btree/btree.h"
+#include "util/random.h"
+
+namespace bulkdel {
+namespace {
+
+struct PropertyParam {
+  uint16_t leaf_cap;     // 0 = page capacity
+  uint16_t inner_cap;    // 0 = page capacity
+  int key_space;         // duplicates density: smaller => more duplicates
+  ReorgMode reorg;
+  const char* name;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<PropertyParam>& info) {
+  return info.param.name;
+}
+
+class BTreePropertyTest : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  BTreePropertyTest() : pool_(&disk_, 512 * kPageSize) {}
+
+  BTree MakeTree() {
+    IndexOptions opts;
+    opts.max_leaf_entries = GetParam().leaf_cap;
+    opts.max_inner_entries = GetParam().inner_cap;
+    return *BTree::Create(&pool_, opts);
+  }
+
+  /// Verifies the tree holds exactly the model's entries, in order.
+  void ExpectMatchesModel(BTree& tree, const std::set<KeyRid>& model) {
+    ASSERT_TRUE(tree.CheckInvariants().ok());
+    ASSERT_EQ(tree.entry_count(), model.size());
+    auto it = model.begin();
+    Status s = tree.ScanAll([&](int64_t k, const Rid& rid, uint16_t) {
+      if (it == model.end()) {
+        return Status::Internal("tree has extra entries");
+      }
+      if (!(KeyRid(k, rid) == *it)) {
+        return Status::Internal("tree/model mismatch at key " +
+                                std::to_string(k));
+      }
+      ++it;
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(it == model.end());
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_P(BTreePropertyTest, RandomInsertDeleteInterleaving) {
+  auto tree = MakeTree();
+  std::set<KeyRid> model;
+  Random rng(20260707);
+  const int key_space = GetParam().key_space;
+
+  for (int step = 0; step < 4000; ++step) {
+    if (model.empty() || rng.Bernoulli(0.65)) {
+      KeyRid e(rng.UniformInt(0, key_space - 1),
+               Rid(static_cast<PageId>(rng.Uniform(50) + 1),
+                   static_cast<uint16_t>(rng.Uniform(64))));
+      Status s = tree.Insert(e.key, e.rid);
+      if (model.count(e) > 0) {
+        EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model.insert(e);
+      }
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(tree.Delete(it->key, it->rid).ok());
+      model.erase(it);
+    }
+  }
+  ExpectMatchesModel(tree, model);
+}
+
+TEST_P(BTreePropertyTest, BulkDeleteKeysMatchesModel) {
+  auto tree = MakeTree();
+  std::set<KeyRid> model;
+  Random rng(777);
+  const int key_space = GetParam().key_space;
+
+  for (int i = 0; i < 3000; ++i) {
+    KeyRid e(rng.UniformInt(0, key_space - 1),
+             Rid(static_cast<PageId>(i / 32 + 1),
+                 static_cast<uint16_t>(i % 32)));
+    if (model.insert(e).second) {
+      ASSERT_TRUE(tree.Insert(e.key, e.rid).ok());
+    }
+  }
+
+  // Several successive bulk deletes of random key subsets.
+  for (int round = 0; round < 4; ++round) {
+    std::set<int64_t> doomed_set;
+    for (int i = 0; i < key_space / 5; ++i) {
+      doomed_set.insert(rng.UniformInt(0, key_space - 1));
+    }
+    std::vector<int64_t> doomed(doomed_set.begin(), doomed_set.end());
+
+    uint64_t expect_deleted = 0;
+    for (auto it = model.begin(); it != model.end();) {
+      if (doomed_set.count(it->key) > 0) {
+        it = model.erase(it);
+        ++expect_deleted;
+      } else {
+        ++it;
+      }
+    }
+
+    BtreeBulkDeleteStats stats;
+    ASSERT_TRUE(
+        tree.BulkDeleteSortedKeys(doomed, GetParam().reorg, nullptr, &stats)
+            .ok());
+    EXPECT_EQ(stats.entries_deleted, expect_deleted) << "round " << round;
+    ExpectMatchesModel(tree, model);
+  }
+}
+
+TEST_P(BTreePropertyTest, BulkDeleteEntriesMatchesModel) {
+  auto tree = MakeTree();
+  std::set<KeyRid> model;
+  Random rng(991);
+  const int key_space = GetParam().key_space;
+
+  for (int i = 0; i < 3000; ++i) {
+    KeyRid e(rng.UniformInt(0, key_space - 1),
+             Rid(static_cast<PageId>(i / 32 + 1),
+                 static_cast<uint16_t>(i % 32)));
+    if (model.insert(e).second) {
+      ASSERT_TRUE(tree.Insert(e.key, e.rid).ok());
+    }
+  }
+  // Delete a random half of the exact composite entries.
+  std::vector<KeyRid> doomed;
+  for (const KeyRid& e : model) {
+    if (rng.Bernoulli(0.5)) doomed.push_back(e);
+  }
+  for (const KeyRid& e : doomed) model.erase(e);
+
+  BtreeBulkDeleteStats stats;
+  ASSERT_TRUE(
+      tree.BulkDeleteSortedEntries(doomed, GetParam().reorg, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, doomed.size());
+  ExpectMatchesModel(tree, model);
+
+  // Inserting after a reorganized bulk delete keeps invariants.
+  for (int i = 0; i < 200; ++i) {
+    KeyRid e(rng.UniformInt(0, key_space - 1),
+             Rid(static_cast<PageId>(1000 + i), 0));
+    if (model.insert(e).second) {
+      ASSERT_TRUE(tree.Insert(e.key, e.rid).ok());
+    }
+  }
+  ExpectMatchesModel(tree, model);
+}
+
+TEST_P(BTreePropertyTest, BulkDeleteByRidPredicateMatchesModel) {
+  auto tree = MakeTree();
+  std::set<KeyRid> model;
+  Random rng(1234);
+  const int key_space = GetParam().key_space;
+
+  for (int i = 0; i < 3000; ++i) {
+    KeyRid e(rng.UniformInt(0, key_space - 1),
+             Rid(static_cast<PageId>(rng.Uniform(100) + 1),
+                 static_cast<uint16_t>(rng.Uniform(16))));
+    if (model.insert(e).second) {
+      ASSERT_TRUE(tree.Insert(e.key, e.rid).ok());
+    }
+  }
+  // Probe by RID set, like the classic-hash plan.
+  std::set<uint64_t> rid_set;
+  for (const KeyRid& e : model) {
+    if (rng.Bernoulli(0.3)) rid_set.insert(e.rid.Pack());
+  }
+  uint64_t expect = 0;
+  for (auto it = model.begin(); it != model.end();) {
+    if (rid_set.count(it->rid.Pack()) > 0) {
+      it = model.erase(it);
+      ++expect;
+    } else {
+      ++it;
+    }
+  }
+  BtreeBulkDeleteStats stats;
+  ASSERT_TRUE(tree.BulkDeleteByPredicate(
+                      [&](int64_t, const Rid& rid) {
+                        return rid_set.count(rid.Pack()) > 0;
+                      },
+                      GetParam().reorg, &stats)
+                  .ok());
+  EXPECT_EQ(stats.entries_deleted, expect);
+  ExpectMatchesModel(tree, model);
+}
+
+TEST_P(BTreePropertyTest, ReorgModesPreserveContentAndImprovePacking) {
+  auto tree = MakeTree();
+  std::set<KeyRid> model;
+  for (int64_t k = 0; k < 4000; ++k) {
+    KeyRid e(k, Rid(1, 0));
+    model.insert(e);
+    ASSERT_TRUE(tree.Insert(e.key, e.rid).ok());
+  }
+  uint32_t leaves_before = tree.num_leaves();
+
+  // Delete 70% of entries so leaves get sparse.
+  std::vector<int64_t> doomed;
+  for (int64_t k = 0; k < 4000; ++k) {
+    if (k % 10 < 7) {
+      doomed.push_back(k);
+      model.erase(KeyRid(k, Rid(1, 0)));
+    }
+  }
+  BtreeBulkDeleteStats stats;
+  ASSERT_TRUE(
+      tree.BulkDeleteSortedKeys(doomed, GetParam().reorg, nullptr, &stats).ok());
+  ExpectMatchesModel(tree, model);
+
+  if (GetParam().reorg != ReorgMode::kFreeAtEmpty) {
+    // Compaction must shrink the leaf level substantially.
+    EXPECT_LT(tree.num_leaves(), leaves_before / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreePropertyTest,
+    ::testing::Values(
+        PropertyParam{4, 4, 500, ReorgMode::kFreeAtEmpty, "TinyFanoutFreeAtEmpty"},
+        PropertyParam{4, 4, 500, ReorgMode::kCompactAndRebuild,
+                      "TinyFanoutCompact"},
+        PropertyParam{4, 4, 500, ReorgMode::kIncrementalBaseNode,
+                      "TinyFanoutIncremental"},
+        PropertyParam{16, 8, 200, ReorgMode::kFreeAtEmpty,
+                      "SmallFanoutManyDuplicates"},
+        PropertyParam{16, 8, 1000000, ReorgMode::kCompactAndRebuild,
+                      "SmallFanoutUniqueKeys"},
+        PropertyParam{0, 0, 5000, ReorgMode::kFreeAtEmpty,
+                      "PageFanoutFreeAtEmpty"},
+        PropertyParam{0, 0, 5000, ReorgMode::kIncrementalBaseNode,
+                      "PageFanoutIncremental"}),
+    ParamName);
+
+}  // namespace
+}  // namespace bulkdel

@@ -1,0 +1,208 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace bulkdel {
+namespace {
+
+TEST(DiskManagerTest, AllocateReadWrite) {
+  DiskManager disk;
+  auto p0 = disk.AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  char buf[kPageSize];
+  std::memset(buf, 0xAB, kPageSize);
+  ASSERT_TRUE(disk.WritePage(*p0, buf).ok());
+  char out[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(*p0, out).ok());
+  EXPECT_EQ(std::memcmp(buf, out, kPageSize), 0);
+}
+
+TEST(DiskManagerTest, FreeListReusesPages) {
+  DiskManager disk;
+  PageId a = *disk.AllocatePage();
+  PageId b = *disk.AllocatePage();
+  (void)b;
+  ASSERT_TRUE(disk.FreePage(a).ok());
+  EXPECT_EQ(disk.NumFreePages(), 1u);
+  PageId c = *disk.AllocatePage();
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(disk.NumFreePages(), 0u);
+}
+
+TEST(DiskManagerTest, OutOfBoundsRejected) {
+  DiskManager disk;
+  char buf[kPageSize];
+  EXPECT_FALSE(disk.ReadPage(17, buf).ok());
+  EXPECT_FALSE(disk.WritePage(17, buf).ok());
+  EXPECT_FALSE(disk.FreePage(17).ok());
+}
+
+TEST(DiskManagerTest, SequentialVsRandomAccounting) {
+  DiskModel model;
+  DiskManager disk(model);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 10; ++i) pages.push_back(*disk.AllocatePage());
+  char buf[kPageSize] = {};
+  disk.ResetStats();
+  // Ascending pass: first access random, the rest sequential.
+  for (PageId p : pages) ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  IoStats s = disk.stats();
+  EXPECT_EQ(s.writes, 10);
+  EXPECT_EQ(s.random_accesses, 1);
+  EXPECT_EQ(s.sequential_accesses, 9);
+  EXPECT_EQ(s.simulated_micros,
+            model.random_page_micros + 9 * model.sequential_page_micros);
+
+  disk.ResetStats();
+  // Strided pass: all random.
+  for (int i = 9; i >= 0; --i) ASSERT_TRUE(disk.ReadPage(pages[i], buf).ok());
+  s = disk.stats();
+  EXPECT_EQ(s.random_accesses, 10);
+}
+
+TEST(DiskManagerTest, FileBackedRoundTrip) {
+  std::string path = ::testing::TempDir() + "/bulkdel_disk_test.db";
+  PageId p;
+  {
+    DiskManager disk(path, /*truncate=*/true);
+    p = *disk.AllocatePage();
+    char buf[kPageSize];
+    std::memset(buf, 0x5C, kPageSize);
+    ASSERT_TRUE(disk.WritePage(p, buf).ok());
+  }
+  DiskManager disk(path, /*truncate=*/false);
+  char out[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(p, out).ok());
+  EXPECT_EQ(out[0], 0x5C);
+  EXPECT_EQ(out[kPageSize - 1], 0x5C);
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  DiskManager disk_;
+  BufferPool pool_{&disk_, 8 * kPageSize};
+};
+
+TEST_F(BufferPoolTest, NewPageIsZeroedAndPersists) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard->page_id();
+    for (uint32_t i = 0; i < kPageSize; ++i) EXPECT_EQ(guard->data()[i], 0);
+    guard->data()[0] = 'x';
+    guard->MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  char buf[kPageSize];
+  ASSERT_TRUE(disk_.ReadPage(id, buf).ok());
+  EXPECT_EQ(buf[0], 'x');
+}
+
+TEST_F(BufferPoolTest, FetchHitDoesNotTouchDisk) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    id = guard->page_id();
+  }
+  int64_t reads_before = disk_.stats().reads;
+  {
+    auto guard = pool_.FetchPage(id);
+    ASSERT_TRUE(guard.ok());
+  }
+  EXPECT_EQ(disk_.stats().reads, reads_before);
+  EXPECT_GE(pool_.stats().hits, 1);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  // Fill beyond capacity; early dirty pages must be written back and
+  // re-readable.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 20; ++i) {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guard->data()[0] = static_cast<char>(i);
+    guard->MarkDirty();
+    ids.push_back(guard->page_id());
+  }
+  EXPECT_GT(pool_.stats().evictions, 0);
+  for (int i = 0; i < 20; ++i) {
+    auto guard = pool_.FetchPage(ids[i]);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->data()[0], static_cast<char>(i));
+  }
+}
+
+TEST_F(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  std::vector<PageGuard> guards;
+  for (size_t i = 0; i < pool_.capacity_frames(); ++i) {
+    auto guard = pool_.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guards.push_back(std::move(*guard));
+  }
+  auto extra = pool_.NewPage();
+  EXPECT_FALSE(extra.ok());
+  EXPECT_EQ(extra.status().code(), StatusCode::kResourceExhausted);
+  guards.clear();
+  EXPECT_TRUE(pool_.NewPage().ok());
+}
+
+TEST_F(BufferPoolTest, DeletePageFreesFrameAndDiskPage) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    id = guard->page_id();
+  }
+  ASSERT_TRUE(pool_.DeletePage(id).ok());
+  EXPECT_EQ(disk_.NumFreePages(), 1u);
+}
+
+TEST_F(BufferPoolTest, DeletePinnedPageRefused) {
+  auto guard = pool_.NewPage();
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(pool_.DeletePage(guard->page_id()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BufferPoolTest, DiscardAllForCrashTestDropsUnflushedWrites) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    id = guard->page_id();
+    guard->data()[0] = 'x';
+    guard->MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  {
+    auto guard = pool_.FetchPage(id);
+    guard->data()[0] = 'y';  // modified but never flushed
+    guard->MarkDirty();
+  }
+  pool_.DiscardAllForCrashTest();
+  auto guard = pool_.FetchPage(id);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(guard->data()[0], 'x');
+}
+
+TEST_F(BufferPoolTest, MovedGuardReleasesOnce) {
+  PageId id;
+  {
+    auto guard = pool_.NewPage();
+    id = guard->page_id();
+    PageGuard moved = std::move(*guard);
+    EXPECT_TRUE(moved.valid());
+    EXPECT_FALSE(guard->valid());
+  }
+  // If pin accounting broke, the page would be unevictable; deleting it
+  // verifies pin count is back to zero.
+  EXPECT_TRUE(pool_.DeletePage(id).ok());
+}
+
+}  // namespace
+}  // namespace bulkdel

@@ -1,0 +1,87 @@
+// Bulk UPDATE via bulk delete + bulk insert on the affected index — the
+// paper's Emp.salary example (§1).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace bulkdel {
+namespace {
+
+class BulkUpdateTest : public ::testing::Test {
+ protected:
+  BulkUpdateTest() {
+    DatabaseOptions options;
+    options.memory_budget_bytes = 256 * 1024;
+    db_ = *Database::Create(options);
+    Schema schema = *Schema::PaperStyle(3, 64);  // EMP(A=id, B=salary, C=dept)
+    EXPECT_TRUE(db_->CreateTable("EMP", schema).ok());
+    EXPECT_TRUE(db_->CreateIndex("EMP", "A", {.unique = true}).ok());
+    EXPECT_TRUE(db_->CreateIndex("EMP", "B").ok());
+    for (int64_t i = 0; i < 2000; ++i) {
+      EXPECT_TRUE(db_->InsertRow("EMP", {i, 1000 + i, i % 10}).ok());
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(BulkUpdateTest, RaisesSalariesAboveThreshold) {
+  // +500 for everyone with salary >= 2000 (the "above-average" employees).
+  auto report = db_->BulkUpdateColumn("EMP", "B", 500, "B", 2000, INT64_MAX);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 1000u);  // rows updated
+  EXPECT_EQ(report->index_entries_deleted, 1000u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+
+  // Old values gone, new values present, RIDs unchanged. Salaries were
+  // 1000..2999; those >= 2000 moved to 2500..3499.
+  EXPECT_TRUE(db_->GetIndex("EMP", "B")->tree->Search(2000)->empty());
+  EXPECT_EQ(db_->GetIndex("EMP", "B")->tree->Search(1999)->size(), 1u);
+  EXPECT_EQ(db_->GetIndex("EMP", "B")->tree->Search(2500)->size(), 1u);
+  EXPECT_EQ(db_->GetIndex("EMP", "B")->tree->Search(3499)->size(), 1u);
+  EXPECT_EQ(db_->GetIndex("EMP", "B")->tree->entry_count(), 2000u);
+}
+
+TEST_F(BulkUpdateTest, NoMatchesIsNoop) {
+  auto report = db_->BulkUpdateColumn("EMP", "B", 500, "B", -100, -1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_deleted, 0u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(BulkUpdateTest, UpdateOnUnindexedColumnSkipsIndexPhases) {
+  // C has no index: the update is table-only.
+  auto report = db_->BulkUpdateColumn("EMP", "C", 100, "A", 0, 99);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 100u);
+  EXPECT_EQ(report->index_entries_deleted, 0u);
+  auto row = db_->GetRow("EMP",
+                         db_->GetIndex("EMP", "A")->tree->Search(5)->at(0));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[2], 5 % 10 + 100);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(BulkUpdateTest, UnknownColumnsRejected) {
+  EXPECT_TRUE(
+      db_->BulkUpdateColumn("EMP", "Z", 1, "A", 0, 10).status().IsNotFound());
+  EXPECT_TRUE(
+      db_->BulkUpdateColumn("EMP", "B", 1, "Z", 0, 10).status().IsNotFound());
+  EXPECT_TRUE(
+      db_->BulkUpdateColumn("NOPE", "B", 1, "A", 0, 10).status().IsNotFound());
+}
+
+TEST_F(BulkUpdateTest, UpdatePreservesOtherIndices) {
+  auto report = db_->BulkUpdateColumn("EMP", "B", 10000, "A", 100, 199);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_deleted, 100u);
+  // The A index was never touched: every id still resolves.
+  for (int64_t id : {0, 100, 150, 1999}) {
+    EXPECT_EQ(db_->GetIndex("EMP", "A")->tree->Search(id)->size(), 1u) << id;
+  }
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace bulkdel

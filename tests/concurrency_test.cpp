@@ -1,0 +1,261 @@
+// §3.1 protocols: concurrent updater transactions during a bulk delete,
+// under both the side-file and the direct-propagation protocol. Updaters
+// block on the table lock until the commit point, then run against off-line
+// secondary indices; the final state must be exactly "bulk delete applied,
+// then all updater operations applied".
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/generator.h"
+
+namespace bulkdel {
+namespace {
+
+struct ConcurrencyParam {
+  ConcurrencyProtocol protocol;
+  const char* name;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<ConcurrencyParam>& info) {
+  return info.param.name;
+}
+
+class ConcurrencyTest : public ::testing::TestWithParam<ConcurrencyParam> {};
+
+TEST_P(ConcurrencyTest, UpdatersDuringBulkDelete) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 512 * 1024;
+  options.concurrency = GetParam().protocol;
+  options.bulk_chunk_entries = 64;  // many latch windows for interleaving
+  auto db = *Database::Create(options);
+
+  WorkloadSpec spec;
+  spec.n_tuples = 4000;
+  spec.n_int_columns = 3;
+  spec.tuple_size = 64;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"});
+
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.25, 99);
+  std::set<int64_t> doomed(bd.keys.begin(), bd.keys.end());
+
+  // Updater threads insert fresh rows (values far outside the generated
+  // range) and delete some of them again. They start before the bulk delete
+  // commits, so they exercise the lock wait + off-line index paths.
+  constexpr int kUpdaters = 4;
+  constexpr int kOpsPerUpdater = 150;
+  std::atomic<int> inserted_live{0};
+  std::atomic<bool> updater_failed{false};
+  std::vector<std::thread> updaters;
+  updaters.reserve(kUpdaters);
+  for (int u = 0; u < kUpdaters; ++u) {
+    updaters.emplace_back([&, u] {
+      for (int i = 0; i < kOpsPerUpdater; ++i) {
+        int64_t base = 10000000000LL + u * 1000000 + i;
+        auto rid = db->InsertRow("R", {base, base + 1, base + 2});
+        if (!rid.ok()) {
+          updater_failed = true;
+          return;
+        }
+        if (i % 3 == 0) {
+          if (!db->DeleteRow("R", *rid).ok()) {
+            updater_failed = true;
+            return;
+          }
+        } else {
+          ++inserted_live;
+        }
+      }
+    });
+  }
+
+  auto report = db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+  for (std::thread& t : updaters) t.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(updater_failed);
+  EXPECT_EQ(report->rows_deleted, bd.keys.size());
+
+  // All indices back on-line.
+  for (auto& index : db->GetTable("R")->indices) {
+    EXPECT_EQ(index->cc->mode.load(), IndexMode::kOnline) << index->name;
+  }
+
+  // Final state: original rows minus doomed, plus surviving updater rows.
+  TableDef* table = db->GetTable("R");
+  EXPECT_EQ(table->table->tuple_count(),
+            spec.n_tuples - doomed.size() +
+                static_cast<uint64_t>(inserted_live.load()));
+  ASSERT_TRUE(table->table
+                  ->Scan([&](const Rid&, const char* tuple) {
+                    int64_t a = table->schema->GetInt(tuple, 0);
+                    EXPECT_EQ(doomed.count(a), 0u);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST_P(ConcurrencyTest, UpdaterRowsWithDoomedRidsSurvive) {
+  // The §3.1.2 race: an updater inserts a row whose RID was just freed by
+  // the bulk delete; the index entry must not be removed by the still-running
+  // bulk deleter (undeletable marker / side-file ordering).
+  DatabaseOptions options;
+  options.memory_budget_bytes = 512 * 1024;
+  options.concurrency = GetParam().protocol;
+  options.bulk_chunk_entries = 16;
+  auto db = *Database::Create(options);
+
+  WorkloadSpec spec;
+  spec.n_tuples = 2000;
+  spec.n_int_columns = 3;
+  spec.tuple_size = 64;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"});
+
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.5, 7);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> updater_failed{false};
+  std::atomic<int> inserted{0};
+  // Insert aggressively so freed slots (and thus RIDs from the delete set)
+  // are re-used while the bulk delete still processes secondary indices.
+  std::thread updater([&] {
+    int64_t next = 20000000000LL;
+    while (!stop.load()) {
+      auto rid = db->InsertRow("R", {next, next + 1, next + 2});
+      if (!rid.ok()) {
+        updater_failed = true;
+        return;
+      }
+      ++inserted;
+      ++next;
+    }
+  });
+
+  auto report = db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+  stop = true;
+  updater.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(updater_failed);
+  EXPECT_EQ(db->GetTable("R")->table->tuple_count(),
+            spec.n_tuples - bd.keys.size() +
+                static_cast<uint64_t>(inserted.load()));
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST_P(ConcurrencyTest, ReadersBlockedUntilCommitPoint) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 512 * 1024;
+  options.concurrency = GetParam().protocol;
+  auto db = *Database::Create(options);
+
+  WorkloadSpec spec;
+  spec.n_tuples = 3000;
+  spec.n_int_columns = 3;
+  spec.tuple_size = 64;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"});
+
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.3, 5);
+  std::set<int64_t> doomed(bd.keys.begin(), bd.keys.end());
+
+  // A reader that repeatedly reads one surviving row: it must never observe
+  // a torn state (GetRow either blocks or sees the row).
+  Rid victim_rid;
+  int64_t victim_a = 0;
+  for (size_t i = 0; i < workload.rids.size(); ++i) {
+    if (doomed.count(workload.values[0][i]) == 0) {
+      victim_rid = workload.rids[i];
+      victim_a = workload.values[0][i];
+      break;
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> reader_failed{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto row = db->GetRow("R", victim_rid);
+      if (!row.ok() || (*row)[0] != victim_a) {
+        reader_failed = true;
+        return;
+      }
+    }
+  });
+
+  auto report = db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+  stop = true;
+  reader.join();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(reader_failed);
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ConcurrencyTest,
+    ::testing::Values(
+        ConcurrencyParam{ConcurrencyProtocol::kSideFile, "SideFile"},
+        ConcurrencyParam{ConcurrencyProtocol::kDirectPropagation,
+                         "DirectPropagation"}),
+    ParamName);
+
+TEST(LockManagerTest, ExclusiveExcludesShared) {
+  LockManager lm;
+  lm.LockExclusive("R");
+  std::atomic<bool> got_shared{false};
+  std::thread t([&] {
+    lm.LockShared("R");
+    got_shared = true;
+    lm.UnlockShared("R");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(got_shared.load());
+  lm.UnlockExclusive("R");
+  t.join();
+  EXPECT_TRUE(got_shared.load());
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  lm.LockShared("R");
+  std::atomic<bool> got{false};
+  std::thread t([&] {
+    lm.LockShared("R");
+    got = true;
+    lm.UnlockShared("R");
+  });
+  t.join();
+  EXPECT_TRUE(got.load());
+  lm.UnlockShared("R");
+}
+
+TEST(SideFileTest, AppendDrainOrdering) {
+  SideFile sf;
+  for (int i = 0; i < 10; ++i) {
+    sf.Append(SideFileOp{true, i, Rid(1, static_cast<uint16_t>(i))});
+  }
+  EXPECT_EQ(sf.size(), 10u);
+  auto batch = sf.DrainBatch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].key, 0);
+  EXPECT_EQ(batch[3].key, 3);
+  EXPECT_EQ(sf.size(), 6u);
+  batch = sf.DrainBatch(100);
+  EXPECT_EQ(batch.size(), 6u);
+  EXPECT_EQ(batch[0].key, 4);
+  EXPECT_EQ(sf.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bulkdel

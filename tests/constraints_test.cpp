@@ -1,0 +1,226 @@
+// Referential-integrity processing (§2.1's vertical constraint checking):
+// RESTRICT and CASCADE foreign keys under both row-level DML and bulk
+// deletes, including multi-level cascades and cycle rejection.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/database.h"
+
+namespace bulkdel {
+namespace {
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  ConstraintsTest() {
+    DatabaseOptions options;
+    options.memory_budget_bytes = 256 * 1024;
+    db_ = *Database::Create(options);
+    Schema parent_schema = *Schema::PaperStyle(2, 64);  // CUSTOMER(A=id, B)
+    Schema child_schema = *Schema::PaperStyle(3, 64);   // ORD(A=id, B=cust, C)
+    EXPECT_TRUE(db_->CreateTable("CUSTOMER", parent_schema).ok());
+    EXPECT_TRUE(db_->CreateIndex("CUSTOMER", "A", {.unique = true}).ok());
+    EXPECT_TRUE(db_->CreateTable("ORD", child_schema).ok());
+    EXPECT_TRUE(db_->CreateIndex("ORD", "A", {.unique = true}).ok());
+    EXPECT_TRUE(db_->CreateIndex("ORD", "B").ok());
+
+    for (int64_t c = 0; c < 100; ++c) {
+      EXPECT_TRUE(db_->InsertRow("CUSTOMER", {c, c * 10}).ok());
+    }
+    // 3 orders per customer 0..49; customers 50..99 have none.
+    int64_t oid = 0;
+    for (int64_t c = 0; c < 50; ++c) {
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(db_->InsertRow("ORD", {oid++, c, c + i}).ok());
+      }
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ConstraintsTest, AddForeignKeyValidatesExistingData) {
+  ASSERT_TRUE(db_->AddForeignKey("ORD", "B", "CUSTOMER", "A").ok());
+  // A second FK whose data is violated: ORD.C values include c+2 up to 51,
+  // all < 100, so actually valid... use ORD.A (ids 0..149) against
+  // CUSTOMER.A (0..99): ids 100..149 have no parent.
+  Status s = db_->AddForeignKey("ORD", "A", "CUSTOMER", "A");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+TEST_F(ConstraintsTest, AddForeignKeyRequiresUniqueParentIndex) {
+  // CUSTOMER.B has no index at all.
+  EXPECT_EQ(db_->AddForeignKey("ORD", "C", "CUSTOMER", "B").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(db_->AddForeignKey("ORD", "B", "NOPE", "A").IsNotFound());
+  EXPECT_TRUE(db_->AddForeignKey("ORD", "Z", "CUSTOMER", "A").IsNotFound());
+}
+
+TEST_F(ConstraintsTest, InsertIntoChildChecksParent) {
+  ASSERT_TRUE(db_->AddForeignKey("ORD", "B", "CUSTOMER", "A").ok());
+  EXPECT_TRUE(db_->InsertRow("ORD", {1000, 42, 0}).ok());     // customer 42 ok
+  auto bad = db_->InsertRow("ORD", {1001, 12345, 0});          // no such parent
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+  // The failed insert left no orphan row behind.
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, DeleteRowRestrict) {
+  ASSERT_TRUE(db_->AddForeignKey("ORD", "B", "CUSTOMER", "A").ok());
+  Rid customer0 = db_->GetIndex("CUSTOMER", "A")->tree->Search(0)->at(0);
+  Status s = db_->DeleteRow("CUSTOMER", customer0);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Referenced row untouched.
+  EXPECT_TRUE(db_->GetRow("CUSTOMER", customer0).ok());
+  // Customer 99 has no orders: deletable.
+  Rid customer99 = db_->GetIndex("CUSTOMER", "A")->tree->Search(99)->at(0);
+  EXPECT_TRUE(db_->DeleteRow("CUSTOMER", customer99).ok());
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, DeleteRowCascade) {
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  Rid customer7 = db_->GetIndex("CUSTOMER", "A")->tree->Search(7)->at(0);
+  uint64_t orders_before = db_->GetTable("ORD")->table->tuple_count();
+  ASSERT_TRUE(db_->DeleteRow("CUSTOMER", customer7).ok());
+  EXPECT_EQ(db_->GetTable("ORD")->table->tuple_count(), orders_before - 3);
+  EXPECT_TRUE(db_->GetIndex("ORD", "B")->tree->Search(7)->empty());
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, BulkDeleteRestrictFailsEarlyWithNothingDeleted) {
+  ASSERT_TRUE(db_->AddForeignKey("ORD", "B", "CUSTOMER", "A").ok());
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  spec.keys = {10, 60, 70};  // customer 10 is referenced
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  // Nothing was deleted — the check ran before any destructive work.
+  EXPECT_EQ(db_->GetTable("CUSTOMER")->table->tuple_count(), 100u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, BulkDeleteRestrictPassesWhenUnreferenced) {
+  ASSERT_TRUE(db_->AddForeignKey("ORD", "B", "CUSTOMER", "A").ok());
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  for (int64_t c = 60; c < 90; ++c) spec.keys.push_back(c);
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 30u);
+  EXPECT_EQ(report->cascaded_rows, 0u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, BulkDeleteCascadesChildren) {
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  for (int64_t c = 0; c < 20; ++c) spec.keys.push_back(c);  // 20 x 3 orders
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 20u);
+  EXPECT_EQ(report->cascaded_rows, 60u);
+  EXPECT_EQ(db_->GetTable("ORD")->table->tuple_count(), 90u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, MultiLevelCascade) {
+  // LINE(A=id, B=order_id) referencing ORD.A; CUSTOMER -> ORD -> LINE.
+  Schema line_schema = *Schema::PaperStyle(2, 32);
+  ASSERT_TRUE(db_->CreateTable("LINE", line_schema).ok());
+  ASSERT_TRUE(db_->CreateIndex("LINE", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db_->CreateIndex("LINE", "B").ok());
+  // Two lines per order 0..29.
+  int64_t lid = 0;
+  for (int64_t o = 0; o < 30; ++o) {
+    ASSERT_TRUE(db_->InsertRow("LINE", {lid++, o}).ok());
+    ASSERT_TRUE(db_->InsertRow("LINE", {lid++, o}).ok());
+  }
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  ASSERT_TRUE(
+      db_->AddForeignKey("LINE", "B", "ORD", "A", FkAction::kCascade).ok());
+
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  spec.keys = {0, 1};  // orders 0..5 -> lines 0..11
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 2u);
+  EXPECT_EQ(report->cascaded_rows, 6u + 12u);
+  EXPECT_EQ(db_->GetTable("LINE")->table->tuple_count(), 60u - 12u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, FkOnNonKeyColumnOfBulkDelete) {
+  // FK references CUSTOMER.A but the bulk delete keys on CUSTOMER.B: the
+  // doomed rows' A values must be collected via the key index + row fetch.
+  ASSERT_TRUE(db_->CreateIndex("CUSTOMER", "B", {.unique = true}).ok());
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "B";  // B = A * 10
+  spec.keys = {30, 40};   // customers 3 and 4
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 2u);
+  EXPECT_EQ(report->cascaded_rows, 6u);
+  EXPECT_TRUE(db_->GetIndex("ORD", "B")->tree->Search(3)->empty());
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, SelfReferenceCycleRejected) {
+  // EMP(A=id, B=manager_id) with a cascade FK onto itself: deleting a
+  // manager via bulk delete must detect the cycle instead of recursing.
+  Schema emp_schema = *Schema::PaperStyle(2, 32);
+  ASSERT_TRUE(db_->CreateTable("EMP", emp_schema).ok());
+  ASSERT_TRUE(db_->CreateIndex("EMP", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db_->CreateIndex("EMP", "B").ok());
+  ASSERT_TRUE(db_->InsertRow("EMP", {1, 1}).ok());  // the boss manages herself
+  ASSERT_TRUE(db_->InsertRow("EMP", {2, 1}).ok());
+  ASSERT_TRUE(
+      db_->AddForeignKey("EMP", "B", "EMP", "A", FkAction::kCascade).ok());
+  BulkDeleteSpec spec;
+  spec.table = "EMP";
+  spec.key_column = "A";
+  spec.keys = {1};
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ConstraintsTest, DroppingFkBackingIndexRefused) {
+  ASSERT_TRUE(db_->AddForeignKey("ORD", "B", "CUSTOMER", "A").ok());
+  EXPECT_EQ(db_->DropIndex("CUSTOMER", "A").code(),
+            StatusCode::kFailedPrecondition);
+  // Unrelated indices still droppable.
+  EXPECT_TRUE(db_->DropIndex("ORD", "B").ok());
+}
+
+TEST_F(ConstraintsTest, ForeignKeysSurviveReopen) {
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  ASSERT_TRUE(db_->SimulateCrashAndRecover().ok());
+  ASSERT_EQ(db_->catalog().foreign_keys().size(), 1u);
+  EXPECT_EQ(db_->catalog().foreign_keys()[0].action, FkAction::kCascade);
+  // Enforcement still works after the reopen.
+  auto bad = db_->InsertRow("ORD", {5000, 99999, 0});
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace bulkdel

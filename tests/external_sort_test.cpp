@@ -1,0 +1,189 @@
+#include "sort/external_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/spill.h"
+#include "util/random.h"
+
+namespace bulkdel {
+namespace {
+
+TEST(ExternalSortTest, InMemorySortNoIo) {
+  DiskManager disk;
+  ExternalSorter<int64_t> sorter(&disk, 1 << 20);
+  Random rng(1);
+  std::vector<int64_t> expect;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-100000, 100000);
+    expect.push_back(v);
+    ASSERT_TRUE(sorter.Add(v).ok());
+  }
+  std::sort(expect.begin(), expect.end());
+  auto out = sorter.FinishToVector();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, expect);
+  EXPECT_EQ(sorter.stats().runs, 0);
+  EXPECT_EQ(disk.stats().reads + disk.stats().writes, 0);
+}
+
+TEST(ExternalSortTest, SpillsAndMergesUnderTinyBudget) {
+  DiskManager disk;
+  // Budget of 2 pages of int64 => 1024 items per run.
+  ExternalSorter<int64_t> sorter(&disk, 2 * kPageSize);
+  Random rng(2);
+  std::vector<int64_t> expect;
+  for (int i = 0; i < 50000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next() % 1000000);
+    expect.push_back(v);
+    ASSERT_TRUE(sorter.Add(v).ok());
+  }
+  std::sort(expect.begin(), expect.end());
+  auto out = sorter.FinishToVector();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, expect);
+  EXPECT_GT(sorter.stats().runs, 1);
+  EXPECT_GT(sorter.stats().pages_spilled, 0);
+  EXPECT_GT(disk.stats().writes, 0);
+  // Multi-pass merging: run count exceeded the fan-in of a 2-page budget.
+  EXPECT_GE(sorter.stats().merge_passes, 1);
+  // All scratch pages returned.
+  EXPECT_EQ(disk.NumFreePages(), disk.NumAllocatedPages());
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  DiskManager disk;
+  ExternalSorter<int64_t> sorter(&disk, 1 << 20);
+  auto out = sorter.FinishToVector();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(ExternalSortTest, DuplicatesSurvive) {
+  DiskManager disk;
+  ExternalSorter<int64_t> sorter(&disk, 2 * kPageSize);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(sorter.Add(i % 7).ok());
+  }
+  auto out = sorter.FinishToVector();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 10000u);
+  EXPECT_TRUE(std::is_sorted(out->begin(), out->end()));
+}
+
+TEST(ExternalSortTest, KeyRidCompositeOrder) {
+  DiskManager disk;
+  std::vector<KeyRid> entries;
+  Random rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    entries.emplace_back(rng.UniformInt(0, 100),
+                         Rid(static_cast<PageId>(rng.Uniform(1000)),
+                             static_cast<uint16_t>(rng.Uniform(64))));
+  }
+  std::vector<KeyRid> expect = entries;
+  std::sort(expect.begin(), expect.end());
+  ASSERT_TRUE(SortKeyRids(&disk, 2 * kPageSize, &entries).ok());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_TRUE(entries[i] == expect[i]);
+  }
+}
+
+TEST(ExternalSortTest, RidPhysicalOrder) {
+  DiskManager disk;
+  std::vector<Rid> rids;
+  Random rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    rids.emplace_back(static_cast<PageId>(rng.Uniform(100000)),
+                      static_cast<uint16_t>(rng.Uniform(64)));
+  }
+  SortStats stats;
+  ASSERT_TRUE(SortRids(&disk, 1 << 20, &rids, &stats).ok());
+  EXPECT_TRUE(std::is_sorted(rids.begin(), rids.end()));
+  EXPECT_EQ(stats.items, 5000);
+}
+
+struct SortSweepParam {
+  size_t budget_bytes;
+  size_t items;
+  const char* name;
+};
+
+class ExternalSortSweep : public ::testing::TestWithParam<SortSweepParam> {};
+
+TEST_P(ExternalSortSweep, SortsCorrectlyAndFreesScratch) {
+  const SortSweepParam& param = GetParam();
+  DiskManager disk;
+  ExternalSorter<int64_t> sorter(&disk, param.budget_bytes);
+  Random rng(param.items * 31 + param.budget_bytes);
+  std::vector<int64_t> expect;
+  expect.reserve(param.items);
+  for (size_t i = 0; i < param.items; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next());
+    expect.push_back(v);
+    ASSERT_TRUE(sorter.Add(v).ok());
+  }
+  std::sort(expect.begin(), expect.end());
+  int64_t prev = INT64_MIN;
+  size_t count = 0;
+  ASSERT_TRUE(sorter
+                  .Finish([&](const int64_t& v) {
+                    if (v < prev) return Status::Internal("out of order");
+                    if (v != expect[count]) {
+                      return Status::Internal("wrong element");
+                    }
+                    prev = v;
+                    ++count;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(count, param.items);
+  // Every scratch page is back on the free list.
+  EXPECT_EQ(disk.NumFreePages(), disk.NumAllocatedPages());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetSweep, ExternalSortSweep,
+    ::testing::Values(
+        SortSweepParam{1 << 22, 100, "TinyInputHugeBudget"},
+        SortSweepParam{1 << 22, 100000, "BigInputHugeBudget"},
+        SortSweepParam{2 * kPageSize, 5000, "TwoPageBudget"},
+        SortSweepParam{3 * kPageSize, 40000, "ThreePageBudgetMultiPass"},
+        SortSweepParam{8 * kPageSize, 100000, "EightPageBudget"},
+        SortSweepParam{1, 3000, "DegenerateBudgetClamped"}),
+    [](const ::testing::TestParamInfo<SortSweepParam>& info) {
+      return info.param.name;
+    });
+
+TEST(SpillTest, RoundTripAndFree) {
+  DiskManager disk;
+  std::vector<KeyRid> items;
+  for (int i = 0; i < 3000; ++i) {
+    items.emplace_back(i, Rid(static_cast<PageId>(i * 2), 3));
+  }
+  auto list = SpillToDisk(&disk, items);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->count, items.size());
+  auto back = ReadSpilled(&disk, *list);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_TRUE((*back)[i] == items[i]);
+  }
+  ASSERT_TRUE(FreeSpilled(&disk, &*list).ok());
+  EXPECT_EQ(disk.NumFreePages(), disk.NumAllocatedPages());
+}
+
+TEST(SpillTest, EmptyList) {
+  DiskManager disk;
+  auto list = SpillToDisk(&disk, std::vector<int64_t>{});
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->count, 0u);
+  auto back = ReadSpilled(&disk, *list);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+}  // namespace
+}  // namespace bulkdel

@@ -1,0 +1,202 @@
+// Extendible-hash index (the paper's §5 future work) — unit and property
+// tests, including the bulk delete by hash partitioning.
+
+#include "hashidx/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bulkdel {
+namespace {
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  HashIndexTest() : pool_(&disk_, 1024 * kPageSize) {}
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(HashIndexTest, EmptyIndex) {
+  auto index = *HashIndex::Create(&pool_);
+  EXPECT_EQ(index.entry_count(), 0u);
+  EXPECT_EQ(index.global_depth(), 0);
+  EXPECT_TRUE(index.Search(42)->empty());
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST_F(HashIndexTest, InsertSearchDelete) {
+  auto index = *HashIndex::Create(&pool_);
+  for (int64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(index.Insert(k, Rid(static_cast<PageId>(k + 1), 0)).ok()) << k;
+  }
+  EXPECT_EQ(index.entry_count(), 5000u);
+  EXPECT_GT(index.global_depth(), 0);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  for (int64_t k : {0, 77, 4999}) {
+    auto rids = index.Search(k);
+    ASSERT_TRUE(rids.ok());
+    ASSERT_EQ(rids->size(), 1u);
+    EXPECT_EQ((*rids)[0].page, static_cast<PageId>(k + 1));
+  }
+  EXPECT_TRUE(index.Search(5000)->empty());
+
+  ASSERT_TRUE(index.Delete(123, Rid(124, 0)).ok());
+  EXPECT_TRUE(index.Search(123)->empty());
+  EXPECT_TRUE(index.Delete(123, Rid(124, 0)).IsNotFound());
+  EXPECT_EQ(index.entry_count(), 4999u);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST_F(HashIndexTest, DuplicateCompositeRejected) {
+  auto index = *HashIndex::Create(&pool_);
+  ASSERT_TRUE(index.Insert(1, Rid(1, 1)).ok());
+  EXPECT_EQ(index.Insert(1, Rid(1, 1)).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(index.Insert(1, Rid(1, 2)).ok());  // same key, new rid is fine
+  EXPECT_EQ(index.Search(1)->size(), 2u);
+}
+
+TEST_F(HashIndexTest, HeavyDuplicatesUseOverflowChains) {
+  auto index = *HashIndex::Create(&pool_);
+  // 2000 entries with the same key can never be split apart: overflow
+  // chains must absorb them.
+  for (uint16_t s = 0; s < 2000; ++s) {
+    ASSERT_TRUE(index.Insert(7, Rid(1, 0)).ok() ||
+                true);  // first iteration only
+    break;
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Status st = index.Insert(7, Rid(static_cast<PageId>(i + 2), 0));
+    ASSERT_TRUE(st.ok()) << i << " " << st.ToString();
+  }
+  EXPECT_EQ(index.Search(7)->size(), 2001u);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  // Bulk delete removes the whole chain in one pass.
+  HashBulkDeleteStats stats;
+  ASSERT_TRUE(index.BulkDeleteKeys({7}, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, 2001u);
+  EXPECT_GT(stats.overflow_pages_visited, 0u);
+  EXPECT_TRUE(index.Search(7)->empty());
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST_F(HashIndexTest, BulkDeleteMatchesModel) {
+  auto index = *HashIndex::Create(&pool_);
+  Random rng(5);
+  std::map<int64_t, Rid> model;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t k = static_cast<int64_t>(rng.Next() >> 16);
+    Rid rid(static_cast<PageId>(i + 1), static_cast<uint16_t>(i % 8));
+    if (model.emplace(k, rid).second) {
+      ASSERT_TRUE(index.Insert(k, rid).ok());
+    }
+  }
+  ASSERT_TRUE(index.CheckInvariants().ok());
+
+  // Delete a random 30% of the keys in bulk.
+  std::vector<int64_t> doomed;
+  for (const auto& [k, rid] : model) {
+    if (rng.Bernoulli(0.3)) doomed.push_back(k);
+  }
+  HashBulkDeleteStats stats;
+  ASSERT_TRUE(index.BulkDeleteKeys(doomed, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, doomed.size());
+  for (int64_t k : doomed) model.erase(k);
+  EXPECT_EQ(index.entry_count(), model.size());
+  ASSERT_TRUE(index.CheckInvariants().ok());
+
+  // Everything left is exactly the model.
+  std::set<int64_t> seen;
+  ASSERT_TRUE(index
+                  .ScanAll([&](int64_t k, const Rid& rid) {
+                    auto it = model.find(k);
+                    if (it == model.end() || !(it->second == rid)) {
+                      return Status::Internal("unexpected entry");
+                    }
+                    seen.insert(k);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), model.size());
+}
+
+TEST_F(HashIndexTest, BulkDeleteMissingKeysIsIdempotent) {
+  auto index = *HashIndex::Create(&pool_);
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(index.Insert(k, Rid(1, static_cast<uint16_t>(k))).ok());
+  }
+  HashBulkDeleteStats stats;
+  ASSERT_TRUE(index.BulkDeleteKeys({-5, 50, 1000}, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, 1u);
+  ASSERT_TRUE(index.BulkDeleteKeys({-5, 50, 1000}, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, 0u);
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST_F(HashIndexTest, BulkDeleteVisitsEachAffectedBucketOnce) {
+  auto index = *HashIndex::Create(&pool_);
+  for (int64_t k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(index.Insert(k, Rid(static_cast<PageId>(k + 1), 0)).ok());
+  }
+  // Many keys landing in few buckets: visited buckets must stay bounded by
+  // the number of distinct affected buckets, not the key count.
+  std::vector<int64_t> doomed;
+  for (int64_t k = 0; k < 10000; k += 2) doomed.push_back(k);
+  HashBulkDeleteStats stats;
+  ASSERT_TRUE(index.BulkDeleteKeys(doomed, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, doomed.size());
+  EXPECT_LE(stats.buckets_visited, index.num_buckets());
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST_F(HashIndexTest, ReopenFromMeta) {
+  PageId meta;
+  {
+    auto index = *HashIndex::Create(&pool_);
+    meta = index.meta_page();
+    for (int64_t k = 0; k < 3000; ++k) {
+      ASSERT_TRUE(index.Insert(k, Rid(1, 0)).ok());
+    }
+    ASSERT_TRUE(index.FlushMeta().ok());
+  }
+  auto index = HashIndex::Open(&pool_, meta);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->entry_count(), 3000u);
+  EXPECT_EQ(index->Search(1234)->size(), 1u);
+  ASSERT_TRUE(index->CheckInvariants().ok());
+}
+
+TEST_F(HashIndexTest, RandomizedInsertDeleteAgainstModel) {
+  auto index = *HashIndex::Create(&pool_);
+  Random rng(31);
+  std::set<std::pair<int64_t, uint64_t>> model;  // (key, packed rid)
+  for (int step = 0; step < 20000; ++step) {
+    if (model.empty() || rng.Bernoulli(0.65)) {
+      int64_t k = rng.UniformInt(0, 2000);  // plenty of duplicates
+      Rid rid(static_cast<PageId>(rng.Uniform(500) + 1),
+              static_cast<uint16_t>(rng.Uniform(16)));
+      Status s = index.Insert(k, rid);
+      if (model.count({k, rid.Pack()}) > 0) {
+        EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model.insert({k, rid.Pack()});
+      }
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(index.Delete(it->first, Rid::Unpack(it->second)).ok());
+      model.erase(it);
+    }
+  }
+  EXPECT_EQ(index.entry_count(), model.size());
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace bulkdel

@@ -1,0 +1,247 @@
+// Guttman R-tree (future work §5) — unit and property tests, including the
+// one-pass RID-probing bulk delete.
+
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bulkdel {
+namespace {
+
+class RTreeTest : public ::testing::Test {
+ protected:
+  RTreeTest() : pool_(&disk_, 2048 * kPageSize) {}
+
+  static Rect RandomRect(Random* rng, int64_t space = 100000,
+                         int64_t max_extent = 100) {
+    int64_t x = rng->UniformInt(0, space);
+    int64_t y = rng->UniformInt(0, space);
+    return Rect{x, y, x + rng->UniformInt(0, max_extent),
+                y + rng->UniformInt(0, max_extent)};
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST(RectTest, GeometryBasics) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 15, 15};
+  Rect c{11, 11, 12, 12};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Rect{1, 1, 9, 9}));
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_EQ(a.Union(c).x2, 12);
+  EXPECT_DOUBLE_EQ(a.Area(), 100.0);
+  EXPECT_DOUBLE_EQ(a.EnlargementTo(Rect{0, 0, 20, 10}), 100.0);
+  EXPECT_TRUE(Rect::Point(3, 4).Contains(Rect::Point(3, 4)));
+}
+
+TEST_F(RTreeTest, InsertAndSearch) {
+  auto tree = *RTree::Create(&pool_);
+  for (int64_t i = 0; i < 2000; ++i) {
+    Rect r = Rect::Point(i * 10, i * 10);
+    ASSERT_TRUE(tree.Insert(r, Rid(static_cast<PageId>(i + 1), 0)).ok()) << i;
+  }
+  EXPECT_EQ(tree.entry_count(), 2000u);
+  EXPECT_GT(tree.height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // Window query.
+  std::set<int64_t> hits;
+  ASSERT_TRUE(tree.SearchIntersect(Rect{100, 100, 200, 200},
+                                   [&](const Rect& r, const Rid&) {
+                                     hits.insert(r.x1);
+                                     return Status::OK();
+                                   })
+                  .ok());
+  // Points 10i with 100 <= 10i <= 200: i in [10, 20].
+  EXPECT_EQ(hits.size(), 11u);
+}
+
+TEST_F(RTreeTest, TraditionalDelete) {
+  auto tree = *RTree::Create(&pool_);
+  Random rng(1);
+  std::vector<std::pair<Rect, Rid>> entries;
+  for (int i = 0; i < 3000; ++i) {
+    Rect r = RandomRect(&rng);
+    Rid rid(static_cast<PageId>(i + 1), static_cast<uint16_t>(i % 4));
+    entries.push_back({r, rid});
+    ASSERT_TRUE(tree.Insert(r, rid).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < 3000; i += 2) {
+    ASSERT_TRUE(tree.Delete(entries[i].first, entries[i].second).ok()) << i;
+  }
+  EXPECT_EQ(tree.entry_count(), 1500u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.Delete(entries[0].first, entries[0].second).IsNotFound());
+  // Survivors still findable.
+  uint64_t found = 0;
+  ASSERT_TRUE(tree.ScanAll([&](const Rect&, const Rid&) {
+                    ++found;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(found, 1500u);
+}
+
+TEST_F(RTreeTest, DeleteEverythingCollapsesTree) {
+  auto tree = *RTree::Create(&pool_);
+  Random rng(2);
+  std::vector<std::pair<Rect, Rid>> entries;
+  for (int i = 0; i < 1000; ++i) {
+    Rect r = RandomRect(&rng);
+    Rid rid(static_cast<PageId>(i + 1), 0);
+    entries.push_back({r, rid});
+    ASSERT_TRUE(tree.Insert(r, rid).ok());
+  }
+  for (auto& [r, rid] : entries) {
+    ASSERT_TRUE(tree.Delete(r, rid).ok());
+  }
+  EXPECT_EQ(tree.entry_count(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Reusable afterwards.
+  ASSERT_TRUE(tree.Insert(Rect::Point(1, 1), Rid(1, 1)).ok());
+  EXPECT_EQ(tree.entry_count(), 1u);
+}
+
+TEST_F(RTreeTest, BulkDeleteByRidsMatchesModel) {
+  auto tree = *RTree::Create(&pool_);
+  Random rng(3);
+  std::map<uint64_t, Rect> model;  // packed rid -> rect
+  for (int i = 0; i < 5000; ++i) {
+    Rect r = RandomRect(&rng);
+    Rid rid(static_cast<PageId>(i + 1), static_cast<uint16_t>(i % 8));
+    model[rid.Pack()] = r;
+    ASSERT_TRUE(tree.Insert(r, rid).ok());
+  }
+  std::vector<Rid> doomed;
+  for (const auto& [packed, r] : model) {
+    if (rng.Bernoulli(0.4)) doomed.push_back(Rid::Unpack(packed));
+  }
+  RtreeBulkDeleteStats stats;
+  ASSERT_TRUE(tree.BulkDeleteByRids(doomed, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, doomed.size());
+  EXPECT_GT(stats.nodes_freed + 1, 0u);
+  for (const Rid& rid : doomed) model.erase(rid.Pack());
+  EXPECT_EQ(tree.entry_count(), model.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  std::set<uint64_t> seen;
+  ASSERT_TRUE(tree.ScanAll([&](const Rect& r, const Rid& rid) {
+                    auto it = model.find(rid.Pack());
+                    if (it == model.end() || !(it->second == r)) {
+                      return Status::Internal("unexpected entry");
+                    }
+                    seen.insert(rid.Pack());
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), model.size());
+}
+
+TEST_F(RTreeTest, BulkDeleteAllAndIdempotence) {
+  auto tree = *RTree::Create(&pool_);
+  Random rng(4);
+  std::vector<Rid> all;
+  for (int i = 0; i < 2000; ++i) {
+    Rid rid(static_cast<PageId>(i + 1), 0);
+    all.push_back(rid);
+    ASSERT_TRUE(tree.Insert(RandomRect(&rng), rid).ok());
+  }
+  RtreeBulkDeleteStats stats;
+  ASSERT_TRUE(tree.BulkDeleteByRids(all, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, 2000u);
+  EXPECT_EQ(tree.entry_count(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  ASSERT_TRUE(tree.BulkDeleteByRids(all, &stats).ok());
+  EXPECT_EQ(stats.entries_deleted, 0u);
+}
+
+TEST_F(RTreeTest, BulkDeleteVisitsEachNodeOnce) {
+  auto tree = *RTree::Create(&pool_);
+  Random rng(5);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 5000; ++i) {
+    Rid rid(static_cast<PageId>(i + 1), 0);
+    rids.push_back(rid);
+    ASSERT_TRUE(tree.Insert(RandomRect(&rng), rid).ok());
+  }
+  uint32_t nodes = tree.num_nodes();
+  RtreeBulkDeleteStats stats;
+  ASSERT_TRUE(tree.BulkDeleteByRids({rids.begin(), rids.begin() + 2500},
+                                    &stats)
+                  .ok());
+  EXPECT_LE(stats.leaves_visited + stats.inner_visited, nodes);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(RTreeTest, ReopenFromMeta) {
+  PageId meta;
+  {
+    auto tree = *RTree::Create(&pool_);
+    meta = tree.meta_page();
+    Random rng(6);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(
+          tree.Insert(RandomRect(&rng), Rid(static_cast<PageId>(i + 1), 0))
+              .ok());
+    }
+    ASSERT_TRUE(tree.FlushMeta().ok());
+  }
+  auto tree = RTree::Open(&pool_, meta);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->entry_count(), 1000u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST_F(RTreeTest, RandomizedAgainstBruteForce) {
+  auto tree = *RTree::Create(&pool_);
+  Random rng(7);
+  std::vector<std::pair<Rect, Rid>> reference;
+  for (int step = 0; step < 3000; ++step) {
+    if (reference.empty() || rng.Bernoulli(0.7)) {
+      Rect r = RandomRect(&rng, 10000, 500);
+      Rid rid(static_cast<PageId>(step + 1), 0);
+      reference.push_back({r, rid});
+      ASSERT_TRUE(tree.Insert(r, rid).ok());
+    } else {
+      size_t i = rng.Uniform(reference.size());
+      ASSERT_TRUE(
+          tree.Delete(reference[i].first, reference[i].second).ok());
+      reference.erase(reference.begin() + static_cast<long>(i));
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+    }
+  }
+  // Window queries agree with brute force.
+  for (int q = 0; q < 20; ++q) {
+    Rect window = RandomRect(&rng, 10000, 2000);
+    std::set<uint64_t> expect;
+    for (const auto& [r, rid] : reference) {
+      if (r.Intersects(window)) expect.insert(rid.Pack());
+    }
+    std::set<uint64_t> got;
+    ASSERT_TRUE(tree.SearchIntersect(window,
+                                     [&](const Rect&, const Rid& rid) {
+                                       got.insert(rid.Pack());
+                                       return Status::OK();
+                                     })
+                    .ok());
+    EXPECT_EQ(got, expect) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace bulkdel

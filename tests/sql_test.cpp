@@ -1,0 +1,158 @@
+// The SQL front end for the paper's statement class.
+
+#include "core/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace bulkdel {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() {
+    DatabaseOptions options;
+    options.memory_budget_bytes = 256 * 1024;
+    db_ = *Database::Create(options);
+    Schema schema = *Schema::PaperStyle(3, 64);
+    EXPECT_TRUE(db_->CreateTable("R", schema).ok());
+    EXPECT_TRUE(db_->CreateIndex("R", "A", {.unique = true}).ok());
+    EXPECT_TRUE(db_->CreateIndex("R", "B").ok());
+    for (int64_t i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(db_->InsertRow("R", {i, i * 2, i * 3}).ok());
+    }
+    // Table D with the keys 0, 10, 20, ..., 90.
+    Schema d_schema = *Schema::PaperStyle(1, 0);
+    EXPECT_TRUE(db_->CreateTable("D", d_schema).ok());
+    for (int64_t k = 0; k < 100; k += 10) {
+      EXPECT_TRUE(db_->InsertRow("D", {k}).ok());
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlTest, InLiteralList) {
+  auto spec = ParseBulkDelete(db_.get(), "DELETE FROM R WHERE A IN (1, 2, 3)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->table, "R");
+  EXPECT_EQ(spec->key_column, "A");
+  EXPECT_EQ(spec->keys, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(SqlTest, NegativeLiteralsAndSemicolon) {
+  auto spec =
+      ParseBulkDelete(db_.get(), "delete from R where A in (-5, 7);");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->keys, (std::vector<int64_t>{-5, 7}));
+}
+
+TEST_F(SqlTest, InSubquery) {
+  auto spec = ParseBulkDelete(
+      db_.get(), "DELETE FROM R WHERE R_A IN (SELECT A FROM D)");
+  EXPECT_FALSE(spec.ok());  // no column R_A
+  spec = ParseBulkDelete(db_.get(),
+                         "DELETE FROM R WHERE A IN (SELECT A FROM D)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->keys.size(), 10u);
+}
+
+TEST_F(SqlTest, Between) {
+  auto spec =
+      ParseBulkDelete(db_.get(), "DELETE FROM R WHERE A BETWEEN 100 AND 109");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->keys.size(), 10u);
+  EXPECT_TRUE(spec->keys_sorted);
+  EXPECT_EQ(spec->keys.front(), 100);
+  EXPECT_EQ(spec->keys.back(), 109);
+}
+
+TEST_F(SqlTest, BetweenWithoutIndexFallsBackToScan) {
+  auto spec =
+      ParseBulkDelete(db_.get(), "DELETE FROM R WHERE C BETWEEN 0 AND 29");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->keys.size(), 10u);  // C = 3i, i in [0, 9]
+}
+
+TEST_F(SqlTest, Errors) {
+  EXPECT_FALSE(ParseBulkDelete(db_.get(), "SELECT * FROM R").ok());
+  EXPECT_FALSE(ParseBulkDelete(db_.get(), "DELETE FROM nope WHERE A IN (1)")
+                   .ok());
+  EXPECT_FALSE(ParseBulkDelete(db_.get(), "DELETE FROM R WHERE Z IN (1)")
+                   .ok());
+  EXPECT_FALSE(ParseBulkDelete(db_.get(), "DELETE FROM R WHERE A IN (1,)")
+                   .ok());
+  EXPECT_FALSE(ParseBulkDelete(db_.get(), "DELETE FROM R WHERE A IN (1) x")
+                   .ok());
+  EXPECT_FALSE(
+      ParseBulkDelete(db_.get(), "DELETE FROM R WHERE A BETWEEN 1").ok());
+  EXPECT_FALSE(ParseBulkDelete(
+                   db_.get(), "DELETE FROM R WHERE A IN (SELECT A FROM nope)")
+                   .ok());
+}
+
+TEST_F(SqlTest, ExecuteStatementFullSession) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  auto db = *Database::Create(options);
+
+  auto run = [&](const std::string& s) {
+    auto r = ExecuteStatement(db.get(), s);
+    EXPECT_TRUE(r.ok()) << s << " -> " << r.status().ToString();
+    return r.ok() ? *r : std::string();
+  };
+  run("CREATE TABLE T (A INT, B INT, PAD CHAR(16))");
+  run("CREATE UNIQUE INDEX ON T (A)");
+  run("CREATE INDEX ON T (B) PRIORITY 3");
+  for (int64_t i = 0; i < 50; ++i) {
+    run("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+        std::to_string(i * 2) + ")");
+  }
+  EXPECT_EQ(run("SELECT COUNT(*) FROM T"), "count = 50");
+  EXPECT_NE(run("EXPLAIN DELETE FROM T WHERE A BETWEEN 0 AND 9")
+                .find("BulkDeletePlan"),
+            std::string::npos);
+  EXPECT_EQ(run("SELECT COUNT(*) FROM T"), "count = 50");  // EXPLAIN ran nothing
+  std::string deleted = run("DELETE FROM T WHERE A BETWEEN 0 AND 9");
+  EXPECT_NE(deleted.find("deleted 10 row(s)"), std::string::npos) << deleted;
+  EXPECT_EQ(run("SELECT COUNT(*) FROM T"), "count = 40");
+  EXPECT_NE(run("SELECT COUNT(*) FROM T WHERE B BETWEEN 20 AND 40")
+                .find("count = 11"),
+            std::string::npos);
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
+}
+
+TEST_F(SqlTest, ExecuteStatementErrors) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  auto db = *Database::Create(options);
+  EXPECT_FALSE(ExecuteStatement(db.get(), "DROP TABLE x").ok());
+  EXPECT_FALSE(ExecuteStatement(db.get(), "CREATE VIEW v").ok());
+  EXPECT_FALSE(ExecuteStatement(db.get(), "CREATE TABLE T (A FLOAT)").ok());
+  EXPECT_FALSE(ExecuteStatement(db.get(), "INSERT INTO nope VALUES (1)").ok());
+  EXPECT_FALSE(ExecuteStatement(db.get(), "SELECT * FROM nope").ok());
+  EXPECT_FALSE(ExecuteStatement(db.get(), "EXPLAIN").ok());
+}
+
+TEST_F(SqlTest, ExecuteSqlEndToEnd) {
+  auto report = ExecuteSql(
+      db_.get(), "DELETE FROM R WHERE A IN (SELECT A FROM D)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 10u);
+  EXPECT_EQ(db_->GetTable("R")->table->tuple_count(), 990u);
+  EXPECT_TRUE(db_->GetIndex("R", "A")->tree->Search(50)->empty());
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(SqlTest, ExecuteSqlBetweenDeletesRange) {
+  auto report = ExecuteSql(
+      db_.get(), "DELETE FROM R WHERE A BETWEEN 500 AND 999",
+      Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 500u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace bulkdel

@@ -1,0 +1,71 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace bulkdel {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_FALSE(StatusCodeName(static_cast<StatusCode>(c)).empty());
+  }
+}
+
+Status FailingFn() { return Status::IOError("disk gone"); }
+
+Status Propagates() {
+  BULKDEL_RETURN_IF_ERROR(FailingFn());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = Propagates();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Status::InvalidArgument("nope");
+  return 7;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = MakeValue(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = MakeValue(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> AssignOrReturnUser(bool fail) {
+  BULKDEL_ASSIGN_OR_RETURN(int v, MakeValue(fail));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  EXPECT_EQ(*AssignOrReturnUser(false), 8);
+  EXPECT_FALSE(AssignOrReturnUser(true).ok());
+}
+
+}  // namespace
+}  // namespace bulkdel

@@ -1,0 +1,114 @@
+// Every strategy must produce exactly the same end state: the doomed rows
+// gone from the table and every index, everything else untouched, and all
+// structural invariants intact. Parameterized across strategies × workload
+// shapes (clustered / unclustered, index counts, delete fractions, reorg
+// modes).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/generator.h"
+
+namespace bulkdel {
+namespace {
+
+struct EquivalenceParam {
+  Strategy strategy;
+  double fraction;
+  int n_indices;       // 1..3 (A always first)
+  bool clustered;
+  ReorgMode reorg;
+  const char* name;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<EquivalenceParam>& info) {
+  return info.param.name;
+}
+
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(StrategyEquivalenceTest, EndStateMatchesReference) {
+  const EquivalenceParam& param = GetParam();
+
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  options.reorg = param.reorg;
+  auto db = *Database::Create(options);
+
+  WorkloadSpec spec;
+  spec.n_tuples = 4000;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  spec.clustered_on_a = param.clustered;
+  std::vector<std::string> columns = {"A", "B", "C"};
+  columns.resize(static_cast<size_t>(param.n_indices));
+  auto workload = *SetUpPaperDatabase(db.get(), spec, columns);
+
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(param.fraction, 77);
+  std::set<int64_t> doomed(bd.keys.begin(), bd.keys.end());
+
+  auto report = db->BulkDelete(bd, param.strategy);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, bd.keys.size());
+
+  // Exactly the expected rows remain.
+  TableDef* table = db->GetTable("R");
+  EXPECT_EQ(table->table->tuple_count(), spec.n_tuples - doomed.size());
+  std::set<int64_t> surviving_a;
+  ASSERT_TRUE(table->table
+                  ->Scan([&](const Rid&, const char* tuple) {
+                    int64_t a = table->schema->GetInt(tuple, 0);
+                    EXPECT_EQ(doomed.count(a), 0u) << "doomed row survived";
+                    surviving_a.insert(a);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(surviving_a.size(), spec.n_tuples - doomed.size());
+
+  // All indices consistent with the table.
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrategyEquivalenceTest,
+    ::testing::Values(
+        EquivalenceParam{Strategy::kTraditional, 0.10, 3, false,
+                         ReorgMode::kFreeAtEmpty, "Traditional3Idx"},
+        EquivalenceParam{Strategy::kTraditionalSorted, 0.10, 3, false,
+                         ReorgMode::kFreeAtEmpty, "TraditionalSorted3Idx"},
+        EquivalenceParam{Strategy::kDropCreate, 0.10, 3, false,
+                         ReorgMode::kFreeAtEmpty, "DropCreate3Idx"},
+        EquivalenceParam{Strategy::kVerticalSortMerge, 0.10, 3, false,
+                         ReorgMode::kFreeAtEmpty, "SortMerge3Idx"},
+        EquivalenceParam{Strategy::kVerticalHash, 0.10, 3, false,
+                         ReorgMode::kFreeAtEmpty, "Hash3Idx"},
+        EquivalenceParam{Strategy::kVerticalPartitionedHash, 0.10, 3, false,
+                         ReorgMode::kFreeAtEmpty, "Partitioned3Idx"},
+        EquivalenceParam{Strategy::kOptimizer, 0.10, 3, false,
+                         ReorgMode::kFreeAtEmpty, "Optimizer3Idx"},
+        EquivalenceParam{Strategy::kVerticalSortMerge, 0.15, 1, true,
+                         ReorgMode::kFreeAtEmpty, "SortMergeClustered"},
+        EquivalenceParam{Strategy::kTraditionalSorted, 0.15, 1, true,
+                         ReorgMode::kFreeAtEmpty, "TradSortedClustered"},
+        EquivalenceParam{Strategy::kVerticalSortMerge, 0.20, 2, false,
+                         ReorgMode::kCompactAndRebuild, "SortMergeCompact"},
+        EquivalenceParam{Strategy::kVerticalHash, 0.20, 2, false,
+                         ReorgMode::kIncrementalBaseNode, "HashIncremental"},
+        EquivalenceParam{Strategy::kVerticalSortMerge, 0.002, 3, false,
+                         ReorgMode::kFreeAtEmpty, "SortMergeTinyList"},
+        EquivalenceParam{Strategy::kDropCreate, 0.20, 2, false,
+                         ReorgMode::kFreeAtEmpty, "DropCreateBig"},
+        EquivalenceParam{Strategy::kVerticalPartitionedHash, 0.25, 3, false,
+                         ReorgMode::kFreeAtEmpty, "PartitionedBig"}),
+    ParamName);
+
+}  // namespace
+}  // namespace bulkdel
