@@ -19,9 +19,16 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(arg + 13, nullptr, 10));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      config.exec_threads =
+          static_cast<int>(std::strtol(arg + 10, nullptr, 10));
+      if (config.exec_threads < 1) config.exec_threads = 1;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      config.trace_out = arg + 12;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "flags: --tuples=N --tuple-size=BYTES --seed=N\n"
+          "flags: --tuples=N --tuple-size=BYTES --seed=N --threads=N "
+          "--trace-out=FILE\n"
           "paper scale: --tuples=1000000 --tuple-size=512\n");
       std::exit(0);
     }
@@ -35,6 +42,7 @@ Result<BenchDb> BuildBenchDb(const BenchConfig& config,
                              IndexOptions a_options) {
   DatabaseOptions options;
   options.memory_budget_bytes = memory_bytes;
+  options.exec_threads = config.exec_threads;
   BenchDb bench;
   BULKDEL_ASSIGN_OR_RETURN(bench.db, Database::Create(options));
 
@@ -64,6 +72,21 @@ Result<BulkDeleteReport> RunDelete(BenchDb* bench, double fraction,
     spec.keys_sorted = true;
   }
   return bench->db->BulkDelete(spec, strategy);
+}
+
+void MaybeWriteTrace(const BenchConfig& config,
+                     const BulkDeleteReport& report) {
+  if (config.trace_out.empty()) return;
+  std::FILE* f = std::fopen(config.trace_out.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace-out: cannot open %s\n",
+                 config.trace_out.c_str());
+    return;
+  }
+  std::string json = report.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 ResultTable::ResultTable(std::string title, std::string x_label,

@@ -24,6 +24,13 @@ struct BenchConfig {
   uint32_t tuple_size = 256;
   int n_int_columns = 10;
   uint64_t seed = 20010407;
+  /// Worker threads for the phase-DAG scheduler (`--threads=N`); 1 = the
+  /// historical serial execution.
+  int exec_threads = 1;
+  /// If non-empty (`--trace-out=FILE`), every report produced via RunDelete
+  /// is appended to FILE as one BulkDeleteReport::ToJson() line (JSONL), for
+  /// machine-readable per-phase breakdowns of EXPERIMENTS runs.
+  std::string trace_out;
 
   static BenchConfig FromArgs(int argc, char** argv);
 
@@ -60,6 +67,11 @@ Result<BenchDb> BuildBenchDb(const BenchConfig& config,
 Result<BulkDeleteReport> RunDelete(BenchDb* bench, double fraction,
                                    Strategy strategy, uint64_t key_seed = 1,
                                    bool pre_sort_keys = false);
+
+/// Appends `report` as one JSON line to `config.trace_out`, if set. Errors
+/// are reported to stderr but do not fail the benchmark.
+void MaybeWriteTrace(const BenchConfig& config,
+                     const BulkDeleteReport& report);
 
 /// Markdown-ish result table: one row per x-value, one column per series,
 /// cells in simulated minutes.

@@ -23,9 +23,10 @@ namespace {
 int Run(int argc, char** argv) {
   BenchConfig config = BenchConfig::FromArgs(argc, argv);
   size_t memory = config.ScaledMemoryBytes(5.0);
-  std::printf("Figure 8: %llu tuples x %u B, 15%% deletes, %zu KiB\n",
-              static_cast<unsigned long long>(config.n_tuples),
-              config.tuple_size, memory / 1024);
+  std::printf(
+      "Figure 8: %llu tuples x %u B, 15%% deletes, %zu KiB, %d thread(s)\n",
+      static_cast<unsigned long long>(config.n_tuples), config.tuple_size,
+      memory / 1024, config.exec_threads);
 
   struct SeriesDef {
     const char* name;
@@ -61,6 +62,7 @@ int Run(int argc, char** argv) {
         std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
         return 1;
       }
+      MaybeWriteTrace(config, *report);
       table.AddCell(x, s.name, report->simulated_minutes());
     }
   }

@@ -9,6 +9,7 @@
 #include "btree/btree_node.h"
 #include "storage/buffer_pool.h"
 #include "table/rid.h"
+#include "util/relaxed_atomic.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -249,10 +250,11 @@ class BTree {
   PageId meta_page_;
   IndexOptions options_;
   PageId root_ = kInvalidPageId;
-  int height_ = 1;
-  uint64_t entry_count_ = 0;
-  uint32_t num_leaves_ = 0;
-  uint32_t num_inner_ = 0;
+  // Relaxed atomics: read by the planner while updaters insert/delete.
+  RelaxedAtomic<int> height_ = 1;
+  RelaxedAtomic<uint64_t> entry_count_ = 0;
+  RelaxedAtomic<uint32_t> num_leaves_ = 0;
+  RelaxedAtomic<uint32_t> num_inner_ = 0;
 };
 
 }  // namespace bulkdel

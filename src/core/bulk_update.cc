@@ -12,12 +12,13 @@
 
 namespace bulkdel {
 
-Result<BulkDeleteReport> ExecuteBulkUpdate(Database* db,
+Result<BulkDeleteReport> ExecuteBulkUpdate(ExecContext* ctx,
                                            const std::string& table_name,
                                            const std::string& set_column,
                                            int64_t delta,
                                            const std::string& filter_column,
                                            int64_t lo, int64_t hi) {
+  Database* db = ctx->db();
   TableDef* table = db->GetTable(table_name);
   if (table == nullptr) return Status::NotFound("no table " + table_name);
   const Schema& schema = *table->schema;
@@ -30,30 +31,30 @@ Result<BulkDeleteReport> ExecuteBulkUpdate(Database* db,
 
   BulkDeleteReport report;
   report.strategy_used = Strategy::kVerticalSortMerge;
-  IoStats start_io = db->disk().stats();
   Stopwatch total;
-  PhaseTracker tracker(&db->disk(), &report);
 
   db->locks().LockExclusive(table_name);
   Status status = [&]() -> Status {
     // 1. Find affected rows (scan; an index on filter_column could narrow
     //    this, but the paper's point is the index maintenance that follows).
-    tracker.Begin("collect");
     std::vector<KeyRid> old_entries;  // (old set_column value, rid)
-    BULKDEL_RETURN_IF_ERROR(
-        table->table->Scan([&](const Rid& rid, const char* tuple) {
-          int64_t f = schema.GetInt(tuple, static_cast<size_t>(filter_col));
-          if (f >= lo && f <= hi) {
-            old_entries.emplace_back(
-                schema.GetInt(tuple, static_cast<size_t>(set_col)), rid);
-          }
-          return Status::OK();
-        }));
-    tracker.End(old_entries.size());
+    {
+      PhaseScope scope(ctx, "collect");
+      BULKDEL_RETURN_IF_ERROR(
+          table->table->Scan([&](const Rid& rid, const char* tuple) {
+            int64_t f = schema.GetInt(tuple, static_cast<size_t>(filter_col));
+            if (f >= lo && f <= hi) {
+              old_entries.emplace_back(
+                  schema.GetInt(tuple, static_cast<size_t>(set_col)), rid);
+            }
+            return Status::OK();
+          }));
+      scope.set_items(old_entries.size());
+    }
 
     // 2. Bulk delete the stale index entries (one merging leaf pass).
     if (set_index != nullptr) {
-      tracker.Begin("index-delete");
+      PhaseScope scope(ctx, "index-delete", "collect");
       std::vector<KeyRid> doomed = old_entries;
       BULKDEL_RETURN_IF_ERROR(SortKeyRids(
           &db->disk(), db->options().memory_budget_bytes, &doomed));
@@ -61,28 +62,32 @@ Result<BulkDeleteReport> ExecuteBulkUpdate(Database* db,
       BULKDEL_RETURN_IF_ERROR(set_index->tree->BulkDeleteSortedEntries(
           doomed, db->options().reorg, &stats));
       report.index_entries_deleted += stats.entries_deleted;
-      tracker.End(stats.entries_deleted);
+      scope.set_items(stats.entries_deleted);
     }
 
     // 3. Apply the update to the table in physical (RID) order.
-    tracker.Begin("table-update");
-    std::vector<KeyRid> by_rid = old_entries;
-    std::sort(by_rid.begin(), by_rid.end(), OrderByRid());
-    std::vector<char> tuple(schema.tuple_size());
-    for (const KeyRid& e : by_rid) {
-      BULKDEL_RETURN_IF_ERROR(table->table->Get(e.rid, tuple.data()));
-      schema.SetInt(tuple.data(), static_cast<size_t>(set_col),
-                    e.key + delta);
-      // Fixed-size tuples: delete + re-insert into the same slot would churn
-      // the RID, so update in place through the table's page interface.
-      BULKDEL_RETURN_IF_ERROR(table->table->UpdateInPlace(e.rid, tuple.data()));
+    {
+      PhaseScope scope(ctx, "table-update", "collect");
+      std::vector<KeyRid> by_rid = old_entries;
+      std::sort(by_rid.begin(), by_rid.end(), OrderByRid());
+      std::vector<char> tuple(schema.tuple_size());
+      for (const KeyRid& e : by_rid) {
+        BULKDEL_RETURN_IF_ERROR(table->table->Get(e.rid, tuple.data()));
+        schema.SetInt(tuple.data(), static_cast<size_t>(set_col),
+                      e.key + delta);
+        // Fixed-size tuples: delete + re-insert into the same slot would
+        // churn the RID, so update in place through the table's page
+        // interface.
+        BULKDEL_RETURN_IF_ERROR(
+            table->table->UpdateInPlace(e.rid, tuple.data()));
+      }
+      report.rows_deleted = by_rid.size();  // rows *updated*
+      scope.set_items(by_rid.size());
     }
-    report.rows_deleted = by_rid.size();  // rows *updated*
-    tracker.End(by_rid.size());
 
     // 4. Bulk re-insert the new index entries in sorted order.
     if (set_index != nullptr) {
-      tracker.Begin("index-insert");
+      PhaseScope scope(ctx, "index-insert", "table-update");
       std::vector<KeyRid> fresh;
       fresh.reserve(old_entries.size());
       for (const KeyRid& e : old_entries) {
@@ -91,22 +96,21 @@ Result<BulkDeleteReport> ExecuteBulkUpdate(Database* db,
       BULKDEL_RETURN_IF_ERROR(SortKeyRids(
           &db->disk(), db->options().memory_budget_bytes, &fresh));
       BULKDEL_RETURN_IF_ERROR(set_index->tree->BulkInsertSorted(fresh));
-      tracker.End(fresh.size());
+      scope.set_items(fresh.size());
     }
 
-    tracker.Begin("finalize");
+    PhaseScope scope(ctx, "finalize");
     BULKDEL_RETURN_IF_ERROR(table->table->FlushMeta());
     for (auto& index : table->indices) {
       BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
     }
-    BULKDEL_RETURN_IF_ERROR(db->pool().FlushAll());
-    tracker.End(0);
-    return Status::OK();
+    return db->pool().FlushAll();
   }();
   db->locks().UnlockExclusive(table_name);
   BULKDEL_RETURN_IF_ERROR(status);
 
-  report.io = db->disk().stats() - start_io;
+  report.phases = ctx->TakePhases();
+  report.io = ctx->AttributedTotal();
   report.wall_micros = total.ElapsedMicros();
   return report;
 }

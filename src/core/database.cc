@@ -13,34 +13,6 @@
 
 namespace bulkdel {
 
-std::string BulkDeleteReport::ToString() const {
-  std::string out;
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "BulkDeleteReport strategy=%s rows=%llu index_entries=%llu\n"
-                "  simulated time: %.2f s   wall: %.1f ms\n"
-                "  io: %lld reads, %lld writes (%lld seq, %lld rand)\n",
-                StrategyName(strategy_used),
-                static_cast<unsigned long long>(rows_deleted),
-                static_cast<unsigned long long>(index_entries_deleted),
-                simulated_seconds(),
-                static_cast<double>(wall_micros) / 1000.0,
-                static_cast<long long>(io.reads),
-                static_cast<long long>(io.writes),
-                static_cast<long long>(io.sequential_accesses),
-                static_cast<long long>(io.random_accesses));
-  out += buf;
-  for (const PhaseStats& p : phases) {
-    std::snprintf(buf, sizeof(buf),
-                  "  phase %-16s items=%-8llu sim=%8.3f s  io=%lld/%lld\n",
-                  p.name.c_str(), static_cast<unsigned long long>(p.items),
-                  p.simulated_seconds(), static_cast<long long>(p.io.reads),
-                  static_cast<long long>(p.io.writes));
-    out += buf;
-  }
-  return out;
-}
-
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
 Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
@@ -371,6 +343,10 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
 
   BULKDEL_ASSIGN_OR_RETURN(BulkDeletePlan plan,
                            ExplainBulkDelete(spec, strategy));
+  // One execution context per statement: phase trace, per-phase I/O
+  // attribution and the cancel flag all live here. Cascaded child deletes
+  // recurse through BulkDeleteWithCascadePath and get their own context.
+  ExecContext ctx(this);
   Result<BulkDeleteReport> result = [&]() -> Result<BulkDeleteReport> {
     switch (plan.strategy) {
       case Strategy::kTraditional:
@@ -378,25 +354,25 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
           return Status::FailedPrecondition(
               "traditional delete requires an index on " + spec.key_column);
         }
-        return ExecuteTraditional(this, t, key_index, spec,
+        return ExecuteTraditional(&ctx, t, key_index, spec,
                                   /*sort_first=*/false);
       case Strategy::kTraditionalSorted:
         if (key_index == nullptr) {
           return Status::FailedPrecondition(
               "traditional delete requires an index on " + spec.key_column);
         }
-        return ExecuteTraditional(this, t, key_index, spec,
+        return ExecuteTraditional(&ctx, t, key_index, spec,
                                   /*sort_first=*/true);
       case Strategy::kDropCreate:
         if (key_index == nullptr) {
           return Status::FailedPrecondition(
               "drop & create requires an index on " + spec.key_column);
         }
-        return ExecuteDropCreate(this, t, key_index, spec);
+        return ExecuteDropCreate(&ctx, t, key_index, spec);
       case Strategy::kVerticalSortMerge:
       case Strategy::kVerticalHash:
       case Strategy::kVerticalPartitionedHash:
-        return ExecuteVertical(this, t, key_index, spec, plan);
+        return ExecuteVertical(&ctx, t, key_index, spec, plan);
       case Strategy::kOptimizer:
         return Status::Internal("planner returned unresolved strategy");
     }
@@ -491,7 +467,8 @@ Status Database::SimulateCrashAndRecover() {
 Result<BulkDeleteReport> Database::BulkUpdateColumn(
     const std::string& table, const std::string& set_column, int64_t delta,
     const std::string& filter_column, int64_t lo, int64_t hi) {
-  return ExecuteBulkUpdate(this, table, set_column, delta, filter_column, lo,
+  ExecContext ctx(this);
+  return ExecuteBulkUpdate(&ctx, table, set_column, delta, filter_column, lo,
                            hi);
 }
 

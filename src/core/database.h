@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -35,6 +36,18 @@ struct DatabaseOptions {
   /// Entries per latch window while processing off-line indices; smaller
   /// values let concurrent updaters interleave more often.
   size_t bulk_chunk_entries = 8192;
+  /// Worker threads for the phase-DAG scheduler. 1 (the default) executes
+  /// phases inline in the canonical serial order — identical behavior to the
+  /// historical linear step list. Higher values let independent
+  /// per-secondary-index phases overlap; simulated I/O totals stay identical
+  /// because attribution classifies sequentiality per phase.
+  int exec_threads = 1;
+  /// Test seam: invoked by every PhaseScope right after the phase's begin
+  /// timestamp is taken, on the thread that runs the phase. Lets tests
+  /// rendezvous concurrently dispatched phases (a single-CPU host gives no
+  /// guarantee that two runnable workers interleave within a short phase).
+  /// Must not throw; must not block when `exec_threads == 1`.
+  std::function<void(const std::string& phase_name)> phase_begin_hook;
   /// Backing file; empty = in-memory (deterministic benchmarks).
   std::string path;
 };
@@ -123,9 +136,14 @@ class Database {
 
   /// Makes the next bulk delete fail with kAborted when it reaches the named
   /// phase ("sort-keys", "index:R.A", "table", ...; empty = disabled). The
-  /// injected failure happens *before* the phase's checkpoint.
-  void SetCrashPoint(const std::string& phase) { crash_point_ = phase; }
+  /// injected failure happens *before* the phase's checkpoint. Thread-safe:
+  /// phases may check from scheduler worker threads.
+  void SetCrashPoint(const std::string& phase) {
+    std::lock_guard<std::mutex> lock(crash_point_mu_);
+    crash_point_ = phase;
+  }
   Status CheckCrashPoint(const std::string& phase) {
+    std::lock_guard<std::mutex> lock(crash_point_mu_);
     if (!crash_point_.empty() && crash_point_ == phase) {
       crash_point_.clear();
       return Status::Aborted("injected crash at phase " + phase);
@@ -167,6 +185,7 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<LockManager> locks_;
+  std::mutex crash_point_mu_;
   std::string crash_point_;
 
   friend class VerticalRun;

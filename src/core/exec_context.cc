@@ -1,0 +1,79 @@
+#include "core/exec_context.h"
+
+#include "core/database.h"
+
+namespace bulkdel {
+
+ExecContext::ExecContext(Database* db)
+    : db_(db), root_scope_(&root_attribution_) {
+  thread_ordinals_[std::this_thread::get_id()] = next_ordinal_++;
+}
+
+void ExecContext::RequestCancel(const Status& cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cancelled_.load(std::memory_order_relaxed)) {
+    cancel_cause_ = cause.ok() ? Status::Aborted("execution cancelled")
+                               : cause;
+    cancelled_.store(true, std::memory_order_release);
+  }
+}
+
+Status ExecContext::cancel_cause() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_.load(std::memory_order_relaxed) ? cancel_cause_
+                                                    : Status::OK();
+}
+
+int ExecContext::ThreadOrdinal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      thread_ordinals_.emplace(std::this_thread::get_id(), next_ordinal_);
+  if (inserted) ++next_ordinal_;
+  return it->second;
+}
+
+void ExecContext::RecordPhase(PhaseStats phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_io_total_ += phase.io;
+  phases_.push_back(std::move(phase));
+}
+
+std::vector<PhaseStats> ExecContext::TakePhases() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(phases_);
+}
+
+IoStats ExecContext::AttributedTotal() const {
+  IoStats total = root_attribution_.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  total += phase_io_total_;
+  return total;
+}
+
+PhaseScope::PhaseScope(ExecContext* ctx, std::string name, std::string parent)
+    : ctx_(ctx),
+      name_(std::move(name)),
+      parent_(std::move(parent)),
+      begin_micros_(ctx->ElapsedMicros()),
+      thread_id_(ctx->ThreadOrdinal()),
+      io_scope_(&attribution_) {
+  if (ctx_->db() != nullptr) {
+    const auto& hook = ctx_->db()->options().phase_begin_hook;
+    if (hook) hook(name_);
+  }
+}
+
+PhaseScope::~PhaseScope() {
+  PhaseStats stats;
+  stats.name = std::move(name_);
+  stats.parent = std::move(parent_);
+  stats.items = items_;
+  stats.begin_micros = begin_micros_;
+  stats.end_micros = ctx_->ElapsedMicros();
+  stats.wall_micros = stats.end_micros - begin_micros_;
+  stats.thread_id = thread_id_;
+  stats.io = attribution_.Snapshot();
+  ctx_->RecordPhase(std::move(stats));
+}
+
+}  // namespace bulkdel

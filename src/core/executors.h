@@ -8,28 +8,38 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/exec_context.h"
 #include "core/report.h"
 #include "util/stopwatch.h"
+
+// Per-phase measurement lives in core/exec_context.h: PhaseScope owns one
+// IoAttribution per phase (installed on the executing thread for the scope's
+// lifetime), replacing the old PhaseTracker that scraped the DiskManager's
+// global counters — a pattern that both lost phases on unbalanced Begin/End
+// and broke down as soon as two phases overlapped.
 
 namespace bulkdel {
 
 /// Record-at-a-time execution (the paper's traditional/horizontal baseline):
 /// probe the key index per key, delete the record from the table and from
 /// every index before the next record.
-Result<BulkDeleteReport> ExecuteTraditional(Database* db, TableDef* table,
+Result<BulkDeleteReport> ExecuteTraditional(ExecContext* ctx, TableDef* table,
                                             IndexDef* key_index,
                                             const BulkDeleteSpec& spec,
                                             bool sort_first);
 
 /// Drop every secondary index, delete traditionally using the key index,
 /// then rebuild the dropped indices with external sort + bulk load.
-Result<BulkDeleteReport> ExecuteDropCreate(Database* db, TableDef* table,
+Result<BulkDeleteReport> ExecuteDropCreate(ExecContext* ctx, TableDef* table,
                                            IndexDef* key_index,
                                            const BulkDeleteSpec& spec);
 
 /// Vertical set-oriented execution following `plan` (the paper's
 /// contribution), with optional WAL/checkpoints and concurrency protocols.
-Result<BulkDeleteReport> ExecuteVertical(Database* db, TableDef* table,
+/// The plan's phase DAG is executed by a topological scheduler; with
+/// `DatabaseOptions::exec_threads > 1`, independent secondary-index phases
+/// run concurrently on a worker pool.
+Result<BulkDeleteReport> ExecuteVertical(ExecContext* ctx, TableDef* table,
                                          IndexDef* key_index,
                                          const BulkDeleteSpec& spec,
                                          const BulkDeletePlan& plan);
@@ -64,41 +74,12 @@ Result<BulkDeleteReport> ResumeVertical(Database* db,
 
 /// Bulk UPDATE of one column implemented as bulk delete + bulk re-insert on
 /// the affected index (paper §1's Emp.salary example).
-Result<BulkDeleteReport> ExecuteBulkUpdate(Database* db,
+Result<BulkDeleteReport> ExecuteBulkUpdate(ExecContext* ctx,
                                            const std::string& table,
                                            const std::string& set_column,
                                            int64_t delta,
                                            const std::string& filter_column,
                                            int64_t lo, int64_t hi);
-
-/// Captures per-phase I/O deltas and wall time into a report.
-class PhaseTracker {
- public:
-  PhaseTracker(DiskManager* disk, BulkDeleteReport* report)
-      : disk_(disk), report_(report) {}
-
-  void Begin(const std::string& name) {
-    current_ = name;
-    start_io_ = disk_->stats();
-    watch_.Restart();
-  }
-
-  void End(uint64_t items) {
-    PhaseStats phase;
-    phase.name = current_;
-    phase.io = disk_->stats() - start_io_;
-    phase.wall_micros = watch_.ElapsedMicros();
-    phase.items = items;
-    report_->phases.push_back(std::move(phase));
-  }
-
- private:
-  DiskManager* disk_;
-  BulkDeleteReport* report_;
-  std::string current_;
-  IoStats start_io_;
-  Stopwatch watch_;
-};
 
 }  // namespace bulkdel
 

@@ -1,0 +1,139 @@
+#include "core/phase_scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace bulkdel {
+
+namespace {
+
+Status ValidateDag(const std::vector<PhaseTask>& tasks) {
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (int dep : tasks[i].deps) {
+      if (dep < 0 || dep >= static_cast<int>(i)) {
+        return Status::Internal("phase DAG is not in topological order: task " +
+                                std::to_string(i) + " (" + tasks[i].label +
+                                ") depends on " + std::to_string(dep));
+      }
+    }
+    if (!tasks[i].body) {
+      return Status::Internal("phase task " + tasks[i].label + " has no body");
+    }
+  }
+  return Status::OK();
+}
+
+Status RunSerial(const std::vector<PhaseTask>& tasks, ExecContext* ctx) {
+  for (const PhaseTask& task : tasks) {
+    if (ctx->cancelled()) return ctx->cancel_cause();
+    Status s = task.body();
+    if (!s.ok()) {
+      ctx->RequestCancel(s);
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+/// Shared state of one parallel run, guarded by `mu`.
+struct RunState {
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  std::vector<int> pending_deps;   // per task; -1 once dispatched
+  std::vector<std::vector<int>> dependents;
+  std::vector<int> ready;          // kept sorted descending; pop_back = min
+  size_t completed = 0;
+  bool aborted = false;
+};
+
+void MarkReady(RunState* state, int task) {
+  // Insert keeping descending order so the smallest index is at the back —
+  // the pool prefers the canonical serial order when several are ready.
+  auto it = std::lower_bound(state->ready.begin(), state->ready.end(), task,
+                             std::greater<int>());
+  state->ready.insert(it, task);
+}
+
+Status RunParallel(const std::vector<PhaseTask>& tasks, int threads,
+                   ExecContext* ctx) {
+  RunState state;
+  state.pending_deps.resize(tasks.size());
+  state.dependents.resize(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    state.pending_deps[i] = static_cast<int>(tasks[i].deps.size());
+    for (int dep : tasks[i].deps) {
+      state.dependents[dep].push_back(static_cast<int>(i));
+    }
+    if (state.pending_deps[i] == 0) MarkReady(&state, static_cast<int>(i));
+  }
+
+  auto worker = [&] {
+    std::unique_lock<std::mutex> lock(state.mu);
+    while (true) {
+      state.ready_cv.wait(lock, [&] {
+        return !state.ready.empty() || state.aborted ||
+               state.completed == tasks.size();
+      });
+      if (state.aborted || state.completed == tasks.size()) return;
+      if (ctx->cancelled()) {
+        state.aborted = true;
+        state.ready_cv.notify_all();
+        return;
+      }
+      int task = state.ready.back();
+      state.ready.pop_back();
+      lock.unlock();
+
+      Status s = tasks[static_cast<size_t>(task)].body();
+
+      lock.lock();
+      if (!s.ok()) {
+        ctx->RequestCancel(s);
+        state.aborted = true;
+        state.ready_cv.notify_all();
+        return;
+      }
+      ++state.completed;
+      for (int next : state.dependents[static_cast<size_t>(task)]) {
+        if (--state.pending_deps[static_cast<size_t>(next)] == 0) {
+          MarkReady(&state, next);
+        }
+      }
+      state.ready_cv.notify_all();
+      if (state.completed == tasks.size()) return;
+    }
+  };
+
+  size_t n_workers =
+      std::min<size_t>(static_cast<size_t>(threads), tasks.size());
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (ctx->cancelled()) return ctx->cancel_cause();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.completed != tasks.size()) {
+      return Status::Internal("phase scheduler deadlock: " +
+                              std::to_string(state.completed) + "/" +
+                              std::to_string(tasks.size()) +
+                              " phases completed");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PhaseScheduler::Run(std::vector<PhaseTask> tasks, int threads,
+                           ExecContext* ctx) {
+  BULKDEL_RETURN_IF_ERROR(ValidateDag(tasks));
+  if (tasks.empty()) return Status::OK();
+  if (threads <= 1) return RunSerial(tasks, ctx);
+  return RunParallel(tasks, threads, ctx);
+}
+
+}  // namespace bulkdel

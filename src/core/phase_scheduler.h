@@ -1,0 +1,43 @@
+#ifndef BULKDEL_CORE_PHASE_SCHEDULER_H_
+#define BULKDEL_CORE_PHASE_SCHEDULER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/exec_context.h"
+#include "util/status.h"
+
+namespace bulkdel {
+
+/// One node of an executable phase DAG.
+struct PhaseTask {
+  std::string label;
+  /// Indices (into the task vector) of tasks that must complete first. Every
+  /// dep must point at an *earlier* task, i.e. the vector is listed in a
+  /// valid topological order — the canonical serial execution order.
+  std::vector<int> deps;
+  std::function<Status()> body;
+};
+
+/// Topological scheduler for a statement's phase DAG.
+///
+/// With `threads <= 1` the tasks run inline on the calling thread in vector
+/// order, which by construction is the historical serial order — byte-for-
+/// byte identical behavior to the old linear step list, including checkpoint
+/// ordering. With more threads, a worker pool executes every task whose
+/// dependencies are satisfied, preferring lower indices, so independent
+/// phases (the per-secondary-index feeds) overlap.
+///
+/// Error handling: the first failing task cancels the context; tasks not yet
+/// started are skipped, running tasks finish, and the first error is
+/// returned.
+class PhaseScheduler {
+ public:
+  static Status Run(std::vector<PhaseTask> tasks, int threads,
+                    ExecContext* ctx);
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_CORE_PHASE_SCHEDULER_H_

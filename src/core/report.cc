@@ -1,0 +1,409 @@
+// BulkDeleteReport rendering: the human-readable summary the examples print
+// and the machine-readable JSON trace the benches emit via --trace-out.
+// FromJson() exists so tooling (and the phase-trace tests) can round-trip a
+// report exactly; the parser below covers precisely the JSON this file emits
+// (objects, arrays, strings with escapes, signed integers).
+
+#include "core/report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+namespace bulkdel {
+
+std::string BulkDeleteReport::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "BulkDeleteReport strategy=%s rows=%llu index_entries=%llu\n"
+                "  simulated time: %.2f s   wall: %.1f ms\n"
+                "  io: %lld reads, %lld writes (%lld seq, %lld rand)\n",
+                StrategyName(strategy_used),
+                static_cast<unsigned long long>(rows_deleted),
+                static_cast<unsigned long long>(index_entries_deleted),
+                simulated_seconds(),
+                static_cast<double>(wall_micros) / 1000.0,
+                static_cast<long long>(io.reads),
+                static_cast<long long>(io.writes),
+                static_cast<long long>(io.sequential_accesses),
+                static_cast<long long>(io.random_accesses));
+  out += buf;
+  for (const PhaseStats& p : phases) {
+    std::snprintf(buf, sizeof(buf),
+                  "  phase %-16s items=%-8llu sim=%8.3f s  io=%lld/%lld"
+                  "  t%d [%lld..%lld us]\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.items),
+                  p.simulated_seconds(), static_cast<long long>(p.io.reads),
+                  static_cast<long long>(p.io.writes), p.thread_id,
+                  static_cast<long long>(p.begin_micros),
+                  static_cast<long long>(p.end_micros));
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendField(std::string* out, const char* key, int64_t value,
+                 bool comma = true) {
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  *out += std::to_string(value);
+  if (comma) *out += ',';
+}
+
+void AppendIoStats(std::string* out, const IoStats& io) {
+  *out += '{';
+  AppendField(out, "reads", io.reads);
+  AppendField(out, "writes", io.writes);
+  AppendField(out, "sequential_accesses", io.sequential_accesses);
+  AppendField(out, "random_accesses", io.random_accesses);
+  AppendField(out, "simulated_micros", io.simulated_micros,
+              /*comma=*/false);
+  *out += '}';
+}
+
+// --- Minimal JSON reader (exactly the subset ToJson emits) -----------------
+
+struct JsonValue {
+  enum class Kind { kNull, kInt, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  int64_t IntOr(const std::string& key, int64_t fallback = 0) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kInt ? v->integer : fallback;
+  }
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback = "") const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    BULKDEL_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseInt();
+    }
+    return Status::InvalidArgument("unexpected character in JSON at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<JsonValue> ParseObject() {
+    BULKDEL_RETURN_IF_ERROR(Expect('{'));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      BULKDEL_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      BULKDEL_RETURN_IF_ERROR(Expect(':'));
+      BULKDEL_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      v.object.emplace(std::move(key.string), std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      BULKDEL_RETURN_IF_ERROR(Expect('}'));
+      return v;
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    BULKDEL_RETURN_IF_ERROR(Expect('['));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      BULKDEL_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      v.array.push_back(std::move(item));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      BULKDEL_RETURN_IF_ERROR(Expect(']'));
+      return v;
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    BULKDEL_RETURN_IF_ERROR(Expect('"'));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        v.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("dangling escape in JSON string");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          v.string.push_back('"');
+          break;
+        case '\\':
+          v.string.push_back('\\');
+          break;
+        case '/':
+          v.string.push_back('/');
+          break;
+        case 'n':
+          v.string.push_back('\n');
+          break;
+        case 'r':
+          v.string.push_back('\r');
+          break;
+        case 't':
+          v.string.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code += h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += h - 'A' + 10;
+            } else {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+          }
+          // Control characters only (all ToJson emits); wider code points
+          // would need UTF-8 encoding.
+          v.string.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape in JSON string");
+      }
+    }
+    BULKDEL_RETURN_IF_ERROR(Expect('"'));
+    return v;
+  }
+
+  Result<JsonValue> ParseInt() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kInt;
+    bool negative = false;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::InvalidArgument("malformed number in JSON");
+    }
+    uint64_t magnitude = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      magnitude = magnitude * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    v.integer = negative ? -static_cast<int64_t>(magnitude)
+                         : static_cast<int64_t>(magnitude);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+IoStats IoStatsFromJson(const JsonValue& v) {
+  IoStats io;
+  io.reads = v.IntOr("reads");
+  io.writes = v.IntOr("writes");
+  io.sequential_accesses = v.IntOr("sequential_accesses");
+  io.random_accesses = v.IntOr("random_accesses");
+  io.simulated_micros = v.IntOr("simulated_micros");
+  return io;
+}
+
+Result<Strategy> StrategyFromString(const std::string& name) {
+  for (Strategy s :
+       {Strategy::kTraditional, Strategy::kTraditionalSorted,
+        Strategy::kDropCreate, Strategy::kVerticalSortMerge,
+        Strategy::kVerticalHash, Strategy::kVerticalPartitionedHash,
+        Strategy::kOptimizer}) {
+    if (name == StrategyName(s)) return s;
+  }
+  return Status::InvalidArgument("unknown strategy name: " + name);
+}
+
+}  // namespace
+
+std::string BulkDeleteReport::ToJson() const {
+  std::string out = "{";
+  out += "\"strategy\":";
+  AppendEscaped(&out, StrategyName(strategy_used));
+  out += ',';
+  AppendField(&out, "rows_deleted", static_cast<int64_t>(rows_deleted));
+  AppendField(&out, "index_entries_deleted",
+              static_cast<int64_t>(index_entries_deleted));
+  AppendField(&out, "cascaded_rows", static_cast<int64_t>(cascaded_rows));
+  AppendField(&out, "wall_micros", wall_micros);
+  out += "\"io\":";
+  AppendIoStats(&out, io);
+  out += ",\"phases\":[";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseStats& p = phases[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    AppendEscaped(&out, p.name);
+    out += ',';
+    AppendField(&out, "items", static_cast<int64_t>(p.items));
+    AppendField(&out, "wall_micros", p.wall_micros);
+    AppendField(&out, "begin_micros", p.begin_micros);
+    AppendField(&out, "end_micros", p.end_micros);
+    AppendField(&out, "thread_id", p.thread_id);
+    out += "\"parent\":";
+    AppendEscaped(&out, p.parent);
+    out += ",\"io\":";
+    AppendIoStats(&out, p.io);
+    out += '}';
+  }
+  out += "],\"plan_explain\":";
+  AppendEscaped(&out, plan_explain);
+  out += '}';
+  return out;
+}
+
+Result<BulkDeleteReport> BulkDeleteReport::FromJson(const std::string& json) {
+  JsonParser parser(json);
+  BULKDEL_ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("report JSON must be an object");
+  }
+  BulkDeleteReport report;
+  BULKDEL_ASSIGN_OR_RETURN(report.strategy_used,
+                           StrategyFromString(root.StringOr("strategy")));
+  report.rows_deleted = static_cast<uint64_t>(root.IntOr("rows_deleted"));
+  report.index_entries_deleted =
+      static_cast<uint64_t>(root.IntOr("index_entries_deleted"));
+  report.cascaded_rows = static_cast<uint64_t>(root.IntOr("cascaded_rows"));
+  report.wall_micros = root.IntOr("wall_micros");
+  report.plan_explain = root.StringOr("plan_explain");
+  if (const JsonValue* io = root.Find("io")) {
+    report.io = IoStatsFromJson(*io);
+  }
+  if (const JsonValue* phases = root.Find("phases")) {
+    if (phases->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument("\"phases\" must be an array");
+    }
+    for (const JsonValue& pv : phases->array) {
+      PhaseStats p;
+      p.name = pv.StringOr("name");
+      p.items = static_cast<uint64_t>(pv.IntOr("items"));
+      p.wall_micros = pv.IntOr("wall_micros");
+      p.begin_micros = pv.IntOr("begin_micros");
+      p.end_micros = pv.IntOr("end_micros");
+      p.thread_id = static_cast<int>(pv.IntOr("thread_id"));
+      p.parent = pv.StringOr("parent");
+      if (const JsonValue* io = pv.Find("io")) {
+        p.io = IoStatsFromJson(*io);
+      }
+      report.phases.push_back(std::move(p));
+    }
+  }
+  return report;
+}
+
+}  // namespace bulkdel

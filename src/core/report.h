@@ -7,18 +7,38 @@
 
 #include "plan/plan.h"
 #include "storage/disk_manager.h"
+#include "util/result.h"
 
 namespace bulkdel {
 
 /// Per-phase measurement of one bulk-delete execution.
+///
+/// Phases may overlap when `DatabaseOptions::exec_threads > 1`: the structured
+/// trace fields (begin/end relative to statement start, executing thread,
+/// parent phase) let tools reconstruct the schedule. I/O is attributed
+/// exactly per phase via DiskManager::AttributionScope, so concurrent phases
+/// never steal each other's page counts.
 struct PhaseStats {
   std::string name;
-  IoStats io;            ///< I/O performed by this phase
+  IoStats io;            ///< I/O performed by this phase (attributed exactly)
   int64_t wall_micros = 0;
   uint64_t items = 0;    ///< records/entries processed by this phase
 
+  // Structured trace (all times relative to statement start).
+  int64_t begin_micros = 0;
+  int64_t end_micros = 0;
+  /// Small dense ordinal of the executing thread (0 = statement thread).
+  int thread_id = 0;
+  /// Name of the enclosing phase, empty at top level.
+  std::string parent;
+
   double simulated_seconds() const {
     return static_cast<double>(io.simulated_micros) * 1e-6;
+  }
+
+  /// True if the two phases' [begin, end) wall-clock windows intersect.
+  bool OverlapsInTime(const PhaseStats& other) const {
+    return begin_micros < other.end_micros && other.begin_micros < end_micros;
   }
 };
 
@@ -44,6 +64,12 @@ struct BulkDeleteReport {
 
   /// Multi-line human-readable summary.
   std::string ToString() const;
+
+  /// Machine-readable trace: the whole report, including every phase with
+  /// its structured trace fields, as a single JSON object. FromJson() parses
+  /// it back; ToJson/FromJson round-trip all fields exactly.
+  std::string ToJson() const;
+  static Result<BulkDeleteReport> FromJson(const std::string& json);
 };
 
 }  // namespace bulkdel

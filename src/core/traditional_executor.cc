@@ -41,64 +41,62 @@ Status TraditionalCore(TableDef* table, IndexDef* key_index,
   return Status::OK();
 }
 
-Status FinalizeStructures(Database* db, TableDef* table,
-                          PhaseTracker* tracker) {
-  tracker->Begin("finalize");
+Status FinalizeStructures(ExecContext* ctx, TableDef* table) {
+  PhaseScope scope(ctx, "finalize");
   BULKDEL_RETURN_IF_ERROR(table->table->FlushMeta());
   for (auto& index : table->indices) {
     BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
   }
-  BULKDEL_RETURN_IF_ERROR(db->pool().FlushAll());
-  tracker->End(0);
-  return Status::OK();
+  return ctx->db()->pool().FlushAll();
 }
 }  // namespace
 
-Result<BulkDeleteReport> ExecuteTraditional(Database* db, TableDef* table,
+Result<BulkDeleteReport> ExecuteTraditional(ExecContext* ctx, TableDef* table,
                                             IndexDef* key_index,
                                             const BulkDeleteSpec& spec,
                                             bool sort_first) {
+  Database* db = ctx->db();
   BulkDeleteReport report;
   report.strategy_used =
       sort_first ? Strategy::kTraditionalSorted : Strategy::kTraditional;
-  IoStats start_io = db->disk().stats();
   Stopwatch total;
-  PhaseTracker tracker(&db->disk(), &report);
 
   db->locks().LockExclusive(table->name);
   Status status = [&]() -> Status {
     std::vector<int64_t> keys = spec.keys;
     if (sort_first && !spec.keys_sorted) {
-      tracker.Begin("sort-keys");
+      PhaseScope scope(ctx, "sort-keys");
       BULKDEL_RETURN_IF_ERROR(SortKeys(
           &db->disk(), db->options().memory_budget_bytes, &keys));
-      tracker.End(keys.size());
+      scope.set_items(keys.size());
     }
-    tracker.Begin("record-at-a-time");
-    uint64_t rows = 0, entries = 0;
-    BULKDEL_RETURN_IF_ERROR(
-        TraditionalCore(table, key_index, keys, &rows, &entries));
-    tracker.End(rows);
-    report.rows_deleted = rows;
-    report.index_entries_deleted = entries;
-    return FinalizeStructures(db, table, &tracker);
+    {
+      PhaseScope scope(ctx, "record-at-a-time");
+      uint64_t rows = 0, entries = 0;
+      BULKDEL_RETURN_IF_ERROR(
+          TraditionalCore(table, key_index, keys, &rows, &entries));
+      scope.set_items(rows);
+      report.rows_deleted = rows;
+      report.index_entries_deleted = entries;
+    }
+    return FinalizeStructures(ctx, table);
   }();
   db->locks().UnlockExclusive(table->name);
   BULKDEL_RETURN_IF_ERROR(status);
 
-  report.io = db->disk().stats() - start_io;
+  report.phases = ctx->TakePhases();
+  report.io = ctx->AttributedTotal();
   report.wall_micros = total.ElapsedMicros();
   return report;
 }
 
-Result<BulkDeleteReport> ExecuteDropCreate(Database* db, TableDef* table,
+Result<BulkDeleteReport> ExecuteDropCreate(ExecContext* ctx, TableDef* table,
                                            IndexDef* key_index,
                                            const BulkDeleteSpec& spec) {
+  Database* db = ctx->db();
   BulkDeleteReport report;
   report.strategy_used = Strategy::kDropCreate;
-  IoStats start_io = db->disk().stats();
   Stopwatch total;
-  PhaseTracker tracker(&db->disk(), &report);
 
   db->locks().LockExclusive(table->name);
   Status status = [&]() -> Status {
@@ -110,37 +108,42 @@ Result<BulkDeleteReport> ExecuteDropCreate(Database* db, TableDef* table,
       bool clustered;
     };
     std::vector<DroppedDef> dropped;
-    tracker.Begin("drop-indexes");
-    for (auto& index : table->indices) {
-      if (index.get() == key_index) continue;
-      dropped.push_back(DroppedDef{
-          table->schema->column(static_cast<size_t>(index->column)).name,
-          index->options, index->clustered});
+    {
+      PhaseScope scope(ctx, "drop-indexes");
+      for (auto& index : table->indices) {
+        if (index.get() == key_index) continue;
+        dropped.push_back(DroppedDef{
+            table->schema->column(static_cast<size_t>(index->column)).name,
+            index->options, index->clustered});
+      }
+      for (const DroppedDef& d : dropped) {
+        BULKDEL_RETURN_IF_ERROR(db->DropIndex(table->name, d.column));
+      }
+      scope.set_items(dropped.size());
     }
-    for (const DroppedDef& d : dropped) {
-      BULKDEL_RETURN_IF_ERROR(db->DropIndex(table->name, d.column));
-    }
-    tracker.End(dropped.size());
 
     // Traditional (sorted) delete against the remaining structures.
     std::vector<int64_t> keys = spec.keys;
     if (!spec.keys_sorted) {
-      tracker.Begin("sort-keys");
+      PhaseScope scope(ctx, "sort-keys");
       BULKDEL_RETURN_IF_ERROR(SortKeys(
           &db->disk(), db->options().memory_budget_bytes, &keys));
-      tracker.End(keys.size());
+      scope.set_items(keys.size());
     }
-    tracker.Begin("delete");
-    uint64_t rows = 0, entries = 0;
-    BULKDEL_RETURN_IF_ERROR(
-        TraditionalCore(table, key_index, keys, &rows, &entries));
-    tracker.End(rows);
-    report.rows_deleted = rows;
-    report.index_entries_deleted = entries;
+    {
+      PhaseScope scope(ctx, "delete");
+      uint64_t rows = 0, entries = 0;
+      BULKDEL_RETURN_IF_ERROR(
+          TraditionalCore(table, key_index, keys, &rows, &entries));
+      scope.set_items(rows);
+      report.rows_deleted = rows;
+      report.index_entries_deleted = entries;
+    }
 
     // Rebuild each dropped index: scan, external sort, bulk load.
     for (const DroppedDef& d : dropped) {
-      tracker.Begin("rebuild:" + table->name + "." + d.column);
+      PhaseScope scope(ctx, "rebuild:" + table->name + "." + d.column,
+                       "delete");
       BULKDEL_ASSIGN_OR_RETURN(
           IndexDef * index,
           db->CreateIndex(table->name, d.column, d.options, d.clustered));
@@ -156,14 +159,15 @@ Result<BulkDeleteReport> ExecuteDropCreate(Database* db, TableDef* table,
       BULKDEL_ASSIGN_OR_RETURN(std::vector<KeyRid> entries_sorted,
                                sorter.FinishToVector());
       BULKDEL_RETURN_IF_ERROR(index->tree->BulkLoad(entries_sorted));
-      tracker.End(entries_sorted.size());
+      scope.set_items(entries_sorted.size());
     }
-    return FinalizeStructures(db, table, &tracker);
+    return FinalizeStructures(ctx, table);
   }();
   db->locks().UnlockExclusive(table->name);
   BULKDEL_RETURN_IF_ERROR(status);
 
-  report.io = db->disk().stats() - start_io;
+  report.phases = ctx->TakePhases();
+  report.io = ctx->AttributedTotal();
   report.wall_micros = total.ElapsedMicros();
   return report;
 }

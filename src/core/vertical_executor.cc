@@ -9,10 +9,35 @@
 // the table and all unique indices are processed (the commit point), off-line
 // secondary indices with side-file or direct-propagation catch-up, and
 // WAL + per-phase checkpoints so an interrupted statement is rolled forward.
+//
+// Execution is a phase DAG run by PhaseScheduler. The chain prefix
+// (sort-keys → key index → table) is sequential by data dependency; the
+// per-secondary-index phases only depend on the table pass (their feeds), so
+// with DatabaseOptions::exec_threads > 1 they run concurrently on a worker
+// pool. Node order is the canonical serial order, which the serial scheduler
+// replays exactly:
+//
+//   sort-keys → key → table → {unique secondaries} → commit
+//                                 → {non-unique secondaries} → finalize
+//
+// Concurrency rules inside a run:
+//  * chain-prefix phases and commit/finalize run exclusively (every other
+//    node transitively depends on them or they on it), so they may checkpoint
+//    inline — BufferPool::FlushAll while nothing else mutates pages;
+//  * concurrent secondary phases must NOT FlushAll (it would read page bytes
+//    another worker is writing through its pin), so in parallel mode their
+//    durable checkpoints are deferred to the finalize node. A crash before
+//    finalize leaves those phases unmarked and recovery re-runs them
+//    idempotently from the feeds materialized (and checkpointed) at the
+//    table phase;
+//  * shared run state touched by concurrent secondaries (report counters,
+//    the done-phase set, deferred checkpoint labels) is guarded by mu_;
+//    each secondary phase otherwise touches only its own feed and index.
 
 #include <algorithm>
 
 #include "core/executors.h"
+#include "core/phase_scheduler.h"
 #include "exec/hash_delete.h"
 #include "exec/partitioned_delete.h"
 #include "sort/external_sort.h"
@@ -24,14 +49,15 @@ namespace {
 
 class VerticalRun {
  public:
-  VerticalRun(Database* db, TableDef* table, IndexDef* key_index,
+  VerticalRun(ExecContext* ctx, TableDef* table, IndexDef* key_index,
               const BulkDeletePlan& plan)
-      : db_(db),
+      : ctx_(ctx),
+        db_(ctx->db()),
         table_(table),
         key_index_(key_index),
         plan_(plan),
-        logging_(db->options().enable_recovery_log),
-        tracker_(&db->disk(), &report_) {
+        logging_(db_->options().enable_recovery_log),
+        parallel_(db_->options().exec_threads > 1) {
     report_.strategy_used = plan_.strategy;
     report_.plan_explain = plan_.Explain();
     // Canonical secondary order comes from the plan (unique indices first).
@@ -47,12 +73,16 @@ class VerticalRun {
         }
       }
     }
+    // Pre-create every feed entry so concurrent secondary phases never
+    // mutate the map itself — each phase touches only its own vector.
+    for (IndexDef* index : secondaries_) {
+      feeds_.emplace(index->name, std::vector<KeyRid>());
+    }
   }
 
   Result<BulkDeleteReport> Run(const BulkDeleteSpec& spec) {
     keys_ = spec.keys;
     keys_sorted_ = spec.keys_sorted;
-    IoStats start_io = db_->disk().stats();
     Stopwatch total;
 
     Status status = RunPhases();
@@ -60,8 +90,7 @@ class VerticalRun {
     BULKDEL_RETURN_IF_ERROR(status);
     BULKDEL_RETURN_IF_ERROR(cleanup);
 
-    report_.io = db_->disk().stats() - start_io;
-    report_.wall_micros = total.ElapsedMicros();
+    FinishReport(&total);
     return report_;
   }
 
@@ -70,7 +99,6 @@ class VerticalRun {
     bd_id_ = state.bd_id;
     done_ = state.phases_done;
     committed_ = state.committed;
-    IoStats start_io = db_->disk().stats();
     Stopwatch total;
 
     Status status = PrepareResume(state);
@@ -79,8 +107,7 @@ class VerticalRun {
     BULKDEL_RETURN_IF_ERROR(status);
     BULKDEL_RETURN_IF_ERROR(cleanup);
 
-    report_.io = db_->disk().stats() - start_io;
-    report_.wall_micros = total.ElapsedMicros();
+    FinishReport(&total);
     return report_;
   }
 
@@ -90,30 +117,78 @@ class VerticalRun {
                                  : "table-no-index";
   }
 
-  bool Done(const std::string& label) const { return done_.count(label) > 0; }
+  std::string TablePhaseLabel() const {
+    return key_index_ != nullptr ? "table" : "table-no-index";
+  }
 
+  bool Done(const std::string& label) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_.count(label) > 0;
+  }
+
+  void FinishReport(Stopwatch* total) {
+    report_.phases = ctx_->TakePhases();
+    // Attributed total (root + per-phase accounts) rather than a global-
+    // counter delta: under concurrency the global counters interleave other
+    // phases' traffic, while the attributed sum is exactly this statement's.
+    report_.io = ctx_->AttributedTotal();
+    report_.wall_micros = total->ElapsedMicros();
+  }
+
+  /// Assembles the phase DAG — node order is the canonical serial order —
+  /// and hands it to the scheduler.
   Status RunPhases() {
     BULKDEL_RETURN_IF_ERROR(LockAndOffline());
     if (!resuming_) {
       BULKDEL_RETURN_IF_ERROR(LogBegin());
     }
-    BULKDEL_RETURN_IF_ERROR(PhaseSortKeys());
+
+    std::vector<PhaseTask> tasks;
+    auto add = [&tasks](std::string label, std::vector<int> deps,
+                        std::function<Status()> body) {
+      tasks.push_back(
+          PhaseTask{std::move(label), std::move(deps), std::move(body)});
+      return static_cast<int>(tasks.size()) - 1;
+    };
+
+    int sort_node = add("sort-keys", {}, [this] { return PhaseSortKeys(); });
+    int table_node;
     if (key_index_ != nullptr) {
-      BULKDEL_RETURN_IF_ERROR(PhaseKeyIndex());
-      BULKDEL_RETURN_IF_ERROR(PhaseTable());
+      int key_node = add(KeyPhaseLabel(), {sort_node},
+                         [this] { return PhaseKeyIndex(); });
+      table_node =
+          add("table", {key_node}, [this] { return PhaseTable(); });
     } else {
-      BULKDEL_RETURN_IF_ERROR(PhaseTableNoIndex());
+      table_node = add(KeyPhaseLabel(), {sort_node},
+                       [this] { return PhaseTableNoIndex(); });
     }
+
+    // Unique indices must be consistent before the commit point (§3.1);
+    // they depend only on their feeds, so they are mutually independent.
+    std::vector<int> commit_deps{table_node};
     for (IndexDef* index : secondaries_) {
       if (!index->options.unique) continue;
-      BULKDEL_RETURN_IF_ERROR(PhaseSecondary(index));
+      commit_deps.push_back(add("index:" + index->name, {table_node},
+                                [this, index] {
+                                  return PhaseSecondary(index);
+                                }));
     }
-    BULKDEL_RETURN_IF_ERROR(CommitPoint());
+    int commit_node =
+        add("commit", std::move(commit_deps), [this] { return CommitPoint(); });
+
+    // Non-unique indices catch up after the statement commits.
+    std::vector<int> final_deps{commit_node};
     for (IndexDef* index : secondaries_) {
       if (index->options.unique) continue;
-      BULKDEL_RETURN_IF_ERROR(PhaseSecondary(index));
+      final_deps.push_back(add("index:" + index->name, {commit_node},
+                               [this, index] {
+                                 return PhaseSecondary(index);
+                               }));
     }
-    return FinishRun();
+    add("finalize", std::move(final_deps), [this] { return FinishRun(); });
+
+    return PhaseScheduler::Run(std::move(tasks), db_->options().exec_threads,
+                               ctx_);
   }
 
   Status LockAndOffline() {
@@ -162,14 +237,30 @@ class VerticalRun {
     rec.pages = list.pages;
     rec.count = list.count;
     db_->log().Append(std::move(rec));
-    spilled_pages_.push_back(std::move(list.pages));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      spilled_pages_.push_back(std::move(list.pages));
+    }
     return Status::OK();
   }
 
   /// Phase-end checkpoint: metas flushed, pool flushed (which first syncs the
   /// WAL via the pre-writeback hook), then the PhaseDone record made durable.
-  Status CheckpointPhase(const std::string& label) {
-    done_.insert(label);
+  ///
+  /// `deferrable` marks phases that may run concurrently with other phases
+  /// (the secondary-index nodes). FlushAll reads every dirty frame's bytes,
+  /// racing any worker that is mutating a pinned page — so in parallel mode a
+  /// deferrable checkpoint only records the label; the finalize node (which
+  /// runs exclusively) flushes once and emits the pending PhaseDone records.
+  Status CheckpointPhase(const std::string& label, bool deferrable = false) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.insert(label);
+      if (logging_ && deferrable && parallel_) {
+        deferred_checkpoints_.push_back(label);
+        return Status::OK();
+      }
+    }
     if (!logging_) return Status::OK();
     BULKDEL_RETURN_IF_ERROR(table_->table->FlushMeta());
     for (auto& index : table_->indices) {
@@ -187,11 +278,11 @@ class VerticalRun {
 
   Status PhaseSortKeys() {
     if (keys_sorted_) return Status::OK();
-    tracker_.Begin("sort-keys");
+    PhaseScope scope(ctx_, "sort-keys");
     BULKDEL_RETURN_IF_ERROR(
         SortKeys(&db_->disk(), db_->options().memory_budget_bytes, &keys_));
     keys_sorted_ = true;
-    tracker_.End(keys_.size());
+    scope.set_items(keys_.size());
     return Status::OK();
   }
 
@@ -199,7 +290,7 @@ class VerticalRun {
     std::string label = KeyPhaseLabel();
     if (Done(label)) return Status::OK();
     BULKDEL_RETURN_IF_ERROR(db_->CheckCrashPoint(label));
-    tracker_.Begin(label);
+    PhaseScope scope(ctx_, label, "sort-keys");
     const PlanStep* step = FindStep(key_index_->name);
     BtreeBulkDeleteStats stats;
     std::function<void(int64_t, const Rid&)> wal;
@@ -230,8 +321,11 @@ class VerticalRun {
       BULKDEL_RETURN_IF_ERROR(key_index_->tree->BulkDeleteSortedKeys(
           keys_, db_->options().reorg, &rids_, &stats, wal));
     }
-    report_.index_entries_deleted += stats.entries_deleted;
-    tracker_.End(stats.entries_deleted);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      report_.index_entries_deleted += stats.entries_deleted;
+    }
+    scope.set_items(stats.entries_deleted);
     BULKDEL_RETURN_IF_ERROR(MaterializeList("rids", rids_));
     // The key index locates the records via key order, so the RID list is in
     // key order — physical order only if the index is clustered.
@@ -243,7 +337,7 @@ class VerticalRun {
     const std::string label = "table";
     if (Done(label)) return Status::OK();
     BULKDEL_RETURN_IF_ERROR(db_->CheckCrashPoint(label));
-    tracker_.Begin(label);
+    PhaseScope scope(ctx_, label, KeyPhaseLabel());
     if (!rids_sorted_) {
       BULKDEL_RETURN_IF_ERROR(
           SortRids(&db_->disk(), db_->options().memory_budget_bytes, &rids_));
@@ -273,7 +367,7 @@ class VerticalRun {
         },
         &deleted, nullptr));
     report_.rows_deleted += deleted;
-    tracker_.End(deleted);
+    scope.set_items(deleted);
     for (IndexDef* index : secondaries_) {
       BULKDEL_RETURN_IF_ERROR(
           MaterializeList("feed:" + index->name, feeds_[index->name]));
@@ -288,7 +382,7 @@ class VerticalRun {
     const std::string label = "table-no-index";
     if (Done(label)) return Status::OK();
     BULKDEL_RETURN_IF_ERROR(db_->CheckCrashPoint(label));
-    tracker_.Begin(label);
+    PhaseScope scope(ctx_, label, "sort-keys");
     int key_column = table_->schema->FindColumn(key_column_fallback_);
     if (key_column < 0) {
       return Status::NotFound("no column " + key_column_fallback_);
@@ -322,7 +416,7 @@ class VerticalRun {
         },
         &deleted));
     report_.rows_deleted += deleted;
-    tracker_.End(deleted);
+    scope.set_items(deleted);
     for (IndexDef* index : secondaries_) {
       BULKDEL_RETURN_IF_ERROR(
           MaterializeList("feed:" + index->name, feeds_[index->name]));
@@ -330,6 +424,8 @@ class VerticalRun {
     return CheckpointPhase(label);
   }
 
+  /// Runs on a scheduler worker when exec_threads > 1; touches only this
+  /// index's feed and structures plus mu_-guarded run state.
   Status PhaseSecondary(IndexDef* index) {
     std::string label = "index:" + index->name;
     if (Done(label)) {
@@ -337,10 +433,10 @@ class VerticalRun {
       return Status::OK();
     }
     BULKDEL_RETURN_IF_ERROR(db_->CheckCrashPoint(label));
-    tracker_.Begin(label);
+    PhaseScope scope(ctx_, label, TablePhaseLabel());
     const PlanStep* step = FindStep(index->name);
     DeleteMethod method = step != nullptr ? step->method : DeleteMethod::kMerge;
-    std::vector<KeyRid>& feed = feeds_[index->name];
+    std::vector<KeyRid>& feed = feeds_.at(index->name);
     BtreeBulkDeleteStats stats;
 
     switch (method) {
@@ -393,10 +489,13 @@ class VerticalRun {
         break;
       }
     }
-    report_.index_entries_deleted += stats.entries_deleted;
-    tracker_.End(stats.entries_deleted);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      report_.index_entries_deleted += stats.entries_deleted;
+    }
+    scope.set_items(stats.entries_deleted);
     BULKDEL_RETURN_IF_ERROR(BringOnline(index));
-    return CheckpointPhase(label);
+    return CheckpointPhase(label, /*deferrable=*/true);
   }
 
   /// Side-file catch-up / undeletable-flag cleanup, then flip on-line.
@@ -444,6 +543,7 @@ class VerticalRun {
 
   /// Table + unique indices done: the statement commits; concurrent readers
   /// and updaters may proceed while non-unique indices catch up (§3.1).
+  /// Runs exclusively: every unique-secondary node precedes it in the DAG.
   Status CommitPoint() {
     if (committed_) {
       if (exclusive_locked_) {
@@ -476,14 +576,25 @@ class VerticalRun {
     return Status::OK();
   }
 
+  /// Terminal DAG node; runs exclusively (depends on everything else), so
+  /// flushing is safe and any deferred secondary checkpoints become durable
+  /// here, just before the End record.
   Status FinishRun() {
-    tracker_.Begin("finalize");
+    PhaseScope scope(ctx_, "finalize");
     BULKDEL_RETURN_IF_ERROR(table_->table->FlushMeta());
     for (auto& index : table_->indices) {
       BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
     }
     BULKDEL_RETURN_IF_ERROR(db_->pool().FlushAll());
     if (logging_) {
+      for (const std::string& label : deferred_checkpoints_) {
+        LogRecord rec;
+        rec.type = LogRecordType::kPhaseDone;
+        rec.bd_id = bd_id_;
+        rec.label = label;
+        db_->log().Append(std::move(rec));
+      }
+      deferred_checkpoints_.clear();
       LogRecord rec;
       rec.type = LogRecordType::kEnd;
       rec.bd_id = bd_id_;
@@ -497,7 +608,6 @@ class VerticalRun {
       }
       spilled_pages_.clear();
     }
-    tracker_.End(0);
     return Status::OK();
   }
 
@@ -585,6 +695,7 @@ class VerticalRun {
     spilled.pages = list.pages;
     spilled.count = list.count;
     BULKDEL_ASSIGN_OR_RETURN(*out, ReadSpilled(&db_->disk(), spilled));
+    std::lock_guard<std::mutex> lock(mu_);
     spilled_pages_.push_back(list.pages);  // freed at End
     return Status::OK();
   }
@@ -598,11 +709,13 @@ class VerticalRun {
     return nullptr;
   }
 
+  ExecContext* ctx_;
   Database* db_;
   TableDef* table_;
   IndexDef* key_index_;
   BulkDeletePlan plan_;
   bool logging_;
+  bool parallel_;
   bool resuming_ = false;
   bool committed_ = false;
   bool exclusive_locked_ = false;
@@ -616,11 +729,14 @@ class VerticalRun {
   std::map<std::string, std::vector<KeyRid>> feeds_;
   std::vector<IndexDef*> secondaries_;
   std::map<std::string, const PlanStep*> steps_by_name_;
+
+  /// Guards run state shared with concurrent secondary phases.
+  mutable std::mutex mu_;
   std::set<std::string> done_;
+  std::vector<std::string> deferred_checkpoints_;
   std::vector<std::vector<PageId>> spilled_pages_;
 
   BulkDeleteReport report_;
-  PhaseTracker tracker_;
 
  public:
   void SetKeyColumnFallback(std::string column) {
@@ -630,11 +746,11 @@ class VerticalRun {
 
 }  // namespace
 
-Result<BulkDeleteReport> ExecuteVertical(Database* db, TableDef* table,
+Result<BulkDeleteReport> ExecuteVertical(ExecContext* ctx, TableDef* table,
                                          IndexDef* key_index,
                                          const BulkDeleteSpec& spec,
                                          const BulkDeletePlan& plan) {
-  VerticalRun run(db, table, key_index, plan);
+  VerticalRun run(ctx, table, key_index, plan);
   run.SetKeyColumnFallback(spec.key_column);
   return run.Run(spec);
 }
@@ -660,7 +776,8 @@ Result<BulkDeleteReport> ResumeVertical(Database* db,
   BULKDEL_ASSIGN_OR_RETURN(
       BulkDeletePlan plan,
       planner.PlanFor(Strategy::kVerticalSortMerge, input));
-  VerticalRun run(db, table, key_index, plan);
+  ExecContext ctx(db);
+  VerticalRun run(&ctx, table, key_index, plan);
   run.SetKeyColumnFallback(state.key_column);
   return run.Resume(state);
 }

@@ -42,9 +42,8 @@ std::string BulkDeletePlan::Explain() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf), " est=%.1f ms\n", est_micros / 1000.0);
   out += buf;
-  int i = 1;
   for (const PlanStep& step : steps) {
-    std::snprintf(buf, sizeof(buf), "  %d. %s %s", i++,
+    std::snprintf(buf, sizeof(buf), "  #%d %s %s", step.phase_id,
                   step.is_table ? "table" : "index", step.structure.c_str());
     out += buf;
     out += "  [";
@@ -53,6 +52,16 @@ std::string BulkDeletePlan::Explain() const {
     out += step.probe == ProbeBy::kKey ? "key" : "rid";
     if (step.input_sorted) out += ", input pre-sorted";
     out += "]";
+    if (step.deps.empty()) {
+      out += " deps=[]";
+    } else {
+      out += " deps=[";
+      for (size_t d = 0; d < step.deps.size(); ++d) {
+        if (d > 0) out += ",";
+        out += std::to_string(step.deps[d]);
+      }
+      out += "]";
+    }
     std::snprintf(buf, sizeof(buf), " est=%.1f ms", step.est_micros / 1000.0);
     out += buf;
     if (!step.note.empty()) {
@@ -61,7 +70,49 @@ std::string BulkDeletePlan::Explain() const {
     }
     out += "\n";
   }
+  // Render the DAG shape: independent steps on one line can run in parallel.
+  if (steps.size() > 1) {
+    out += "  dag:";
+    int depth = 0;
+    bool printed_any = true;
+    std::vector<int> level(steps.size(), 0);
+    for (size_t i = 0; i < steps.size(); ++i) {
+      int d = 0;
+      for (int dep : steps[i].deps) {
+        for (size_t j = 0; j < steps.size(); ++j) {
+          if (steps[j].phase_id == dep && level[j] + 1 > d) d = level[j] + 1;
+        }
+      }
+      level[i] = d;
+    }
+    while (printed_any) {
+      printed_any = false;
+      std::string stage;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (level[i] != depth) continue;
+        if (!stage.empty()) stage += " | ";
+        stage += steps[i].structure;
+        printed_any = true;
+      }
+      if (printed_any) {
+        if (depth > 0) out += " ->";
+        out += " {" + stage + "}";
+      }
+      ++depth;
+    }
+    out += "\n";
+  }
   return out;
+}
+
+bool BulkDeletePlan::DagIsValid() const {
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].phase_id != static_cast<int>(i)) return false;
+    for (int dep : steps[i].deps) {
+      if (dep < 0 || dep >= steps[i].phase_id) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace bulkdel

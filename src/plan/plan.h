@@ -51,17 +51,40 @@ struct PlanStep {
   bool input_sorted = false;
   double est_micros = 0;
   std::string note;
+
+  /// Node id of this step in the plan's phase DAG (dense, 0-based).
+  int phase_id = -1;
+  /// phase_ids of the steps whose output this step consumes. The key-index
+  /// probe has no dependencies, the table pass depends on the RID list it
+  /// produces, and every secondary-index feed depends only on the table pass
+  /// — secondaries are mutually independent and may execute concurrently.
+  std::vector<int> deps;
+
+  bool DependsOn(int other_phase_id) const {
+    for (int d : deps) {
+      if (d == other_phase_id) return true;
+    }
+    return false;
+  }
 };
 
-/// A complete bulk-delete plan, either horizontal (a single conceptual step)
-/// or vertical (one ⋉̸ per structure, in processing order: key index first,
-/// then the base table, then unique indices, then the rest — §3.1.3).
+/// A complete bulk-delete plan. Horizontal plans are a single conceptual
+/// step; vertical plans are a *phase DAG*: the key-index probe feeds the
+/// table pass, which feeds one independent ⋉̸ per secondary index. The
+/// executor schedules steps whose dependencies are satisfied — concurrently
+/// when `DatabaseOptions::exec_threads` allows — with unique indices ordered
+/// before non-unique ones at equal depth so the commit point is reached as
+/// early as possible (§3.1.3).
 struct BulkDeletePlan {
   Strategy strategy = Strategy::kVerticalSortMerge;
   std::vector<PlanStep> steps;
   double est_micros = 0;
 
   std::string Explain() const;
+
+  /// Steps with no unmet dependencies among `pending` (by phase_id).
+  /// Validates the DAG shape: every dep must name an earlier phase_id.
+  bool DagIsValid() const;
 };
 
 }  // namespace bulkdel

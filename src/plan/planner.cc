@@ -20,6 +20,7 @@ BulkDeletePlan Planner::MakeHorizontal(Strategy strategy,
   PlanStep step;
   step.structure = "(all structures, record-at-a-time)";
   step.is_table = true;
+  step.phase_id = 0;
   step.method = DeleteMethod::kMerge;  // nominal; horizontal has no ⋉̸
   step.probe = ProbeBy::kKey;
   step.input_sorted =
@@ -39,6 +40,7 @@ BulkDeletePlan Planner::MakeDropCreate(const PlannerInput& input) const {
   PlanStep step;
   step.structure = "(drop secondaries, delete, rebuild)";
   step.is_table = true;
+  step.phase_id = 0;
   step.method = DeleteMethod::kMerge;
   step.probe = ProbeBy::kKey;
   step.est_micros =
@@ -64,10 +66,15 @@ Result<BulkDeletePlan> Planner::MakeVertical(const PlannerInput& input,
   // Step 1: the key index, probed by key. Merge is the only applicable
   // method when the incoming list holds bare keys (no RIDs to hash yet) —
   // unless we hash by *key*, which the classic-hash strategy does.
+  // Phase-DAG ids are assigned densely in emission order; dependency edges
+  // express the data flow of Fig. 3: key-index probe -> RID list -> table
+  // pass -> independent per-secondary feeds.
+  int table_phase_id = -1;
   if (key_index != nullptr) {
     PlanStep step;
     step.structure = key_index->name;
     step.is_table = false;
+    step.phase_id = static_cast<int>(plan.steps.size());
     step.probe = ProbeBy::kKey;
     DeleteMethod m = forced_method < 0
                          ? DeleteMethod::kMerge
@@ -89,6 +96,9 @@ Result<BulkDeletePlan> Planner::MakeVertical(const PlannerInput& input,
     PlanStep step;
     step.structure = "table";
     step.is_table = true;
+    step.phase_id = static_cast<int>(plan.steps.size());
+    if (key_index != nullptr) step.deps.push_back(step.phase_id - 1);
+    table_phase_id = step.phase_id;
     step.probe = ProbeBy::kRid;
     step.method = DeleteMethod::kMerge;
     step.input_sorted = key_index != nullptr && key_index->clustered;
@@ -114,6 +124,10 @@ Result<BulkDeletePlan> Planner::MakeVertical(const PlannerInput& input,
     PlanStep step;
     step.structure = index->name;
     step.is_table = false;
+    // Each secondary feed depends only on the table pass; secondaries are
+    // mutually independent, so a multi-threaded executor may overlap them.
+    step.phase_id = static_cast<int>(plan.steps.size());
+    step.deps.push_back(table_phase_id);
     double merge_cost = cost_.IndexMergePassCost(*index, input.n_delete);
     double hash_cost = cost_.IndexHashPassCost(*index, input.n_delete);
     double part_cost = cost_.IndexPartitionedPassCost(*index, input.n_delete);

@@ -12,7 +12,11 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     frame_ = other.frame_;
     page_id_ = other.page_id_;
     data_ = other.data_;
+    // Leave `other` fully invalid: a moved-from guard must not report the
+    // old page id or unpin the frame a second time.
     other.pool_ = nullptr;
+    other.frame_ = 0;
+    other.page_id_ = kInvalidPageId;
     other.data_ = nullptr;
   }
   return *this;
@@ -26,9 +30,14 @@ void PageGuard::MarkDirty() {
 
 void PageGuard::Release() {
   if (pool_ == nullptr) return;
-  pool_->Unpin(frame_, page_id_);
+  // Invalidate before unpinning so a re-entrant or repeated Release (e.g.
+  // explicit Release() followed by the destructor) is a no-op.
+  BufferPool* pool = pool_;
   pool_ = nullptr;
   data_ = nullptr;
+  pool->Unpin(frame_, page_id_);
+  frame_ = 0;
+  page_id_ = kInvalidPageId;
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t budget_bytes) : disk_(disk) {

@@ -8,6 +8,17 @@
 
 namespace bulkdel {
 
+thread_local IoAttribution* DiskManager::tls_attribution_ = nullptr;
+
+DiskManager::AttributionScope::AttributionScope(IoAttribution* attribution)
+    : previous_(tls_attribution_) {
+  tls_attribution_ = attribution;
+}
+
+DiskManager::AttributionScope::~AttributionScope() {
+  tls_attribution_ = previous_;
+}
+
 DiskManager::DiskManager(DiskModel model) : model_(model) {}
 
 DiskManager::DiskManager(const std::string& path, bool truncate,
@@ -139,6 +150,30 @@ void DiskManager::Account(PageId page_id, bool is_write) {
     stats_.simulated_micros += model_.random_page_micros;
   }
   last_accessed_ = page_id;
+
+  // Attributed accounting: classify against the attribution's *own* head so
+  // a phase's seq/random profile does not depend on how concurrent phases
+  // interleave on the shared global head.
+  IoAttribution* attr = tls_attribution_;
+  if (attr == nullptr) return;
+  if (is_write) {
+    attr->writes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    attr->reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool attr_sequential =
+      attr->last_accessed_ != kInvalidPageId &&
+      (page_id == attr->last_accessed_ || page_id == attr->last_accessed_ + 1);
+  if (attr_sequential) {
+    attr->sequential_.fetch_add(1, std::memory_order_relaxed);
+    attr->simulated_micros_.fetch_add(model_.sequential_page_micros,
+                                      std::memory_order_relaxed);
+  } else {
+    attr->random_.fetch_add(1, std::memory_order_relaxed);
+    attr->simulated_micros_.fetch_add(model_.random_page_micros,
+                                      std::memory_order_relaxed);
+  }
+  attr->last_accessed_ = page_id;
 }
 
 }  // namespace bulkdel

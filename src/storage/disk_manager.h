@@ -1,6 +1,7 @@
 #ifndef BULKDEL_STORAGE_DISK_MANAGER_H_
 #define BULKDEL_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -34,6 +35,61 @@ struct IoStats {
     d.simulated_micros = simulated_micros - other.simulated_micros;
     return d;
   }
+
+  IoStats& operator+=(const IoStats& other) {
+    reads += other.reads;
+    writes += other.writes;
+    sequential_accesses += other.sequential_accesses;
+    random_accesses += other.random_accesses;
+    simulated_micros += other.simulated_micros;
+    return *this;
+  }
+
+  IoStats operator+(const IoStats& other) const {
+    IoStats s = *this;
+    s += other;
+    return s;
+  }
+};
+
+/// A per-context I/O account. While installed on a thread (via
+/// DiskManager::AttributionScope), every page access that thread performs is
+/// charged here in addition to the DiskManager's global counters.
+///
+/// Each attribution carries its *own* disk-head position for the
+/// sequential/random classification, so a phase's I/O profile is a property
+/// of its page-access sequence alone — independent of how concurrently
+/// running phases interleave on the shared disk. That is what makes
+/// per-phase simulated time reproducible across `exec_threads` settings.
+///
+/// Counters are atomics: Snapshot() is safe while other threads are still
+/// accounting into the same attribution.
+class IoAttribution {
+ public:
+  IoAttribution() = default;
+  IoAttribution(const IoAttribution&) = delete;
+  IoAttribution& operator=(const IoAttribution&) = delete;
+
+  IoStats Snapshot() const {
+    IoStats s;
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.writes = writes_.load(std::memory_order_relaxed);
+    s.sequential_accesses = sequential_.load(std::memory_order_relaxed);
+    s.random_accesses = random_.load(std::memory_order_relaxed);
+    s.simulated_micros = simulated_micros_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  friend class DiskManager;
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
+  std::atomic<int64_t> sequential_{0};
+  std::atomic<int64_t> random_{0};
+  std::atomic<int64_t> simulated_micros_{0};
+  /// Private head position for seq/random classification. Only mutated under
+  /// the DiskManager mutex.
+  PageId last_accessed_ = kInvalidPageId;
 };
 
 /// Page-granular storage with allocation, a free list, and I/O accounting.
@@ -52,6 +108,24 @@ struct IoStats {
 /// Thread safety: all public methods are internally synchronized.
 class DiskManager {
  public:
+  /// Installs `attribution` as the calling thread's I/O account for the
+  /// scope's lifetime. Scopes nest: the innermost installed attribution
+  /// receives the charges, and the previous one is restored on destruction.
+  /// The attribution pointer must outlive the scope.
+  class AttributionScope {
+   public:
+    // Defined out of line: the thread-local slot must only be touched from
+    // the translation unit that defines it (keeps TLS-wrapper codegen and
+    // sanitizer instrumentation in one place).
+    explicit AttributionScope(IoAttribution* attribution);
+    ~AttributionScope();
+    AttributionScope(const AttributionScope&) = delete;
+    AttributionScope& operator=(const AttributionScope&) = delete;
+
+   private:
+    IoAttribution* previous_;
+  };
+
   /// In-memory backing.
   explicit DiskManager(DiskModel model = DiskModel());
   /// File backing; the file is created (truncated) if `truncate` is set.
@@ -88,8 +162,12 @@ class DiskManager {
  private:
   Status CheckBounds(PageId page_id) const;
   /// Classifies the access against the previous head position and charges
-  /// simulated time. Must be called with mu_ held.
+  /// simulated time, both globally and into the calling thread's installed
+  /// IoAttribution (if any). Must be called with mu_ held.
   void Account(PageId page_id, bool is_write);
+
+  /// The calling thread's current I/O account (nullptr = global only).
+  static thread_local IoAttribution* tls_attribution_;
 
   DiskModel model_;
   mutable std::mutex mu_;

@@ -8,6 +8,7 @@
 #include "storage/buffer_pool.h"
 #include "table/rid.h"
 #include "table/schema.h"
+#include "util/relaxed_atomic.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -103,8 +104,9 @@ class HeapTable {
   PageId header_page_;
   PageId first_data_page_ = kInvalidPageId;
   PageId last_data_page_ = kInvalidPageId;
-  uint64_t tuple_count_ = 0;
-  uint32_t num_data_pages_ = 0;
+  // Relaxed atomics: read by the planner while updaters insert/delete.
+  RelaxedAtomic<uint64_t> tuple_count_ = 0;
+  RelaxedAtomic<uint32_t> num_data_pages_ = 0;
   /// Pages known to have at least one free slot (may contain stale entries;
   /// verified on use).
   std::vector<PageId> pages_with_space_;

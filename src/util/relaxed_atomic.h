@@ -1,0 +1,57 @@
+#ifndef BULKDEL_UTIL_RELAXED_ATOMIC_H_
+#define BULKDEL_UTIL_RELAXED_ATOMIC_H_
+
+#include <atomic>
+
+namespace bulkdel {
+
+/// Integer counter whose every access is a relaxed atomic operation.
+///
+/// Planner statistics (tuple/page counts, index entry counts, tree height)
+/// are read by EXPLAIN and statement planning while concurrent updater
+/// transactions mutate them under the table/index latches. The values are
+/// advisory — any recent un-torn value gives a valid plan — so the accesses
+/// need atomicity, not ordering. Unlike std::atomic, this wrapper is
+/// copyable/movable so the owning objects (HeapTable, BTree) stay movable.
+template <typename T>
+class RelaxedAtomic {
+ public:
+  constexpr RelaxedAtomic(T v = T()) : value_(v) {}
+  RelaxedAtomic(const RelaxedAtomic& other) : value_(other.load()) {}
+  RelaxedAtomic& operator=(const RelaxedAtomic& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedAtomic& operator=(T v) {
+    store(v);
+    return *this;
+  }
+
+  operator T() const { return load(); }
+  T load() const { return value_.load(std::memory_order_relaxed); }
+  void store(T v) { value_.store(v, std::memory_order_relaxed); }
+
+  RelaxedAtomic& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedAtomic& operator--() {
+    value_.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedAtomic& operator+=(T v) {
+    value_.fetch_add(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedAtomic& operator-=(T v) {
+    value_.fetch_sub(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<T> value_;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_UTIL_RELAXED_ATOMIC_H_

@@ -204,5 +204,72 @@ TEST_F(BufferPoolTest, MovedGuardReleasesOnce) {
   EXPECT_TRUE(pool_.DeletePage(id).ok());
 }
 
+TEST_F(BufferPoolTest, MoveAssignReleasesPreviousPin) {
+  auto a = pool_.NewPage();
+  auto b = pool_.NewPage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  PageId a_id = a->page_id();
+  PageId b_id = b->page_id();
+
+  *a = std::move(*b);  // must unpin a's original page, then take over b's
+  EXPECT_EQ(a->page_id(), b_id);
+  EXPECT_TRUE(a->valid());
+  EXPECT_FALSE(b->valid());
+  // b is moved-from: it must not report the stale page id.
+  EXPECT_EQ(b->page_id(), kInvalidPageId);
+
+  // a's original page was unpinned by the assignment.
+  EXPECT_TRUE(pool_.DeletePage(a_id).ok());
+  a->Release();
+  EXPECT_TRUE(pool_.DeletePage(b_id).ok());
+}
+
+TEST_F(BufferPoolTest, SelfMoveAssignKeepsGuardValid) {
+  auto guard = pool_.NewPage();
+  ASSERT_TRUE(guard.ok());
+  PageId id = guard->page_id();
+  PageGuard& alias = *guard;
+  *guard = std::move(alias);  // self-move must be a no-op, not a release
+  EXPECT_TRUE(guard->valid());
+  EXPECT_EQ(guard->page_id(), id);
+  EXPECT_NE(guard->data(), nullptr);
+  // Still pinned: DeletePage must refuse.
+  EXPECT_EQ(pool_.DeletePage(id).code(), StatusCode::kFailedPrecondition);
+  guard->Release();
+  EXPECT_TRUE(pool_.DeletePage(id).ok());
+}
+
+TEST_F(BufferPoolTest, DoubleReleaseIsIdempotent) {
+  auto guard = pool_.NewPage();
+  ASSERT_TRUE(guard.ok());
+  PageId id = guard->page_id();
+  guard->Release();
+  EXPECT_FALSE(guard->valid());
+  EXPECT_EQ(guard->page_id(), kInvalidPageId);
+  guard->Release();  // second release: no-op, must not corrupt pin counts
+  // Pin count reached exactly zero: page is deletable, and fetching it anew
+  // still works (the frame was not double-unpinned into a negative count).
+  {
+    auto again = pool_.FetchPage(id);
+    ASSERT_TRUE(again.ok());
+  }
+  EXPECT_TRUE(pool_.DeletePage(id).ok());
+}
+
+TEST_F(BufferPoolTest, ReleaseThenDestructorDoesNotDoubleUnpin) {
+  PageId shared;
+  {
+    auto first = pool_.NewPage();
+    shared = first->page_id();
+    // Two pins on the same page; releasing one explicitly and letting the
+    // other die must leave exactly zero pins — not minus one.
+    auto second = pool_.FetchPage(shared);
+    ASSERT_TRUE(second.ok());
+    second->Release();
+    second->Release();
+  }
+  EXPECT_TRUE(pool_.DeletePage(shared).ok());
+}
+
 }  // namespace
 }  // namespace bulkdel
