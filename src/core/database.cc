@@ -29,6 +29,12 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
                                            db->options_.memory_budget_bytes);
   db->catalog_ = std::make_unique<Catalog>(db->pool_.get());
   db->locks_ = std::make_unique<LockManager>();
+  if (db->options_.fault_injector != nullptr) {
+    FaultInjector* injector = db->options_.fault_injector.get();
+    db->disk_->SetFaultInjector(injector);
+    db->pool_->SetFaultInjector(injector);
+    db->log_->SetFaultInjector(injector);
+  }
   BULKDEL_RETURN_IF_ERROR(db->catalog_->Format());
   if (db->options_.enable_recovery_log) {
     LogManager* log = db->log_.get();

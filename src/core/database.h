@@ -10,6 +10,7 @@
 
 #include "core/catalog.h"
 #include "core/report.h"
+#include "fault/fault_injector.h"
 #include "plan/planner.h"
 #include "recovery/log_manager.h"
 #include "storage/buffer_pool.h"
@@ -48,6 +49,11 @@ struct DatabaseOptions {
   /// guarantee that two runnable workers interleave within a short phase).
   /// Must not throw; must not block when `exec_threads == 1`.
   std::function<void(const std::string& phase_name)> phase_begin_hook;
+  /// Deterministic fault injection (crash-recovery testing): wired through
+  /// the disk, buffer-pool, log-sync and executor checkpoint paths. Shared
+  /// so the test harness keeps control of arming/disarming. Null in normal
+  /// operation — the hot paths then pay a single pointer test.
+  std::shared_ptr<FaultInjector> fault_injector;
   /// Backing file; empty = in-memory (deterministic benchmarks).
   std::string path;
 };
@@ -149,6 +155,13 @@ class Database {
       return Status::Aborted("injected crash at phase " + phase);
     }
     return Status::OK();
+  }
+
+  FaultInjector* fault_injector() { return options_.fault_injector.get(); }
+  /// Fault-site hook for executor-level sites; no-op without an injector.
+  Status CheckFault(const char* site, const std::string& detail = {}) {
+    FaultInjector* injector = options_.fault_injector.get();
+    return injector != nullptr ? injector->Check(site, detail) : Status::OK();
   }
 
   DiskManager& disk() { return *disk_; }

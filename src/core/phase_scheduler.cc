@@ -5,9 +5,21 @@
 #include <mutex>
 #include <thread>
 
+#include "core/database.h"
+#include "fault/fault_injector.h"
+
 namespace bulkdel {
 
 namespace {
+
+/// `sched.phase_start` injection site, hit once per dispatched phase body on
+/// the thread that is about to run it (serial and worker-pool paths alike).
+/// Tests drive the scheduler without a database; then there is no injector.
+Status CheckDispatchFault(ExecContext* ctx, const PhaseTask& task) {
+  Database* db = ctx->db();
+  if (db == nullptr) return Status::OK();
+  return db->CheckFault(fault_sites::kSchedPhaseStart, task.label);
+}
 
 Status ValidateDag(const std::vector<PhaseTask>& tasks) {
   for (size_t i = 0; i < tasks.size(); ++i) {
@@ -28,7 +40,8 @@ Status ValidateDag(const std::vector<PhaseTask>& tasks) {
 Status RunSerial(const std::vector<PhaseTask>& tasks, ExecContext* ctx) {
   for (const PhaseTask& task : tasks) {
     if (ctx->cancelled()) return ctx->cancel_cause();
-    Status s = task.body();
+    Status s = CheckDispatchFault(ctx, task);
+    if (s.ok()) s = task.body();
     if (!s.ok()) {
       ctx->RequestCancel(s);
       return s;
@@ -86,7 +99,8 @@ Status RunParallel(const std::vector<PhaseTask>& tasks, int threads,
       state.ready.pop_back();
       lock.unlock();
 
-      Status s = tasks[static_cast<size_t>(task)].body();
+      Status s = CheckDispatchFault(ctx, tasks[static_cast<size_t>(task)]);
+      if (s.ok()) s = tasks[static_cast<size_t>(task)].body();
 
       lock.lock();
       if (!s.ok()) {

@@ -262,11 +262,17 @@ class VerticalRun {
       }
     }
     if (!logging_) return Status::OK();
+    BULKDEL_RETURN_IF_ERROR(
+        db_->CheckFault(fault_sites::kExecCheckpoint, label));
     BULKDEL_RETURN_IF_ERROR(table_->table->FlushMeta());
     for (auto& index : table_->indices) {
       BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
     }
     BULKDEL_RETURN_IF_ERROR(db_->pool().FlushAll());
+    // Crash window: the phase's page writes are durable but its PhaseDone
+    // record is not — recovery must re-run the phase idempotently.
+    BULKDEL_RETURN_IF_ERROR(
+        db_->CheckFault(fault_sites::kExecCheckpointPostFlush, label));
     LogRecord rec;
     rec.type = LogRecordType::kPhaseDone;
     rec.bd_id = bd_id_;
@@ -552,6 +558,7 @@ class VerticalRun {
       }
       return Status::OK();
     }
+    BULKDEL_RETURN_IF_ERROR(db_->CheckFault(fault_sites::kExecCommit));
     if (logging_) {
       LogRecord rec;
       rec.type = LogRecordType::kCommit;
@@ -581,6 +588,10 @@ class VerticalRun {
   /// here, just before the End record.
   Status FinishRun() {
     PhaseScope scope(ctx_, "finalize");
+    // Crash window: every phase body has completed, but in parallel mode the
+    // secondary checkpoints are still deferred (volatile) — recovery must
+    // re-run those phases idempotently from the checkpointed feeds.
+    BULKDEL_RETURN_IF_ERROR(db_->CheckFault(fault_sites::kExecFinalize));
     BULKDEL_RETURN_IF_ERROR(table_->table->FlushMeta());
     for (auto& index : table_->indices) {
       BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
@@ -595,6 +606,10 @@ class VerticalRun {
         db_->log().Append(std::move(rec));
       }
       deferred_checkpoints_.clear();
+      // Crash window: deferred PhaseDone records are appended (volatile) but
+      // the End record is not yet durable.
+      BULKDEL_RETURN_IF_ERROR(
+          db_->CheckFault(fault_sites::kExecFinalizePreEnd));
       LogRecord rec;
       rec.type = LogRecordType::kEnd;
       rec.bd_id = bd_id_;

@@ -1,0 +1,466 @@
+#include "fault/crash_sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <random>
+#include <utility>
+
+#include "core/database.h"
+#include "workload/generator.h"
+
+namespace bulkdel {
+
+namespace {
+
+/// Logical content of a database: every live row (rid + column values) and
+/// every index's (key, rid) entry set. Two runs that end in the same logical
+/// state produce identical digests regardless of physical node layout.
+struct StateDigest {
+  /// Each entry: [rid.Pack(), col0, col1, ...]; sorted.
+  std::vector<std::vector<int64_t>> rows;
+  /// index name -> sorted (key, packed rid) pairs.
+  std::vector<std::pair<std::string, std::vector<std::pair<int64_t, uint64_t>>>>
+      indices;
+};
+
+Status CaptureDigest(Database* db, const std::string& table_name,
+                     StateDigest* out) {
+  out->rows.clear();
+  out->indices.clear();
+  TableDef* table = db->GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("digest: no table " + table_name);
+  }
+  const Schema& schema = *table->schema;
+  BULKDEL_RETURN_IF_ERROR(
+      table->table->Scan([&](const Rid& rid, const char* tuple) {
+        std::vector<int64_t> row;
+        row.reserve(schema.num_columns() + 1);
+        row.push_back(static_cast<int64_t>(rid.Pack()));
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          row.push_back(schema.GetInt(tuple, c));
+        }
+        out->rows.push_back(std::move(row));
+        return Status::OK();
+      }));
+  std::sort(out->rows.begin(), out->rows.end());
+  for (const auto& index : table->indices) {
+    std::vector<std::pair<int64_t, uint64_t>> entries;
+    BULKDEL_RETURN_IF_ERROR(
+        index->tree->ScanAll([&](int64_t key, const Rid& rid, uint16_t) {
+          entries.emplace_back(key, rid.Pack());
+          return Status::OK();
+        }));
+    std::sort(entries.begin(), entries.end());
+    out->indices.emplace_back(index->name, std::move(entries));
+  }
+  return Status::OK();
+}
+
+bool DigestsEqual(const StateDigest& a, const StateDigest& b) {
+  return a.rows == b.rows && a.indices == b.indices;
+}
+
+/// Human-readable first difference, for failure reports.
+std::string DescribeDiff(const StateDigest& ref, const StateDigest& got) {
+  if (ref.rows.size() != got.rows.size()) {
+    return "row count " + std::to_string(got.rows.size()) + " != reference " +
+           std::to_string(ref.rows.size());
+  }
+  for (size_t i = 0; i < ref.rows.size(); ++i) {
+    if (ref.rows[i] != got.rows[i]) {
+      return "row #" + std::to_string(i) + " differs (rid " +
+             std::to_string(got.rows[i].empty() ? -1 : got.rows[i][0]) + ")";
+    }
+  }
+  if (ref.indices.size() != got.indices.size()) {
+    return "index count differs";
+  }
+  for (size_t i = 0; i < ref.indices.size(); ++i) {
+    if (ref.indices[i].first != got.indices[i].first) {
+      return "index name mismatch at #" + std::to_string(i);
+    }
+    if (ref.indices[i].second != got.indices[i].second) {
+      return "index " + ref.indices[i].first + " entries differ (" +
+             std::to_string(got.indices[i].second.size()) + " vs reference " +
+             std::to_string(ref.indices[i].second.size()) + ")";
+    }
+  }
+  return "digests equal";
+}
+
+std::vector<std::string> IndexedColumns(const SweepConfig& config) {
+  std::vector<std::string> columns;
+  for (int c = 0; c < config.n_int_columns; ++c) {
+    columns.push_back(std::string(1, static_cast<char>('A' + c)));
+  }
+  return columns;
+}
+
+/// One prepared, checkpointed database ready to run the sweep's statement.
+struct CaseSetup {
+  std::unique_ptr<Database> db;
+  std::shared_ptr<FaultInjector> injector;
+  BulkDeleteSpec spec;
+};
+
+Status PrepareCase(const SweepConfig& config, int threads, bool with_injector,
+                   CaseSetup* out) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = config.memory_budget_bytes;
+  options.enable_recovery_log = true;
+  options.exec_threads = threads;
+  if (with_injector) {
+    out->injector = std::make_shared<FaultInjector>(config.injector_seed);
+    options.fault_injector = out->injector;
+  }
+  auto db = Database::Create(options);
+  BULKDEL_RETURN_IF_ERROR(db.status());
+  out->db = std::move(db).TakeValue();
+
+  WorkloadSpec spec;
+  spec.n_tuples = config.n_tuples;
+  spec.n_int_columns = config.n_int_columns;
+  spec.tuple_size = config.tuple_size;
+  spec.seed = config.workload_seed;
+  auto workload =
+      SetUpPaperDatabase(out->db.get(), spec, IndexedColumns(config));
+  BULKDEL_RETURN_IF_ERROR(workload.status());
+  BULKDEL_RETURN_IF_ERROR(out->db->Checkpoint());
+
+  out->spec.table = spec.table_name;
+  out->spec.key_column = "A";
+  out->spec.keys = workload.value().MakeDeleteKeys(config.delete_fraction,
+                                                   config.delete_keys_seed);
+  return Status::OK();
+}
+
+const char* ModeFlagName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kCrash:
+      return "crash";
+    case FaultMode::kTornWrite:
+      return "torn";
+    case FaultMode::kShortWrite:
+      return "short";
+  }
+  return "unknown";
+}
+
+/// The identity of one sweep case, and a command line that reproduces it.
+std::string CaseName(const SweepConfig& config, Strategy strategy, int threads,
+                     const std::string& site, uint64_t occurrence,
+                     FaultMode mode) {
+  std::string name = "strategy=";
+  name += StrategyName(strategy);
+  name += " threads=" + std::to_string(threads);
+  name += " site=" + site;
+  name += " occurrence=" + std::to_string(occurrence);
+  name += " mode=";
+  name += ModeFlagName(mode);
+  name += " seeds=" + std::to_string(config.workload_seed) + "/" +
+          std::to_string(config.delete_keys_seed) + "/" +
+          std::to_string(config.injector_seed);
+  return name;
+}
+
+std::string ReproCommand(const SweepConfig& config, Strategy strategy,
+                         int threads, const std::string& site,
+                         uint64_t occurrence, FaultMode mode) {
+  std::string cmd = "bulkdel_crashsweep --strategy=";
+  cmd += StrategyName(strategy);
+  cmd += " --threads=" + std::to_string(threads);
+  cmd += " --site=" + site;
+  cmd += " --occurrence=" + std::to_string(occurrence);
+  cmd += " --mode=";
+  cmd += ModeFlagName(mode);
+  cmd += " --workload-seed=" + std::to_string(config.workload_seed);
+  cmd += " --keys-seed=" + std::to_string(config.delete_keys_seed);
+  cmd += " --injector-seed=" + std::to_string(config.injector_seed);
+  return cmd;
+}
+
+enum class CaseOutcome { kPassed, kUnreached, kFailed };
+
+/// Runs one armed case end to end. `reference` is the uninjected post-delete
+/// digest. On failure, `*why` explains what broke.
+CaseOutcome RunOneCase(const SweepConfig& config, Strategy strategy,
+                       int threads, const std::string& site,
+                       uint64_t occurrence, FaultMode mode,
+                       const StateDigest& reference, std::string* why) {
+  CaseSetup setup;
+  Status s = PrepareCase(config, threads, /*with_injector=*/true, &setup);
+  if (!s.ok()) {
+    *why = "setup failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  StateDigest pre_digest;
+  s = CaptureDigest(setup.db.get(), setup.spec.table, &pre_digest);
+  if (!s.ok()) {
+    *why = "pre-digest failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+
+  // Count only delete-statement occurrences: load and checkpoint traffic
+  // passed through the same sites and must not shift the numbering.
+  setup.injector->ResetCounts();
+  setup.injector->Arm(site.c_str(), occurrence, mode);
+  auto report = setup.db->BulkDelete(setup.spec, strategy);
+
+  if (!setup.injector->tripped()) {
+    setup.injector->Disarm();
+    if (!report.ok()) {
+      *why = "uninjected-path delete failed: " + report.status().ToString();
+      return CaseOutcome::kFailed;
+    }
+    // The armed occurrence was never reached. Deterministic (= a harness
+    // bug) in serial mode; a legal interleaving effect in parallel mode.
+    if (threads <= 1) {
+      *why = "serial run never reached the armed occurrence";
+      return CaseOutcome::kFailed;
+    }
+    return CaseOutcome::kUnreached;
+  }
+  if (report.ok()) {
+    *why = "fault tripped [" + setup.injector->trip_description() +
+           "] but BulkDelete reported success";
+    return CaseOutcome::kFailed;
+  }
+
+  // The process is "down": drop volatile state, reopen, roll forward.
+  setup.injector->Disarm();
+  s = setup.db->SimulateCrashAndRecover();
+  if (!s.ok()) {
+    *why = "recovery failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  s = setup.db->VerifyIntegrity();
+  if (!s.ok()) {
+    *why = "post-recovery integrity check failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  if (setup.db->log().durable_size() != 0) {
+    *why = "recovery left " + std::to_string(setup.db->log().durable_size()) +
+           " log records behind";
+    return CaseOutcome::kFailed;
+  }
+
+  StateDigest recovered;
+  s = CaptureDigest(setup.db.get(), setup.spec.table, &recovered);
+  if (!s.ok()) {
+    *why = "post-recovery digest failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  // Roll-forward either finished the statement (post-delete state) or — when
+  // the crash preceded the delete list becoming durable — legitimately
+  // dropped it whole (pre-delete state). Anything in between is corruption.
+  if (DigestsEqual(recovered, reference) ||
+      DigestsEqual(recovered, pre_digest)) {
+    return CaseOutcome::kPassed;
+  }
+  *why = "recovered state matches neither the completed delete nor the "
+         "untouched database: vs post: " +
+         DescribeDiff(reference, recovered) +
+         "; vs pre: " + DescribeDiff(pre_digest, recovered);
+  return CaseOutcome::kFailed;
+}
+
+/// Evenly spaced sample of 1..count, always including 1 and count.
+/// budget == 0 means exhaustive.
+std::vector<uint64_t> SampleOccurrences(uint64_t count, uint64_t budget) {
+  std::vector<uint64_t> out;
+  if (count == 0) return out;
+  if (budget == 0 || count <= budget) {
+    for (uint64_t i = 1; i <= count; ++i) out.push_back(i);
+    return out;
+  }
+  for (uint64_t i = 0; i < budget; ++i) {
+    uint64_t occurrence = 1 + (i * (count - 1)) / (budget - 1);
+    if (out.empty() || out.back() != occurrence) out.push_back(occurrence);
+  }
+  return out;
+}
+
+/// Runs the statement uninjected (but with a counting injector installed) to
+/// learn how many times each site fires for this (strategy, threads) pair,
+/// and cross-checks its end state against the reference digest.
+Status CountOccurrences(const SweepConfig& config, Strategy strategy,
+                        int threads, const StateDigest& reference,
+                        std::map<std::string, uint64_t>* counts) {
+  CaseSetup setup;
+  BULKDEL_RETURN_IF_ERROR(
+      PrepareCase(config, threads, /*with_injector=*/true, &setup));
+  setup.injector->ResetCounts();
+  auto report = setup.db->BulkDelete(setup.spec, strategy);
+  BULKDEL_RETURN_IF_ERROR(report.status());
+  // Snapshot before the digest capture below: its scans hit `disk.read` too
+  // and must not inflate the statement's occurrence counts.
+  *counts = setup.injector->HitCounts();
+  StateDigest digest;
+  BULKDEL_RETURN_IF_ERROR(
+      CaptureDigest(setup.db.get(), setup.spec.table, &digest));
+  if (!DigestsEqual(digest, reference)) {
+    return Status::Internal(
+        std::string("counting run for ") + StrategyName(strategy) +
+        " diverged from the reference state: " +
+        DescribeDiff(reference, digest));
+  }
+  return Status::OK();
+}
+
+/// The uninjected post-delete state; strategy-independent (all strategies
+/// delete the same rows), so one serial reference run serves the whole sweep.
+Status CaptureReference(const SweepConfig& config, StateDigest* reference) {
+  CaseSetup setup;
+  BULKDEL_RETURN_IF_ERROR(
+      PrepareCase(config, /*threads=*/1, /*with_injector=*/false, &setup));
+  auto report =
+      setup.db->BulkDelete(setup.spec, Strategy::kVerticalSortMerge);
+  BULKDEL_RETURN_IF_ERROR(report.status());
+  BULKDEL_RETURN_IF_ERROR(setup.db->VerifyIntegrity());
+  return CaptureDigest(setup.db.get(), setup.spec.table, reference);
+}
+
+void RecordOutcome(const SweepConfig& config, Strategy strategy, int threads,
+                   const std::string& site, uint64_t occurrence,
+                   FaultMode mode, CaseOutcome outcome, const std::string& why,
+                   SweepStats* stats) {
+  std::string name =
+      CaseName(config, strategy, threads, site, occurrence, mode);
+  switch (outcome) {
+    case CaseOutcome::kPassed:
+      ++stats->cases_run;
+      if (config.verbose) std::printf("PASS  %s\n", name.c_str());
+      break;
+    case CaseOutcome::kUnreached:
+      ++stats->cases_unreached;
+      if (config.verbose) std::printf("SKIP  %s (occurrence unreached)\n",
+                                      name.c_str());
+      break;
+    case CaseOutcome::kFailed: {
+      ++stats->cases_run;
+      ++stats->failures;
+      std::string report = "FAILED [" + name + "]: " + why + "\n  repro: " +
+                           ReproCommand(config, strategy, threads, site,
+                                        occurrence, mode);
+      std::printf("%s\n", report.c_str());
+      stats->failure_reports.push_back(std::move(report));
+      break;
+    }
+  }
+}
+
+bool ModeMatchesFilter(const SweepConfig& config, FaultMode mode) {
+  return config.only_mode.empty() || config.only_mode == ModeFlagName(mode);
+}
+
+}  // namespace
+
+std::string SweepStats::Summary() const {
+  return std::to_string(cases_run) + " cases, " + std::to_string(failures) +
+         " failures, " + std::to_string(cases_unreached) +
+         " occurrences unreached";
+}
+
+Status RunCrashSweep(const SweepConfig& config, SweepStats* stats) {
+  StateDigest reference;
+  BULKDEL_RETURN_IF_ERROR(CaptureReference(config, &reference));
+
+  for (Strategy strategy : config.strategies) {
+    for (int threads : config.thread_counts) {
+      std::map<std::string, uint64_t> counts;
+      BULKDEL_RETURN_IF_ERROR(
+          CountOccurrences(config, strategy, threads, reference, &counts));
+      for (const FaultSiteInfo& site : FaultInjector::KnownSites()) {
+        if (!config.only_site.empty() && config.only_site != site.name) {
+          continue;
+        }
+        uint64_t count = 0;
+        auto it = counts.find(site.name);
+        if (it != counts.end()) count = it->second;
+        if (count == 0 && config.only_occurrence == 0) continue;
+
+        std::vector<uint64_t> occurrences;
+        if (config.only_occurrence != 0) {
+          occurrences.push_back(config.only_occurrence);
+        } else {
+          occurrences =
+              SampleOccurrences(count, config.occurrences_per_site);
+        }
+        for (uint64_t occurrence : occurrences) {
+          // Fail-stop crashes everywhere. Torn/short *data-page* writes are
+          // not recoverable without page checksums (docs/FAULTS.md) and are
+          // exercised by unit tests instead; torn *log* syncs are sound
+          // under the WAL rule and are swept below.
+          if (ModeMatchesFilter(config, FaultMode::kCrash)) {
+            std::string why;
+            CaseOutcome outcome =
+                RunOneCase(config, strategy, threads, site.name, occurrence,
+                           FaultMode::kCrash, reference, &why);
+            RecordOutcome(config, strategy, threads, site.name, occurrence,
+                          FaultMode::kCrash, outcome, why, stats);
+          }
+          if (config.include_torn_log_sync &&
+              std::string(site.name) == fault_sites::kLogSync &&
+              ModeMatchesFilter(config, FaultMode::kTornWrite)) {
+            std::string why;
+            CaseOutcome outcome =
+                RunOneCase(config, strategy, threads, site.name, occurrence,
+                           FaultMode::kTornWrite, reference, &why);
+            RecordOutcome(config, strategy, threads, site.name, occurrence,
+                          FaultMode::kTornWrite, outcome, why, stats);
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RunTortureSweep(const SweepConfig& config, int seconds, uint64_t seed,
+                       SweepStats* stats) {
+  StateDigest reference;
+  BULKDEL_RETURN_IF_ERROR(CaptureReference(config, &reference));
+
+  // Occurrence counts per (strategy, threads), learned lazily.
+  std::map<std::pair<int, int>, std::map<std::string, uint64_t>> count_cache;
+  std::mt19937_64 rng(seed);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(seconds);
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    Strategy strategy =
+        config.strategies[rng() % config.strategies.size()];
+    int threads = config.thread_counts[rng() % config.thread_counts.size()];
+    auto cache_key = std::make_pair(static_cast<int>(strategy), threads);
+    auto cached = count_cache.find(cache_key);
+    if (cached == count_cache.end()) {
+      std::map<std::string, uint64_t> counts;
+      BULKDEL_RETURN_IF_ERROR(
+          CountOccurrences(config, strategy, threads, reference, &counts));
+      cached = count_cache.emplace(cache_key, std::move(counts)).first;
+    }
+    const auto& counts = cached->second;
+    const auto& sites = FaultInjector::KnownSites();
+    const FaultSiteInfo& site = sites[rng() % sites.size()];
+    auto it = counts.find(site.name);
+    if (it == counts.end() || it->second == 0) continue;
+    uint64_t occurrence = 1 + rng() % it->second;
+    FaultMode mode = FaultMode::kCrash;
+    if (config.include_torn_log_sync &&
+        std::string(site.name) == fault_sites::kLogSync && rng() % 2 == 0) {
+      mode = FaultMode::kTornWrite;
+    }
+    std::string why;
+    CaseOutcome outcome = RunOneCase(config, strategy, threads, site.name,
+                                     occurrence, mode, reference, &why);
+    RecordOutcome(config, strategy, threads, site.name, occurrence, mode,
+                  outcome, why, stats);
+  }
+  return Status::OK();
+}
+
+}  // namespace bulkdel

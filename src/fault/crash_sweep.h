@@ -1,0 +1,92 @@
+#ifndef BULKDEL_FAULT_CRASH_SWEEP_H_
+#define BULKDEL_FAULT_CRASH_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "plan/plan.h"
+#include "util/status.h"
+
+namespace bulkdel {
+
+/// Configuration of one crash-recovery sweep (see docs/FAULTS.md).
+///
+/// A sweep fixes a workload, then for each (strategy, exec_threads) pair:
+///   1. runs the bulk delete once uninjected to capture the reference
+///      post-delete state and the per-site fault-occurrence counts,
+///   2. for every known site and a sample of its occurrences, re-runs the
+///      statement from a fresh database with a crash armed at
+///      (site, occurrence), simulates the crash, recovers, and
+///   3. asserts the recovered state is exactly the reference post-delete
+///      state — or, when the crash preceded the delete list becoming
+///      durable, exactly the pre-delete state (the statement atomically
+///      never happened).
+struct SweepConfig {
+  // Workload shape. Small by default: the sweep multiplies every occurrence
+  // by a full load + delete + recovery cycle.
+  uint64_t n_tuples = 1200;
+  int n_int_columns = 3;
+  uint32_t tuple_size = 64;
+  double delete_fraction = 0.25;
+  /// Small on purpose: forces buffer-pool evictions and disk reads during
+  /// the delete so `pool.evict` / `disk.read` sites actually fire.
+  size_t memory_budget_bytes = 128u << 10;
+  uint64_t workload_seed = 20010407;
+  uint64_t delete_keys_seed = 7;
+  /// Seeds the injector's partial-write RNG (torn log tails).
+  uint64_t injector_seed = 1;
+
+  std::vector<Strategy> strategies = {Strategy::kVerticalSortMerge,
+                                      Strategy::kVerticalHash,
+                                      Strategy::kVerticalPartitionedHash};
+  std::vector<int> thread_counts = {1, 4};
+
+  /// Max occurrences tested per site (evenly spaced, always including the
+  /// first and the last). 0 = exhaustive — every single occurrence.
+  uint64_t occurrences_per_site = 6;
+
+  /// Also sweep `log.sync` in torn-write mode (a random prefix of the batch
+  /// becomes durable plus one half-written record recovery must discard).
+  bool include_torn_log_sync = true;
+
+  /// Restrict the sweep to one site / one occurrence / one mode (repro
+  /// mode; empty/0 = no restriction). `only_mode` is "crash" or "torn".
+  std::string only_site;
+  uint64_t only_occurrence = 0;
+  std::string only_mode;
+
+  /// Print one line per case to stdout.
+  bool verbose = false;
+};
+
+/// Outcome counters plus a human-readable report per failed case. Each
+/// report names the exact (strategy, threads, site, occurrence, mode, seeds)
+/// and the bulkdel_crashsweep command line that reproduces it.
+struct SweepStats {
+  uint64_t cases_run = 0;
+  /// Armed occurrences that were never reached. Impossible for serial runs
+  /// (counted as failures there); legal under exec_threads > 1 where the
+  /// interleaving can shift per-site counts between runs.
+  uint64_t cases_unreached = 0;
+  uint64_t failures = 0;
+  std::vector<std::string> failure_reports;
+
+  std::string Summary() const;
+};
+
+/// Runs the deterministic sweep. Returns non-OK iff the harness itself
+/// breaks (e.g. the uninjected reference run fails); injected-case failures
+/// are reported through `stats`.
+Status RunCrashSweep(const SweepConfig& config, SweepStats* stats);
+
+/// Time-bounded randomized variant: repeatedly picks a random
+/// (strategy, threads, site, occurrence) — seeded, so a failing pick is
+/// reproducible from the reported case — until `seconds` elapse.
+Status RunTortureSweep(const SweepConfig& config, int seconds, uint64_t seed,
+                       SweepStats* stats);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_FAULT_CRASH_SWEEP_H_

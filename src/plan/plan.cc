@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "fault/fault_injector.h"
+
 namespace bulkdel {
 
 const char* StrategyName(Strategy s) {
@@ -101,6 +103,21 @@ std::string BulkDeletePlan::Explain() const {
       ++depth;
     }
     out += "\n";
+  }
+  // Crash-testing aid: the enumerable fault-injection sites an execution of
+  // this plan passes through (see docs/FAULTS.md; arm with
+  // bulkdel_crashsweep --site=NAME --occurrence=N).
+  bool vertical = strategy == Strategy::kVerticalSortMerge ||
+                  strategy == Strategy::kVerticalHash ||
+                  strategy == Strategy::kVerticalPartitionedHash;
+  if (vertical) {
+    out += "  fault sites:";
+    for (const FaultSiteInfo& site : FaultInjector::KnownSites()) {
+      out += " ";
+      out += site.name;
+      if (site.supports_write_modes) out += "*";
+    }
+    out += "  (* = torn/short write modes)\n";
   }
   return out;
 }

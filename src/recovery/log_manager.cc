@@ -4,6 +4,47 @@
 
 namespace bulkdel {
 
+void LogManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (injector_ != nullptr) {
+    if (injector_->tripped()) return;  // a dead process syncs nothing
+    FaultInjector::Hit hit;
+    Status s = injector_->CheckWrite(
+        fault_sites::kLogSync, &hit,
+        std::to_string(volatile_.size()) + " pending record(s)");
+    if (!s.ok()) return;  // kCrash fired: the whole batch is lost
+    if (hit.fire) {
+      // The crash hit mid-sync: a random prefix of the batch is fully
+      // durable; the next record is half-written and lands flagged torn. The
+      // rest of the tail (and everything appended later) never reaches disk.
+      if (!volatile_.empty()) {
+        size_t full = hit.rng % volatile_.size();
+        for (size_t i = 0; i < full; ++i) {
+          durable_.push_back(std::move(volatile_[i]));
+        }
+        durable_.push_back(std::move(volatile_[full]));
+        durable_.back().torn = true;
+      }
+      volatile_.clear();
+      return;
+    }
+  }
+  for (LogRecord& r : volatile_) durable_.push_back(std::move(r));
+  volatile_.clear();
+}
+
+size_t LogManager::DropTornTail() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < durable_.size(); ++i) {
+    if (durable_[i].torn) {
+      size_t dropped = durable_.size() - i;
+      durable_.resize(i);
+      return dropped;
+    }
+  }
+  return 0;
+}
+
 void LogManager::TruncateCompleted() {
   std::lock_guard<std::mutex> lock(mu_);
   std::set<uint64_t> completed;

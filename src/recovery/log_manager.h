@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "storage/page.h"
 #include "table/rid.h"
 
@@ -47,6 +48,10 @@ struct LogRecord {
   int64_t key = 0;              ///< kEntryDeleted
   Rid rid;                      ///< kEntryDeleted / kRowDeleted
   std::vector<int64_t> values;  ///< kRowDeleted: projected index keys
+  /// The record was only half-written when a crash interrupted the sync (in
+  /// a real log: the trailing record whose checksum does not verify). A log
+  /// scan must treat the log as ending just *before* the first torn record.
+  bool torn = false;
 };
 
 /// Append-only log with explicit durability. Appended records are volatile
@@ -66,17 +71,30 @@ class LogManager {
     volatile_.push_back(std::move(record));
   }
 
-  /// Makes every appended record durable.
-  void Sync() {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (LogRecord& r : volatile_) durable_.push_back(std::move(r));
-    volatile_.clear();
-  }
+  /// Makes every appended record durable. Under an armed fault injector the
+  /// sync can be interrupted (`log.sync` site): nothing survives (kCrash) or
+  /// only a prefix does, with the next record reaching the durable log
+  /// half-written — flagged `torn` (kTornWrite). Once the injector is
+  /// tripped, Sync is a no-op: a dead process syncs nothing.
+  void Sync();
 
   /// Crash simulation: lose the un-synced tail.
   void DropVolatileTail() {
     std::lock_guard<std::mutex> lock(mu_);
     volatile_.clear();
+  }
+
+  /// Restart log scan hygiene: physically discards everything from the first
+  /// torn record onward (a real scan stops at the first checksum mismatch
+  /// and truncates there, so later appends cannot hide behind garbage).
+  /// Returns the number of records discarded.
+  size_t DropTornTail();
+
+  /// Installs a fault injector on the sync path (nullptr = none; must
+  /// outlive the LogManager).
+  void SetFaultInjector(FaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_ = injector;
   }
 
   std::vector<LogRecord> DurableSnapshot() const {
@@ -97,6 +115,7 @@ class LogManager {
   uint64_t last_bd_id_ = 0;
   std::vector<LogRecord> durable_;
   std::vector<LogRecord> volatile_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace bulkdel

@@ -16,6 +16,9 @@ Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(
   std::map<uint64_t, RecoveredBulkDelete> open;
   std::set<uint64_t> ended;
   for (const LogRecord& r : records) {
+    // A torn record is a half-written tail: the scan ends just before it.
+    // (RecoverDatabase physically truncates these, this is defense in depth.)
+    if (r.torn) break;
     if (r.type == LogRecordType::kEnd) {
       ended.insert(r.bd_id);
       open.erase(r.bd_id);
@@ -64,6 +67,10 @@ Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(
 }  // namespace
 
 Status RecoverDatabase(Database* db) {
+  // A crash during a log sync can leave a half-written trailing record; the
+  // restart scan stops there and truncates, so the log ends at the last
+  // fully durable record.
+  db->log().DropTornTail();
   BULKDEL_ASSIGN_OR_RETURN(auto open,
                            Analyze(db->log().DurableSnapshot()));
   for (auto& [bd_id, state] : open) {

@@ -119,6 +119,9 @@ Status BufferPool::FlushAll() {
   std::sort(dirty.begin(), dirty.end(), [&](size_t a, size_t b) {
     return frames_[a].page_id < frames_[b].page_id;
   });
+  if (!dirty.empty() && injector_ != nullptr) {
+    BULKDEL_RETURN_IF_ERROR(injector_->Check(fault_sites::kPoolFlush));
+  }
   if (!dirty.empty() && pre_writeback_hook_) pre_writeback_hook_();
   for (size_t i : dirty) {
     BULKDEL_RETURN_IF_ERROR(
@@ -198,6 +201,10 @@ Result<size_t> BufferPool::AcquireFrame() {
   Frame& frame = frames_[victim];
   frame.in_lru = false;
   if (frame.dirty) {
+    if (injector_ != nullptr) {
+      BULKDEL_RETURN_IF_ERROR(injector_->Check(
+          fault_sites::kPoolEvict, "page " + std::to_string(frame.page_id)));
+    }
     if (pre_writeback_hook_) pre_writeback_hook_();
     BULKDEL_RETURN_IF_ERROR(
         disk_->WritePage(frame.page_id, frame.data.get()));

@@ -106,6 +106,14 @@ class BufferPool {
     pre_writeback_hook_ = std::move(hook);
   }
 
+  /// Installs a fault injector on the write-back paths (nullptr = none; the
+  /// injector must outlive the pool): `pool.evict` fires before a dirty
+  /// eviction victim is written back, `pool.flush` before a FlushAll sweep.
+  void SetFaultInjector(FaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_ = injector;
+  }
+
   size_t capacity_frames() const { return frames_.size(); }
   size_t budget_bytes() const { return frames_.size() * kPageSize; }
   BufferPoolStats stats() const;
@@ -138,6 +146,7 @@ class BufferPool {
   std::list<size_t> lru_;  // front = most recent, back = victim candidate
   BufferPoolStats stats_;
   std::function<void()> pre_writeback_hook_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace bulkdel

@@ -41,9 +41,13 @@ DiskManager::~DiskManager() {
 
 Result<PageId> DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (injector_ != nullptr && injector_->tripped()) {
+    return injector_->TrippedError();
+  }
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
+    free_set_.erase(id);
     if (fd_ < 0) {
       std::memset(pages_[id].get(), 0, kPageSize);
     }
@@ -62,13 +66,20 @@ Result<PageId> DiskManager::AllocatePage() {
 
 Status DiskManager::FreePage(PageId page_id) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (injector_ != nullptr && injector_->tripped()) {
+    return injector_->TrippedError();
+  }
   BULKDEL_RETURN_IF_ERROR(CheckBounds(page_id));
+  if (!free_set_.insert(page_id).second) return Status::OK();  // already free
   free_list_.push_back(page_id);
   return Status::OK();
 }
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (injector_ != nullptr) {
+    BULKDEL_RETURN_IF_ERROR(injector_->Check(fault_sites::kDiskRead));
+  }
   BULKDEL_RETURN_IF_ERROR(CheckBounds(page_id));
   Account(page_id, /*is_write=*/false);
   if (fd_ < 0) {
@@ -87,6 +98,26 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
 
 Status DiskManager::WritePage(PageId page_id, const char* data) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (injector_ != nullptr) {
+    FaultInjector::Hit hit;
+    BULKDEL_RETURN_IF_ERROR(injector_->CheckWrite(
+        fault_sites::kDiskWrite, &hit, "page " + std::to_string(page_id)));
+    if (hit.fire) {
+      // The crash interrupted this write mid-page: a prefix of the new bytes
+      // reaches the medium, the tail keeps its previous content.
+      Status bounds = CheckBounds(page_id);
+      size_t n = hit.mode == FaultMode::kTornWrite ? kPageSize / 2
+                                                   : hit.rng % kPageSize;
+      if (bounds.ok() && n > 0) {
+        if (fd_ < 0) {
+          std::memcpy(pages_[page_id].get(), data, n);
+        } else {
+          (void)::pwrite(fd_, data, n, static_cast<off_t>(page_id) * kPageSize);
+        }
+      }
+      return injector_->TrippedError();
+    }
+  }
   BULKDEL_RETURN_IF_ERROR(CheckBounds(page_id));
   Account(page_id, /*is_write=*/true);
   if (fd_ < 0) {

@@ -6,8 +6,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "storage/disk_model.h"
 #include "storage/page.h"
 #include "util/result.h"
@@ -142,6 +144,11 @@ class DiskManager {
   Result<PageId> AllocatePage();
 
   /// Returns a page to the free list. Freeing is a metadata operation.
+  /// Idempotent: freeing an already-free page is a no-op. Recovery rolls an
+  /// interrupted bulk delete forward by re-running its phases, and a re-run
+  /// may re-free a leaf whose free preceded the crash while the page write
+  /// unlinking it did not — the second free must not duplicate the page in
+  /// the free list (a duplicate would later be allocated twice).
   Status FreePage(PageId page_id);
 
   /// Reads `kPageSize` bytes of `page_id` into `out`.
@@ -159,6 +166,14 @@ class DiskManager {
   void ResetStats();
   const DiskModel& disk_model() const { return model_; }
 
+  /// Installs a fault injector on the read/write paths (nullptr = none; the
+  /// injector must outlive the DiskManager). Reads and whole-page writes
+  /// check the `disk.read` / `disk.write` sites; a firing `disk.write` in
+  /// torn/short mode leaves the page partially updated before failing, and a
+  /// tripped injector fails every later operation including alloc/free (a
+  /// dead process performs no metadata updates either).
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   Status CheckBounds(PageId page_id) const;
   /// Classifies the access against the previous head position and charges
@@ -170,6 +185,7 @@ class DiskManager {
   static thread_local IoAttribution* tls_attribution_;
 
   DiskModel model_;
+  FaultInjector* injector_ = nullptr;
   mutable std::mutex mu_;
 
   // In-memory backing (used when fd_ < 0).
@@ -180,6 +196,8 @@ class DiskManager {
   uint32_t file_pages_ = 0;
 
   std::vector<PageId> free_list_;
+  /// Mirror of free_list_ for O(1) double-free detection.
+  std::unordered_set<PageId> free_set_;
   IoStats stats_;
   PageId last_accessed_ = kInvalidPageId;
 };

@@ -181,6 +181,44 @@ TEST(RecoveryTest, WalSupersedesLostPageWrites) {
   ExpectFinalState(f);
 }
 
+TEST(RecoveryTest, ParallelCrashBetweenSecondariesAndFinalizeCheckpoint) {
+  // With exec_threads > 1 the per-secondary checkpoints are deferred: each
+  // parallel phase only records its PhaseDone label, and the finalize step
+  // flushes once for all of them. Crash in exactly that window — every
+  // secondary phase has completed, nothing about them is durable yet — and
+  // recovery must re-run them idempotently.
+  Fixture f;
+  DatabaseOptions options = RecoveryOptions();
+  options.exec_threads = 4;
+  auto injector = std::make_shared<FaultInjector>(1);
+  options.fault_injector = injector;
+  f.db = *Database::Create(options);
+  WorkloadSpec spec;
+  spec.n_tuples = 3000;
+  spec.n_int_columns = 3;
+  spec.tuple_size = 64;
+  f.n_tuples = spec.n_tuples;
+  f.workload = *SetUpPaperDatabase(f.db.get(), spec, {"A", "B", "C"});
+  ASSERT_TRUE(f.db->Checkpoint().ok());
+  f.spec.table = "R";
+  f.spec.key_column = "A";
+  f.spec.keys = f.workload.MakeDeleteKeys(0.2, 123);
+  f.doomed.insert(f.spec.keys.begin(), f.spec.keys.end());
+
+  injector->Arm(fault_sites::kExecFinalize, 1);
+  auto report = f.db->BulkDelete(f.spec, Strategy::kVerticalSortMerge);
+  ASSERT_FALSE(report.ok());
+  ASSERT_TRUE(injector->tripped()) << report.status().ToString();
+
+  injector->Disarm();
+  ASSERT_TRUE(f.db->SimulateCrashAndRecover().ok());
+  ExpectFinalState(f);
+  // The re-run is idempotent: crashing again after completion changes
+  // nothing.
+  ASSERT_TRUE(f.db->SimulateCrashAndRecover().ok());
+  ExpectFinalState(f);
+}
+
 TEST(LogManagerTest, SyncAndVolatileTail) {
   LogManager log;
   LogRecord r;

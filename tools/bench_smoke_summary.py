@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Append one BENCH_smoke.json entry from a bench_fig7 trace.
+
+Usage: bench_smoke_summary.py TRACE_JSONL OUT_JSON [COMMIT] [DATE]
+
+Reads the per-run JSONL written by `bench_fig7_vary_deletes --trace-out=...`
+and appends a single summary line to OUT_JSON (itself JSONL: one entry per
+recorded run, so the perf trajectory of the reduced-scale smoke benchmark is
+`git log`-diffable). Per strategy it keeps the simulated minutes of every
+delete fraction, in run order (5/10/15/20%).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path, out_path = sys.argv[1], sys.argv[2]
+    commit = sys.argv[3] if len(sys.argv) > 3 else "unknown"
+    date = sys.argv[4] if len(sys.argv) > 4 else "unknown"
+
+    series = {}
+    with open(trace_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            report = json.loads(line)
+            minutes = report["io"]["simulated_micros"] / 60e6
+            series.setdefault(report["strategy"], []).append(
+                round(minutes, 3))
+
+    if not series:
+        print(f"no trace records in {trace_path}", file=sys.stderr)
+        return 1
+
+    entry = {
+        "bench": "fig7_vary_deletes",
+        "date": date,
+        "commit": commit,
+        "sim_minutes_by_strategy": series,
+    }
+    with open(out_path, "a") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"appended {out_path}: {json.dumps(entry, sort_keys=True)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
