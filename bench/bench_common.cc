@@ -23,12 +23,16 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       config.exec_threads =
           static_cast<int>(std::strtol(arg + 10, nullptr, 10));
       if (config.exec_threads < 1) config.exec_threads = 1;
+    } else if (std::strncmp(arg, "--pool-shards=", 14) == 0) {
+      config.pool_shards = std::strtoull(arg + 14, nullptr, 10);
+    } else if (std::strncmp(arg, "--readahead=", 12) == 0) {
+      config.readahead_pages = std::strtoull(arg + 12, nullptr, 10);
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       config.trace_out = arg + 12;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "flags: --tuples=N --tuple-size=BYTES --seed=N --threads=N "
-          "--trace-out=FILE\n"
+          "--pool-shards=N --readahead=PAGES --trace-out=FILE\n"
           "paper scale: --tuples=1000000 --tuple-size=512\n");
       std::exit(0);
     }
@@ -43,6 +47,8 @@ Result<BenchDb> BuildBenchDb(const BenchConfig& config,
   DatabaseOptions options;
   options.memory_budget_bytes = memory_bytes;
   options.exec_threads = config.exec_threads;
+  options.pool_shards = config.pool_shards;
+  options.readahead_pages = config.readahead_pages;
   BenchDb bench;
   BULKDEL_ASSIGN_OR_RETURN(bench.db, Database::Create(options));
 

@@ -48,6 +48,7 @@ int Run(int argc, char** argv) {
         std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
         return 1;
       }
+      MaybeWriteTrace(config, *report);
       table.AddCell(x, s.name, report->simulated_minutes());
     }
   }

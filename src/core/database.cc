@@ -25,8 +25,16 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
                                               db->options_.disk_model);
   }
   db->log_ = std::make_unique<LogManager>();
-  db->pool_ = std::make_unique<BufferPool>(db->disk_.get(),
-                                           db->options_.memory_budget_bytes);
+  BufferPoolOptions pool_options;
+  pool_options.budget_bytes = db->options_.memory_budget_bytes;
+  // Auto shard choice: parallel phases want striping, the serial executor
+  // gains nothing from it.
+  pool_options.shards = db->options_.pool_shards != 0
+                            ? db->options_.pool_shards
+                            : (db->options_.exec_threads > 1 ? 8 : 1);
+  pool_options.readahead_pages = db->options_.readahead_pages;
+  pool_options.coalesce_writebacks = db->options_.coalesce_writebacks;
+  db->pool_ = std::make_unique<BufferPool>(db->disk_.get(), pool_options);
   db->catalog_ = std::make_unique<Catalog>(db->pool_.get());
   db->locks_ = std::make_unique<LockManager>();
   if (db->options_.fault_injector != nullptr) {
@@ -353,6 +361,7 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
   // attribution and the cancel flag all live here. Cascaded child deletes
   // recurse through BulkDeleteWithCascadePath and get their own context.
   ExecContext ctx(this);
+  std::vector<BufferPoolStats> pool_before = pool_->shard_stats();
   Result<BulkDeleteReport> result = [&]() -> Result<BulkDeleteReport> {
     switch (plan.strategy) {
       case Strategy::kTraditional:
@@ -387,6 +396,13 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
   if (result.ok()) {
     result->cascaded_rows = cascaded_rows;
     if (result->plan_explain.empty()) result->plan_explain = plan.Explain();
+    std::vector<BufferPoolStats> pool_after = pool_->shard_stats();
+    result->pool_shards.resize(pool_after.size());
+    result->pool = BufferPoolStats();
+    for (size_t s = 0; s < pool_after.size(); ++s) {
+      result->pool_shards[s] = pool_after[s] - pool_before[s];
+      result->pool += result->pool_shards[s];
+    }
   }
   return result;
 }
@@ -474,8 +490,19 @@ Result<BulkDeleteReport> Database::BulkUpdateColumn(
     const std::string& table, const std::string& set_column, int64_t delta,
     const std::string& filter_column, int64_t lo, int64_t hi) {
   ExecContext ctx(this);
-  return ExecuteBulkUpdate(&ctx, table, set_column, delta, filter_column, lo,
-                           hi);
+  std::vector<BufferPoolStats> pool_before = pool_->shard_stats();
+  Result<BulkDeleteReport> result =
+      ExecuteBulkUpdate(&ctx, table, set_column, delta, filter_column, lo, hi);
+  if (result.ok()) {
+    std::vector<BufferPoolStats> pool_after = pool_->shard_stats();
+    result->pool_shards.resize(pool_after.size());
+    result->pool = BufferPoolStats();
+    for (size_t s = 0; s < pool_after.size(); ++s) {
+      result->pool_shards[s] = pool_after[s] - pool_before[s];
+      result->pool += result->pool_shards[s];
+    }
+  }
+  return result;
 }
 
 }  // namespace bulkdel

@@ -43,6 +43,19 @@ struct DatabaseOptions {
   /// per-secondary-index phases overlap; simulated I/O totals stay identical
   /// because attribution classifies sequentiality per phase.
   int exec_threads = 1;
+  /// Buffer-pool lock striping: number of sub-pools (see docs/BUFFERPOOL.md).
+  /// 0 = auto: 8 shards when exec_threads > 1, a single shard otherwise. The
+  /// pool clamps the request so tiny budgets never starve a shard.
+  size_t pool_shards = 0;
+  /// Leaf read-ahead window in pages: how far ahead the B-tree leaf passes
+  /// and the heap table's sorted-RID pass prefetch. 0 disables read-ahead.
+  /// Any value keeps simulated I/O identical (see docs/BUFFERPOOL.md).
+  size_t readahead_pages = 0;
+  /// Batch adjacent dirty eviction victims into one sequential write run.
+  /// This changes the simulated write classification (random eviction writes
+  /// become sequential), so it is off by default and excluded from the
+  /// I/O-identity guarantee.
+  bool coalesce_writebacks = false;
   /// Test seam: invoked by every PhaseScope right after the phase's begin
   /// timestamp is taken, on the thread that runs the phase. Lets tests
   /// rendezvous concurrently dispatched phases (a single-CPU host gives no

@@ -98,6 +98,19 @@ void AppendIoStats(std::string* out, const IoStats& io) {
   *out += '}';
 }
 
+void AppendPoolStats(std::string* out, const BufferPoolStats& pool) {
+  *out += '{';
+  AppendField(out, "hits", pool.hits);
+  AppendField(out, "misses", pool.misses);
+  AppendField(out, "evictions", pool.evictions);
+  AppendField(out, "dirty_writebacks", pool.dirty_writebacks);
+  AppendField(out, "prefetched", pool.prefetched);
+  AppendField(out, "prefetch_hits", pool.prefetch_hits);
+  AppendField(out, "coalesced_writebacks", pool.coalesced_writebacks,
+              /*comma=*/false);
+  *out += '}';
+}
+
 // --- Minimal JSON reader (exactly the subset ToJson emits) -----------------
 
 struct JsonValue {
@@ -317,6 +330,18 @@ IoStats IoStatsFromJson(const JsonValue& v) {
   return io;
 }
 
+BufferPoolStats PoolStatsFromJson(const JsonValue& v) {
+  BufferPoolStats pool;
+  pool.hits = v.IntOr("hits");
+  pool.misses = v.IntOr("misses");
+  pool.evictions = v.IntOr("evictions");
+  pool.dirty_writebacks = v.IntOr("dirty_writebacks");
+  pool.prefetched = v.IntOr("prefetched");
+  pool.prefetch_hits = v.IntOr("prefetch_hits");
+  pool.coalesced_writebacks = v.IntOr("coalesced_writebacks");
+  return pool;
+}
+
 Result<Strategy> StrategyFromString(const std::string& name) {
   for (Strategy s :
        {Strategy::kTraditional, Strategy::kTraditionalSorted,
@@ -342,7 +367,14 @@ std::string BulkDeleteReport::ToJson() const {
   AppendField(&out, "wall_micros", wall_micros);
   out += "\"io\":";
   AppendIoStats(&out, io);
-  out += ",\"phases\":[";
+  out += ",\"pool\":";
+  AppendPoolStats(&out, pool);
+  out += ",\"pool_shards\":[";
+  for (size_t i = 0; i < pool_shards.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendPoolStats(&out, pool_shards[i]);
+  }
+  out += "],\"phases\":[";
   for (size_t i = 0; i < phases.size(); ++i) {
     const PhaseStats& p = phases[i];
     if (i > 0) out += ',';
@@ -383,6 +415,17 @@ Result<BulkDeleteReport> BulkDeleteReport::FromJson(const std::string& json) {
   report.plan_explain = root.StringOr("plan_explain");
   if (const JsonValue* io = root.Find("io")) {
     report.io = IoStatsFromJson(*io);
+  }
+  if (const JsonValue* pool = root.Find("pool")) {
+    report.pool = PoolStatsFromJson(*pool);
+  }
+  if (const JsonValue* shards = root.Find("pool_shards")) {
+    if (shards->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument("\"pool_shards\" must be an array");
+    }
+    for (const JsonValue& sv : shards->array) {
+      report.pool_shards.push_back(PoolStatsFromJson(sv));
+    }
   }
   if (const JsonValue* phases = root.Find("phases")) {
     if (phases->kind != JsonValue::Kind::kArray) {

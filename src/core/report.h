@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "plan/plan.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "util/result.h"
 
@@ -54,6 +55,11 @@ struct BulkDeleteReport {
   uint64_t cascaded_rows = 0;
   std::vector<PhaseStats> phases;
   IoStats io;
+  /// Buffer-pool activity during this statement (delta across the run).
+  BufferPoolStats pool;
+  /// Per-shard breakdown of `pool`, in shard-index order. Size equals the
+  /// pool's effective shard count.
+  std::vector<BufferPoolStats> pool_shards;
   int64_t wall_micros = 0;
   std::string plan_explain;
 

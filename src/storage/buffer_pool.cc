@@ -24,8 +24,7 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 
 void PageGuard::MarkDirty() {
   if (pool_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(pool_->mu_);
-  pool_->frames_[frame_].dirty = true;
+  pool_->MarkDirtyFrame(frame_, page_id_);
 }
 
 void PageGuard::Release() {
@@ -40,165 +39,406 @@ void PageGuard::Release() {
   page_id_ = kInvalidPageId;
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t budget_bytes) : disk_(disk) {
-  size_t n = std::max<size_t>(budget_bytes / kPageSize, 4);
-  frames_.resize(n);
-  free_frames_.reserve(n);
-  for (size_t i = n; i-- > 0;) free_frames_.push_back(i);
+BufferPool::BufferPool(DiskManager* disk, BufferPoolOptions options)
+    : disk_(disk), options_(options), budget_bytes_(options.budget_bytes) {
+  total_frames_ = std::max<size_t>(budget_bytes_ / kPageSize, 4);
+  // Clamp the shard count so every shard keeps at least ~8 frames: a shard
+  // too small to hold a descent path's pins would fail spuriously.
+  size_t shards = std::max<size_t>(options.shards, 1);
+  shards = std::min(shards, std::max<size_t>(total_frames_ / 8, 1));
+  options_.shards = shards;
+  shards_.reserve(shards);
+  size_t base = total_frames_ / shards;
+  size_t rem = total_frames_ % shards;
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    size_t n = base + (s < rem ? 1 : 0);
+    shard->frames.resize(n);
+    shard->free_frames.reserve(n);
+    for (size_t i = n; i-- > 0;) shard->free_frames.push_back(i);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 Result<PageGuard> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
   BULKDEL_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
-  BULKDEL_ASSIGN_OR_RETURN(size_t f, AcquireFrame());
-  Frame& frame = frames_[f];
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  BULKDEL_ASSIGN_OR_RETURN(size_t f, AcquireFrameLocked(shard));
+  Frame& frame = shard.frames[f];
   frame.page_id = page_id;
   frame.pin_count = 1;
   frame.dirty = true;  // a new page must reach disk even if never modified
   frame.in_use = true;
+  frame.prefetched = false;
   if (!frame.data) frame.data = std::make_unique<char[]>(kPageSize);
   std::memset(frame.data.get(), 0, kPageSize);
-  page_table_[page_id] = f;
+  shard.page_table[page_id] = f;
   return PageGuard(this, f, page_id, frame.data.get());
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
-    Frame& frame = frames_[it->second];
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it != shard.page_table.end()) {
+    ++shard.stats.hits;
+    Frame& frame = shard.frames[it->second];
+    if (frame.prefetched) {
+      // First demand access of a read-ahead frame: charge the simulated read
+      // now, exactly where the demand fetch would have performed it.
+      BULKDEL_RETURN_IF_ERROR(disk_->ChargePrefetchedRead(page_id));
+      ++shard.stats.prefetch_hits;
+      frame.prefetched = false;
+      --shard.prefetched_frames;
+    }
     if (frame.pin_count == 0 && frame.in_lru) {
-      lru_.erase(frame.lru_it);
+      shard.lru.erase(frame.lru_it);
       frame.in_lru = false;
     }
     ++frame.pin_count;
     return PageGuard(this, it->second, page_id, frame.data.get());
   }
-  ++stats_.misses;
-  BULKDEL_ASSIGN_OR_RETURN(size_t f, AcquireFrame());
-  Frame& frame = frames_[f];
+  ++shard.stats.misses;
+  BULKDEL_ASSIGN_OR_RETURN(size_t f, AcquireFrameLocked(shard));
+  Frame& frame = shard.frames[f];
   if (!frame.data) frame.data = std::make_unique<char[]>(kPageSize);
-  BULKDEL_RETURN_IF_ERROR(disk_->ReadPage(page_id, frame.data.get()));
+  Status read = disk_->ReadPage(page_id, frame.data.get());
+  if (!read.ok()) {
+    shard.free_frames.push_back(f);
+    return read;
+  }
   frame.page_id = page_id;
   frame.pin_count = 1;
   frame.dirty = false;
   frame.in_use = true;
-  page_table_[page_id] = f;
+  frame.prefetched = false;
+  shard.page_table[page_id] = f;
   return PageGuard(this, f, page_id, frame.data.get());
 }
 
 Status BufferPool::DeletePage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    Frame& frame = frames_[it->second];
-    if (frame.pin_count > 0) {
-      return Status::FailedPrecondition("DeletePage on pinned page " +
-                                        std::to_string(page_id));
+  Shard& shard = *shards_[ShardOf(page_id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.page_table.find(page_id);
+    if (it != shard.page_table.end()) {
+      Frame& frame = shard.frames[it->second];
+      if (frame.pin_count > 0) {
+        return Status::FailedPrecondition("DeletePage on pinned page " +
+                                          std::to_string(page_id));
+      }
+      if (frame.in_lru) {
+        shard.lru.erase(frame.lru_it);
+        frame.in_lru = false;
+      }
+      frame.in_use = false;
+      frame.dirty = false;
+      if (frame.prefetched) {
+        frame.prefetched = false;
+        --shard.prefetched_frames;
+      }
+      shard.free_frames.push_back(it->second);
+      shard.page_table.erase(it);
     }
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_it);
-      frame.in_lru = false;
-    }
-    frame.in_use = false;
-    frame.dirty = false;
-    free_frames_.push_back(it->second);
-    page_table_.erase(it);
   }
   return disk_->FreePage(page_id);
 }
 
-Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Flush in page-id order: a checkpoint is a mostly-sequential sweep.
-  std::vector<size_t> dirty;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
+std::vector<std::unique_lock<std::mutex>> BufferPool::LockAllShards() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  // Index order is the global lock order; every cross-shard operation takes
+  // the latches this way, so they cannot deadlock against each other.
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  return locks;
+}
+
+Status BufferPool::FlushAllLocked() {
+  // Flush in global page-id order: a checkpoint is a mostly-sequential sweep,
+  // and keeping the order identical across shard counts keeps the simulated
+  // I/O identical too.
+  struct DirtyRef {
+    PageId page_id;
+    Shard* shard;
+    size_t frame;
+  };
+  std::vector<DirtyRef> dirty;
+  for (auto& shard : shards_) {
+    for (size_t i = 0; i < shard->frames.size(); ++i) {
+      if (shard->frames[i].in_use && shard->frames[i].dirty) {
+        dirty.push_back(DirtyRef{shard->frames[i].page_id, shard.get(), i});
+      }
+    }
   }
-  std::sort(dirty.begin(), dirty.end(), [&](size_t a, size_t b) {
-    return frames_[a].page_id < frames_[b].page_id;
-  });
-  if (!dirty.empty() && injector_ != nullptr) {
+  std::sort(dirty.begin(), dirty.end(),
+            [](const DirtyRef& a, const DirtyRef& b) {
+              return a.page_id < b.page_id;
+            });
+  if (dirty.empty()) return Status::OK();
+  if (injector_ != nullptr) {
     BULKDEL_RETURN_IF_ERROR(injector_->Check(fault_sites::kPoolFlush));
   }
-  if (!dirty.empty() && pre_writeback_hook_) pre_writeback_hook_();
-  for (size_t i : dirty) {
-    BULKDEL_RETURN_IF_ERROR(
-        disk_->WritePage(frames_[i].page_id, frames_[i].data.get()));
-    ++stats_.dirty_writebacks;
-    frames_[i].dirty = false;
+  if (pre_writeback_hook_) pre_writeback_hook_();
+  // Write maximal adjacent-page-id runs with one WriteRun each: per-page
+  // charges and fault checks are identical to page-at-a-time writes, but the
+  // disk mutex is taken once per run.
+  size_t i = 0;
+  while (i < dirty.size()) {
+    size_t j = i + 1;
+    while (j < dirty.size() && dirty[j].page_id == dirty[j - 1].page_id + 1) {
+      ++j;
+    }
+    std::vector<const char*> datas;
+    datas.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      datas.push_back(
+          dirty[k].shard->frames[dirty[k].frame].data.get());
+    }
+    BULKDEL_RETURN_IF_ERROR(disk_->WriteRun(dirty[i].page_id, datas));
+    for (size_t k = i; k < j; ++k) {
+      dirty[k].shard->frames[dirty[k].frame].dirty = false;
+      ++dirty[k].shard->stats.dirty_writebacks;
+    }
+    i = j;
   }
   return Status::OK();
 }
 
+Status BufferPool::FlushAll() {
+  auto locks = LockAllShards();
+  return FlushAllLocked();
+}
+
 Status BufferPool::Reset() {
-  BULKDEL_RETURN_IF_ERROR(FlushAll());
-  std::lock_guard<std::mutex> lock(mu_);
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& frame = frames_[i];
-    if (!frame.in_use) continue;
-    if (frame.pin_count > 0) {
-      return Status::FailedPrecondition("Reset with pinned page " +
-                                        std::to_string(frame.page_id));
+  // Flush and drop under one continuous hold of every shard latch: a page a
+  // concurrent thread dirties while we sweep cannot slip between the flush
+  // and the drop and be discarded with its update unwritten.
+  auto locks = LockAllShards();
+  BULKDEL_RETURN_IF_ERROR(FlushAllLocked());
+  for (auto& shard : shards_) {
+    for (size_t i = 0; i < shard->frames.size(); ++i) {
+      Frame& frame = shard->frames[i];
+      if (!frame.in_use) continue;
+      if (frame.pin_count > 0) {
+        return Status::FailedPrecondition("Reset with pinned page " +
+                                          std::to_string(frame.page_id));
+      }
+      if (frame.in_lru) {
+        shard->lru.erase(frame.lru_it);
+        frame.in_lru = false;
+      }
+      frame.in_use = false;
+      frame.prefetched = false;
+      shard->page_table.erase(frame.page_id);
+      shard->free_frames.push_back(i);
     }
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_it);
-      frame.in_lru = false;
-    }
-    frame.in_use = false;
-    page_table_.erase(frame.page_id);
-    free_frames_.push_back(i);
+    shard->prefetched_frames = 0;
   }
   return Status::OK();
 }
 
 void BufferPool::DiscardAllForCrashTest() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  page_table_.clear();
-  free_frames_.clear();
-  for (size_t i = frames_.size(); i-- > 0;) {
-    frames_[i] = Frame();
-    free_frames_.push_back(i);
+  auto locks = LockAllShards();
+  for (auto& shard : shards_) {
+    shard->lru.clear();
+    shard->page_table.clear();
+    shard->free_frames.clear();
+    for (size_t i = shard->frames.size(); i-- > 0;) {
+      shard->frames[i] = Frame();
+      shard->free_frames.push_back(i);
+    }
+    shard->prefetched_frames = 0;
+    // A restarted process has cold counters; carrying pre-crash hit/miss
+    // numbers into recovery double-counts the crash-sweep's per-run I/O.
+    shard->stats = BufferPoolStats();
   }
 }
 
+size_t BufferPool::PrefetchChain(
+    PageId start, size_t max_pages,
+    const std::function<PageId(const char*)>& next_of) {
+  size_t covered = 0;
+  PageId cur = start;
+  while (cur != kInvalidPageId && covered < max_pages) {
+    Shard& shard = *shards_[ShardOf(cur)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    PageId next;
+    auto it = shard.page_table.find(cur);
+    if (it != shard.page_table.end()) {
+      // Already resident: no charge, just peek the successor.
+      next = next_of(shard.frames[it->second].data.get());
+    } else {
+      size_t f;
+      if (!TryAcquireCleanFrameLocked(shard, &f)) break;
+      Frame& frame = shard.frames[f];
+      if (!frame.data) frame.data = std::make_unique<char[]>(kPageSize);
+      if (!disk_->ReadPagePrefetch(cur, frame.data.get()).ok()) {
+        shard.free_frames.push_back(f);
+        break;
+      }
+      frame.page_id = cur;
+      frame.pin_count = 0;
+      frame.dirty = false;
+      frame.in_use = true;
+      frame.prefetched = true;
+      shard.page_table[cur] = f;
+      shard.lru.push_front(f);
+      frame.lru_it = shard.lru.begin();
+      frame.in_lru = true;
+      ++shard.prefetched_frames;
+      ++shard.stats.prefetched;
+      next = next_of(frame.data.get());
+    }
+    ++covered;
+    cur = next;
+  }
+  return covered;
+}
+
+size_t BufferPool::PrefetchPages(const PageId* ids, size_t n) {
+  size_t covered = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t shard_idx = ShardOf(ids[i]);
+    size_t stretch_end = i + 1;
+    while (stretch_end < n && ShardOf(ids[stretch_end]) == shard_idx) {
+      ++stretch_end;
+    }
+    Shard& shard = *shards_[shard_idx];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Frames acquired for a pending contiguous run, read with one ReadRun.
+    PageId run_first = kInvalidPageId;
+    std::vector<size_t> run_frames;
+    auto flush_run = [&]() -> bool {
+      if (run_frames.empty()) return true;
+      std::vector<char*> outs;
+      outs.reserve(run_frames.size());
+      for (size_t f : run_frames) outs.push_back(shard.frames[f].data.get());
+      if (!disk_->ReadRunPrefetch(run_first, outs).ok()) {
+        for (size_t f : run_frames) shard.free_frames.push_back(f);
+        run_frames.clear();
+        return false;
+      }
+      for (size_t k = 0; k < run_frames.size(); ++k) {
+        Frame& frame = shard.frames[run_frames[k]];
+        frame.page_id = run_first + static_cast<PageId>(k);
+        frame.pin_count = 0;
+        frame.dirty = false;
+        frame.in_use = true;
+        frame.prefetched = true;
+        shard.page_table[frame.page_id] = run_frames[k];
+        shard.lru.push_front(run_frames[k]);
+        frame.lru_it = shard.lru.begin();
+        frame.in_lru = true;
+        ++shard.prefetched_frames;
+        ++shard.stats.prefetched;
+        ++covered;
+      }
+      run_frames.clear();
+      return true;
+    };
+    for (size_t k = i; k < stretch_end; ++k) {
+      PageId p = ids[k];
+      if (shard.page_table.find(p) != shard.page_table.end()) {
+        if (!flush_run()) return covered;
+        ++covered;
+        continue;
+      }
+      bool contiguous = !run_frames.empty() &&
+                        p == run_first + static_cast<PageId>(run_frames.size());
+      if (!contiguous) {
+        if (!flush_run()) return covered;
+        run_first = p;
+      }
+      size_t f;
+      if (!TryAcquireCleanFrameLocked(shard, &f)) {
+        (void)flush_run();
+        return covered;
+      }
+      if (!shard.frames[f].data) {
+        shard.frames[f].data = std::make_unique<char[]>(kPageSize);
+      }
+      run_frames.push_back(f);
+    }
+    if (!flush_run()) return covered;
+    i = stretch_end;
+  }
+  return covered;
+}
+
+void BufferPool::SetPreWritebackHook(std::function<void()> hook) {
+  auto locks = LockAllShards();
+  pre_writeback_hook_ = std::move(hook);
+}
+
+void BufferPool::SetFaultInjector(FaultInjector* injector) {
+  auto locks = LockAllShards();
+  injector_ = injector;
+}
+
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  auto locks = LockAllShards();
+  BufferPoolStats total;
+  for (const auto& shard : shards_) total += shard->stats;
+  return total;
+}
+
+std::vector<BufferPoolStats> BufferPool::shard_stats() const {
+  auto locks = LockAllShards();
+  std::vector<BufferPoolStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->stats);
+  return out;
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = BufferPoolStats();
+  auto locks = LockAllShards();
+  for (auto& shard : shards_) shard->stats = BufferPoolStats();
 }
 
 void BufferPool::Unpin(size_t frame_index, PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Frame& frame = frames_[frame_index];
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Frame& frame = shard.frames[frame_index];
   if (!frame.in_use || frame.page_id != page_id) return;  // already recycled
   if (frame.pin_count > 0 && --frame.pin_count == 0) {
-    lru_.push_front(frame_index);
-    frame.lru_it = lru_.begin();
+    shard.lru.push_front(frame_index);
+    frame.lru_it = shard.lru.begin();
     frame.in_lru = true;
   }
 }
 
-Result<size_t> BufferPool::AcquireFrame() {
-  if (!free_frames_.empty()) {
-    size_t f = free_frames_.back();
-    free_frames_.pop_back();
+void BufferPool::MarkDirtyFrame(size_t frame_index, PageId page_id) {
+  Shard& shard = *shards_[ShardOf(page_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Frame& frame = shard.frames[frame_index];
+  if (frame.in_use && frame.page_id == page_id) frame.dirty = true;
+}
+
+Result<size_t> BufferPool::AcquireFrameLocked(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    size_t f = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return f;
   }
-  if (lru_.empty()) {
-    return Status::ResourceExhausted(
-        "buffer pool: all frames pinned (capacity " +
-        std::to_string(frames_.size()) + ")");
+  // Reclaim unconsumed prefetch frames before evicting a real victim: with
+  // read-ahead off this shard would still have a free frame here, so taking
+  // the speculative frame (no write-back, no charge) keeps the residency and
+  // eviction sequence of demand pages bit-identical to that run.
+  {
+    size_t f;
+    if (ReclaimPrefetchedFrameLocked(shard, &f)) return f;
   }
-  size_t victim = lru_.back();
-  lru_.pop_back();
-  Frame& frame = frames_[victim];
+  if (shard.lru.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool: all frames pinned (shard capacity " +
+        std::to_string(shard.frames.size()) + " of " +
+        std::to_string(total_frames_) + " total)");
+  }
+  size_t victim = shard.lru.back();
+  shard.lru.pop_back();
+  Frame& frame = shard.frames[victim];
   frame.in_lru = false;
   if (frame.dirty) {
     if (injector_ != nullptr) {
@@ -206,15 +446,85 @@ Result<size_t> BufferPool::AcquireFrame() {
           fault_sites::kPoolEvict, "page " + std::to_string(frame.page_id)));
     }
     if (pre_writeback_hook_) pre_writeback_hook_();
-    BULKDEL_RETURN_IF_ERROR(
-        disk_->WritePage(frame.page_id, frame.data.get()));
-    ++stats_.dirty_writebacks;
-    frame.dirty = false;
+    if (options_.coalesce_writebacks) {
+      // Batch the victim with resident dirty unpinned neighbors that form a
+      // contiguous page-id run: one sequential write replaces several random
+      // ones. Neighbors stay resident, merely cleaned. This changes the
+      // simulated write classification, which is why the knob defaults off.
+      PageId first = frame.page_id;
+      while (true) {
+        auto it = shard.page_table.find(first - 1);
+        if (first == 0 || it == shard.page_table.end()) break;
+        Frame& left = shard.frames[it->second];
+        if (!left.dirty || left.pin_count > 0) break;
+        first = first - 1;
+      }
+      PageId last = frame.page_id;
+      while (true) {
+        auto it = shard.page_table.find(last + 1);
+        if (it == shard.page_table.end()) break;
+        Frame& right = shard.frames[it->second];
+        if (!right.dirty || right.pin_count > 0) break;
+        last = last + 1;
+      }
+      std::vector<const char*> datas;
+      datas.reserve(last - first + 1);
+      for (PageId p = first; p <= last; ++p) {
+        datas.push_back(
+            shard.frames[shard.page_table.find(p)->second].data.get());
+      }
+      BULKDEL_RETURN_IF_ERROR(disk_->WriteRun(first, datas));
+      for (PageId p = first; p <= last; ++p) {
+        shard.frames[shard.page_table.find(p)->second].dirty = false;
+        ++shard.stats.dirty_writebacks;
+      }
+      shard.stats.coalesced_writebacks +=
+          static_cast<int64_t>(last - first);
+    } else {
+      BULKDEL_RETURN_IF_ERROR(
+          disk_->WritePage(frame.page_id, frame.data.get()));
+      ++shard.stats.dirty_writebacks;
+      frame.dirty = false;
+    }
   }
-  page_table_.erase(frame.page_id);
+  shard.page_table.erase(frame.page_id);
   frame.in_use = false;
-  ++stats_.evictions;
+  frame.prefetched = false;
+  ++shard.stats.evictions;
   return victim;
+}
+
+bool BufferPool::TryAcquireCleanFrameLocked(Shard& shard, size_t* frame) {
+  if (!shard.free_frames.empty()) {
+    *frame = shard.free_frames.back();
+    shard.free_frames.pop_back();
+    return true;
+  }
+  // Prefetch may recycle its own speculative frames but never displaces a
+  // demand-resident page (clean or dirty): evicting one would change which
+  // pages later demand fetches find resident and break the simulated-I/O
+  // identity. Under eviction pressure read-ahead degrades to a no-op.
+  return ReclaimPrefetchedFrameLocked(shard, frame);
+}
+
+bool BufferPool::ReclaimPrefetchedFrameLocked(Shard& shard, size_t* frame) {
+  if (shard.prefetched_frames == 0) return false;
+  // Scan from the victim end so the oldest (furthest-behind) prefetched page
+  // is the one dropped.
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+    size_t idx = *it;
+    Frame& f = shard.frames[idx];
+    if (!f.prefetched) continue;
+    shard.lru.erase(std::next(it).base());
+    f.in_lru = false;
+    shard.page_table.erase(f.page_id);
+    f.in_use = false;
+    f.prefetched = false;
+    --shard.prefetched_frames;
+    *frame = idx;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace bulkdel

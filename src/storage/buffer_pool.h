@@ -46,7 +46,7 @@ class PageGuard {
 
  private:
   BufferPool* pool_ = nullptr;
-  size_t frame_ = 0;
+  size_t frame_ = 0;  // slot index within the page's shard
   PageId page_id_ = kInvalidPageId;
   char* data_ = nullptr;
 };
@@ -56,21 +56,79 @@ struct BufferPoolStats {
   int64_t misses = 0;
   int64_t evictions = 0;
   int64_t dirty_writebacks = 0;
+  /// Pages read ahead of demand by PrefetchChain/PrefetchPages. A prefetch
+  /// read counts here (not under misses); the demand fetch that later finds
+  /// the page resident counts under both hits and prefetch_hits.
+  int64_t prefetched = 0;
+  int64_t prefetch_hits = 0;
+  /// Extra dirty neighbors written as part of a coalesced eviction run
+  /// (beyond the victim itself). Zero unless coalesce_writebacks is on.
+  int64_t coalesced_writebacks = 0;
+
+  BufferPoolStats& operator+=(const BufferPoolStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    dirty_writebacks += o.dirty_writebacks;
+    prefetched += o.prefetched;
+    prefetch_hits += o.prefetch_hits;
+    coalesced_writebacks += o.coalesced_writebacks;
+    return *this;
+  }
+  BufferPoolStats operator-(const BufferPoolStats& o) const {
+    BufferPoolStats d;
+    d.hits = hits - o.hits;
+    d.misses = misses - o.misses;
+    d.evictions = evictions - o.evictions;
+    d.dirty_writebacks = dirty_writebacks - o.dirty_writebacks;
+    d.prefetched = prefetched - o.prefetched;
+    d.prefetch_hits = prefetch_hits - o.prefetch_hits;
+    d.coalesced_writebacks = coalesced_writebacks - o.coalesced_writebacks;
+    return d;
+  }
 };
 
-/// Fixed-budget LRU buffer pool over a DiskManager.
+/// Construction knobs. `shards` is a request: the pool clamps it so every
+/// shard keeps a workable number of frames (tiny pools collapse to fewer
+/// shards rather than starve).
+struct BufferPoolOptions {
+  size_t budget_bytes = 0;
+  size_t shards = 1;
+  /// Leaf read-ahead window: how many chain pages PrefetchChain brings in
+  /// per announcement. 0 disables read-ahead.
+  size_t readahead_pages = 0;
+  /// Batch dirty eviction victims with adjacent-page-id dirty neighbors into
+  /// one sequential WriteRun. This genuinely changes the simulated write
+  /// classification (random evictions become sequential runs), so it is OFF
+  /// by default and excluded from the I/O-identity guarantee.
+  bool coalesce_writebacks = false;
+};
+
+/// Fixed-budget LRU buffer pool over a DiskManager, lock-striped into
+/// `shards` sub-pools keyed by PageId.
 ///
 /// The byte budget models the experiment's "available main memory": the
 /// paper varies it between 2 and 10 MB (Fig. 9). The pool never holds more
-/// than budget/kPageSize frames; every miss beyond that evicts the
-/// least-recently-used unpinned frame, writing it back if dirty.
+/// than budget/kPageSize frames in total; every miss beyond a shard's share
+/// evicts that shard's least-recently-used unpinned frame, writing it back
+/// if dirty.
 ///
-/// Thread safety: all operations are internally synchronized with one mutex.
+/// Sharding: pages map to shards by extent ((page_id / 16) % shards), so a
+/// contiguous leaf chain stays mostly within one shard (which is what makes
+/// eviction-run coalescing find neighbors) while distinct indices — living
+/// in distinct extent ranges — land on distinct shards and stop contending
+/// on one mutex under parallel phases. LRU, page table, free list and stats
+/// are all per-shard; FlushAll/Reset/DiscardAllForCrashTest lock every shard
+/// in index order and preserve the global page-id-ordered checkpoint sweep.
+///
+/// Thread safety: all operations are internally synchronized per shard.
 /// Concurrent mutation of the *contents* of distinct pinned pages is safe;
 /// callers serialize access to the same page with higher-level latches.
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t budget_bytes);
+  BufferPool(DiskManager* disk, size_t budget_bytes)
+      : BufferPool(disk, BufferPoolOptions{budget_bytes, 1, 0, false}) {}
+  BufferPool(DiskManager* disk, BufferPoolOptions options);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -84,39 +142,74 @@ class BufferPool {
   /// Drops `page_id` from the pool (must be unpinned) and frees it on disk.
   Status DeletePage(PageId page_id);
 
-  /// Writes back every dirty frame. Frames stay resident.
+  /// Writes back every dirty frame across all shards in one page-id-ordered
+  /// sweep (adjacent ids batched into sequential WriteRuns — same per-page
+  /// charges, fewer disk-mutex round trips). Frames stay resident.
   Status FlushAll();
 
   /// Writes back and drops every frame (must all be unpinned). Used to
   /// simulate a clean shutdown or to reset cache state between benchmark
-  /// phases.
+  /// phases. All shard latches are held from the flush through the frame
+  /// drop, so a page dirtied by a concurrent thread either misses the sweep
+  /// entirely (and survives resident) or is flushed before being dropped —
+  /// never dropped with an unwritten update.
   Status Reset();
 
-  /// Drops every frame *without* writing dirty ones back. This is the crash
-  /// switch for the recovery tests: volatile state vanishes, the DiskManager
-  /// keeps only what was flushed.
+  /// Drops every frame *without* writing dirty ones back, and zeroes the
+  /// stats (a restarted process starts with cold counters). This is the
+  /// crash switch for the recovery tests: volatile state vanishes, the
+  /// DiskManager keeps only what was flushed.
   void DiscardAllForCrashTest();
+
+  /// Reads ahead along a page chain: starting at `start`, brings up to
+  /// `max_pages` chain pages into the pool unpinned, following
+  /// `next_of(page bytes)` to find each successor (the B-tree passes hand in
+  /// the right-sibling accessor). Simulated I/O stays bit-identical to a run
+  /// without read-ahead by construction, via two rules. First, the physical
+  /// prefetch read is uncharged; the simulated read is charged when a demand
+  /// fetch consumes the frame (under that caller's IoAttribution), so the
+  /// charge sequence IS the demand-access sequence — pages prefetched but
+  /// never demanded cost nothing, matching the run that never read them.
+  /// Second, prefetch never displaces demand-resident pages: it uses only
+  /// free frames and frames holding not-yet-consumed prefetched pages, and
+  /// the demand path reclaims unconsumed prefetch frames before evicting a
+  /// real victim. The set of demand-resident pages, the eviction sequence
+  /// and every write-back are therefore identical to a run with read-ahead
+  /// off, even under eviction pressure (where prefetch degrades to a no-op).
+  /// Returns the number of chain pages covered (resident or fetched).
+  size_t PrefetchChain(PageId start, size_t max_pages,
+                       const std::function<PageId(const char*)>& next_of);
+
+  /// Reads ahead an explicitly announced page list (ascending ids; the heap
+  /// table's sorted-RID pass knows its upcoming pages exactly). Contiguous
+  /// stretches are fetched with one DiskManager::ReadRunPrefetch. Same
+  /// charge-on-consumption and never-write rules as PrefetchChain; returns
+  /// pages covered.
+  size_t PrefetchPages(const PageId* ids, size_t n);
 
   /// Invoked immediately before any dirty frame is written to disk (eviction
   /// or flush). The recovery layer uses this to enforce the WAL rule: log
   /// records become durable before the page changes they describe. The hook
-  /// runs with the pool mutex held and must not call back into the pool.
-  void SetPreWritebackHook(std::function<void()> hook) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pre_writeback_hook_ = std::move(hook);
-  }
+  /// runs with at least the affected shard's latch held (all of them during
+  /// a flush sweep) and must not call back into the pool.
+  void SetPreWritebackHook(std::function<void()> hook);
 
   /// Installs a fault injector on the write-back paths (nullptr = none; the
   /// injector must outlive the pool): `pool.evict` fires before a dirty
-  /// eviction victim is written back, `pool.flush` before a FlushAll sweep.
-  void SetFaultInjector(FaultInjector* injector) {
-    std::lock_guard<std::mutex> lock(mu_);
-    injector_ = injector;
-  }
+  /// eviction victim is written back (now inside the victim's shard),
+  /// `pool.flush` before a cross-shard FlushAll sweep.
+  void SetFaultInjector(FaultInjector* injector);
 
-  size_t capacity_frames() const { return frames_.size(); }
-  size_t budget_bytes() const { return frames_.size() * kPageSize; }
+  size_t capacity_frames() const { return total_frames_; }
+  /// The configured byte budget (not rounded down to whole frames): what the
+  /// Fig. 9 memory sweep labels report.
+  size_t budget_bytes() const { return budget_bytes_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t readahead_pages() const { return options_.readahead_pages; }
+  /// Aggregate over all shards.
   BufferPoolStats stats() const;
+  /// Per-shard counters, in shard-index order.
+  std::vector<BufferPoolStats> shard_stats() const;
   void ResetStats();
   DiskManager* disk() { return disk_; }
 
@@ -128,23 +221,56 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     bool in_use = false;
+    bool prefetched = false;
     std::unique_ptr<char[]> data;
     std::list<size_t>::iterator lru_it;
     bool in_lru = false;
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::unordered_map<PageId, size_t> page_table;
+    std::list<size_t> lru;  // front = most recent, back = victim candidate
+    /// Frames holding prefetched pages no demand fetch has consumed yet.
+    /// Kept so the reclaim scan in frame acquisition is skipped when zero.
+    size_t prefetched_frames = 0;
+    BufferPoolStats stats;
+  };
+
+  /// Pages map to shards by extent so adjacent ids share a shard.
+  static constexpr PageId kShardExtentPages = 16;
+  size_t ShardOf(PageId page_id) const {
+    return (page_id / kShardExtentPages) % shards_.size();
+  }
+
   void Unpin(size_t frame, PageId page_id);
-  /// Finds a frame to host a new page: a never-used frame or the LRU victim.
-  /// Called with mu_ held. Writes back the victim if dirty.
-  Result<size_t> AcquireFrame();
+  void MarkDirtyFrame(size_t frame, PageId page_id);
+
+  /// Finds a frame in `shard` to host a new page: a never-used frame or the
+  /// LRU victim. Called with the shard latch held. Writes back the victim if
+  /// dirty (coalescing adjacent dirty neighbors when enabled).
+  Result<size_t> AcquireFrameLocked(Shard& shard);
+  /// The prefetch path's frame source: a free frame or a reclaimed
+  /// unconsumed-prefetch frame, never a demand-resident victim (the identity
+  /// rule — see PrefetchChain). Returns false when neither exists.
+  bool TryAcquireCleanFrameLocked(Shard& shard, size_t* frame);
+  /// Drops the least-recent frame still holding an unconsumed prefetched
+  /// page and returns its index; false if there is none.
+  bool ReclaimPrefetchedFrameLocked(Shard& shard, size_t* frame);
+
+  /// Locks every shard in index order (the global-operation lock order).
+  std::vector<std::unique_lock<std::mutex>> LockAllShards() const;
+  /// The page-id-ordered dirty sweep; all shard latches must be held.
+  Status FlushAllLocked();
 
   DiskManager* disk_;
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front = most recent, back = victim candidate
-  BufferPoolStats stats_;
+  BufferPoolOptions options_;
+  size_t budget_bytes_;
+  size_t total_frames_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Read under any shard latch; written under all of them.
   std::function<void()> pre_writeback_hook_;
   FaultInjector* injector_ = nullptr;
 };

@@ -8,11 +8,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "fault/crash_sweep.h"
 #include "fault/fault_injector.h"
 #include "plan/plan.h"
 #include "recovery/log_manager.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
 namespace bulkdel {
@@ -180,6 +182,42 @@ TEST(DiskManagerFaultTest, TrippedInjectorFreezesAllocationToo) {
   EXPECT_TRUE(disk.ReadPage(page, out.data()).IsAborted());
   EXPECT_TRUE(disk.AllocatePage().status().IsAborted());
   EXPECT_TRUE(disk.FreePage(page).IsAborted());
+}
+
+TEST(BufferPoolFaultTest, CrashDiscardZeroesPoolStats) {
+  // A simulated crash drops the pool's frames AND its counters: recovery
+  // runs in a restarted process with cold caches, and carrying pre-crash
+  // hit/miss numbers forward would double-count the crash sweep's per-run
+  // I/O reporting.
+  FaultInjector injector;
+  DiskManager disk;
+  disk.SetFaultInjector(&injector);
+  BufferPool pool(&disk, 8 * kPageSize);
+  pool.SetFaultInjector(&injector);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 12; ++i) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    guard->MarkDirty();
+    ids.push_back(guard->page_id());
+  }
+  for (PageId id : ids) ASSERT_TRUE(pool.FetchPage(id).ok());
+  BufferPoolStats before = pool.stats();
+  EXPECT_GT(before.hits + before.misses, 0);
+  EXPECT_GT(before.evictions, 0);
+
+  pool.DiscardAllForCrashTest();
+  BufferPoolStats after = pool.stats();
+  EXPECT_EQ(after.hits, 0);
+  EXPECT_EQ(after.misses, 0);
+  EXPECT_EQ(after.evictions, 0);
+  EXPECT_EQ(after.dirty_writebacks, 0);
+  EXPECT_EQ(after.prefetched, 0);
+  EXPECT_EQ(after.prefetch_hits, 0);
+  EXPECT_EQ(after.coalesced_writebacks, 0);
+  // And the frames really are gone: the next fetch misses.
+  ASSERT_TRUE(pool.FetchPage(ids[0]).ok());
+  EXPECT_EQ(pool.stats().misses, 1);
 }
 
 TEST(DiskManagerTest, FreePageIsIdempotent) {
