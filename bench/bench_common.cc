@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace_recorder.h"
+
 namespace bulkdel {
 namespace bench {
 
@@ -29,10 +31,13 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       config.readahead_pages = std::strtoull(arg + 12, nullptr, 10);
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       config.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--perfetto-out=", 15) == 0) {
+      config.perfetto_out = arg + 15;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "flags: --tuples=N --tuple-size=BYTES --seed=N --threads=N "
-          "--pool-shards=N --readahead=PAGES --trace-out=FILE\n"
+          "--pool-shards=N --readahead=PAGES --trace-out=FILE "
+          "--perfetto-out=FILE\n"
           "paper scale: --tuples=1000000 --tuple-size=512\n");
       std::exit(0);
     }
@@ -49,6 +54,7 @@ Result<BenchDb> BuildBenchDb(const BenchConfig& config,
   options.exec_threads = config.exec_threads;
   options.pool_shards = config.pool_shards;
   options.readahead_pages = config.readahead_pages;
+  options.trace_spans = !config.perfetto_out.empty();
   BenchDb bench;
   BULKDEL_ASSIGN_OR_RETURN(bench.db, Database::Create(options));
 
@@ -93,6 +99,20 @@ void MaybeWriteTrace(const BenchConfig& config,
   std::fwrite(json.data(), 1, json.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
+}
+
+void MaybeExportPerfetto(const BenchConfig& config) {
+  if (config.perfetto_out.empty()) return;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  Status s = recorder.ExportChromeTrace(config.perfetto_out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "perfetto-out: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf("perfetto trace: %s (%llu events, %llu dropped)\n",
+              config.perfetto_out.c_str(),
+              static_cast<unsigned long long>(recorder.EventCount()),
+              static_cast<unsigned long long>(recorder.DroppedCount()));
 }
 
 ResultTable::ResultTable(std::string title, std::string x_label,

@@ -37,6 +37,12 @@ struct BenchConfig {
   /// is appended to FILE as one BulkDeleteReport::ToJson() line (JSONL), for
   /// machine-readable per-phase breakdowns of EXPERIMENTS runs.
   std::string trace_out;
+  /// If non-empty (`--perfetto-out=FILE`), span tracing is enabled
+  /// (DatabaseOptions::trace_spans) and the whole run's trace is written to
+  /// FILE as Chrome trace-event JSON on MaybeExportPerfetto() — load it in
+  /// Perfetto / chrome://tracing, or feed it to bulkdel_tracecat. Simulated
+  /// I/O is bit-identical with or without this flag (docs/OBSERVABILITY.md).
+  std::string perfetto_out;
 
   static BenchConfig FromArgs(int argc, char** argv);
 
@@ -78,6 +84,11 @@ Result<BulkDeleteReport> RunDelete(BenchDb* bench, double fraction,
 /// are reported to stderr but do not fail the benchmark.
 void MaybeWriteTrace(const BenchConfig& config,
                      const BulkDeleteReport& report);
+
+/// Writes the global TraceRecorder's Chrome trace to `config.perfetto_out`,
+/// if set (call once, at the end of the benchmark). Errors are reported to
+/// stderr but do not fail the benchmark.
+void MaybeExportPerfetto(const BenchConfig& config);
 
 /// Markdown-ish result table: one row per x-value, one column per series,
 /// cells in simulated minutes.

@@ -52,6 +52,7 @@ int Run(int argc, char** argv) {
     }
   }
   table.Print();
+  MaybeExportPerfetto(config);
   std::printf(
       "\npaper (Fig. 7, 1M x 512B): at 20%% — not sorted/trad >2h, "
       "sorted/trad ~1h20m,\nbulk delete ~30min (nearly flat across "

@@ -53,6 +53,7 @@ int Run(int argc, char** argv) {
     }
   }
   table.Print();
+  MaybeExportPerfetto(config);
   std::printf(
       "\npaper (Fig. 9): bulk delete flat ~25min from 2MB up; not "
       "sorted/trad\nfalls ~180 -> ~130 min as memory grows 2->10MB; "

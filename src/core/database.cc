@@ -8,6 +8,7 @@
 
 #include "core/constraints.h"
 #include "core/executors.h"
+#include "obs/trace_recorder.h"
 #include "recovery/recovery_manager.h"
 #include "sort/external_sort.h"
 
@@ -42,6 +43,14 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
     db->disk_->SetFaultInjector(injector);
     db->pool_->SetFaultInjector(injector);
     db->log_->SetFaultInjector(injector);
+  }
+  // Metric wiring: storage objects resolve their instruments once and then
+  // update through raw pointers; the registry lives in the Database.
+  db->disk_->SetMetrics(&db->metrics_);
+  db->pool_->SetMetrics(&db->metrics_);
+  db->log_->SetMetrics(&db->metrics_);
+  if (db->options_.trace_spans) {
+    obs::TraceRecorder::Global().SetEnabled(true);
   }
   BULKDEL_RETURN_IF_ERROR(db->catalog_->Format());
   if (db->options_.enable_recovery_log) {
@@ -362,6 +371,7 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
   // recurse through BulkDeleteWithCascadePath and get their own context.
   ExecContext ctx(this);
   std::vector<BufferPoolStats> pool_before = pool_->shard_stats();
+  obs::MetricsSnapshot metrics_before = metrics_.Snapshot();
   Result<BulkDeleteReport> result = [&]() -> Result<BulkDeleteReport> {
     switch (plan.strategy) {
       case Strategy::kTraditional:
@@ -403,6 +413,7 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
       result->pool_shards[s] = pool_after[s] - pool_before[s];
       result->pool += result->pool_shards[s];
     }
+    result->metrics = metrics_.Snapshot() - metrics_before;
   }
   return result;
 }
@@ -491,6 +502,7 @@ Result<BulkDeleteReport> Database::BulkUpdateColumn(
     const std::string& filter_column, int64_t lo, int64_t hi) {
   ExecContext ctx(this);
   std::vector<BufferPoolStats> pool_before = pool_->shard_stats();
+  obs::MetricsSnapshot metrics_before = metrics_.Snapshot();
   Result<BulkDeleteReport> result =
       ExecuteBulkUpdate(&ctx, table, set_column, delta, filter_column, lo, hi);
   if (result.ok()) {
@@ -501,6 +513,7 @@ Result<BulkDeleteReport> Database::BulkUpdateColumn(
       result->pool_shards[s] = pool_after[s] - pool_before[s];
       result->pool += result->pool_shards[s];
     }
+    result->metrics = metrics_.Snapshot() - metrics_before;
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "core/catalog.h"
 #include "core/report.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "plan/planner.h"
 #include "recovery/log_manager.h"
 #include "storage/buffer_pool.h"
@@ -56,6 +57,14 @@ struct DatabaseOptions {
   /// become sequential), so it is off by default and excluded from the
   /// I/O-identity guarantee.
   bool coalesce_writebacks = false;
+  /// Record spans and instants into the process-wide obs::TraceRecorder
+  /// (phase begin/end, pool fetch/evict/flush, read-ahead, WAL sync,
+  /// checkpoints) for --perfetto-out export. Also unlocks the clock-reading
+  /// latency histograms (bp.fetch_ns, latch waits, wal.sync_ns). Off by
+  /// default: the instrumented hot paths then pay one relaxed atomic load.
+  /// Tracing never touches the DiskManager, so simulated per-phase I/O is
+  /// bit-identical with this on or off (see docs/OBSERVABILITY.md).
+  bool trace_spans = false;
   /// Test seam: invoked by every PhaseScope right after the phase's begin
   /// timestamp is taken, on the thread that runs the phase. Lets tests
   /// rendezvous concurrently dispatched phases (a single-CPU host gives no
@@ -177,6 +186,11 @@ class Database {
     return injector != nullptr ? injector->Check(site, detail) : Status::OK();
   }
 
+  /// Per-database metric instruments (counters / histograms), wired into the
+  /// pool, WAL, disk and executors at Create(). Each statement's report gets
+  /// the snapshot delta across its run.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   DiskManager& disk() { return *disk_; }
   BufferPool& pool() { return *pool_; }
   Catalog& catalog() { return *catalog_; }
@@ -206,6 +220,9 @@ class Database {
   static uint32_t HeapPageTuplesPerPage(TableDef* table);
 
   DatabaseOptions options_;
+  /// Declared before the storage objects that cache instrument pointers so it
+  /// outlives them on destruction.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<BufferPool> pool_;

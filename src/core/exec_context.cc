@@ -1,6 +1,7 @@
 #include "core/exec_context.h"
 
 #include "core/database.h"
+#include "obs/trace_recorder.h"
 
 namespace bulkdel {
 
@@ -57,6 +58,7 @@ PhaseScope::PhaseScope(ExecContext* ctx, std::string name, std::string parent)
       begin_micros_(ctx->ElapsedMicros()),
       thread_id_(ctx->ThreadOrdinal()),
       io_scope_(&attribution_) {
+  if (obs::TraceRecorder::Global().enabled()) begin_nanos_ = MonotonicNanos();
   if (ctx_->db() != nullptr) {
     const auto& hook = ctx_->db()->options().phase_begin_hook;
     if (hook) hook(name_);
@@ -64,6 +66,11 @@ PhaseScope::PhaseScope(ExecContext* ctx, std::string name, std::string parent)
 }
 
 PhaseScope::~PhaseScope() {
+  if (begin_nanos_ != 0) {
+    obs::TraceRecorder::Global().RecordComplete(
+        obs::TraceCategory::kPhase, name_, begin_nanos_, MonotonicNanos(),
+        "items", static_cast<int64_t>(items_), parent_);
+  }
   PhaseStats stats;
   stats.name = std::move(name_);
   stats.parent = std::move(parent_);

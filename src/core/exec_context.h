@@ -117,6 +117,9 @@ class PhaseScope {
   std::string parent_;
   uint64_t items_ = 0;
   int64_t begin_micros_;
+  /// Absolute MonotonicNanos at construction when the trace recorder is
+  /// enabled, 0 otherwise (spans share the clock with Stopwatch).
+  int64_t begin_nanos_ = 0;
   int thread_id_;
   IoAttribution attribution_;
   DiskManager::AttributionScope io_scope_;

@@ -7,10 +7,44 @@
 
 #include "core/database.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace bulkdel {
 
 namespace {
+
+/// Dispatch instruments, resolved once per run. Tests drive the scheduler
+/// without a database; the null instruments then make recording a no-op.
+struct DispatchMetrics {
+  obs::Counter* dispatched = nullptr;
+  obs::Histogram* queue_depth = nullptr;
+
+  static DispatchMetrics For(ExecContext* ctx) {
+    DispatchMetrics m;
+    Database* db = ctx->db();
+    if (db == nullptr) return m;
+    m.dispatched =
+        db->metrics().counter(obs::metric_names::kSchedPhasesDispatched);
+    m.queue_depth =
+        db->metrics().histogram(obs::metric_names::kSchedQueueDepth);
+    return m;
+  }
+
+  /// `depth` counts the ready set at dispatch, including the dispatched
+  /// task (the serial path materializes one ready task at a time).
+  void Dispatch(const PhaseTask& task, int64_t depth) const {
+    if (dispatched != nullptr) {
+      dispatched->Add(1);
+      queue_depth->Observe(depth);
+    }
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (recorder.enabled()) {
+      recorder.RecordInstant(obs::TraceCategory::kSched, task.label,
+                             "queue_depth", depth);
+    }
+  }
+};
 
 /// `sched.phase_start` injection site, hit once per dispatched phase body on
 /// the thread that is about to run it (serial and worker-pool paths alike).
@@ -38,8 +72,10 @@ Status ValidateDag(const std::vector<PhaseTask>& tasks) {
 }
 
 Status RunSerial(const std::vector<PhaseTask>& tasks, ExecContext* ctx) {
+  DispatchMetrics metrics = DispatchMetrics::For(ctx);
   for (const PhaseTask& task : tasks) {
     if (ctx->cancelled()) return ctx->cancel_cause();
+    metrics.Dispatch(task, 1);
     Status s = CheckDispatchFault(ctx, task);
     if (s.ok()) s = task.body();
     if (!s.ok()) {
@@ -71,6 +107,7 @@ void MarkReady(RunState* state, int task) {
 
 Status RunParallel(const std::vector<PhaseTask>& tasks, int threads,
                    ExecContext* ctx) {
+  DispatchMetrics metrics = DispatchMetrics::For(ctx);
   RunState state;
   state.pending_deps.resize(tasks.size());
   state.dependents.resize(tasks.size());
@@ -97,8 +134,10 @@ Status RunParallel(const std::vector<PhaseTask>& tasks, int threads,
       }
       int task = state.ready.back();
       state.ready.pop_back();
+      int64_t depth = static_cast<int64_t>(state.ready.size()) + 1;
       lock.unlock();
 
+      metrics.Dispatch(tasks[static_cast<size_t>(task)], depth);
       Status s = CheckDispatchFault(ctx, tasks[static_cast<size_t>(task)]);
       if (s.ok()) s = tasks[static_cast<size_t>(task)].body();
 

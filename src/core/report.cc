@@ -1,15 +1,14 @@
 // BulkDeleteReport rendering: the human-readable summary the examples print
 // and the machine-readable JSON trace the benches emit via --trace-out.
 // FromJson() exists so tooling (and the phase-trace tests) can round-trip a
-// report exactly; the parser below covers precisely the JSON this file emits
-// (objects, arrays, strings with escapes, signed integers).
+// report exactly; parsing rides on util/json (the same dialect tools like
+// bulkdel_tracecat read).
 
 #include "core/report.h"
 
-#include <cctype>
 #include <cstdio>
-#include <map>
-#include <memory>
+
+#include "util/json.h"
 
 namespace bulkdel {
 
@@ -46,37 +45,8 @@ std::string BulkDeleteReport::ToString() const {
 
 namespace {
 
-void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
+using json::AppendEscaped;
+using JsonValue = json::Value;
 
 void AppendField(std::string* out, const char* key, int64_t value,
                  bool comma = true) {
@@ -111,214 +81,60 @@ void AppendPoolStats(std::string* out, const BufferPoolStats& pool) {
   *out += '}';
 }
 
-// --- Minimal JSON reader (exactly the subset ToJson emits) -----------------
-
-struct JsonValue {
-  enum class Kind { kNull, kInt, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  int64_t integer = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
+/// One metrics snapshot as {"counters":[{name,value}...],
+/// "histograms":[{name,count,sum,buckets:[...]}...]}.
+void AppendMetrics(std::string* out, const obs::MetricsSnapshot& metrics) {
+  *out += "{\"counters\":[";
+  for (size_t i = 0; i < metrics.counters.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += "{\"name\":";
+    AppendEscaped(out, metrics.counters[i].first);
+    *out += ',';
+    AppendField(out, "value", metrics.counters[i].second, /*comma=*/false);
+    *out += '}';
   }
-  int64_t IntOr(const std::string& key, int64_t fallback = 0) const {
-    const JsonValue* v = Find(key);
-    return v != nullptr && v->kind == Kind::kInt ? v->integer : fallback;
-  }
-  std::string StringOr(const std::string& key,
-                       const std::string& fallback = "") const {
-    const JsonValue* v = Find(key);
-    return v != nullptr && v->kind == Kind::kString ? v->string : fallback;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    BULKDEL_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
-    SkipWs();
-    if (pos_ != text_.size()) {
-      return Status::InvalidArgument("trailing characters after JSON value");
+  *out += "],\"histograms\":[";
+  for (size_t i = 0; i < metrics.histograms.size(); ++i) {
+    const obs::HistogramSnapshot& h = metrics.histograms[i];
+    if (i > 0) *out += ',';
+    *out += "{\"name\":";
+    AppendEscaped(out, h.name);
+    *out += ',';
+    AppendField(out, "count", h.count);
+    AppendField(out, "sum", h.sum);
+    *out += "\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) *out += ',';
+      *out += std::to_string(h.buckets[b]);
     }
-    return v;
+    *out += "]}";
   }
+  *out += "]}";
+}
 
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
+obs::MetricsSnapshot MetricsFromJson(const JsonValue& v) {
+  obs::MetricsSnapshot metrics;
+  if (const JsonValue* counters = v.Find("counters")) {
+    for (const JsonValue& cv : counters->array) {
+      metrics.counters.emplace_back(cv.StringOr("name"), cv.IntOr("value"));
     }
   }
-
-  Status Expect(char c) {
-    SkipWs();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return Status::InvalidArgument(std::string("expected '") + c +
-                                     "' at offset " + std::to_string(pos_));
-    }
-    ++pos_;
-    return Status::OK();
-  }
-
-  Result<JsonValue> ParseValue() {
-    SkipWs();
-    if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("unexpected end of JSON");
-    }
-    char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-      return ParseInt();
-    }
-    return Status::InvalidArgument("unexpected character in JSON at offset " +
-                                   std::to_string(pos_));
-  }
-
-  Result<JsonValue> ParseObject() {
-    BULKDEL_RETURN_IF_ERROR(Expect('{'));
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      BULKDEL_ASSIGN_OR_RETURN(JsonValue key, ParseString());
-      BULKDEL_RETURN_IF_ERROR(Expect(':'));
-      BULKDEL_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
-      v.object.emplace(std::move(key.string), std::move(value));
-      SkipWs();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      BULKDEL_RETURN_IF_ERROR(Expect('}'));
-      return v;
-    }
-  }
-
-  Result<JsonValue> ParseArray() {
-    BULKDEL_RETURN_IF_ERROR(Expect('['));
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      BULKDEL_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
-      v.array.push_back(std::move(item));
-      SkipWs();
-      if (pos_ < text_.size() && text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      BULKDEL_RETURN_IF_ERROR(Expect(']'));
-      return v;
-    }
-  }
-
-  Result<JsonValue> ParseString() {
-    BULKDEL_RETURN_IF_ERROR(Expect('"'));
-    JsonValue v;
-    v.kind = JsonValue::Kind::kString;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        v.string.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        return Status::InvalidArgument("dangling escape in JSON string");
-      }
-      char e = text_[pos_++];
-      switch (e) {
-        case '"':
-          v.string.push_back('"');
-          break;
-        case '\\':
-          v.string.push_back('\\');
-          break;
-        case '/':
-          v.string.push_back('/');
-          break;
-        case 'n':
-          v.string.push_back('\n');
-          break;
-        case 'r':
-          v.string.push_back('\r');
-          break;
-        case 't':
-          v.string.push_back('\t');
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return Status::InvalidArgument("truncated \\u escape");
-          }
-          int code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += h - '0';
-            } else if (h >= 'a' && h <= 'f') {
-              code += h - 'a' + 10;
-            } else if (h >= 'A' && h <= 'F') {
-              code += h - 'A' + 10;
-            } else {
-              return Status::InvalidArgument("bad \\u escape");
-            }
-          }
-          // Control characters only (all ToJson emits); wider code points
-          // would need UTF-8 encoding.
-          v.string.push_back(static_cast<char>(code));
-          break;
+  if (const JsonValue* histograms = v.Find("histograms")) {
+    for (const JsonValue& hv : histograms->array) {
+      obs::HistogramSnapshot h;
+      h.name = hv.StringOr("name");
+      h.count = hv.IntOr("count");
+      h.sum = hv.IntOr("sum");
+      if (const JsonValue* buckets = hv.Find("buckets")) {
+        for (const JsonValue& bv : buckets->array) {
+          h.buckets.push_back(bv.integer);
         }
-        default:
-          return Status::InvalidArgument("unknown escape in JSON string");
       }
+      metrics.histograms.push_back(std::move(h));
     }
-    BULKDEL_RETURN_IF_ERROR(Expect('"'));
-    return v;
   }
-
-  Result<JsonValue> ParseInt() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kInt;
-    bool negative = false;
-    if (text_[pos_] == '-') {
-      negative = true;
-      ++pos_;
-    }
-    if (pos_ >= text_.size() ||
-        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      return Status::InvalidArgument("malformed number in JSON");
-    }
-    uint64_t magnitude = 0;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      magnitude = magnitude * 10 + static_cast<uint64_t>(text_[pos_] - '0');
-      ++pos_;
-    }
-    v.integer = negative ? -static_cast<int64_t>(magnitude)
-                         : static_cast<int64_t>(magnitude);
-    return v;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+  return metrics;
+}
 
 IoStats IoStatsFromJson(const JsonValue& v) {
   IoStats io;
@@ -392,15 +208,16 @@ std::string BulkDeleteReport::ToJson() const {
     AppendIoStats(&out, p.io);
     out += '}';
   }
-  out += "],\"plan_explain\":";
+  out += "],\"metrics\":";
+  AppendMetrics(&out, metrics);
+  out += ",\"plan_explain\":";
   AppendEscaped(&out, plan_explain);
   out += '}';
   return out;
 }
 
 Result<BulkDeleteReport> BulkDeleteReport::FromJson(const std::string& json) {
-  JsonParser parser(json);
-  BULKDEL_ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+  BULKDEL_ASSIGN_OR_RETURN(JsonValue root, json::Parse(json));
   if (root.kind != JsonValue::Kind::kObject) {
     return Status::InvalidArgument("report JSON must be an object");
   }
@@ -445,6 +262,9 @@ Result<BulkDeleteReport> BulkDeleteReport::FromJson(const std::string& json) {
       }
       report.phases.push_back(std::move(p));
     }
+  }
+  if (const JsonValue* metrics = root.Find("metrics")) {
+    report.metrics = MetricsFromJson(*metrics);
   }
   return report;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "plan/plan.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -60,6 +61,11 @@ struct BulkDeleteReport {
   /// Per-shard breakdown of `pool`, in shard-index order. Size equals the
   /// pool's effective shard count.
   std::vector<BufferPoolStats> pool_shards;
+  /// Metric deltas across this statement (counters and log2-bucket
+  /// histograms from the database's obs::MetricsRegistry). The clock-reading
+  /// latency histograms only populate when DatabaseOptions::trace_spans is
+  /// on; counters and count-valued histograms always do.
+  obs::MetricsSnapshot metrics;
   int64_t wall_micros = 0;
   std::string plan_explain;
 

@@ -39,6 +39,8 @@
 #include "core/executors.h"
 #include "core/phase_scheduler.h"
 #include "exec/hash_delete.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "exec/partitioned_delete.h"
 #include "sort/external_sort.h"
 #include "storage/spill.h"
@@ -57,7 +59,15 @@ class VerticalRun {
         key_index_(key_index),
         plan_(plan),
         logging_(db_->options().enable_recovery_log),
-        parallel_(db_->options().exec_threads > 1) {
+        parallel_(db_->options().exec_threads > 1),
+        idx_latch_hist_(
+            db_->metrics().histogram(obs::metric_names::kIdxLatchWaitNs)),
+        leaf_reorg_hist_(db_->metrics().histogram(
+            obs::metric_names::kLeafPagesReorganized)),
+        ckpt_inline_counter_(
+            db_->metrics().counter(obs::metric_names::kCkptInline)),
+        ckpt_deferred_counter_(
+            db_->metrics().counter(obs::metric_names::kCkptDeferred)) {
     report_.strategy_used = plan_.strategy;
     report_.plan_explain = plan_.Explain();
     // Canonical secondary order comes from the plan (unique indices first).
@@ -253,15 +263,26 @@ class VerticalRun {
   /// deferrable checkpoint only records the label; the finalize node (which
   /// runs exclusively) flushes once and emits the pending PhaseDone records.
   Status CheckpointPhase(const std::string& label, bool deferrable = false) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
     {
       std::lock_guard<std::mutex> lock(mu_);
       done_.insert(label);
       if (logging_ && deferrable && parallel_) {
         deferred_checkpoints_.push_back(label);
+        ckpt_deferred_counter_->Add(1);
+        if (recorder.enabled()) {
+          recorder.RecordInstant(obs::TraceCategory::kCheckpoint, label,
+                                 "deferred", 1);
+        }
         return Status::OK();
       }
     }
     if (!logging_) return Status::OK();
+    ckpt_inline_counter_->Add(1);
+    if (recorder.enabled()) {
+      recorder.RecordInstant(obs::TraceCategory::kCheckpoint, label,
+                             "deferred", 0);
+    }
     BULKDEL_RETURN_IF_ERROR(
         db_->CheckFault(fault_sites::kExecCheckpoint, label));
     BULKDEL_RETURN_IF_ERROR(table_->table->FlushMeta());
@@ -331,6 +352,7 @@ class VerticalRun {
       std::lock_guard<std::mutex> lock(mu_);
       report_.index_entries_deleted += stats.entries_deleted;
     }
+    leaf_reorg_hist_->Observe(static_cast<int64_t>(stats.leaves_freed));
     scope.set_items(stats.entries_deleted);
     BULKDEL_RETURN_IF_ERROR(MaterializeList("rids", rids_));
     // The key index locates the records via key order, so the RID list is in
@@ -462,7 +484,7 @@ class VerticalRun {
           bool last = hi >= feed.size();
           BtreeBulkDeleteStats chunk_stats;
           {
-            std::lock_guard<std::mutex> latch(index->cc->latch);
+            std::unique_lock<std::mutex> latch = LatchIndex(index);
             BULKDEL_RETURN_IF_ERROR(index->tree->BulkDeleteSortedEntries(
                 slice, last ? db_->options().reorg : ReorgMode::kFreeAtEmpty,
                 &chunk_stats));
@@ -479,14 +501,14 @@ class VerticalRun {
         std::vector<Rid> rids;
         rids.reserve(feed.size());
         for (const KeyRid& e : feed) rids.push_back(e.rid);
-        std::lock_guard<std::mutex> latch(index->cc->latch);
+        std::unique_lock<std::mutex> latch = LatchIndex(index);
         BULKDEL_RETURN_IF_ERROR(HashDeleteIndexByRids(
             index->tree.get(), rids, db_->options().reorg, &stats));
         break;
       }
       case DeleteMethod::kPartitionedHash: {
         PartitionedDeleteStats pstats;
-        std::lock_guard<std::mutex> latch(index->cc->latch);
+        std::unique_lock<std::mutex> latch = LatchIndex(index);
         BULKDEL_RETURN_IF_ERROR(PartitionedHashDeleteIndex(
             index->tree.get(), &db_->disk(),
             db_->options().memory_budget_bytes, feed, db_->options().reorg,
@@ -499,9 +521,30 @@ class VerticalRun {
       std::lock_guard<std::mutex> lock(mu_);
       report_.index_entries_deleted += stats.entries_deleted;
     }
+    leaf_reorg_hist_->Observe(static_cast<int64_t>(stats.leaves_freed));
     scope.set_items(stats.entries_deleted);
     BULKDEL_RETURN_IF_ERROR(BringOnline(index));
     return CheckpointPhase(label, /*deferrable=*/true);
+  }
+
+  /// Acquires an off-line index's latch, observing the wait under
+  /// idx.latch_wait_ns plus a latch-category span for long waits when
+  /// tracing is enabled. Clock-free when tracing is off.
+  std::unique_lock<std::mutex> LatchIndex(IndexDef* index) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (!recorder.enabled()) {
+      return std::unique_lock<std::mutex>(index->cc->latch);
+    }
+    int64_t t0 = MonotonicNanos();
+    std::unique_lock<std::mutex> latch(index->cc->latch);
+    int64_t waited = MonotonicNanos() - t0;
+    idx_latch_hist_->Observe(waited);
+    if (waited > 1000) {
+      recorder.RecordComplete(obs::TraceCategory::kLatch, "idx.latch", t0,
+                              t0 + waited, "index_column",
+                              index->column);
+    }
+    return latch;
   }
 
   /// Side-file catch-up / undeletable-flag cleanup, then flip on-line.
@@ -587,7 +630,7 @@ class VerticalRun {
   /// flushing is safe and any deferred secondary checkpoints become durable
   /// here, just before the End record.
   Status FinishRun() {
-    PhaseScope scope(ctx_, "finalize");
+    PhaseScope scope(ctx_, "finalize", TablePhaseLabel());
     // Crash window: every phase body has completed, but in parallel mode the
     // secondary checkpoints are still deferred (volatile) — recovery must
     // re-run those phases idempotently from the checkpointed feeds.
@@ -731,6 +774,11 @@ class VerticalRun {
   BulkDeletePlan plan_;
   bool logging_;
   bool parallel_;
+  /// Instruments resolved once from the database registry (stable pointers).
+  obs::Histogram* idx_latch_hist_;
+  obs::Histogram* leaf_reorg_hist_;
+  obs::Counter* ckpt_inline_counter_;
+  obs::Counter* ckpt_deferred_counter_;
   bool resuming_ = false;
   bool committed_ = false;
   bool exclusive_locked_ = false;

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace bulkdel {
 
@@ -118,6 +120,21 @@ std::string BulkDeletePlan::Explain() const {
       if (site.supports_write_modes) out += "*";
     }
     out += "  (* = torn/short write modes)\n";
+    // observability
+    // The metric names an execution populates (report.metrics delta) and the
+    // trace categories its spans/instants land under (docs/OBSERVABILITY.md;
+    // enable with DatabaseOptions::trace_spans or bench --perfetto-out).
+    out += "  metrics:";
+    for (const obs::MetricInfo& metric : obs::KnownMetrics()) {
+      out += " ";
+      out += metric.name;
+    }
+    out += "\n  trace categories:";
+    for (const char* category : obs::KnownTraceCategories()) {
+      out += " ";
+      out += category;
+    }
+    out += "  (off unless trace_spans)\n";
   }
   return out;
 }

@@ -2,10 +2,50 @@
 
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "util/clock.h"
+
 namespace bulkdel {
+
+void LogManager::SetMetrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    syncs_counter_ = nullptr;
+    sync_records_hist_ = nullptr;
+    sync_ns_hist_ = nullptr;
+    return;
+  }
+  syncs_counter_ = metrics->counter(obs::metric_names::kWalSyncs);
+  sync_records_hist_ = metrics->histogram(obs::metric_names::kWalSyncRecords);
+  sync_ns_hist_ = metrics->histogram(obs::metric_names::kWalSyncNs);
+}
 
 void LogManager::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  const bool timed = sync_ns_hist_ != nullptr && recorder.enabled();
+  const int64_t t0 = timed ? MonotonicNanos() : 0;
+  const int64_t batch = static_cast<int64_t>(volatile_.size());
+  if (syncs_counter_ != nullptr) {
+    syncs_counter_->Add(1);
+    sync_records_hist_->Observe(batch);
+  }
+  // Emitted whether or not an injected fault interrupts the sync below.
+  struct SyncNote {
+    bool timed;
+    int64_t t0;
+    int64_t batch;
+    obs::Histogram* ns_hist;
+    obs::TraceRecorder* recorder;
+    ~SyncNote() {
+      if (!timed) return;
+      int64_t t1 = MonotonicNanos();
+      ns_hist->Observe(t1 - t0);
+      recorder->RecordComplete(obs::TraceCategory::kWal, "wal.sync", t0, t1,
+                               "records", batch);
+    }
+  } note{timed, t0, batch, sync_ns_hist_, &recorder};
   if (injector_ != nullptr) {
     if (injector_->tripped()) return;  // a dead process syncs nothing
     FaultInjector::Hit hit;

@@ -12,6 +12,12 @@
 
 namespace bulkdel {
 
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Bulk-delete log record types (paper §3.2). The log makes an interrupted
 /// bulk delete restartable *forward*: recovery finishes the deletion from the
 /// last checkpoint instead of rolling it back.
@@ -97,6 +103,11 @@ class LogManager {
     injector_ = injector;
   }
 
+  /// Resolves the WAL metric instruments (wal.syncs, wal.sync_records,
+  /// wal.sync_ns) from `metrics` (nullptr = none; the registry must outlive
+  /// the LogManager).
+  void SetMetrics(obs::MetricsRegistry* metrics);
+
   std::vector<LogRecord> DurableSnapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     return durable_;
@@ -116,6 +127,9 @@ class LogManager {
   std::vector<LogRecord> durable_;
   std::vector<LogRecord> volatile_;
   FaultInjector* injector_ = nullptr;
+  obs::Counter* syncs_counter_ = nullptr;
+  obs::Histogram* sync_records_hist_ = nullptr;
+  obs::Histogram* sync_ns_hist_ = nullptr;
 };
 
 }  // namespace bulkdel

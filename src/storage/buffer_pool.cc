@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "util/clock.h"
+
 namespace bulkdel {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -78,8 +82,23 @@ Result<PageGuard> BufferPool::NewPage() {
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
+  // Latency observation is gated on the trace recorder so the default fetch
+  // path never reads the clock; tracing changes only host-time metrics,
+  // never the simulated I/O (which depends on the page-access sequence).
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  const bool timed = fetch_ns_hist_ != nullptr && recorder.enabled();
+  const int64_t t0 = timed ? MonotonicNanos() : 0;
   Shard& shard = *shards_[ShardOf(page_id)];
   std::lock_guard<std::mutex> lock(shard.mu);
+  if (timed) {
+    int64_t waited = MonotonicNanos() - t0;
+    latch_wait_hist_->Observe(waited);
+    if (waited > 1000) {
+      recorder.RecordComplete(obs::TraceCategory::kLatch, "pool.shard_latch",
+                              t0, t0 + waited, "page",
+                              static_cast<int64_t>(page_id));
+    }
+  }
   auto it = shard.page_table.find(page_id);
   if (it != shard.page_table.end()) {
     ++shard.stats.hits;
@@ -91,15 +110,25 @@ Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
       ++shard.stats.prefetch_hits;
       frame.prefetched = false;
       --shard.prefetched_frames;
+      if (recorder.enabled()) {
+        recorder.RecordInstant(obs::TraceCategory::kReadahead,
+                               "readahead.consume", "page",
+                               static_cast<int64_t>(page_id));
+      }
     }
     if (frame.pin_count == 0 && frame.in_lru) {
       shard.lru.erase(frame.lru_it);
       frame.in_lru = false;
     }
     ++frame.pin_count;
+    if (timed) fetch_ns_hist_->Observe(MonotonicNanos() - t0);
     return PageGuard(this, it->second, page_id, frame.data.get());
   }
   ++shard.stats.misses;
+  if (recorder.enabled()) {
+    recorder.RecordInstant(obs::TraceCategory::kPool, "pool.fetch", "page",
+                           static_cast<int64_t>(page_id));
+  }
   BULKDEL_ASSIGN_OR_RETURN(size_t f, AcquireFrameLocked(shard));
   Frame& frame = shard.frames[f];
   if (!frame.data) frame.data = std::make_unique<char[]>(kPageSize);
@@ -114,6 +143,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
   frame.in_use = true;
   frame.prefetched = false;
   shard.page_table[page_id] = f;
+  if (timed) fetch_ns_hist_->Observe(MonotonicNanos() - t0);
   return PageGuard(this, f, page_id, frame.data.get());
 }
 
@@ -176,6 +206,8 @@ Status BufferPool::FlushAllLocked() {
               return a.page_id < b.page_id;
             });
   if (dirty.empty()) return Status::OK();
+  obs::TraceSpan span(obs::TraceCategory::kPool, "pool.flush", "pages");
+  span.set_arg(static_cast<int64_t>(dirty.size()));
   if (injector_ != nullptr) {
     BULKDEL_RETURN_IF_ERROR(injector_->Check(fault_sites::kPoolFlush));
   }
@@ -293,11 +325,27 @@ size_t BufferPool::PrefetchChain(
     ++covered;
     cur = next;
   }
+  if (covered > 0 && obs::TraceRecorder::Global().enabled()) {
+    obs::TraceRecorder::Global().RecordInstant(
+        obs::TraceCategory::kReadahead, "readahead.issue_chain", "pages",
+        static_cast<int64_t>(covered));
+  }
   return covered;
 }
 
 size_t BufferPool::PrefetchPages(const PageId* ids, size_t n) {
   size_t covered = 0;
+  // Emitted on every exit path (the loop returns early when frames run out).
+  struct IssueNote {
+    const size_t* covered;
+    ~IssueNote() {
+      if (*covered > 0 && obs::TraceRecorder::Global().enabled()) {
+        obs::TraceRecorder::Global().RecordInstant(
+            obs::TraceCategory::kReadahead, "readahead.issue_pages", "pages",
+            static_cast<int64_t>(*covered));
+      }
+    }
+  } note{&covered};
   size_t i = 0;
   while (i < n) {
     size_t shard_idx = ShardOf(ids[i]);
@@ -377,6 +425,17 @@ void BufferPool::SetFaultInjector(FaultInjector* injector) {
   injector_ = injector;
 }
 
+void BufferPool::SetMetrics(obs::MetricsRegistry* metrics) {
+  auto locks = LockAllShards();
+  if (metrics == nullptr) {
+    fetch_ns_hist_ = nullptr;
+    latch_wait_hist_ = nullptr;
+    return;
+  }
+  fetch_ns_hist_ = metrics->histogram(obs::metric_names::kBpFetchNs);
+  latch_wait_hist_ = metrics->histogram(obs::metric_names::kBpLatchWaitNs);
+}
+
 BufferPoolStats BufferPool::stats() const {
   auto locks = LockAllShards();
   BufferPoolStats total;
@@ -440,6 +499,12 @@ Result<size_t> BufferPool::AcquireFrameLocked(Shard& shard) {
   shard.lru.pop_back();
   Frame& frame = shard.frames[victim];
   frame.in_lru = false;
+  if (obs::TraceRecorder::Global().enabled()) {
+    obs::TraceRecorder::Global().RecordInstant(
+        obs::TraceCategory::kPool, frame.dirty ? "pool.evict_dirty"
+                                               : "pool.evict",
+        "page", static_cast<int64_t>(frame.page_id));
+  }
   if (frame.dirty) {
     if (injector_ != nullptr) {
       BULKDEL_RETURN_IF_ERROR(injector_->Check(

@@ -16,6 +16,11 @@
 
 namespace bulkdel {
 
+namespace obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 class BufferPool;
 
 /// RAII pin on a buffered page. While a guard lives, the frame cannot be
@@ -194,6 +199,12 @@ class BufferPool {
   /// a flush sweep) and must not call back into the pool.
   void SetPreWritebackHook(std::function<void()> hook);
 
+  /// Resolves the pool's metric instruments (bp.fetch_ns, bp.latch_wait_ns)
+  /// from `metrics` (nullptr = none; the registry must outlive the pool).
+  /// The clock-reading observations only happen while the global
+  /// TraceRecorder is enabled, so the default fetch path stays clock-free.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+
   /// Installs a fault injector on the write-back paths (nullptr = none; the
   /// injector must outlive the pool): `pool.evict` fires before a dirty
   /// eviction victim is written back (now inside the victim's shard),
@@ -273,6 +284,9 @@ class BufferPool {
   /// Read under any shard latch; written under all of them.
   std::function<void()> pre_writeback_hook_;
   FaultInjector* injector_ = nullptr;
+  /// Written under all shard latches (SetMetrics); read on the fetch path.
+  obs::Histogram* fetch_ns_hist_ = nullptr;
+  obs::Histogram* latch_wait_hist_ = nullptr;
 };
 
 }  // namespace bulkdel

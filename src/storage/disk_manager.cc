@@ -6,6 +6,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
 namespace bulkdel {
 
 thread_local IoAttribution* DiskManager::tls_attribution_ = nullptr;
@@ -152,8 +155,18 @@ Status DiskManager::ChargePrefetchedRead(PageId page_id) {
   return Status::OK();
 }
 
-Status DiskManager::WriteRun(PageId first, const std::vector<const char*>& datas) {
+void DiskManager::SetMetrics(obs::MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mu_);
+  write_runs_counter_ =
+      metrics != nullptr ? metrics->counter(obs::metric_names::kDiskWriteRuns)
+                         : nullptr;
+}
+
+Status DiskManager::WriteRun(PageId first, const std::vector<const char*>& datas) {
+  obs::TraceSpan span(obs::TraceCategory::kDisk, "disk.write_run", "pages");
+  span.set_arg(static_cast<int64_t>(datas.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_runs_counter_ != nullptr) write_runs_counter_->Add(1);
   for (size_t i = 0; i < datas.size(); ++i) {
     BULKDEL_RETURN_IF_ERROR(
         WritePageLocked(first + static_cast<PageId>(i), datas[i]));

@@ -17,6 +17,11 @@
 
 namespace bulkdel {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Counters accumulated by the DiskManager. All page accesses in the system
 /// go through here (buffer pool misses, write-backs, sort spills), so these
 /// counters are the ground truth for the benchmark harness.
@@ -198,6 +203,11 @@ class DiskManager {
   /// dead process performs no metadata updates either).
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Resolves the disk's metric instruments (disk.write_runs) from `metrics`
+  /// (nullptr = none; the registry must outlive the DiskManager). Metrics
+  /// and trace events never feed back into the simulated I/O model.
+  void SetMetrics(obs::MetricsRegistry* metrics);
+
  private:
   Status CheckBounds(PageId page_id) const;
   /// Single-page read/write bodies; must be called with mu_ held.
@@ -216,6 +226,7 @@ class DiskManager {
 
   DiskModel model_;
   FaultInjector* injector_ = nullptr;
+  obs::Counter* write_runs_counter_ = nullptr;
   mutable std::mutex mu_;
 
   // In-memory backing (used when fd_ < 0).

@@ -1,0 +1,274 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+namespace bulkdel {
+namespace json {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Run() {
+    BULKDEL_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    Value v;
+    if (ConsumeLiteral("true")) {
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (ConsumeLiteral("false")) {
+      v.kind = Value::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (ConsumeLiteral("null")) return v;
+    return Status::InvalidArgument("unexpected character in JSON at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<Value> ParseObject() {
+    BULKDEL_RETURN_IF_ERROR(Expect('{'));
+    Value v;
+    v.kind = Value::Kind::kObject;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      BULKDEL_ASSIGN_OR_RETURN(Value key, ParseString());
+      BULKDEL_RETURN_IF_ERROR(Expect(':'));
+      BULKDEL_ASSIGN_OR_RETURN(Value value, ParseValue());
+      v.object.emplace(std::move(key.string), std::move(value));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      BULKDEL_RETURN_IF_ERROR(Expect('}'));
+      return v;
+    }
+  }
+
+  Result<Value> ParseArray() {
+    BULKDEL_RETURN_IF_ERROR(Expect('['));
+    Value v;
+    v.kind = Value::Kind::kArray;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      BULKDEL_ASSIGN_OR_RETURN(Value item, ParseValue());
+      v.array.push_back(std::move(item));
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      BULKDEL_RETURN_IF_ERROR(Expect(']'));
+      return v;
+    }
+  }
+
+  Result<Value> ParseString() {
+    BULKDEL_RETURN_IF_ERROR(Expect('"'));
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        v.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("dangling escape in JSON string");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          v.string.push_back('"');
+          break;
+        case '\\':
+          v.string.push_back('\\');
+          break;
+        case '/':
+          v.string.push_back('/');
+          break;
+        case 'n':
+          v.string.push_back('\n');
+          break;
+        case 'r':
+          v.string.push_back('\r');
+          break;
+        case 't':
+          v.string.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code += h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += h - 'A' + 10;
+            } else {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+          }
+          // Control characters only (all the library's writers emit); wider
+          // code points would need UTF-8 encoding.
+          v.string.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape in JSON string");
+      }
+    }
+    BULKDEL_RETURN_IF_ERROR(Expect('"'));
+    return v;
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    bool negative = false;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::InvalidArgument("malformed number in JSON");
+    }
+    uint64_t magnitude = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      magnitude = magnitude * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    bool fractional = false;
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fractional = true;
+      // Accept the full numeric grammar and let strtod do the work.
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+              text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+    }
+    Value v;
+    if (fractional) {
+      v.kind = Value::Kind::kDouble;
+      v.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                             nullptr);
+    } else {
+      v.kind = Value::Kind::kInt;
+      v.integer = negative ? -static_cast<int64_t>(magnitude)
+                           : static_cast<int64_t>(magnitude);
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace json
+}  // namespace bulkdel

@@ -1,0 +1,63 @@
+#ifndef BULKDEL_UTIL_JSON_H_
+#define BULKDEL_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bulkdel {
+namespace json {
+
+/// Minimal JSON document model covering what the repo's own writers emit
+/// (BulkDeleteReport::ToJson, TraceRecorder's Chrome trace export) plus
+/// doubles and bools so externally produced traces still parse. Originally
+/// private to core/report.cc; shared here so tools (bulkdel_tracecat) read
+/// the same dialect the library writes.
+struct Value {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  int64_t integer = 0;
+  double number = 0.0;  ///< kDouble only; kInt keeps exact 64-bit integers
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  const Value* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  int64_t IntOr(const std::string& key, int64_t fallback = 0) const {
+    const Value* v = Find(key);
+    if (v == nullptr) return fallback;
+    if (v->kind == Kind::kInt) return v->integer;
+    if (v->kind == Kind::kDouble) return static_cast<int64_t>(v->number);
+    return fallback;
+  }
+  double DoubleOr(const std::string& key, double fallback = 0.0) const {
+    const Value* v = Find(key);
+    if (v == nullptr) return fallback;
+    if (v->kind == Kind::kDouble) return v->number;
+    if (v->kind == Kind::kInt) return static_cast<double>(v->integer);
+    return fallback;
+  }
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback = "") const {
+    const Value* v = Find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : fallback;
+  }
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Result<Value> Parse(const std::string& text);
+
+/// Appends `s` to `*out` as a quoted JSON string with escapes.
+void AppendEscaped(std::string* out, const std::string& s);
+
+}  // namespace json
+}  // namespace bulkdel
+
+#endif  // BULKDEL_UTIL_JSON_H_

@@ -1,32 +1,34 @@
 #ifndef BULKDEL_UTIL_STOPWATCH_H_
 #define BULKDEL_UTIL_STOPWATCH_H_
 
-#include <chrono>
 #include <cstdint>
+
+#include "util/clock.h"
 
 namespace bulkdel {
 
-/// Wall-clock stopwatch for the benchmark harness.
+/// Wall-clock stopwatch for the benchmark harness. Reads the same monotonic
+/// clock as the TraceRecorder (util/clock.h), so bench timings and exported
+/// span times are directly comparable.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_nanos_(MonotonicNanos()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_nanos_ = MonotonicNanos(); }
 
   /// Elapsed wall time in microseconds since construction/Restart().
   int64_t ElapsedMicros() const {
-    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                 start_)
-        .count();
+    return (MonotonicNanos() - start_nanos_) / 1000;
   }
 
+  int64_t ElapsedNanos() const { return MonotonicNanos() - start_nanos_; }
+
   double ElapsedSeconds() const {
-    return static_cast<double>(ElapsedMicros()) * 1e-6;
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_nanos_;
 };
 
 }  // namespace bulkdel

@@ -1,0 +1,343 @@
+// Observability subsystem tests: metrics registry semantics (log2 bucket
+// boundaries, snapshot deltas), the lock-free trace recorder (enable gating,
+// multi-thread export, bounded drops), report JSON round-trip including the
+// metrics snapshot, and the headline acceptance criterion — simulated I/O is
+// bit-identical with tracing on or off, serial and parallel.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "util/json.h"
+#include "workload/generator.h"
+
+namespace bulkdel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket b holds values of bit width b: 0 -> 0, [2^(b-1), 2^b) -> b.
+  EXPECT_EQ(obs::Histogram::BucketOf(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketOf(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketOf(2), 2);
+  EXPECT_EQ(obs::Histogram::BucketOf(3), 2);
+  EXPECT_EQ(obs::Histogram::BucketOf(4), 3);
+  EXPECT_EQ(obs::Histogram::BucketOf(7), 3);
+  EXPECT_EQ(obs::Histogram::BucketOf(8), 4);
+  EXPECT_EQ(obs::Histogram::BucketOf((int64_t{1} << 40) - 1), 40);
+  EXPECT_EQ(obs::Histogram::BucketOf(int64_t{1} << 40), 41);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(3), 7);
+}
+
+TEST(MetricsTest, HistogramObserveSnapshotAndQuantile) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("test.h");
+  for (int i = 0; i < 90; ++i) h->Observe(3);    // bucket 2
+  for (int i = 0; i < 10; ++i) h->Observe(100);  // bucket 7
+  h->Observe(-5);                                // clamps to 0, bucket 0
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const obs::HistogramSnapshot* s = snap.FindHistogram("test.h");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 101);
+  EXPECT_EQ(s->sum, 90 * 3 + 10 * 100);
+  ASSERT_EQ(s->buckets.size(), 8u);  // trailing zeros trimmed
+  EXPECT_EQ(s->buckets[0], 1);
+  EXPECT_EQ(s->buckets[2], 90);
+  EXPECT_EQ(s->buckets[7], 10);
+  // Quantiles resolve to the containing bucket's upper bound.
+  EXPECT_EQ(s->ApproxQuantile(0.5), 3);
+  EXPECT_EQ(s->ApproxQuantile(0.99), 127);
+}
+
+TEST(MetricsTest, SnapshotDeltaIsPerStatement) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter(obs::metric_names::kWalSyncs);
+  obs::Histogram* h = registry.histogram(obs::metric_names::kWalSyncRecords);
+  c->Add(5);
+  h->Observe(16);
+  obs::MetricsSnapshot before = registry.Snapshot();
+  c->Add(3);
+  h->Observe(16);
+  h->Observe(17);
+  obs::MetricsSnapshot delta = registry.Snapshot() - before;
+  EXPECT_EQ(delta.CounterOr(obs::metric_names::kWalSyncs), 3);
+  const obs::HistogramSnapshot* hs =
+      delta.FindHistogram(obs::metric_names::kWalSyncRecords);
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 2);
+  EXPECT_EQ(hs->sum, 33);
+}
+
+TEST(MetricsTest, RegistryPointersAreStableAndKindsDoNotAlias) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c1 = registry.counter("same.name");
+  obs::Histogram* h1 = registry.histogram("same.name");
+  EXPECT_EQ(registry.counter("same.name"), c1);
+  EXPECT_EQ(registry.histogram("same.name"), h1);
+  // All known metrics are pre-registered so two registries' snapshots are
+  // positionally comparable.
+  obs::MetricsRegistry other;
+  obs::MetricsSnapshot a = other.Snapshot();
+  for (const obs::MetricInfo& info : obs::KnownMetrics()) {
+    bool found = false;
+    for (const auto& [name, value] : a.counters) found |= name == info.name;
+    for (const auto& h : a.histograms) found |= h.name == info.name;
+    EXPECT_TRUE(found) << info.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder
+// ---------------------------------------------------------------------------
+
+/// The recorder is process-global; tests restore the disabled/empty state.
+struct RecorderGuard {
+  RecorderGuard() {
+    obs::TraceRecorder::Global().SetEnabled(false);
+    obs::TraceRecorder::Global().Reset();
+  }
+  ~RecorderGuard() {
+    obs::TraceRecorder::Global().SetEnabled(false);
+    obs::TraceRecorder::Global().Reset();
+    obs::TraceRecorder::Global().SetThreadCapacity(
+        obs::TraceRecorder::kDefaultCapacity);
+  }
+};
+
+TEST(TraceRecorderTest, DisabledRecordsNothing) {
+  RecorderGuard guard;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.RecordInstant(obs::TraceCategory::kPool, "nope");
+  recorder.RecordComplete(obs::TraceCategory::kPhase, "nope", 1, 2);
+  { obs::TraceSpan span(obs::TraceCategory::kWal, "nope"); }
+  EXPECT_EQ(recorder.EventCount(), 0u);
+}
+
+TEST(TraceRecorderTest, MultiThreadRecordingExportsParsableChromeTrace) {
+  RecorderGuard guard;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(true);
+  constexpr int kThreads = 4, kEventsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        int64_t now = MonotonicNanos();
+        recorder.RecordComplete(obs::TraceCategory::kPhase, "span", now - 100,
+                                now, "items", i, "parent-label");
+        recorder.RecordInstant(obs::TraceCategory::kPool, "tick", "n", t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.EventCount(),
+            static_cast<uint64_t>(kThreads * kEventsPerThread * 2));
+  EXPECT_EQ(recorder.DroppedCount(), 0u);
+
+  auto parsed = json::Parse(recorder.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, json::Value::Kind::kArray);
+  int spans = 0, instants = 0, lanes = 0;
+  int64_t last_ts_int = -1;
+  for (const json::Value& e : events->array) {
+    std::string ph = e.StringOr("ph");
+    if (ph == "M") {
+      ++lanes;
+      continue;
+    }
+    if (ph == "X") {
+      ++spans;
+      const json::Value* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->StringOr("parent"), "parent-label");
+    } else if (ph == "i") {
+      ++instants;
+    }
+    // Export is globally time-sorted (micros may repeat).
+    int64_t ts = e.IntOr("ts");
+    EXPECT_GE(ts, last_ts_int);
+    last_ts_int = ts;
+  }
+  EXPECT_EQ(spans, kThreads * kEventsPerThread);
+  EXPECT_EQ(instants, kThreads * kEventsPerThread);
+  EXPECT_GE(lanes, 1);  // one thread_name record per lane
+}
+
+TEST(TraceRecorderTest, FullRingDropsNewestAndCounts) {
+  RecorderGuard guard;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  // Capacity clamps to one chunk; a fresh thread registering below gets it.
+  recorder.SetThreadCapacity(1);
+  constexpr uint64_t kCapacity = obs::TraceRecorder::kChunkEvents;
+  constexpr uint64_t kWrites = kCapacity + 500;
+  recorder.SetEnabled(true);
+  std::thread writer([&recorder] {
+    for (uint64_t i = 0; i < kWrites; ++i) {
+      recorder.RecordInstant(obs::TraceCategory::kDisk, "w");
+    }
+  });
+  writer.join();
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.DroppedCount(), kWrites - kCapacity);
+  EXPECT_GE(recorder.EventCount(), kCapacity);
+}
+
+// ---------------------------------------------------------------------------
+// Report round-trip including metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsReportJsonTest, MetricsSnapshotRoundTrips) {
+  BulkDeleteReport report;
+  report.strategy_used = Strategy::kVerticalSortMerge;
+  report.rows_deleted = 7;
+  report.metrics.counters = {{"wal.syncs", 4}, {"ckpt.inline", 2}};
+  obs::HistogramSnapshot h;
+  h.name = "bp.fetch_ns";
+  h.count = 3;
+  h.sum = 1234;
+  h.buckets = {0, 1, 0, 2};
+  report.metrics.histograms.push_back(h);
+
+  auto round = BulkDeleteReport::FromJson(report.ToJson());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->rows_deleted, 7u);
+  EXPECT_TRUE(round->metrics == report.metrics);
+  // And a second serialize is byte-identical (stable emitter).
+  EXPECT_EQ(round->ToJson(), report.ToJson());
+}
+
+// ---------------------------------------------------------------------------
+// Identity: simulated I/O is a function of page accesses only — tracing and
+// metrics never perturb it (tier-1 acceptance criterion for this subsystem).
+// ---------------------------------------------------------------------------
+
+BulkDeleteReport RunTracedDelete(int exec_threads, bool trace_spans) {
+  RecorderGuard guard;  // each run starts from a clean, disabled recorder
+  DatabaseOptions options;
+  options.memory_budget_bytes = 4ull << 20;
+  options.exec_threads = exec_threads;
+  options.trace_spans = trace_spans;
+  auto db = *Database::Create(options);
+
+  WorkloadSpec spec;
+  spec.n_tuples = 10000;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"});
+
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.15, 42);
+  auto report = db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (trace_spans) {
+    // The traced run actually recorded spans (the flag is live) ...
+    EXPECT_GT(obs::TraceRecorder::Global().EventCount(), 0u);
+    // ... and its latency histograms populated into the report delta.
+    const obs::HistogramSnapshot* fetch =
+        report->metrics.FindHistogram(obs::metric_names::kBpFetchNs);
+    EXPECT_NE(fetch, nullptr);
+    if (fetch != nullptr) EXPECT_GT(fetch->count, 0);
+  }
+  return report.ok() ? *report : BulkDeleteReport{};
+}
+
+const PhaseStats* FindPhase(const BulkDeleteReport& report,
+                            const std::string& name) {
+  for (const PhaseStats& p : report.phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+void ExpectSameSimulatedIo(const BulkDeleteReport& off,
+                           const BulkDeleteReport& on) {
+  EXPECT_EQ(off.rows_deleted, on.rows_deleted);
+  EXPECT_EQ(off.index_entries_deleted, on.index_entries_deleted);
+  EXPECT_EQ(off.io.reads, on.io.reads);
+  EXPECT_EQ(off.io.writes, on.io.writes);
+  EXPECT_EQ(off.io.sequential_accesses, on.io.sequential_accesses);
+  EXPECT_EQ(off.io.random_accesses, on.io.random_accesses);
+  EXPECT_EQ(off.io.simulated_micros, on.io.simulated_micros);
+  ASSERT_EQ(off.phases.size(), on.phases.size());
+  for (const PhaseStats& p : off.phases) {
+    const PhaseStats* q = FindPhase(on, p.name);
+    ASSERT_NE(q, nullptr) << p.name;
+    EXPECT_EQ(p.items, q->items) << p.name;
+    EXPECT_EQ(p.io.reads, q->io.reads) << p.name;
+    EXPECT_EQ(p.io.writes, q->io.writes) << p.name;
+    EXPECT_EQ(p.io.sequential_accesses, q->io.sequential_accesses) << p.name;
+    EXPECT_EQ(p.io.random_accesses, q->io.random_accesses) << p.name;
+    EXPECT_EQ(p.io.simulated_micros, q->io.simulated_micros) << p.name;
+  }
+}
+
+TEST(ObsIdentityTest, SimulatedIoBitIdenticalTraceOnOffSerial) {
+  BulkDeleteReport off = RunTracedDelete(1, /*trace_spans=*/false);
+  BulkDeleteReport on = RunTracedDelete(1, /*trace_spans=*/true);
+  ExpectSameSimulatedIo(off, on);
+}
+
+TEST(ObsIdentityTest, SimulatedIoBitIdenticalTraceOnOffParallel) {
+  BulkDeleteReport off = RunTracedDelete(4, /*trace_spans=*/false);
+  BulkDeleteReport on = RunTracedDelete(4, /*trace_spans=*/true);
+  ExpectSameSimulatedIo(off, on);
+}
+
+TEST(ObsIdentityTest, UntracedRunStillCountsClockFreeMetrics) {
+  // Counters and count-valued histograms stay live with tracing off (they
+  // read no clock); latency histograms must stay empty.
+  BulkDeleteReport report = RunTracedDelete(1, /*trace_spans=*/false);
+  EXPECT_GT(report.metrics.CounterOr(obs::metric_names::kSchedPhasesDispatched),
+            0);
+  const obs::HistogramSnapshot* fetch =
+      report.metrics.FindHistogram(obs::metric_names::kBpFetchNs);
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_EQ(fetch->count, 0);
+  const obs::HistogramSnapshot* depth =
+      report.metrics.FindHistogram(obs::metric_names::kSchedQueueDepth);
+  ASSERT_NE(depth, nullptr);
+  EXPECT_GT(depth->count, 0);
+}
+
+TEST(ObsExplainTest, ExplainListsMetricsAndTraceCategories) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 1ull << 20;
+  auto db = *Database::Create(options);
+  WorkloadSpec spec;
+  spec.n_tuples = 2000;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A", "B"});
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.10, 7);
+  auto plan = db->ExplainBulkDelete(bd, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string text = plan->Explain();
+  EXPECT_NE(text.find("metrics:"), std::string::npos) << text;
+  EXPECT_NE(text.find(obs::metric_names::kBpFetchNs), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("trace categories:"), std::string::npos) << text;
+  EXPECT_NE(text.find("pool"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace bulkdel

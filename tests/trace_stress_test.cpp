@@ -1,0 +1,130 @@
+// ThreadSanitizer stress for the observability subsystem: hammers the
+// lock-free per-thread trace rings from many recording threads while a
+// concurrent exporter repeatedly serializes the published prefix, and runs a
+// traced parallel bulk delete under the same concurrent-export pressure.
+// Run under TSan in CI (label: tsan); the assertions are deliberately loose —
+// the point is the interleavings, not the values.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "util/json.h"
+#include "workload/generator.h"
+
+namespace bulkdel {
+namespace {
+
+TEST(TraceStressTest, ConcurrentRecordAndExport) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(false);
+  recorder.Reset();
+  // Bound the rings so repeated exports stay cheap; the writers spill past
+  // capacity on purpose (the drop path is part of what TSan should see).
+  recorder.SetThreadCapacity(1);
+  recorder.SetEnabled(true);
+
+  std::atomic<int> done{0};
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 10000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&recorder, &done, t] {
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        int64_t now = MonotonicNanos();
+        recorder.RecordComplete(obs::TraceCategory::kPool, "stress.span",
+                                now - 10, now, "i", i, "stress.parent");
+        recorder.RecordInstant(obs::TraceCategory::kDisk, "stress.tick", "t",
+                               t);
+      }
+      done.fetch_add(1);
+    });
+  }
+  // Export races the writers: published slots are immutable, the cursor is
+  // acquire-loaded, so every serialization must parse.
+  int rounds = 0;
+  do {
+    auto parsed = json::Parse(recorder.ToChromeTraceJson());
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ++rounds;
+  } while (done.load() < kWriters && rounds < 200);
+  for (auto& w : writers) w.join();
+  recorder.SetEnabled(false);
+  EXPECT_EQ(recorder.EventCount() + recorder.DroppedCount(),
+            static_cast<uint64_t>(kWriters * kEventsPerWriter * 2));
+  recorder.Reset();
+  recorder.SetThreadCapacity(obs::TraceRecorder::kDefaultCapacity);
+}
+
+TEST(TraceStressTest, ConcurrentHistogramObserveAndSnapshot) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("stress.h");
+  obs::Counter* c = registry.counter("stress.c");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        h->Observe(i & 1023);
+        c->Add(1);
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    obs::MetricsSnapshot snap = registry.Snapshot();
+    const obs::HistogramSnapshot* hs = snap.FindHistogram("stress.h");
+    ASSERT_NE(hs, nullptr);
+    EXPECT_GE(hs->count, 0);
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  // Writers quiesced: the final snapshot is exact.
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.FindHistogram("stress.h")->count, snap.CounterOr("stress.c"));
+}
+
+TEST(TraceStressTest, TracedParallelDeleteUnderConcurrentExport) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(false);
+  recorder.Reset();
+
+  DatabaseOptions options;
+  options.memory_budget_bytes = 4ull << 20;
+  options.exec_threads = 4;
+  options.trace_spans = true;
+  auto db = *Database::Create(options);
+  WorkloadSpec spec;
+  spec.n_tuples = 20000;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"});
+
+  std::atomic<bool> stop{false};
+  std::thread exporter([&recorder, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto parsed = json::Parse(recorder.ToChromeTraceJson());
+      EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    }
+  });
+
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.15, 42);
+  auto report = db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+  stop.store(true);
+  exporter.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  EXPECT_GT(recorder.EventCount(), 0u);
+  recorder.SetEnabled(false);
+  recorder.Reset();
+}
+
+}  // namespace
+}  // namespace bulkdel

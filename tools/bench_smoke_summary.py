@@ -1,27 +1,35 @@
 #!/usr/bin/env python3
-"""Append one BENCH_smoke.json entry from a bench_fig7 trace.
+"""Append one BENCH_smoke.json entry from reduced-scale bench traces.
 
-Usage: bench_smoke_summary.py TRACE_JSONL OUT_JSON [COMMIT] [DATE]
+Usage:
+  bench_smoke_summary.py --out=OUT_JSON --fig7=TRACE_JSONL [--fig9=TRACE_JSONL]
+                         [--commit=SHA] [--date=YYYY-MM-DD]
 
-Reads the per-run JSONL written by `bench_fig7_vary_deletes --trace-out=...`
-and appends a single summary line to OUT_JSON (itself JSONL: one entry per
-recorded run, so the perf trajectory of the reduced-scale smoke benchmark is
-`git log`-diffable). Per strategy it keeps the simulated minutes of every
-delete fraction, in run order (5/10/15/20%).
+Reads the per-run JSONL written by `bench_fig7_vary_deletes` /
+`bench_fig9_vary_memory` with `--trace-out=...` (one BulkDeleteReport::ToJson
+line per delete) and appends a single summary line to OUT_JSON — itself JSONL,
+one entry per recorded run, so the perf trajectory of the reduced-scale smoke
+benchmarks is `git log`-diffable. Per bench and strategy it keeps, in run
+order (fig7: 5/10/15/20 % deletes; fig9: 2/4/6/8/10 MB):
+  sim_minutes — simulated I/O time under the 2001 disk model (the paper's
+                y-axis; the number that must not regress),
+  wall_millis — host wall time (noisy across runners; trend only),
+  io_reads / io_writes — simulated page transfer counts.
+
+Exits non-zero if OUT_JSON would be left unchanged (empty/missing traces),
+so the CI bench-smoke job cannot silently stop recording the trajectory.
+
+The legacy positional form `bench_smoke_summary.py TRACE OUT [COMMIT] [DATE]`
+still works and implies --fig7=TRACE.
 """
 
 import json
+import os
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) < 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    trace_path, out_path = sys.argv[1], sys.argv[2]
-    commit = sys.argv[3] if len(sys.argv) > 3 else "unknown"
-    date = sys.argv[4] if len(sys.argv) > 4 else "unknown"
-
+def summarize(trace_path):
+    """Per-strategy run-ordered series from one --trace-out JSONL file."""
     series = {}
     with open(trace_path) as f:
         for line in f:
@@ -29,22 +37,71 @@ def main() -> int:
             if not line:
                 continue
             report = json.loads(line)
-            minutes = report["io"]["simulated_micros"] / 60e6
-            series.setdefault(report["strategy"], []).append(
-                round(minutes, 3))
+            per = series.setdefault(
+                report["strategy"],
+                {"sim_minutes": [], "wall_millis": [], "io_reads": [],
+                 "io_writes": []})
+            per["sim_minutes"].append(
+                round(report["io"]["simulated_micros"] / 60e6, 3))
+            per["wall_millis"].append(round(report["wall_micros"] / 1e3, 1))
+            per["io_reads"].append(report["io"]["reads"])
+            per["io_writes"].append(report["io"]["writes"])
+    return series
 
-    if not series:
-        print(f"no trace records in {trace_path}", file=sys.stderr)
-        return 1
 
-    entry = {
-        "bench": "fig7_vary_deletes",
-        "date": date,
-        "commit": commit,
-        "sim_minutes_by_strategy": series,
-    }
+def main() -> int:
+    out_path = None
+    traces = {}  # bench name -> path
+    commit = "unknown"
+    date = "unknown"
+    positional = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--out="):
+            out_path = arg[len("--out="):]
+        elif arg.startswith("--fig7="):
+            traces["fig7_vary_deletes"] = arg[len("--fig7="):]
+        elif arg.startswith("--fig9="):
+            traces["fig9_vary_memory"] = arg[len("--fig9="):]
+        elif arg.startswith("--commit="):
+            commit = arg[len("--commit="):]
+        elif arg.startswith("--date="):
+            date = arg[len("--date="):]
+        elif arg.startswith("--"):
+            print(f"unknown flag {arg}\n{__doc__}", file=sys.stderr)
+            return 2
+        else:
+            positional.append(arg)
+    if positional:  # legacy: TRACE OUT [COMMIT] [DATE]
+        if len(positional) >= 2 and "fig7_vary_deletes" not in traces:
+            traces["fig7_vary_deletes"] = positional[0]
+            out_path = out_path or positional[1]
+        if len(positional) > 2:
+            commit = positional[2]
+        if len(positional) > 3:
+            date = positional[3]
+    if out_path is None or not traces:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    benches = {}
+    for bench, path in sorted(traces.items()):
+        if not os.path.exists(path):
+            print(f"missing trace file {path}", file=sys.stderr)
+            return 1
+        series = summarize(path)
+        if not series:
+            print(f"no trace records in {path}", file=sys.stderr)
+            return 1
+        benches[bench] = series
+
+    entry = {"date": date, "commit": commit, "benches": benches}
+    size_before = os.path.getsize(out_path) if os.path.exists(out_path) else 0
     with open(out_path, "a") as f:
         f.write(json.dumps(entry, sort_keys=True) + "\n")
+    size_after = os.path.getsize(out_path)
+    if size_after <= size_before:
+        print(f"{out_path} unchanged — refusing to pass", file=sys.stderr)
+        return 1
     print(f"appended {out_path}: {json.dumps(entry, sort_keys=True)}")
     return 0
 
