@@ -3,10 +3,22 @@
 // the bulk delete's wall time, for both protocols (plus the exclusive
 // baseline). Wall-clock based (threads), so run on an otherwise idle
 // machine for stable numbers.
+//
+// Extra flags (on top of the common bench flags):
+//   --updaters=N       concurrent updater threads per protocol (default 1)
+//   --json-out=FILE    append one machine-readable JSON line (consumed by
+//                      tools/bench_smoke_summary.py --concurrency=FILE)
+//
+// With no updaters running, the protocol machinery must be free: the run
+// also executes every protocol with zero updaters and checks the simulated
+// bulk-delete I/O is bit-identical to the exclusive baseline.
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "util/stopwatch.h"
@@ -16,49 +28,59 @@ namespace bench {
 namespace {
 
 struct ProtocolDef {
-  const char* name;
+  const char* name;  ///< human label
+  const char* key;   ///< JSON key
   ConcurrencyProtocol protocol;
 };
 
-int Run(int argc, char** argv) {
-  BenchConfig config = BenchConfig::FromArgs(argc, argv);
-  // Keep this one modest: it is wall-clock bound.
-  if (config.n_tuples > 20000) config.n_tuples = 20000;
-  std::printf("Ablation: concurrency protocols (wall-clock, %llu tuples)\n",
-              static_cast<unsigned long long>(config.n_tuples));
+constexpr ProtocolDef kProtocols[] = {
+    {"exclusive (none)", "none", ConcurrencyProtocol::kNone},
+    {"side-file", "sidefile", ConcurrencyProtocol::kSideFile},
+    {"direct propagation", "direct", ConcurrencyProtocol::kDirectPropagation},
+};
 
-  const ProtocolDef protocols[] = {
-      {"exclusive (none)", ConcurrencyProtocol::kNone},
-      {"side-file", ConcurrencyProtocol::kSideFile},
-      {"direct propagation", ConcurrencyProtocol::kDirectPropagation},
-  };
-  std::printf("%-22s %16s %20s\n", "protocol", "delete wall(ms)",
-              "updater ops during");
-  for (const ProtocolDef& p : protocols) {
-    DatabaseOptions options;
-    options.memory_budget_bytes = config.ScaledMemoryBytes(5.0);
-    options.concurrency = p.protocol;
-    options.bulk_chunk_entries = 128;
-    auto db = *Database::Create(options);
-    WorkloadSpec spec;
-    spec.n_tuples = config.n_tuples;
-    spec.n_int_columns = 3;
-    spec.tuple_size = config.tuple_size;
-    spec.seed = config.seed;
-    auto workload = SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"});
-    if (!workload.ok()) return 1;
+struct ProtocolResult {
+  double wall_ms = 0;
+  uint64_t updater_ops = 0;
+  double updater_ops_per_sec = 0;
+  uint64_t sim_micros = 0;
+  uint64_t io_reads = 0;
+  uint64_t io_writes = 0;
+};
 
-    BulkDeleteSpec bd;
-    bd.table = "R";
-    bd.key_column = "A";
-    bd.keys = workload->MakeDeleteKeys(0.3, 11);
+/// One bulk delete under `protocol` with `n_updaters` insert threads
+/// hammering the table for its whole duration.
+Result<ProtocolResult> RunProtocol(const BenchConfig& config,
+                                   ConcurrencyProtocol protocol,
+                                   int n_updaters) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = config.ScaledMemoryBytes(5.0);
+  options.concurrency = protocol;
+  options.bulk_chunk_entries = 128;
+  BULKDEL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                           Database::Create(options));
+  WorkloadSpec spec;
+  spec.n_tuples = config.n_tuples;
+  spec.n_int_columns = 3;
+  spec.tuple_size = config.tuple_size;
+  spec.seed = config.seed;
+  BULKDEL_ASSIGN_OR_RETURN(Workload workload,
+                           SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"}));
 
-    std::atomic<bool> stop{false};
-    std::atomic<uint64_t> ops{0};
-    std::thread updater;
-    if (p.protocol != ConcurrencyProtocol::kNone) {
-      updater = std::thread([&] {
-        int64_t next = 30000000000LL;
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.3, 11);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::vector<std::thread> updaters;
+  if (protocol != ConcurrencyProtocol::kNone) {
+    for (int u = 0; u < n_updaters; ++u) {
+      updaters.emplace_back([&, u] {
+        // Disjoint key ranges per thread; inserts only, so tuple counts stay
+        // comparable across protocols.
+        int64_t next = 30000000000LL + u * 1000000000LL;
         while (!stop.load()) {
           if (db->InsertRow("R", {next, next + 1, next + 2}).ok()) {
             ++ops;
@@ -67,19 +89,119 @@ int Run(int argc, char** argv) {
         }
       });
     }
-    Stopwatch watch;
-    auto report = db->BulkDelete(bd, Strategy::kVerticalSortMerge);
-    double wall_ms = static_cast<double>(watch.ElapsedMicros()) / 1000.0;
-    stop = true;
-    if (updater.joinable()) updater.join();
-    if (!report.ok()) {
-      std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+  }
+  Stopwatch watch;
+  auto report = db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+  double wall_ms = static_cast<double>(watch.ElapsedMicros()) / 1000.0;
+  stop = true;
+  for (std::thread& t : updaters) t.join();
+  BULKDEL_RETURN_IF_ERROR(report.status());
+  BULKDEL_RETURN_IF_ERROR(db->VerifyIntegrity());
+
+  ProtocolResult result;
+  result.wall_ms = wall_ms;
+  result.updater_ops = ops.load();
+  result.updater_ops_per_sec =
+      wall_ms > 0 ? static_cast<double>(result.updater_ops) / wall_ms * 1000.0
+                  : 0;
+  result.sim_micros = report->io.simulated_micros;
+  result.io_reads = report->io.reads;
+  result.io_writes = report->io.writes;
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  int n_updaters = 1;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--updaters=", 11) == 0) {
+      n_updaters = std::atoi(argv[i] + 11);
+      if (n_updaters < 1) n_updaters = 1;
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    }
+  }
+  // Keep this one modest: it is wall-clock bound.
+  if (config.n_tuples > 20000) config.n_tuples = 20000;
+  std::printf(
+      "Ablation: concurrency protocols (wall-clock, %llu tuples, "
+      "%d updater thread%s)\n",
+      static_cast<unsigned long long>(config.n_tuples), n_updaters,
+      n_updaters == 1 ? "" : "s");
+
+  // With no updaters, every protocol must cost nothing: identical simulated
+  // bulk-delete I/O (the §3.1 machinery only acts when DML actually
+  // arrives while an index is off-line).
+  uint64_t baseline_sim = 0, baseline_reads = 0, baseline_writes = 0;
+  for (const ProtocolDef& p : kProtocols) {
+    auto quiet = RunProtocol(config, p.protocol, 0);
+    if (!quiet.ok()) {
+      std::fprintf(stderr, "%s (quiet): %s\n", p.name,
+                   quiet.status().ToString().c_str());
       return 1;
     }
-    Status integrity = db->VerifyIntegrity();
-    std::printf("%-22s %16.1f %20llu %s\n", p.name, wall_ms,
-                static_cast<unsigned long long>(ops.load()),
-                integrity.ok() ? "" : integrity.ToString().c_str());
+    if (p.protocol == ConcurrencyProtocol::kNone) {
+      baseline_sim = quiet->sim_micros;
+      baseline_reads = quiet->io_reads;
+      baseline_writes = quiet->io_writes;
+    } else if (quiet->sim_micros != baseline_sim ||
+               quiet->io_reads != baseline_reads ||
+               quiet->io_writes != baseline_writes) {
+      std::fprintf(stderr,
+                   "I/O identity violated: %s with no updaters simulated "
+                   "%llu us (%llu r / %llu w) vs baseline %llu us "
+                   "(%llu r / %llu w)\n",
+                   p.name,
+                   static_cast<unsigned long long>(quiet->sim_micros),
+                   static_cast<unsigned long long>(quiet->io_reads),
+                   static_cast<unsigned long long>(quiet->io_writes),
+                   static_cast<unsigned long long>(baseline_sim),
+                   static_cast<unsigned long long>(baseline_reads),
+                   static_cast<unsigned long long>(baseline_writes));
+      return 1;
+    }
+  }
+  std::printf("quiet-run I/O identity: all protocols simulate %llu us\n",
+              static_cast<unsigned long long>(baseline_sim));
+
+  std::printf("%-22s %16s %14s %16s\n", "protocol", "delete wall(ms)",
+              "updater ops", "updater ops/s");
+  std::string json = "{\"bench\": \"ablation_concurrency\", \"tuples\": " +
+                     std::to_string(config.n_tuples) +
+                     ", \"updaters\": " + std::to_string(n_updaters) +
+                     ", \"protocols\": {";
+  bool first = true;
+  for (const ProtocolDef& p : kProtocols) {
+    auto result = RunProtocol(config, p.protocol, n_updaters);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", p.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-22s %16.1f %14llu %16.0f\n", p.name, result->wall_ms,
+                static_cast<unsigned long long>(result->updater_ops),
+                result->updater_ops_per_sec);
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\"%s\": {\"delete_wall_ms\": %.1f, \"updater_ops\": "
+                  "%llu, \"updater_ops_per_sec\": %.0f, \"sim_micros\": %llu}",
+                  first ? "" : ", ", p.key, result->wall_ms,
+                  static_cast<unsigned long long>(result->updater_ops),
+                  result->updater_ops_per_sec,
+                  static_cast<unsigned long long>(result->sim_micros));
+    json += entry;
+    first = false;
+  }
+  json += "}}";
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
   }
   std::printf(
       "\nexpectation: both on-line protocols sustain updater traffic during "

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <thread>
 
 #include <algorithm>
 
@@ -49,6 +50,10 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
   db->disk_->SetMetrics(&db->metrics_);
   db->pool_->SetMetrics(&db->metrics_);
   db->log_->SetMetrics(&db->metrics_);
+  db->sidefile_appends_counter_ =
+      db->metrics_.counter(obs::metric_names::kSideFileAppends);
+  db->sidefile_spill_pages_counter_ =
+      db->metrics_.counter(obs::metric_names::kSideFileSpillPages);
   if (db->options_.trace_spans) {
     obs::TraceRecorder::Global().SetEnabled(true);
   }
@@ -121,37 +126,97 @@ Status Database::DropIndex(const std::string& table,
   return catalog_->RemoveIndex(table, column);
 }
 
+bool Database::TrySideFileAppend(IndexDef* index, const SideFileOp& op,
+                                 Status* status) {
+  IndexConcurrencyState* cc = index->cc.get();
+  while (cc->mode.load(std::memory_order_acquire) ==
+         IndexMode::kOfflineSideFile) {
+    if (!cc->side_file.TryEnterAppend()) {
+      // Quiesce in progress: the mode is about to flip on-line. Spin on the
+      // mode re-check rather than the gate — once the flip lands we fall
+      // through to the direct path.
+      std::this_thread::yield();
+      continue;
+    }
+    // Admitted. The flip happens inside the quiesce window (which waits for
+    // us), so the mode cannot change while we hold the gate — but it may
+    // have flipped before we entered; re-check.
+    if (cc->mode.load(std::memory_order_acquire) !=
+        IndexMode::kOfflineSideFile) {
+      cc->side_file.ExitAppend();
+      break;
+    }
+    Status fault = CheckFault(fault_sites::kTxnSideFileAppend, index->name);
+    if (!fault.ok()) {
+      cc->side_file.ExitAppend();
+      *status = fault;
+      return true;
+    }
+    std::vector<PageId> spilled;
+    Status s = cc->side_file.Append(op, &spilled);
+    cc->side_file.ExitAppend();
+    if (s.ok()) {
+      sidefile_appends_counter_->Add(1);
+      if (!spilled.empty()) {
+        sidefile_spill_pages_counter_->Add(
+            static_cast<int64_t>(spilled.size()));
+      }
+      uint64_t bd_id = updater_logging_id();
+      if (bd_id != 0) {
+        // Diagnostics only: replay is driven by kUpdaterRow records. The
+        // spill record lets recovery reclaim the scratch pages.
+        LogRecord append_rec;
+        append_rec.type = LogRecordType::kSideFileAppend;
+        append_rec.bd_id = bd_id;
+        append_rec.label = index->name;
+        log_->Append(std::move(append_rec));
+        if (!spilled.empty()) {
+          LogRecord spill_rec;
+          spill_rec.type = LogRecordType::kSideFileSpill;
+          spill_rec.bd_id = bd_id;
+          spill_rec.label = index->name;
+          spill_rec.pages = std::move(spilled);
+          log_->Append(std::move(spill_rec));
+        }
+      }
+    }
+    *status = s;
+    return true;
+  }
+  return false;
+}
+
 Status Database::ApplyIndexInsert(TableDef* table, IndexDef* index,
                                   int64_t key, const Rid& rid) {
   (void)table;
-  IndexMode mode = index->cc->mode.load();
-  if (mode == IndexMode::kOfflineSideFile) {
-    // Hold the append mutex so the bulk deleter's quiesce step can block us;
-    // re-check the mode, which may have flipped while we waited.
-    std::lock_guard<std::mutex> quiesce(index->cc->side_file.append_mutex());
-    if (index->cc->mode.load() == IndexMode::kOfflineSideFile) {
-      index->cc->side_file.Append(SideFileOp{/*is_insert=*/true, key, rid});
-      return Status::OK();
-    }
-    mode = index->cc->mode.load();
+  Status side_file_status;
+  if (TrySideFileAppend(index, SideFileOp{/*is_insert=*/true, key, rid},
+                        &side_file_status)) {
+    return side_file_status;
   }
   std::lock_guard<std::mutex> latch(index->cc->latch);
-  uint16_t flags = mode == IndexMode::kOfflineDirect
-                       ? BTreeNode::kEntryUndeletable
-                       : 0;
+  // Decide the undeletable marker from the mode *under the latch*:
+  // BringOnline clears the markers and flips the mode under this same
+  // latch, so an insert can no longer slip a marked entry in after the
+  // clearing pass ran.
+  uint16_t flags =
+      index->cc->mode.load(std::memory_order_acquire) ==
+              IndexMode::kOfflineDirect
+          ? BTreeNode::kEntryUndeletable
+          : 0;
+  if (flags != 0) {
+    index->cc->undeletable_marks.fetch_add(1, std::memory_order_relaxed);
+  }
   return index->tree->Insert(key, rid, flags);
 }
 
 Status Database::ApplyIndexDelete(TableDef* table, IndexDef* index,
                                   int64_t key, const Rid& rid) {
   (void)table;
-  IndexMode mode = index->cc->mode.load();
-  if (mode == IndexMode::kOfflineSideFile) {
-    std::lock_guard<std::mutex> quiesce(index->cc->side_file.append_mutex());
-    if (index->cc->mode.load() == IndexMode::kOfflineSideFile) {
-      index->cc->side_file.Append(SideFileOp{/*is_insert=*/false, key, rid});
-      return Status::OK();
-    }
+  Status side_file_status;
+  if (TrySideFileAppend(index, SideFileOp{/*is_insert=*/false, key, rid},
+                        &side_file_status)) {
+    return side_file_status;
   }
   std::lock_guard<std::mutex> latch(index->cc->latch);
   Status s = index->tree->Delete(key, rid);
@@ -179,22 +244,80 @@ Result<Rid> Database::InsertRow(const std::string& table_name,
   }
 
   LockManager::SharedGuard lock(locks_.get(), table_name);
+  BULKDEL_RETURN_IF_ERROR(CheckAlive());
   BULKDEL_RETURN_IF_ERROR(CheckChildInsert(this, t, tuple.data()));
+  const uint64_t bd_id = updater_logging_id();
+  if (bd_id != 0) {
+    // Pre-check unique indices before logging the row record, so a plain
+    // unique violation does not leave a kUpdaterRow record that recovery
+    // would replay. (Unique indices stay on-line during the §3.1 window —
+    // they are processed under the exclusive table lock before commit.)
+    for (auto& index : t->indices) {
+      if (!index->options.unique) continue;
+      int64_t key =
+          t->schema->GetInt(tuple.data(), static_cast<size_t>(index->column));
+      std::lock_guard<std::mutex> latch(index->cc->latch);
+      BULKDEL_ASSIGN_OR_RETURN(std::vector<Rid> hits,
+                               index->tree->Search(key));
+      if (!hits.empty()) {
+        return Status::AlreadyExists("duplicate key " + std::to_string(key) +
+                                     " in unique index " + index->name);
+      }
+    }
+  }
   Rid rid;
   {
     std::lock_guard<std::mutex> heap(t->heap_latch);
-    BULKDEL_ASSIGN_OR_RETURN(rid, t->table->Insert(tuple.data()));
+    if (bd_id != 0) {
+      // Record-before-mutation: predict the RID and log the whole row
+      // first, so any durable partial effect implies a durable record (the
+      // pool's pre-writeback hook syncs the log ahead of every page write).
+      BULKDEL_ASSIGN_OR_RETURN(Rid predicted, t->table->PeekInsertRid());
+      LogRecord rec;
+      rec.type = LogRecordType::kUpdaterRow;
+      rec.bd_id = bd_id;
+      rec.label = table_name;
+      rec.count = 1;  // insert
+      rec.rid = predicted;
+      rec.values = int_values;
+      log_->Append(std::move(rec));
+      BULKDEL_ASSIGN_OR_RETURN(rid, t->table->Insert(tuple.data()));
+      if (!(rid == predicted)) {
+        return Status::Internal("updater insert RID drifted from the " +
+                                std::string("logged prediction"));
+      }
+    } else {
+      BULKDEL_ASSIGN_OR_RETURN(rid, t->table->Insert(tuple.data()));
+    }
   }
+  Status index_status;
+  size_t applied = 0;
   for (auto& index : t->indices) {
     int64_t key =
         t->schema->GetInt(tuple.data(), static_cast<size_t>(index->column));
-    Status s = ApplyIndexInsert(t, index.get(), key, rid);
-    if (!s.ok()) {
-      // Undo the heap insert so a unique violation leaves no orphan row.
-      std::lock_guard<std::mutex> heap(t->heap_latch);
-      (void)t->table->Delete(rid);
-      return s;
+    index_status = ApplyIndexInsert(t, index.get(), key, rid);
+    if (!index_status.ok()) break;
+    ++applied;
+  }
+  if (!index_status.ok()) {
+    // Undo the already-applied index entries *and* the heap row, so a
+    // failure midway leaves no orphans (the old path leaked entries into
+    // the indices that had already accepted the key).
+    for (size_t i = 0; i < applied; ++i) {
+      auto& index = t->indices[i];
+      int64_t key =
+          t->schema->GetInt(tuple.data(), static_cast<size_t>(index->column));
+      (void)ApplyIndexDelete(t, index.get(), key, rid);
     }
+    std::lock_guard<std::mutex> heap(t->heap_latch);
+    (void)t->table->Delete(rid);
+    return index_status;
+  }
+  if (bd_id != 0) {
+    // OK must imply durable: force the row record out, and refuse to
+    // acknowledge if the process "died" during that sync.
+    log_->Sync();
+    BULKDEL_RETURN_IF_ERROR(CheckAlive());
   }
   return rid;
 }
@@ -210,6 +333,7 @@ Status Database::DeleteRowWithCascadePath(
   TableDef* t = GetTable(table_name);
   if (t == nullptr) return Status::NotFound("no table " + table_name);
   LockManager::SharedGuard lock(locks_.get(), table_name);
+  BULKDEL_RETURN_IF_ERROR(CheckAlive());
   std::vector<char> tuple(t->schema->tuple_size());
   {
     std::lock_guard<std::mutex> heap(t->heap_latch);
@@ -219,14 +343,35 @@ Status Database::DeleteRowWithCascadePath(
   // untouched; CASCADE removes the referencing child rows.
   BULKDEL_RETURN_IF_ERROR(
       ProcessParentRowDelete(this, t, tuple.data(), cascade_path));
+  const uint64_t bd_id = updater_logging_id();
   {
     std::lock_guard<std::mutex> heap(t->heap_latch);
+    if (bd_id != 0) {
+      // Record-before-mutation, mirroring InsertRow: the full row goes into
+      // the record so recovery can re-derive every index key.
+      LogRecord rec;
+      rec.type = LogRecordType::kUpdaterRow;
+      rec.bd_id = bd_id;
+      rec.label = table_name;
+      rec.count = 0;  // delete
+      rec.rid = rid;
+      for (size_t c = 0; c < t->schema->num_columns(); ++c) {
+        if (t->schema->column(c).type == ColumnType::kInt64) {
+          rec.values.push_back(t->schema->GetInt(tuple.data(), c));
+        }
+      }
+      log_->Append(std::move(rec));
+    }
     BULKDEL_RETURN_IF_ERROR(t->table->Delete(rid));
   }
   for (auto& index : t->indices) {
     int64_t key =
         t->schema->GetInt(tuple.data(), static_cast<size_t>(index->column));
     BULKDEL_RETURN_IF_ERROR(ApplyIndexDelete(t, index.get(), key, rid));
+  }
+  if (bd_id != 0) {
+    log_->Sync();
+    BULKDEL_RETURN_IF_ERROR(CheckAlive());
   }
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef BULKDEL_CORE_DATABASE_H_
 #define BULKDEL_CORE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,10 @@ struct DatabaseOptions {
   /// Entries per latch window while processing off-line indices; smaller
   /// values let concurrent updaters interleave more often.
   size_t bulk_chunk_entries = 8192;
+  /// kSideFile protocol: ops buffered per side-file shard before the tail is
+  /// spilled to scratch pages through the DiskManager (bounds the memory a
+  /// long catch-up can pin). Tests shrink this to exercise spilling.
+  size_t side_file_spill_ops = 4096;
   /// Worker threads for the phase-DAG scheduler. 1 (the default) executes
   /// phases inline in the canonical serial order — identical behavior to the
   /// historical linear step list. Higher values let independent
@@ -162,6 +167,13 @@ class Database {
   /// any interrupted bulk delete forward.
   Status SimulateCrashAndRecover();
 
+  /// Executor-internal (§3.1): marks `bd_id` as the bulk delete whose WAL
+  /// covers concurrent updater DML from now on (0 clears). While set,
+  /// InsertRow/DeleteRow write kUpdaterRow records before mutating.
+  void SetUpdaterLoggingId(uint64_t bd_id) {
+    active_bd_id_.store(bd_id, std::memory_order_release);
+  }
+
   /// Makes the next bulk delete fail with kAborted when it reaches the named
   /// phase ("sort-keys", "index:R.A", "table", ...; empty = disabled). The
   /// injected failure happens *before* the phase's checkpoint. Thread-safe:
@@ -217,6 +229,29 @@ class Database {
                           const Rid& rid);
   Status ApplyIndexDelete(TableDef* table, IndexDef* index, int64_t key,
                           const Rid& rid);
+  /// Side-file protocol: admit through the epoch gate and append, with the
+  /// fault site + WAL diagnostics. Returns true if the op was absorbed by
+  /// the side-file (status in *status); false = index is no longer in
+  /// side-file mode, caller should apply directly.
+  bool TrySideFileAppend(IndexDef* index, const SideFileOp& op,
+                         Status* status);
+  /// kUpdaterRow bookkeeping: the id of the bulk delete whose WAL covers
+  /// concurrent updater DML right now (0 = none; set around the §3.1
+  /// off-line window by the vertical executor when logging is on).
+  uint64_t updater_logging_id() const {
+    return options_.enable_recovery_log
+               ? active_bd_id_.load(std::memory_order_acquire)
+               : 0;
+  }
+  /// Returns kAborted once the fault injector has tripped: a dead process
+  /// must not keep acknowledging updater DML.
+  Status CheckAlive() const {
+    FaultInjector* injector = options_.fault_injector.get();
+    if (injector != nullptr && injector->tripped()) {
+      return Status::Aborted("process dead (injected fault tripped)");
+    }
+    return Status::OK();
+  }
   static uint32_t HeapPageTuplesPerPage(TableDef* table);
 
   DatabaseOptions options_;
@@ -230,8 +265,12 @@ class Database {
   std::unique_ptr<LockManager> locks_;
   std::mutex crash_point_mu_;
   std::string crash_point_;
-
-  friend class VerticalRun;
+  /// Bulk delete currently holding indices off-line with recovery logging
+  /// on; gates the kUpdaterRow WAL path in InsertRow/DeleteRow.
+  std::atomic<uint64_t> active_bd_id_{0};
+  /// Side-file instruments (resolved at Create()).
+  obs::Counter* sidefile_appends_counter_ = nullptr;
+  obs::Counter* sidefile_spill_pages_counter_ = nullptr;
 };
 
 }  // namespace bulkdel

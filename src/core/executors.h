@@ -66,6 +66,20 @@ struct RecoveredBulkDelete {
   /// WAL: rows removed from the table after its last checkpoint, with the
   /// projected secondary-index key values.
   std::vector<std::pair<Rid, std::vector<int64_t>>> wal_rows;
+
+  /// §3.1 concurrent-updater DML logged while indices were off-line, in
+  /// statement order. These are the single source of truth for updater
+  /// durability: recovery replays them idempotently over the heap and every
+  /// index after the bulk delete itself has been rolled forward.
+  struct UpdaterOp {
+    bool is_insert = true;
+    Rid rid;
+    std::vector<int64_t> values;  ///< full row (int columns, schema order)
+  };
+  std::vector<UpdaterOp> updater_ops;
+  /// Scratch pages named by kSideFileSpill records; freed (idempotently)
+  /// during recovery — the ops they held are re-derived from updater_ops.
+  std::vector<PageId> sidefile_pages;
 };
 
 /// Rolls an interrupted bulk delete *forward* to completion (paper §3.2).

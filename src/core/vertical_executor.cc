@@ -35,6 +35,8 @@
 //    each secondary phase otherwise touches only its own feed and index.
 
 #include <algorithm>
+#include <cstring>
+#include <map>
 
 #include "core/executors.h"
 #include "core/phase_scheduler.h"
@@ -67,7 +69,13 @@ class VerticalRun {
         ckpt_inline_counter_(
             db_->metrics().counter(obs::metric_names::kCkptInline)),
         ckpt_deferred_counter_(
-            db_->metrics().counter(obs::metric_names::kCkptDeferred)) {
+            db_->metrics().counter(obs::metric_names::kCkptDeferred)),
+        sidefile_depth_gauge_(
+            db_->metrics().gauge(obs::metric_names::kSideFileDepth)),
+        sidefile_drain_hist_(db_->metrics().histogram(
+            obs::metric_names::kSideFileDrainBatch)),
+        sidefile_catchup_hist_(db_->metrics().histogram(
+            obs::metric_names::kSideFileCatchupNs)) {
     report_.strategy_used = plan_.strategy;
     report_.plan_explain = plan_.Explain();
     // Canonical secondary order comes from the plan (unique indices first).
@@ -152,6 +160,11 @@ class VerticalRun {
     if (!resuming_) {
       BULKDEL_RETURN_IF_ERROR(LogBegin());
     }
+    if (logging_) {
+      // From here until the End record, concurrent updater DML is covered
+      // by this statement's WAL (kUpdaterRow records, §3.1 durability).
+      db_->SetUpdaterLoggingId(bd_id_);
+    }
 
     std::vector<PhaseTask> tasks;
     auto add = [&tasks](std::string label, std::vector<int> deps,
@@ -210,6 +223,10 @@ class VerticalRun {
             : IndexMode::kOfflineDirect;
     if (db_->options().concurrency != ConcurrencyProtocol::kNone) {
       for (auto& index : table_->indices) {
+        if (offline_mode == IndexMode::kOfflineSideFile) {
+          index->cc->side_file.Configure(&db_->disk(),
+                                         db_->options().side_file_spill_ops);
+        }
         index->cc->mode.store(offline_mode);
       }
     }
@@ -548,43 +565,242 @@ class VerticalRun {
   }
 
   /// Side-file catch-up / undeletable-flag cleanup, then flip on-line.
+  /// Restartable: each catch-up batch is applied (idempotently) *before* it
+  /// is consumed from the side-file, so an error returns with the index
+  /// still off-line and the un-applied tail still queued — calling
+  /// BringOnline again simply resumes the drain.
   Status BringOnline(IndexDef* index) {
     IndexMode mode = index->cc->mode.load();
     if (mode == IndexMode::kOnline) return Status::OK();
     if (mode == IndexMode::kOfflineSideFile) {
+      SideFile& side_file = index->cc->side_file;
       // Drain in batches while updaters may still be appending; once nearly
       // empty — or after a bounded number of rounds, if appenders outpace
       // the drain — quiesce appenders and drain the tail (§3.1.1).
-      for (int rounds = 0;
-           index->cc->side_file.size() > 64 && rounds < 10000; ++rounds) {
-        BULKDEL_RETURN_IF_ERROR(
-            ApplySideFileBatch(index, index->cc->side_file.DrainBatch(256)));
+      for (int rounds = 0; side_file.size() > 64 && rounds < 10000; ++rounds) {
+        BULKDEL_RETURN_IF_ERROR(DrainAndApply(index, 256));
       }
-      std::lock_guard<std::mutex> quiesce(
-          index->cc->side_file.append_mutex());
-      BULKDEL_RETURN_IF_ERROR(ApplySideFileBatch(
-          index, index->cc->side_file.DrainBatch(
-                     std::numeric_limits<size_t>::max())));
+      SideFile::QuiesceGuard quiesce(&side_file);
+      while (side_file.size() > 0) {
+        BULKDEL_RETURN_IF_ERROR(
+            DrainAndApply(index, std::numeric_limits<size_t>::max()));
+      }
+      // Crash window: the side-file is fully applied but nothing here is
+      // durable yet — recovery re-applies the logged updater ops
+      // idempotently over the rebuilt index.
+      BULKDEL_RETURN_IF_ERROR(
+          db_->CheckFault(fault_sites::kTxnOnlineFlip, index->name));
       index->cc->mode.store(IndexMode::kOnline);
       return Status::OK();
     }
-    // Direct propagation: go on-line first so fresh inserts stop being
-    // marked, then clear the markers left behind (§3.1.2).
-    index->cc->mode.store(IndexMode::kOnline);
+    // Direct propagation (§3.1.2): clear the undeletable markers and only
+    // then flip on-line, both under the index latch that ApplyIndexInsert
+    // holds while deciding an entry's flags. Flipping first (the old order)
+    // let an updater that had already read the off-line mode insert a
+    // *marked* entry after the cleanup pass — a stale marker that survived
+    // into normal operation; recovery additionally sweeps markers in case
+    // of a crash between the cleanup and the statement's End record.
     std::lock_guard<std::mutex> latch(index->cc->latch);
-    return index->tree->ClearUndeletableFlags();
+    BULKDEL_RETURN_IF_ERROR(
+        db_->CheckFault(fault_sites::kTxnOnlineFlip, index->name));
+    // Skip the full-leaf clearing scan when no updater marked anything —
+    // a quiet run must cost the same I/O as the exclusive protocol. Not
+    // safe on a resumed run: the pre-crash mark count is volatile state,
+    // so resume always scans (as does RecoverDatabase's marker sweep).
+    if (resuming_ ||
+        index->cc->undeletable_marks.load(std::memory_order_relaxed) > 0) {
+      BULKDEL_RETURN_IF_ERROR(index->tree->ClearUndeletableFlags());
+      index->cc->undeletable_marks.store(0, std::memory_order_relaxed);
+    }
+    index->cc->mode.store(IndexMode::kOnline);
+    return Status::OK();
   }
 
+  /// One restartable catch-up batch: peek up to `max_ops`, apply them, and
+  /// only then consume them (a failure between the two re-applies the batch
+  /// on the next call — every op is idempotent, so that is safe).
+  Status DrainAndApply(IndexDef* index, size_t max_ops) {
+    SideFile& side_file = index->cc->side_file;
+    BULKDEL_RETURN_IF_ERROR(
+        db_->CheckFault(fault_sites::kTxnCatchupBatch, index->name));
+    BULKDEL_ASSIGN_OR_RETURN(std::vector<SideFileOp> batch,
+                             side_file.PeekBatch(max_ops));
+    if (batch.empty()) return Status::OK();
+    int64_t t0 = MonotonicNanos();
+    BULKDEL_RETURN_IF_ERROR(ApplySideFileBatch(index, batch));
+    BULKDEL_RETURN_IF_ERROR(side_file.ConsumeFront(batch.size()));
+    sidefile_drain_hist_->Observe(static_cast<int64_t>(batch.size()));
+    sidefile_catchup_hist_->Observe(MonotonicNanos() - t0);
+    sidefile_depth_gauge_->Set(static_cast<int64_t>(side_file.size()));
+    if (logging_) {
+      // Diagnostic only (not synced): kUpdaterRow records are the replay
+      // source; this just narrates catch-up progress for log archaeology.
+      LogRecord rec;
+      rec.type = LogRecordType::kSideFileDrain;
+      rec.bd_id = bd_id_;
+      rec.label = index->name;
+      rec.count = batch.size();
+      db_->log().Append(std::move(rec));
+    }
+    return Status::OK();
+  }
+
+  /// Applies a drained batch the set-oriented way (the point of §3.1.1's
+  /// catch-up): collapse it last-op-wins per (key, RID) composite, then run
+  /// the deletions through the same sorted-merge leaf pass the bulk delete
+  /// itself uses, and the insertions through the sorted bulk insert —
+  /// rather than replaying record-at-a-time in arrival order.
   Status ApplySideFileBatch(IndexDef* index,
                             const std::vector<SideFileOp>& batch) {
-    std::lock_guard<std::mutex> latch(index->cc->latch);
+    if (batch.empty()) return Status::OK();
+    std::map<std::pair<int64_t, uint64_t>, SideFileOp> collapsed;
     for (const SideFileOp& op : batch) {
-      if (op.is_insert) {
-        Status s = index->tree->Insert(op.key, op.rid);
-        if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+      collapsed[{op.key, op.rid.Pack()}] = op;
+    }
+    std::vector<KeyRid> deletes;
+    std::vector<KeyRid> inserts;
+    for (const auto& [composite, op] : collapsed) {
+      (op.is_insert ? inserts : deletes).emplace_back(op.key, op.rid);
+    }
+    std::lock_guard<std::mutex> latch(index->cc->latch);
+    if (!deletes.empty()) {
+      // Tolerates entries that are already gone — idempotent under
+      // re-application after a failed ConsumeFront.
+      BULKDEL_RETURN_IF_ERROR(index->tree->BulkDeleteSortedEntries(
+          deletes, ReorgMode::kFreeAtEmpty, nullptr));
+    }
+    if (!inserts.empty()) {
+      Status bulk = index->tree->BulkInsertSorted(inserts);
+      if (bulk.code() == StatusCode::kAlreadyExists) {
+        // Re-application after a failed ConsumeFront: some entries landed
+        // already. BulkInsertSorted left the tree unchanged; fall back to
+        // per-entry inserts tolerating the duplicates.
+        for (const KeyRid& e : inserts) {
+          Status s = index->tree->Insert(e.key, e.rid);
+          if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+        }
       } else {
-        Status s = index->tree->Delete(op.key, op.rid);
-        if (!s.ok() && !s.IsNotFound()) return s;
+        BULKDEL_RETURN_IF_ERROR(bulk);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Resume only: rolls the recovered §3.1 updater DML forward. Ops at
+  /// different RIDs are independent, but a slot freed by a logged delete may
+  /// have been reused by a later logged insert at the same RID — and any
+  /// prefix of that history may already be durable (evictions and
+  /// checkpoints flush heap and index pages independently). So the ops are
+  /// grouped by RID and each group is reconciled as a unit to its net final
+  /// state instead of being re-executed record-at-a-time.
+  Status ReplayUpdaterOps() {
+    if (updater_replay_.empty()) return Status::OK();
+    std::vector<std::vector<const RecoveredBulkDelete::UpdaterOp*>> groups;
+    std::map<uint64_t, size_t> group_of;
+    for (const RecoveredBulkDelete::UpdaterOp& op : updater_replay_) {
+      auto [it, is_new] = group_of.try_emplace(op.rid.Pack(), groups.size());
+      if (is_new) groups.emplace_back();
+      groups[it->second].push_back(&op);
+    }
+    for (const auto& group : groups) {
+      BULKDEL_RETURN_IF_ERROR(ReplayRidGroup(group));
+    }
+    updater_replay_.clear();
+    return Status::OK();
+  }
+
+  /// Materializes a kUpdaterRow record's int values into tuple bytes.
+  Status MaterializeUpdaterRow(const std::vector<int64_t>& values,
+                               std::vector<char>* tuple) {
+    tuple->assign(table_->schema->tuple_size(), 0);
+    size_t vi = 0;
+    for (size_t c = 0; c < table_->schema->num_columns(); ++c) {
+      if (table_->schema->column(c).type != ColumnType::kInt64) continue;
+      if (vi >= values.size()) {
+        return Status::Corruption("updater record too short for " +
+                                  table_->name);
+      }
+      table_->schema->SetInt(tuple->data(), c, values[vi++]);
+    }
+    return Status::OK();
+  }
+
+  /// Reconciles one RID's logged op history (alternating inserts and
+  /// deletes of that slot, in statement order) against the recovered state:
+  /// the heap slot is driven to the state after the group's last op, and
+  /// each key ever written at this RID is asserted present or absent in
+  /// every index per the last op that named it. All steps tolerate being
+  /// already applied, so the durable state may sit anywhere in the group's
+  /// history — including past ops whose slot was later reused, the case a
+  /// record-at-a-time replay would mistake for corruption.
+  Status ReplayRidGroup(
+      const std::vector<const RecoveredBulkDelete::UpdaterOp*>& ops) {
+    const Rid rid = ops.front()->rid;
+    const size_t tuple_size = table_->schema->tuple_size();
+    std::vector<std::vector<char>> rows(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      BULKDEL_RETURN_IF_ERROR(MaterializeUpdaterRow(ops[i]->values, &rows[i]));
+    }
+
+    std::vector<char> current(tuple_size);
+    Status get = table_->table->Get(rid, current.data());
+    if (!get.ok() && !get.IsNotFound()) return get;
+    const bool occupied = get.ok();
+    if (occupied) {
+      // The slot must hold the row of one of this group's inserts; anything
+      // else means the WAL and the heap disagree about who owns the slot.
+      bool known = false;
+      for (size_t i = 0; i < ops.size() && !known; ++i) {
+        known = ops[i]->is_insert &&
+                std::memcmp(current.data(), rows[i].data(), tuple_size) == 0;
+      }
+      if (!known) {
+        return Status::Corruption("updater replay: slot " + rid.ToString() +
+                                  " holds a row no logged op wrote");
+      }
+    }
+    if (ops.back()->is_insert) {
+      if (!occupied) {
+        BULKDEL_RETURN_IF_ERROR(table_->table->InsertAt(rid, rows.back().data()));
+      } else if (std::memcmp(current.data(), rows.back().data(), tuple_size) !=
+                 0) {
+        // Durable state stopped at an earlier insert the log later deleted.
+        BULKDEL_RETURN_IF_ERROR(table_->table->Delete(rid));
+        BULKDEL_RETURN_IF_ERROR(table_->table->InsertAt(rid, rows.back().data()));
+      }
+    } else if (occupied) {
+      BULKDEL_RETURN_IF_ERROR(table_->table->Delete(rid));
+    }
+
+    for (auto& index : table_->indices) {
+      // Last op naming a key decides whether (key, rid) survives.
+      std::vector<std::pair<int64_t, bool>> final_state;
+      for (size_t i = 0; i < ops.size(); ++i) {
+        int64_t key = table_->schema->GetInt(
+            rows[i].data(), static_cast<size_t>(index->column));
+        auto found = std::find_if(
+            final_state.begin(), final_state.end(),
+            [key](const std::pair<int64_t, bool>& e) { return e.first == key; });
+        if (found != final_state.end()) {
+          found->second = ops[i]->is_insert;
+        } else {
+          final_state.emplace_back(key, ops[i]->is_insert);
+        }
+      }
+      std::lock_guard<std::mutex> latch(index->cc->latch);
+      for (const auto& [key, present] : final_state) {
+        if (present) {
+          // Non-unique trees accept duplicate (key, RID) pairs, so probe
+          // first to keep the replay idempotent.
+          BULKDEL_ASSIGN_OR_RETURN(std::vector<Rid> hits,
+                                   index->tree->Search(key));
+          if (std::find(hits.begin(), hits.end(), rid) != hits.end()) continue;
+          Status s = index->tree->Insert(key, rid);
+          if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+        } else {
+          Status s = index->tree->Delete(key, rid);
+          if (!s.ok() && !s.IsNotFound()) return s;
+        }
       }
     }
     return Status::OK();
@@ -631,6 +847,11 @@ class VerticalRun {
   /// here, just before the End record.
   Status FinishRun() {
     PhaseScope scope(ctx_, "finalize", TablePhaseLabel());
+    // Resume only: replay the §3.1 updater DML recovered from kUpdaterRow
+    // records. Runs here — after every secondary phase, so each index is
+    // back on-line — and before the flush below makes the effects durable.
+    // Idempotent (RID-directed), so a crash mid-replay just replays again.
+    BULKDEL_RETURN_IF_ERROR(ReplayUpdaterOps());
     // Crash window: every phase body has completed, but in parallel mode the
     // secondary checkpoints are still deferred (volatile) — recovery must
     // re-run those phases idempotently from the checkpointed feeds.
@@ -653,6 +874,10 @@ class VerticalRun {
       // the End record is not yet durable.
       BULKDEL_RETURN_IF_ERROR(
           db_->CheckFault(fault_sites::kExecFinalizePreEnd));
+      // New updater DML stops being WAL-covered here: the flush above made
+      // every op logged so far durable in the structures themselves, and
+      // the End record is about to truncate their records.
+      db_->SetUpdaterLoggingId(0);
       LogRecord rec;
       rec.type = LogRecordType::kEnd;
       rec.bd_id = bd_id_;
@@ -666,6 +891,20 @@ class VerticalRun {
       }
       spilled_pages_.clear();
     }
+    // Side-file spill pages whose ops were staged back during catch-up are
+    // reclaimed only now: before the End record truncated the kSideFileSpill
+    // records, freeing them could have let a reallocation reuse an id that a
+    // post-crash recovery would free again — on a live page. Ditto for the
+    // orphaned spill pages a resumed run inherited from those records.
+    for (auto& index : table_->indices) {
+      for (PageId p : index->cc->side_file.TakeReclaimablePages()) {
+        BULKDEL_RETURN_IF_ERROR(db_->disk().FreePage(p));
+      }
+    }
+    for (PageId p : recovered_sidefile_pages_) {
+      BULKDEL_RETURN_IF_ERROR(db_->disk().FreePage(p));
+    }
+    recovered_sidefile_pages_.clear();
     return Status::OK();
   }
 
@@ -673,12 +912,26 @@ class VerticalRun {
   /// (a crashed run leaves everything off-line on purpose — recovery fixes
   /// it — but an error with no logging must not wedge the database).
   Status ReleaseEverything(bool success) {
+    if (logging_) db_->SetUpdaterLoggingId(0);
     if (exclusive_locked_) {
       db_->locks().UnlockExclusive(table_->name);
       exclusive_locked_ = false;
     }
     if (!success && !logging_) {
+      // Error without recovery logging: nothing will roll this forward, so
+      // do not wedge the database off-line. Apply whatever side-file tail
+      // exists best-effort, then flip on-line (the statement itself already
+      // failed; updater ops are at least not silently dropped).
       for (auto& index : table_->indices) {
+        if (index->cc->mode.load() == IndexMode::kOfflineSideFile) {
+          SideFile::QuiesceGuard quiesce(&index->cc->side_file);
+          while (index->cc->side_file.size() > 0) {
+            Status s = DrainAndApply(index.get(),
+                                     std::numeric_limits<size_t>::max());
+            if (!s.ok()) break;
+          }
+          index->cc->side_file.Reset();
+        }
         index->cc->mode.store(IndexMode::kOnline);
       }
     }
@@ -687,6 +940,8 @@ class VerticalRun {
 
   Status PrepareResume(const RecoveredBulkDelete& state) {
     key_column_fallback_ = state.key_column;
+    updater_replay_ = state.updater_ops;
+    recovered_sidefile_pages_ = state.sidefile_pages;
     // Input keys.
     auto input = state.lists.find("input-keys");
     if (input == state.lists.end()) {
@@ -779,6 +1034,9 @@ class VerticalRun {
   obs::Histogram* leaf_reorg_hist_;
   obs::Counter* ckpt_inline_counter_;
   obs::Counter* ckpt_deferred_counter_;
+  obs::Gauge* sidefile_depth_gauge_;
+  obs::Histogram* sidefile_drain_hist_;
+  obs::Histogram* sidefile_catchup_hist_;
   bool resuming_ = false;
   bool committed_ = false;
   bool exclusive_locked_ = false;
@@ -798,6 +1056,11 @@ class VerticalRun {
   std::set<std::string> done_;
   std::vector<std::string> deferred_checkpoints_;
   std::vector<std::vector<PageId>> spilled_pages_;
+  /// Resume only: §3.1 updater ops recovered from kUpdaterRow records,
+  /// replayed idempotently at finalize (once every index is back on-line),
+  /// and orphaned side-file spill pages to reclaim after the End record.
+  std::vector<RecoveredBulkDelete::UpdaterOp> updater_replay_;
+  std::vector<PageId> recovered_sidefile_pages_;
 
   BulkDeleteReport report_;
 

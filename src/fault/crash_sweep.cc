@@ -1,11 +1,14 @@
 #include "fault/crash_sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <random>
+#include <set>
+#include <tuple>
 #include <utility>
 
 #include "core/database.h"
@@ -21,8 +24,11 @@ namespace {
 struct StateDigest {
   /// Each entry: [rid.Pack(), col0, col1, ...]; sorted.
   std::vector<std::vector<int64_t>> rows;
-  /// index name -> sorted (key, packed rid) pairs.
-  std::vector<std::pair<std::string, std::vector<std::pair<int64_t, uint64_t>>>>
+  /// index name -> sorted (key, packed rid, entry flags) tuples. Flags are
+  /// part of the digest so a stale kEntryUndeletable marker (the §3.1.2
+  /// flip-before-cleanup crash window) is a detected divergence, not noise.
+  std::vector<std::pair<std::string,
+                        std::vector<std::tuple<int64_t, uint64_t, uint16_t>>>>
       indices;
 };
 
@@ -48,10 +54,10 @@ Status CaptureDigest(Database* db, const std::string& table_name,
       }));
   std::sort(out->rows.begin(), out->rows.end());
   for (const auto& index : table->indices) {
-    std::vector<std::pair<int64_t, uint64_t>> entries;
-    BULKDEL_RETURN_IF_ERROR(
-        index->tree->ScanAll([&](int64_t key, const Rid& rid, uint16_t) {
-          entries.emplace_back(key, rid.Pack());
+    std::vector<std::tuple<int64_t, uint64_t, uint16_t>> entries;
+    BULKDEL_RETURN_IF_ERROR(index->tree->ScanAll(
+        [&](int64_t key, const Rid& rid, uint16_t flags) {
+          entries.emplace_back(key, rid.Pack(), flags);
           return Status::OK();
         }));
     std::sort(entries.begin(), entries.end());
@@ -100,22 +106,85 @@ std::vector<std::string> IndexedColumns(const SweepConfig& config) {
   return columns;
 }
 
+/// Deterministic §3.1 concurrent-updater workload: `total_ops` DML
+/// statements (two inserts, then a delete of the second, repeating) fired
+/// once, at the begin hook of the first post-commit secondary phase to run —
+/// i.e. while non-unique indices are off-line and the table lock is free.
+/// Sequential and seed-free, so run k produces the same rows (and, because
+/// the heap state at the hook point is deterministic, the same RIDs) as the
+/// first k ops of any other run over the same workload.
+struct UpdaterDriver {
+  Database* db = nullptr;
+  std::string table;
+  std::set<std::string> trigger_labels;
+  int total_ops = 0;
+  std::atomic<bool> fired{false};
+  /// Ops attempted / acknowledged (returned OK). The driver stops at the
+  /// first failure, so at most one op (attempted == succeeded + 1) is
+  /// ambiguous: it may or may not have become durable before the crash.
+  std::atomic<int> attempted{0};
+  std::atomic<int> succeeded{0};
+
+  void MaybeRun(const std::string& phase) {
+    if (trigger_labels.count(phase) == 0) return;
+    if (fired.exchange(true)) return;  // one-shot (recovery re-runs phases)
+    Rid last_rid;
+    bool have_last = false;
+    for (int i = 0; i < total_ops; ++i) {
+      attempted.store(i + 1);
+      Status s;
+      if (i % 3 == 2 && have_last) {
+        s = db->DeleteRow(table, last_rid);
+        have_last = false;
+      } else {
+        int64_t base = 30000000000LL + static_cast<int64_t>(i) * 10;
+        auto rid = db->InsertRow(table, {base, base + 1, base + 2});
+        s = rid.status();
+        if (s.ok()) {
+          last_rid = rid.value();
+          have_last = true;
+        }
+      }
+      if (!s.ok()) return;
+      succeeded.store(i + 1);
+    }
+  }
+};
+
 /// One prepared, checkpointed database ready to run the sweep's statement.
 struct CaseSetup {
   std::unique_ptr<Database> db;
   std::shared_ptr<FaultInjector> injector;
+  std::shared_ptr<UpdaterDriver> updater;
   BulkDeleteSpec spec;
 };
 
+/// `updater_ops_cap` < 0 runs the configured number of updater ops;
+/// 0..N caps them (used to capture the per-k reference digests).
 Status PrepareCase(const SweepConfig& config, int threads, bool with_injector,
-                   CaseSetup* out) {
+                   int updater_ops_cap, CaseSetup* out) {
   DatabaseOptions options;
   options.memory_budget_bytes = config.memory_budget_bytes;
   options.enable_recovery_log = true;
   options.exec_threads = threads;
+  options.concurrency = config.concurrency;
+  if (config.concurrency == ConcurrencyProtocol::kSideFile) {
+    // Tiny threshold: a handful of updater ops is enough to exercise the
+    // spill-to-scratch-pages path under injected faults.
+    options.side_file_spill_ops = 4;
+  }
   if (with_injector) {
     out->injector = std::make_shared<FaultInjector>(config.injector_seed);
     options.fault_injector = out->injector;
+  }
+  int updater_ops = updater_ops_cap < 0 ? config.updater_ops : updater_ops_cap;
+  if (config.concurrency != ConcurrencyProtocol::kNone && updater_ops > 0) {
+    out->updater = std::make_shared<UpdaterDriver>();
+    out->updater->total_ops = updater_ops;
+    std::shared_ptr<UpdaterDriver> updater = out->updater;
+    options.phase_begin_hook = [updater](const std::string& phase) {
+      updater->MaybeRun(phase);
+    };
   }
   auto db = Database::Create(options);
   BULKDEL_RETURN_IF_ERROR(db.status());
@@ -135,7 +204,33 @@ Status PrepareCase(const SweepConfig& config, int threads, bool with_injector,
   out->spec.key_column = "A";
   out->spec.keys = workload.value().MakeDeleteKeys(config.delete_fraction,
                                                    config.delete_keys_seed);
+  if (out->updater != nullptr) {
+    out->updater->db = out->db.get();
+    out->updater->table = spec.table_name;
+    TableDef* table = out->db->GetTable(spec.table_name);
+    for (const auto& index : table->indices) {
+      if (!index->options.unique) {
+        out->updater->trigger_labels.insert("index:" + index->name);
+      }
+    }
+    if (out->updater->trigger_labels.empty()) {
+      return Status::Internal(
+          "updater sweep needs a non-unique secondary index");
+    }
+  }
   return Status::OK();
+}
+
+const char* ConcurrencyFlagName(ConcurrencyProtocol protocol) {
+  switch (protocol) {
+    case ConcurrencyProtocol::kNone:
+      return "none";
+    case ConcurrencyProtocol::kSideFile:
+      return "sidefile";
+    case ConcurrencyProtocol::kDirectPropagation:
+      return "direct";
+  }
+  return "unknown";
 }
 
 const char* ModeFlagName(FaultMode mode) {
@@ -157,6 +252,8 @@ std::string CaseName(const SweepConfig& config, Strategy strategy, int threads,
   std::string name = "strategy=";
   name += StrategyName(strategy);
   name += " threads=" + std::to_string(threads);
+  name += " concurrency=";
+  name += ConcurrencyFlagName(config.concurrency);
   name += " site=" + site;
   name += " occurrence=" + std::to_string(occurrence);
   name += " mode=";
@@ -173,6 +270,8 @@ std::string ReproCommand(const SweepConfig& config, Strategy strategy,
   std::string cmd = "bulkdel_crashsweep --strategy=";
   cmd += StrategyName(strategy);
   cmd += " --threads=" + std::to_string(threads);
+  cmd += " --concurrency=";
+  cmd += ConcurrencyFlagName(config.concurrency);
   cmd += " --site=" + site;
   cmd += " --occurrence=" + std::to_string(occurrence);
   cmd += " --mode=";
@@ -185,14 +284,18 @@ std::string ReproCommand(const SweepConfig& config, Strategy strategy,
 
 enum class CaseOutcome { kPassed, kUnreached, kFailed };
 
-/// Runs one armed case end to end. `reference` is the uninjected post-delete
-/// digest. On failure, `*why` explains what broke.
+/// Runs one armed case end to end. `references[k]` is the uninjected
+/// post-delete digest with the first k updater ops applied (size 1, just the
+/// plain post-delete state, when no updater runs). On failure, `*why`
+/// explains what broke.
 CaseOutcome RunOneCase(const SweepConfig& config, Strategy strategy,
                        int threads, const std::string& site,
                        uint64_t occurrence, FaultMode mode,
-                       const StateDigest& reference, std::string* why) {
+                       const std::vector<StateDigest>& references,
+                       std::string* why) {
   CaseSetup setup;
-  Status s = PrepareCase(config, threads, /*with_injector=*/true, &setup);
+  Status s = PrepareCase(config, threads, /*with_injector=*/true,
+                         /*updater_ops_cap=*/-1, &setup);
   if (!s.ok()) {
     *why = "setup failed: " + s.ToString();
     return CaseOutcome::kFailed;
@@ -230,7 +333,28 @@ CaseOutcome RunOneCase(const SweepConfig& config, Strategy strategy,
     return CaseOutcome::kFailed;
   }
 
-  // The process is "down": drop volatile state, reopen, roll forward.
+  // Updater-durability accounting: every op the updater saw acknowledged
+  // (OK after the WAL sync) must survive recovery; the single op that may
+  // have been attempted but never acknowledged may legitimately be present
+  // (its record became durable) or absent (it did not) — but nothing else.
+  size_t acked = 0;
+  size_t attempted = 0;
+  if (setup.updater != nullptr) {
+    acked = static_cast<size_t>(setup.updater->succeeded.load());
+    attempted = static_cast<size_t>(setup.updater->attempted.load());
+  }
+  if (acked >= references.size()) {
+    *why = "updater acknowledged " + std::to_string(acked) +
+           " ops but only " + std::to_string(references.size() - 1) +
+           " reference states exist";
+    return CaseOutcome::kFailed;
+  }
+
+  // The process is "down": drop volatile state, reopen, roll forward. The
+  // crash also "kills the client": if the armed fault fired before the
+  // updater's trigger phase, the hook must not fire for the first time
+  // inside the recovery-resumed run.
+  if (setup.updater != nullptr) setup.updater->fired.store(true);
   setup.injector->Disarm();
   s = setup.db->SimulateCrashAndRecover();
   if (!s.ok()) {
@@ -254,16 +378,26 @@ CaseOutcome RunOneCase(const SweepConfig& config, Strategy strategy,
     *why = "post-recovery digest failed: " + s.ToString();
     return CaseOutcome::kFailed;
   }
-  // Roll-forward either finished the statement (post-delete state) or — when
-  // the crash preceded the delete list becoming durable — legitimately
-  // dropped it whole (pre-delete state). Anything in between is corruption.
-  if (DigestsEqual(recovered, reference) ||
-      DigestsEqual(recovered, pre_digest)) {
+  // Roll-forward either finished the statement with every acknowledged
+  // updater op applied (references[acked]; plus possibly the one ambiguous
+  // unacknowledged op, references[acked + 1]), or — when the crash preceded
+  // the delete list becoming durable, which also precedes any updater DML —
+  // legitimately dropped it whole (pre-delete state). Anything else is lost
+  // committed work or corruption.
+  if (DigestsEqual(recovered, references[acked])) {
     return CaseOutcome::kPassed;
   }
-  *why = "recovered state matches neither the completed delete nor the "
+  if (attempted > acked && acked + 1 < references.size() &&
+      DigestsEqual(recovered, references[acked + 1])) {
+    return CaseOutcome::kPassed;
+  }
+  if (acked == 0 && DigestsEqual(recovered, pre_digest)) {
+    return CaseOutcome::kPassed;
+  }
+  *why = "recovered state matches neither the completed delete (with " +
+         std::to_string(acked) + " acknowledged updater ops) nor the "
          "untouched database: vs post: " +
-         DescribeDiff(reference, recovered) +
+         DescribeDiff(references[acked], recovered) +
          "; vs pre: " + DescribeDiff(pre_digest, recovered);
   return CaseOutcome::kFailed;
 }
@@ -291,11 +425,19 @@ Status CountOccurrences(const SweepConfig& config, Strategy strategy,
                         int threads, const StateDigest& reference,
                         std::map<std::string, uint64_t>* counts) {
   CaseSetup setup;
-  BULKDEL_RETURN_IF_ERROR(
-      PrepareCase(config, threads, /*with_injector=*/true, &setup));
+  BULKDEL_RETURN_IF_ERROR(PrepareCase(config, threads, /*with_injector=*/true,
+                                      /*updater_ops_cap=*/-1, &setup));
   setup.injector->ResetCounts();
   auto report = setup.db->BulkDelete(setup.spec, strategy);
   BULKDEL_RETURN_IF_ERROR(report.status());
+  if (setup.updater != nullptr &&
+      setup.updater->succeeded.load() != setup.updater->total_ops) {
+    return Status::Internal("counting run: updater acknowledged " +
+                            std::to_string(setup.updater->succeeded.load()) +
+                            " of " +
+                            std::to_string(setup.updater->total_ops) +
+                            " ops without any fault armed");
+  }
   // Snapshot before the digest capture below: its scans hit `disk.read` too
   // and must not inflate the statement's occurrence counts.
   *counts = setup.injector->HitCounts();
@@ -311,17 +453,38 @@ Status CountOccurrences(const SweepConfig& config, Strategy strategy,
   return Status::OK();
 }
 
-/// The uninjected post-delete state; strategy-independent (all strategies
-/// delete the same rows), so one serial reference run serves the whole sweep.
-Status CaptureReference(const SweepConfig& config, StateDigest* reference) {
-  CaseSetup setup;
-  BULKDEL_RETURN_IF_ERROR(
-      PrepareCase(config, /*threads=*/1, /*with_injector=*/false, &setup));
-  auto report =
-      setup.db->BulkDelete(setup.spec, Strategy::kVerticalSortMerge);
-  BULKDEL_RETURN_IF_ERROR(report.status());
-  BULKDEL_RETURN_IF_ERROR(setup.db->VerifyIntegrity());
-  return CaptureDigest(setup.db.get(), setup.spec.table, reference);
+/// The uninjected post-delete states, one per updater-op prefix:
+/// `(*references)[k]` is the state after the bulk delete plus the first k
+/// updater ops (just the plain post-delete state at k = 0, the only entry
+/// when no updater is configured). Strategy-independent — all strategies
+/// delete the same rows, the updater is deterministic, and its inserts land
+/// on the same free slots regardless of the index-processing method — so
+/// one serial family of reference runs serves the whole sweep.
+Status CaptureReferences(const SweepConfig& config,
+                         std::vector<StateDigest>* references) {
+  int n_updater_ops = config.concurrency == ConcurrencyProtocol::kNone
+                          ? 0
+                          : config.updater_ops;
+  references->assign(static_cast<size_t>(n_updater_ops) + 1, StateDigest{});
+  for (int k = 0; k <= n_updater_ops; ++k) {
+    CaseSetup setup;
+    BULKDEL_RETURN_IF_ERROR(PrepareCase(config, /*threads=*/1,
+                                        /*with_injector=*/false,
+                                        /*updater_ops_cap=*/k, &setup));
+    auto report =
+        setup.db->BulkDelete(setup.spec, Strategy::kVerticalSortMerge);
+    BULKDEL_RETURN_IF_ERROR(report.status());
+    if (setup.updater != nullptr && setup.updater->succeeded.load() != k) {
+      return Status::Internal(
+          "reference run acknowledged " +
+          std::to_string(setup.updater->succeeded.load()) + " of " +
+          std::to_string(k) + " updater ops");
+    }
+    BULKDEL_RETURN_IF_ERROR(setup.db->VerifyIntegrity());
+    BULKDEL_RETURN_IF_ERROR(CaptureDigest(setup.db.get(), setup.spec.table,
+                                          &(*references)[k]));
+  }
+  return Status::OK();
 }
 
 void RecordOutcome(const SweepConfig& config, Strategy strategy, int threads,
@@ -366,14 +529,14 @@ std::string SweepStats::Summary() const {
 }
 
 Status RunCrashSweep(const SweepConfig& config, SweepStats* stats) {
-  StateDigest reference;
-  BULKDEL_RETURN_IF_ERROR(CaptureReference(config, &reference));
+  std::vector<StateDigest> references;
+  BULKDEL_RETURN_IF_ERROR(CaptureReferences(config, &references));
 
   for (Strategy strategy : config.strategies) {
     for (int threads : config.thread_counts) {
       std::map<std::string, uint64_t> counts;
-      BULKDEL_RETURN_IF_ERROR(
-          CountOccurrences(config, strategy, threads, reference, &counts));
+      BULKDEL_RETURN_IF_ERROR(CountOccurrences(config, strategy, threads,
+                                               references.back(), &counts));
       for (const FaultSiteInfo& site : FaultInjector::KnownSites()) {
         if (!config.only_site.empty() && config.only_site != site.name) {
           continue;
@@ -399,7 +562,7 @@ Status RunCrashSweep(const SweepConfig& config, SweepStats* stats) {
             std::string why;
             CaseOutcome outcome =
                 RunOneCase(config, strategy, threads, site.name, occurrence,
-                           FaultMode::kCrash, reference, &why);
+                           FaultMode::kCrash, references, &why);
             RecordOutcome(config, strategy, threads, site.name, occurrence,
                           FaultMode::kCrash, outcome, why, stats);
           }
@@ -409,7 +572,7 @@ Status RunCrashSweep(const SweepConfig& config, SweepStats* stats) {
             std::string why;
             CaseOutcome outcome =
                 RunOneCase(config, strategy, threads, site.name, occurrence,
-                           FaultMode::kTornWrite, reference, &why);
+                           FaultMode::kTornWrite, references, &why);
             RecordOutcome(config, strategy, threads, site.name, occurrence,
                           FaultMode::kTornWrite, outcome, why, stats);
           }
@@ -422,8 +585,8 @@ Status RunCrashSweep(const SweepConfig& config, SweepStats* stats) {
 
 Status RunTortureSweep(const SweepConfig& config, int seconds, uint64_t seed,
                        SweepStats* stats) {
-  StateDigest reference;
-  BULKDEL_RETURN_IF_ERROR(CaptureReference(config, &reference));
+  std::vector<StateDigest> references;
+  BULKDEL_RETURN_IF_ERROR(CaptureReferences(config, &references));
 
   // Occurrence counts per (strategy, threads), learned lazily.
   std::map<std::pair<int, int>, std::map<std::string, uint64_t>> count_cache;
@@ -439,8 +602,8 @@ Status RunTortureSweep(const SweepConfig& config, int seconds, uint64_t seed,
     auto cached = count_cache.find(cache_key);
     if (cached == count_cache.end()) {
       std::map<std::string, uint64_t> counts;
-      BULKDEL_RETURN_IF_ERROR(
-          CountOccurrences(config, strategy, threads, reference, &counts));
+      BULKDEL_RETURN_IF_ERROR(CountOccurrences(config, strategy, threads,
+                                               references.back(), &counts));
       cached = count_cache.emplace(cache_key, std::move(counts)).first;
     }
     const auto& counts = cached->second;
@@ -456,7 +619,7 @@ Status RunTortureSweep(const SweepConfig& config, int seconds, uint64_t seed,
     }
     std::string why;
     CaseOutcome outcome = RunOneCase(config, strategy, threads, site.name,
-                                     occurrence, mode, reference, &why);
+                                     occurrence, mode, references, &why);
     RecordOutcome(config, strategy, threads, site.name, occurrence, mode,
                   outcome, why, stats);
   }

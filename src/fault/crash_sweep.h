@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/database.h"
 #include "fault/fault_injector.h"
 #include "plan/plan.h"
 #include "util/status.h"
@@ -42,6 +43,16 @@ struct SweepConfig {
                                       Strategy::kVerticalHash,
                                       Strategy::kVerticalPartitionedHash};
   std::vector<int> thread_counts = {1, 4};
+
+  /// §3.1 concurrent-updater coverage. With a protocol selected, a
+  /// deterministic updater runs `updater_ops` DML statements (inserts plus
+  /// deletes of its own rows) at the start of the first post-commit
+  /// secondary-index phase — while that index is off-line — and the
+  /// acceptance check requires the recovered state to equal the uncrashed
+  /// reference *including* every acknowledged updater op. A tiny side-file
+  /// spill threshold is used so kSideFile cases exercise the spill path.
+  ConcurrencyProtocol concurrency = ConcurrencyProtocol::kNone;
+  int updater_ops = 6;
 
   /// Max occurrences tested per site (evenly spaced, always including the
   /// first and the last). 0 = exhaustive — every single occurrence.

@@ -27,6 +27,9 @@ const std::vector<FaultSiteInfo>& FaultInjector::KnownSites() {
       {fault_sites::kExecCommit, false},
       {fault_sites::kExecFinalize, false},
       {fault_sites::kExecFinalizePreEnd, false},
+      {fault_sites::kTxnSideFileAppend, false},
+      {fault_sites::kTxnCatchupBatch, false},
+      {fault_sites::kTxnOnlineFlip, false},
   };
   return kSites;
 }

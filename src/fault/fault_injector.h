@@ -64,6 +64,17 @@ inline constexpr char kExecFinalize[] = "exec.finalize";
 /// VerticalRun::FinishRun, after the deferred PhaseDone records are appended
 /// but before the End record is appended and synced.
 inline constexpr char kExecFinalizePreEnd[] = "exec.finalize.pre_end";
+/// Database::ApplyIndexInsert/Delete, §3.1 side-file protocol: after the
+/// updater's row record is synced but before the op enters the side-file.
+inline constexpr char kTxnSideFileAppend[] = "txn.sidefile.append";
+/// VerticalRun::DrainAndApply, before a catch-up batch of side-file ops is
+/// applied to the off-line index.
+inline constexpr char kTxnCatchupBatch[] = "txn.catchup.batch";
+/// VerticalRun::BringOnline, inside the quiesce window — side-file: after
+/// the final drain, before the mode flips on-line; direct propagation:
+/// after the flags clear has been requested, before the flip (the window
+/// that used to strand persistent undeletable markers).
+inline constexpr char kTxnOnlineFlip[] = "txn.online_flip";
 }  // namespace fault_sites
 
 struct FaultSiteInfo {

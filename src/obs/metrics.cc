@@ -19,6 +19,11 @@ const std::vector<MetricInfo>& KnownMetrics() {
       {metric_names::kCkptDeferred, MetricKind::kCounter, "count"},
       {metric_names::kWalSyncs, MetricKind::kCounter, "count"},
       {metric_names::kDiskWriteRuns, MetricKind::kCounter, "count"},
+      {metric_names::kSideFileAppends, MetricKind::kCounter, "count"},
+      {metric_names::kSideFileDepth, MetricKind::kGauge, "records"},
+      {metric_names::kSideFileSpillPages, MetricKind::kCounter, "count"},
+      {metric_names::kSideFileDrainBatch, MetricKind::kHistogram, "records"},
+      {metric_names::kSideFileCatchupNs, MetricKind::kHistogram, "ns"},
   };
   return kMetrics;
 }

@@ -43,6 +43,17 @@ inline constexpr char kCkptDeferred[] = "ckpt.deferred";
 inline constexpr char kWalSyncs[] = "wal.syncs";
 /// Counter: sequential write runs issued by DiskManager::WriteRun.
 inline constexpr char kDiskWriteRuns[] = "disk.write_runs";
+/// Counter: §3.1 updater ops appended to off-line indices' side-files.
+inline constexpr char kSideFileAppends[] = "sidefile.appends";
+/// Gauge, records: side-file depth (ops not yet caught up), sampled by the
+/// catch-up drain.
+inline constexpr char kSideFileDepth[] = "sidefile.depth";
+/// Counter: scratch pages allocated by side-file shard spills.
+inline constexpr char kSideFileSpillPages[] = "sidefile.spill_pages";
+/// Histogram, records: side-file ops applied per catch-up batch.
+inline constexpr char kSideFileDrainBatch[] = "sidefile.drain_batch";
+/// Histogram, ns: host latency of one catch-up batch (sort + merge apply).
+inline constexpr char kSideFileCatchupNs[] = "sidefile.catchup_ns";
 }  // namespace metric_names
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

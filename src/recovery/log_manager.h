@@ -42,6 +42,25 @@ enum class LogRecordType : uint8_t {
   kCommit,
   /// All indices caught up; the bulk delete is fully finished.
   kEnd,
+  /// One concurrent-updater DML op (§3.1) made while a bulk delete held
+  /// indices off-line. Logged *before* the heap/index mutations (`label` =
+  /// table, `key`/`rid` identify the row, `values` = full row for inserts,
+  /// `count` = 1 for insert / 0 for delete), so any durable partial effect
+  /// implies a durable record; recovery replays these idempotently over the
+  /// heap and every index.
+  kUpdaterRow,
+  /// Diagnostics: one op entered an off-line index's side-file (`label` =
+  /// index name). Not consulted for replay — kUpdaterRow records are the
+  /// single source of truth (a durable drain record would not prove the
+  /// drained index pages were durable).
+  kSideFileAppend,
+  /// Diagnostics: a catch-up batch of `count` side-file ops was applied to
+  /// `label` (index name).
+  kSideFileDrain,
+  /// A side-file shard spilled its tail to scratch `pages`; recovery frees
+  /// them (idempotently) — the ops themselves are re-derived from
+  /// kUpdaterRow records.
+  kSideFileSpill,
 };
 
 struct LogRecord {

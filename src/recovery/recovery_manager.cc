@@ -58,6 +58,23 @@ Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(
       case LogRecordType::kCommit:
         state.committed = true;
         break;
+      case LogRecordType::kUpdaterRow:
+        // §3.1 concurrent-updater DML, logged before the mutation; count
+        // encodes the op kind (1 = insert, 0 = delete). Replayed (in
+        // statement order, idempotently) by the resumed run's finalize.
+        state.updater_ops.push_back(
+            {r.count == 1, r.rid, r.values});
+        break;
+      case LogRecordType::kSideFileSpill:
+        // Scratch pages backing a spilled side-file chunk; the ops they
+        // held are re-derived from kUpdaterRow records, so recovery only
+        // needs to reclaim the pages (after the resumed run's End record).
+        state.sidefile_pages.insert(state.sidefile_pages.end(),
+                                    r.pages.begin(), r.pages.end());
+        break;
+      case LogRecordType::kSideFileAppend:
+      case LogRecordType::kSideFileDrain:
+        break;  // diagnostics only
       case LogRecordType::kEnd:
         break;
     }
@@ -97,6 +114,11 @@ Status RecoverDatabase(Database* db) {
       BULKDEL_RETURN_IF_ERROR(table->table->RecountFromScan());
       for (auto& index : table->indices) {
         BULKDEL_RETURN_IF_ERROR(index->tree->RecountFromScan());
+        // Direct propagation: a crash between an updater's marked insert
+        // and BringOnline's cleanup pass leaves stale kEntryUndeletable
+        // markers; with the crash the off-line window is over, so sweep
+        // them here (idempotent leaf pass).
+        BULKDEL_RETURN_IF_ERROR(index->tree->ClearUndeletableFlags());
       }
     }
   }

@@ -39,6 +39,23 @@ int HeapPage::Insert(const char* tuple) {
   return -1;
 }
 
+int HeapPage::FirstFreeSlot() const {
+  uint16_t cap = capacity();
+  if (live_count() >= cap) return -1;
+  for (uint16_t slot = 0; slot < cap; ++slot) {
+    if (!SlotOccupied(slot)) return slot;
+  }
+  return -1;
+}
+
+bool HeapPage::InsertAt(uint16_t slot, const char* tuple) {
+  if (slot >= capacity() || SlotOccupied(slot)) return false;
+  std::memcpy(TupleAt(slot), tuple, tuple_size_);
+  SetSlot(slot, true);
+  set_live_count(live_count() + 1);
+  return true;
+}
+
 bool HeapPage::Delete(uint16_t slot) {
   if (slot >= capacity() || !SlotOccupied(slot)) return false;
   SetSlot(slot, false);

@@ -45,6 +45,13 @@ class HeapPage {
   /// Inserts `tuple` into the first free slot; returns the slot or -1 if full.
   int Insert(const char* tuple);
 
+  /// The slot Insert() would pick, or -1 if full.
+  int FirstFreeSlot() const;
+
+  /// Places `tuple` into the specific `slot`. Returns false if the slot is
+  /// out of range or occupied.
+  bool InsertAt(uint16_t slot, const char* tuple);
+
   /// Frees `slot`. Returns false if the slot was not occupied.
   bool Delete(uint16_t slot);
 

@@ -124,6 +124,69 @@ Result<Rid> HeapTable::Insert(const char* tuple) {
   return Rid(fresh, static_cast<uint16_t>(slot));
 }
 
+Result<Rid> HeapTable::PeekInsertRid() {
+  // Mirror Insert()'s choice exactly, without mutating slot state.
+  while (!pages_with_space_.empty()) {
+    PageId candidate = pages_with_space_.back();
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(candidate));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    int slot = hp.FirstFreeSlot();
+    if (slot >= 0) return Rid(candidate, static_cast<uint16_t>(slot));
+    pages_with_space_.pop_back();  // stale entry, same as Insert()
+  }
+  if (last_data_page_ != kInvalidPageId) {
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(last_data_page_));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    int slot = hp.FirstFreeSlot();
+    if (slot >= 0) return Rid(last_data_page_, static_cast<uint16_t>(slot));
+  }
+  // Every known page is full: allocate the tail page now so the predicted
+  // RID is what Insert() will use (an empty linked page is harmless if the
+  // caller never follows through).
+  PageId fresh;
+  BULKDEL_RETURN_IF_ERROR(AppendDataPage(&fresh));
+  return Rid(fresh, 0);
+}
+
+Status HeapTable::InsertAt(const Rid& rid, const char* tuple) {
+  BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page));
+  HeapPage hp(page.data(), schema_->tuple_size());
+  if (hp.capacity() == 0) {
+    // Never-formatted page: a pre-crash tail append whose Init was lost.
+    hp.Init();
+    page.MarkDirty();
+    if (first_data_page_ == kInvalidPageId) {
+      first_data_page_ = rid.page;
+      last_data_page_ = rid.page;
+      ++num_data_pages_;
+    } else if (rid.page != last_data_page_) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard last,
+                               pool_->FetchPage(last_data_page_));
+      HeapPage last_hp(last.data(), schema_->tuple_size());
+      last_hp.set_next_page(rid.page);
+      last.MarkDirty();
+      last_data_page_ = rid.page;
+      ++num_data_pages_;
+    }
+  }
+  if (rid.slot >= hp.capacity()) {
+    return Status::Corruption("replay insert outside page capacity at " +
+                              rid.ToString());
+  }
+  if (hp.SlotOccupied(rid.slot)) {
+    if (std::memcmp(hp.TupleAt(rid.slot), tuple, schema_->tuple_size()) == 0) {
+      return Status::OK();  // already applied
+    }
+    return Status::Corruption("replay insert collides at " + rid.ToString());
+  }
+  if (!hp.InsertAt(rid.slot, tuple)) {
+    return Status::Corruption("replay insert failed at " + rid.ToString());
+  }
+  page.MarkDirty();
+  ++tuple_count_;
+  return Status::OK();
+}
+
 Status HeapTable::Get(const Rid& rid, char* out) {
   BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(rid.page));
   HeapPage hp(page.data(), schema_->tuple_size());

@@ -47,6 +47,18 @@ class HeapTable {
   /// Appends/fills a tuple; returns its RID.
   Result<Rid> Insert(const char* tuple);
 
+  /// The RID the next Insert() will return, without placing a tuple. May
+  /// allocate (and link) a fresh tail page when every known page is full, so
+  /// the prediction is stable — lets a caller WAL-log the row *before*
+  /// mutating it. Call under the same serialization as the Insert() itself.
+  Result<Rid> PeekInsertRid();
+
+  /// Idempotent targeted insert for WAL replay: places `tuple` at exactly
+  /// `rid`. OK if the slot already holds an identical tuple; Corruption if
+  /// it holds different bytes. Re-formats and re-links an uninitialized
+  /// tail page (a pre-crash append whose formatting never became durable).
+  Status InsertAt(const Rid& rid, const char* tuple);
+
   /// Copies the tuple at `rid` into `out` (tuple_size bytes).
   Status Get(const Rid& rid, char* out);
 

@@ -1,46 +1,106 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
 namespace bulkdel {
 
-LockManager::Entry* LockManager::GetEntry(const std::string& resource) {
-  std::lock_guard<std::mutex> lock(map_mu_);
-  auto it = entries_.find(resource);
-  if (it == entries_.end()) {
-    it = entries_.emplace(resource, std::make_unique<Entry>()).first;
+namespace {
+
+/// Shared locks held by the current thread, across all LockManager
+/// instances (the database replaces its LockManager on simulated crash).
+/// Used only for the re-entrancy bypass; a handful of entries at most.
+thread_local std::vector<std::pair<const LockManager*, std::string>>
+    t_held_shared;
+
+}  // namespace
+
+LockManager::Shard& LockManager::ShardFor(const std::string& resource) const {
+  return shards_[std::hash<std::string>{}(resource) % kShardCount];
+}
+
+bool LockManager::HeldSharedByThisThread(const std::string& resource) const {
+  for (const auto& held : t_held_shared) {
+    if (held.first == this && held.second == resource) return true;
   }
-  return it->second.get();
+  return false;
+}
+
+void LockManager::NoteSharedAcquired(const std::string& resource) {
+  t_held_shared.emplace_back(this, resource);
+}
+
+void LockManager::NoteSharedReleased(const std::string& resource) {
+  auto it = std::find(t_held_shared.begin(), t_held_shared.end(),
+                      std::make_pair(static_cast<const LockManager*>(this),
+                                     resource));
+  if (it != t_held_shared.end()) t_held_shared.erase(it);
 }
 
 void LockManager::LockExclusive(const std::string& resource) {
-  Entry* e = GetEntry(resource);
-  std::unique_lock<std::mutex> lock(e->m);
-  e->cv.wait(lock, [&] { return !e->writer && e->readers == 0; });
-  e->writer = true;
+  Shard& shard = ShardFor(resource);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  Entry& e = shard.entries[resource];
+  ++e.refs;
+  ++e.waiting_writers;
+  shard.cv.wait(lock, [&] { return !e.writer && e.readers == 0; });
+  --e.waiting_writers;
+  e.writer = true;
 }
 
 void LockManager::UnlockExclusive(const std::string& resource) {
-  Entry* e = GetEntry(resource);
+  Shard& shard = ShardFor(resource);
   {
-    std::lock_guard<std::mutex> lock(e->m);
-    e->writer = false;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(resource);
+    if (it == shard.entries.end()) return;  // unbalanced unlock: ignore
+    it->second.writer = false;
+    if (--it->second.refs == 0) shard.entries.erase(it);
   }
-  e->cv.notify_all();
+  shard.cv.notify_all();
 }
 
 void LockManager::LockShared(const std::string& resource) {
-  Entry* e = GetEntry(resource);
-  std::unique_lock<std::mutex> lock(e->m);
-  e->cv.wait(lock, [&] { return !e->writer; });
-  ++e->readers;
+  bool reentrant = HeldSharedByThisThread(resource);
+  Shard& shard = ShardFor(resource);
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    Entry& e = shard.entries[resource];
+    ++e.refs;
+    if (!reentrant) {
+      // Writer preference: a new share queues behind waiting writers too.
+      shard.cv.wait(lock,
+                    [&] { return !e.writer && e.waiting_writers == 0; });
+    }
+    // Re-entrant case: this thread already holds a share, so no writer can
+    // be active; bypassing queued writers avoids self-deadlock.
+    ++e.readers;
+  }
+  NoteSharedAcquired(resource);
 }
 
 void LockManager::UnlockShared(const std::string& resource) {
-  Entry* e = GetEntry(resource);
+  NoteSharedReleased(resource);
+  Shard& shard = ShardFor(resource);
   {
-    std::lock_guard<std::mutex> lock(e->m);
-    --e->readers;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(resource);
+    if (it == shard.entries.end()) return;  // unbalanced unlock: ignore
+    --it->second.readers;
+    if (--it->second.refs == 0) shard.entries.erase(it);
   }
-  e->cv.notify_all();
+  shard.cv.notify_all();
+}
+
+size_t LockManager::entry_count() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
 }
 
 }  // namespace bulkdel

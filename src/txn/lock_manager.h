@@ -2,8 +2,8 @@
 #define BULKDEL_TXN_LOCK_MANAGER_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <string>
 
@@ -17,6 +17,18 @@ namespace bulkdel {
 /// exclusive lock on R until the table and all unique indices are processed,
 /// then releases it while the remaining (off-line) indices catch up.
 /// Updater transactions take shared locks.
+///
+/// The table is sharded by resource-name hash so unrelated resources never
+/// contend on one mutex, grants prefer writers (new shared requests queue
+/// behind a waiting exclusive, so a stream of updaters cannot starve the
+/// bulk deleter), and entries are reference-counted and erased when the
+/// last holder or waiter leaves — the map stays bounded by the number of
+/// *currently locked* resources, not every resource ever named.
+///
+/// Shared locks are re-entrant per thread: a thread that already holds a
+/// shared lock on a resource is granted another share immediately even if
+/// a writer is queued (blocking it would self-deadlock — e.g. a cascading
+/// delete on a self-referencing FK re-locks its own table).
 class LockManager {
  public:
   LockManager() = default;
@@ -27,6 +39,10 @@ class LockManager {
   void UnlockExclusive(const std::string& resource);
   void LockShared(const std::string& resource);
   void UnlockShared(const std::string& resource);
+
+  /// Number of live lock-table entries across all shards (tests: must stay
+  /// bounded by the set of currently held/waited resources).
+  size_t entry_count() const;
 
   /// RAII helpers.
   class SharedGuard {
@@ -45,17 +61,29 @@ class LockManager {
   };
 
  private:
+  static constexpr size_t kShardCount = 16;
+
   struct Entry {
-    std::mutex m;
-    std::condition_variable cv;
     int readers = 0;
     bool writer = false;
+    int waiting_writers = 0;
+    /// Holders + waiters currently referencing this entry; the entry is
+    /// erased when it drops to zero.
+    int refs = 0;
   };
 
-  Entry* GetEntry(const std::string& resource);
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::string, Entry> entries;
+  };
 
-  std::mutex map_mu_;
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  Shard& ShardFor(const std::string& resource) const;
+  bool HeldSharedByThisThread(const std::string& resource) const;
+  void NoteSharedAcquired(const std::string& resource);
+  void NoteSharedReleased(const std::string& resource);
+
+  mutable Shard shards_[kShardCount];
 };
 
 }  // namespace bulkdel

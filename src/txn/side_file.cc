@@ -1,0 +1,148 @@
+#include "txn/side_file.h"
+
+#include <functional>
+#include <thread>
+
+#include "storage/disk_manager.h"
+
+namespace bulkdel {
+
+void SideFile::Configure(DiskManager* disk, size_t spill_threshold_ops) {
+  disk_ = disk;
+  spill_threshold_ =
+      spill_threshold_ops == 0 ? kDefaultSpillOps : spill_threshold_ops;
+}
+
+bool SideFile::TryEnterAppend() {
+  uint64_t gate = gate_.load(std::memory_order_acquire);
+  if (gate & 1) return false;  // quiesce in progress
+  appenders_.fetch_add(1, std::memory_order_acq_rel);
+  // Re-check: the gate may have closed between the load and the increment.
+  // (A full close/reopen cycle also fails the comparison; the caller just
+  // retries, so a rare spurious refusal is harmless.)
+  if (gate_.load(std::memory_order_acquire) != gate) {
+    appenders_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
+  }
+  return true;
+}
+
+void SideFile::ExitAppend() {
+  appenders_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+SideFile::Shard& SideFile::ShardForThisThread() {
+  size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+Status SideFile::Append(const SideFileOp& op,
+                        std::vector<PageId>* spilled_pages_out) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (disk_ != nullptr && shard.ops.size() >= spill_threshold_) {
+    // Spill the existing tail *before* admitting the new op so a failed
+    // spill leaves the side-file exactly as it was (the op is rejected).
+    std::vector<SideFileOp> chunk(shard.ops.begin(), shard.ops.end());
+    BULKDEL_ASSIGN_OR_RETURN(SpilledList<SideFileOp> list,
+                             SpillToDisk(disk_, chunk));
+    if (spilled_pages_out != nullptr) {
+      spilled_pages_out->insert(spilled_pages_out->end(), list.pages.begin(),
+                                list.pages.end());
+    }
+    shard.spilled.push_back(std::move(list));
+    shard.ops.clear();
+  }
+  shard.ops.push_back(op);
+  total_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status SideFile::FillStage(size_t want) {
+  for (Shard& shard : shards_) {
+    if (stage_.size() >= want) break;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (!shard.spilled.empty()) {
+      SpilledList<SideFileOp> list = shard.spilled.front();
+      BULKDEL_ASSIGN_OR_RETURN(std::vector<SideFileOp> ops,
+                               ReadSpilled(disk_, list));
+      // The ops are staged in memory from here on, but the scratch pages are
+      // only *queued* for reclamation: freeing them now could let a later
+      // allocation reuse the ids while the WAL still names them in a
+      // kSideFileSpill record — a crash would then make recovery free a
+      // live page. The owner frees them via TakeReclaimablePages() once the
+      // statement's End record is durable (the records are truncated then).
+      shard.spilled.erase(shard.spilled.begin());
+      stage_.insert(stage_.end(), ops.begin(), ops.end());
+      reclaim_.insert(reclaim_.end(), list.pages.begin(), list.pages.end());
+    }
+    stage_.insert(stage_.end(), shard.ops.begin(), shard.ops.end());
+    shard.ops.clear();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SideFileOp>> SideFile::PeekBatch(size_t max) {
+  if (stage_.size() < max) {
+    BULKDEL_RETURN_IF_ERROR(FillStage(max));
+  }
+  size_t n = std::min(max, stage_.size());
+  return std::vector<SideFileOp>(stage_.begin(), stage_.begin() + n);
+}
+
+Status SideFile::ConsumeFront(size_t n) {
+  if (n > stage_.size()) {
+    return Status::Internal("side-file: consuming more ops than staged");
+  }
+  stage_.erase(stage_.begin(), stage_.begin() + n);
+  total_.fetch_sub(n, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+std::vector<PageId> SideFile::TakeReclaimablePages() {
+  return std::move(reclaim_);
+}
+
+void SideFile::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (disk_ != nullptr) {
+      for (SpilledList<SideFileOp>& list : shard.spilled) {
+        (void)FreeSpilled(disk_, &list);  // best-effort scratch reclamation
+      }
+    }
+    shard.spilled.clear();
+    shard.ops.clear();
+  }
+  if (disk_ != nullptr) {
+    for (PageId p : reclaim_) (void)disk_->FreePage(p);
+  }
+  reclaim_.clear();
+  stage_.clear();
+  total_.store(0, std::memory_order_release);
+}
+
+size_t SideFile::spilled_page_count() const {
+  size_t pages = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const SpilledList<SideFileOp>& list : shard.spilled) {
+      pages += list.pages.size();
+    }
+  }
+  return pages;
+}
+
+SideFile::QuiesceGuard::QuiesceGuard(SideFile* side_file)
+    : side_file_(side_file) {
+  side_file_->gate_.fetch_add(1, std::memory_order_acq_rel);  // even -> odd
+  while (side_file_->appenders_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+SideFile::QuiesceGuard::~QuiesceGuard() {
+  side_file_->gate_.fetch_add(1, std::memory_order_acq_rel);  // odd -> even
+}
+
+}  // namespace bulkdel

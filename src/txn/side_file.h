@@ -7,9 +7,13 @@
 #include <mutex>
 #include <vector>
 
+#include "storage/spill.h"
 #include "table/rid.h"
+#include "util/result.h"
 
 namespace bulkdel {
+
+class DiskManager;
 
 /// How an index behaves while a bulk delete is propagating deletions to it
 /// (paper §3.1). Off-line indices cannot serve reads or predicate locking.
@@ -26,42 +30,112 @@ enum class IndexMode : uint8_t {
 };
 
 /// One logical index maintenance operation logged to a side-file.
+/// Trivially copyable so whole chunks can be spilled to scratch pages.
 struct SideFileOp {
   bool is_insert = true;
   int64_t key = 0;
   Rid rid;
 };
+static_assert(std::is_trivially_copyable_v<SideFileOp>);
 
 /// Append-only queue of index operations made while the index is off-line.
+///
+/// Appenders are admitted through an epoch gate (no global mutex): the gate
+/// word is even while open; a quiesce increments it to odd, then waits for
+/// the in-flight appender count to reach zero. Appends themselves land in
+/// one of kShards thread-hashed shards, so concurrent updaters do not
+/// contend on a single lock. Once a shard's in-memory tail exceeds the
+/// configured spill threshold it is materialized to scratch pages through
+/// the DiskManager (durability of the *operations* is the WAL's job — the
+/// spill bounds memory and gives the catch-up a disk-backed queue).
+///
+/// Draining is single-threaded (the bulk deleter): PeekBatch() stages ops
+/// without consuming them; ConsumeFront() drops them only after they have
+/// been applied, so a failed catch-up batch can be retried — the drain loop
+/// is restartable.
 class SideFile {
  public:
-  void Append(const SideFileOp& op) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ops_.push_back(op);
-  }
+  static constexpr size_t kShards = 8;
+  static constexpr size_t kDefaultSpillOps = 4096;
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return ops_.size();
-  }
+  /// Arms spilling. Without a configured disk the side-file stays
+  /// memory-only (unit tests; kNone protocol never calls this).
+  void Configure(DiskManager* disk, size_t spill_threshold_ops);
 
-  /// Removes and returns up to `max` ops from the front.
-  std::vector<SideFileOp> DrainBatch(size_t max) {
-    std::lock_guard<std::mutex> lock(mu_);
-    size_t n = std::min(max, ops_.size());
-    std::vector<SideFileOp> batch(ops_.begin(), ops_.begin() + n);
-    ops_.erase(ops_.begin(), ops_.begin() + n);
-    return batch;
-  }
+  /// Epoch-gate admission for appenders. Returns false while a quiesce is
+  /// in progress (caller should re-check the index mode and retry).
+  bool TryEnterAppend();
+  void ExitAppend();
 
-  /// The quiesce mutex: holding it blocks appenders, letting the bulk deleter
+  /// Appends one op to the calling thread's shard. Must be called between
+  /// TryEnterAppend()/ExitAppend(). If the shard tail was spilled, the
+  /// newly allocated scratch pages are appended to `spilled_pages_out`
+  /// (may be null) so the caller can WAL-log them.
+  Status Append(const SideFileOp& op, std::vector<PageId>* spilled_pages_out);
+
+  /// Total ops not yet consumed (spilled + in-memory + staged).
+  size_t size() const { return total_.load(std::memory_order_acquire); }
+
+  /// Stages and returns up to `max` ops from the front without consuming
+  /// them. Spilled chunks are read back (and their pages freed) as they are
+  /// staged. Single-drainer only.
+  Result<std::vector<SideFileOp>> PeekBatch(size_t max);
+
+  /// Drops the first `n` previously peeked ops. Call only after the batch
+  /// has been durably applied.
+  Status ConsumeFront(size_t n);
+
+  /// Scratch pages whose ops have been staged back into memory. They are
+  /// deliberately NOT freed at read time: the WAL's kSideFileSpill records
+  /// still name them, so freeing early would let a reallocation reuse an id
+  /// that recovery (after a crash) would free again — on a live page. The
+  /// drainer takes and frees them only after its End record is durable.
+  std::vector<PageId> TakeReclaimablePages();
+
+  /// Frees any remaining spilled pages and clears all queues.
+  void Reset();
+
+  /// Scratch pages currently backing spilled chunks (diagnostics/tests).
+  size_t spilled_page_count() const;
+
+  /// The quiesce window: closes the append gate for its lifetime and waits
+  /// until every in-flight appender has exited, letting the bulk deleter
   /// drain the final tail and flip the index on-line atomically.
-  std::mutex& append_mutex() { return append_mu_; }
+  class QuiesceGuard {
+   public:
+    explicit QuiesceGuard(SideFile* side_file);
+    ~QuiesceGuard();
+    QuiesceGuard(const QuiesceGuard&) = delete;
+    QuiesceGuard& operator=(const QuiesceGuard&) = delete;
+
+   private:
+    SideFile* side_file_;
+  };
 
  private:
-  mutable std::mutex mu_;
-  std::mutex append_mu_;
-  std::deque<SideFileOp> ops_;
+  struct Shard {
+    std::mutex mu;
+    std::deque<SideFileOp> ops;
+    std::vector<SpilledList<SideFileOp>> spilled;
+  };
+
+  Shard& ShardForThisThread();
+  /// Moves ops from the shards into stage_ until stage_ holds at least
+  /// `want` ops or the shards are empty.
+  Status FillStage(size_t want);
+
+  std::atomic<uint64_t> gate_{0};    // even = open, odd = quiescing
+  std::atomic<int64_t> appenders_{0};
+  std::atomic<size_t> total_{0};
+
+  DiskManager* disk_ = nullptr;
+  size_t spill_threshold_ = kDefaultSpillOps;
+
+  mutable Shard shards_[kShards];
+  // Drainer-private staging queue (single-threaded access by contract).
+  std::deque<SideFileOp> stage_;
+  // Drainer-private: spill pages read back and awaiting post-End reclamation.
+  std::vector<PageId> reclaim_;
 };
 
 /// Concurrency state attached to each index.
@@ -70,6 +144,10 @@ struct IndexConcurrencyState {
   SideFile side_file;
   /// Serializes all structural operations on the B-tree (single-writer).
   std::mutex latch;
+  /// Entries inserted with kEntryUndeletable while kOfflineDirect (§3.1.2).
+  /// Lets BringOnline skip the full-leaf clearing scan when no updater ever
+  /// marked anything — a quiet run must cost the same I/O as kNone.
+  std::atomic<uint64_t> undeletable_marks{0};
 };
 
 }  // namespace bulkdel

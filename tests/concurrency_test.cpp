@@ -240,21 +240,45 @@ TEST(LockManagerTest, SharedLocksCoexist) {
   lm.UnlockShared("R");
 }
 
-TEST(SideFileTest, AppendDrainOrdering) {
+TEST(SideFileTest, AppendPeekConsumeOrdering) {
   SideFile sf;
   for (int i = 0; i < 10; ++i) {
-    sf.Append(SideFileOp{true, i, Rid(1, static_cast<uint16_t>(i))});
+    ASSERT_TRUE(sf.TryEnterAppend());
+    ASSERT_TRUE(
+        sf.Append(SideFileOp{true, i, Rid(1, static_cast<uint16_t>(i))},
+                  nullptr)
+            .ok());
+    sf.ExitAppend();
   }
   EXPECT_EQ(sf.size(), 10u);
-  auto batch = sf.DrainBatch(4);
+  // All appends came from this thread (one shard), so order is FIFO.
+  auto batch = *sf.PeekBatch(4);
   ASSERT_EQ(batch.size(), 4u);
   EXPECT_EQ(batch[0].key, 0);
   EXPECT_EQ(batch[3].key, 3);
+  // Peek does not consume: the same front comes back until ConsumeFront.
+  EXPECT_EQ(sf.size(), 10u);
+  auto again = *sf.PeekBatch(4);
+  EXPECT_EQ(again[0].key, 0);
+  ASSERT_TRUE(sf.ConsumeFront(4).ok());
   EXPECT_EQ(sf.size(), 6u);
-  batch = sf.DrainBatch(100);
+  batch = *sf.PeekBatch(100);
   EXPECT_EQ(batch.size(), 6u);
   EXPECT_EQ(batch[0].key, 4);
+  ASSERT_TRUE(sf.ConsumeFront(batch.size()).ok());
   EXPECT_EQ(sf.size(), 0u);
+  // Over-consuming is an error, not a crash.
+  EXPECT_FALSE(sf.ConsumeFront(1).ok());
+}
+
+TEST(SideFileTest, QuiesceGateRejectsAppenders) {
+  SideFile sf;
+  {
+    SideFile::QuiesceGuard quiesce(&sf);
+    EXPECT_FALSE(sf.TryEnterAppend());
+  }
+  EXPECT_TRUE(sf.TryEnterAppend());
+  sf.ExitAppend();
 }
 
 }  // namespace

@@ -100,7 +100,7 @@ TEST(FaultInjectorTest, CheckWriteReportsTheHitForPartialModes) {
 
 TEST(FaultInjectorTest, KnownSitesAreStableAndQueryable) {
   const auto& sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 11u);
+  EXPECT_EQ(sites.size(), 14u);
   for (const FaultSiteInfo& site : sites) {
     EXPECT_TRUE(FaultInjector::IsKnownSite(site.name)) << site.name;
   }
@@ -354,6 +354,63 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       }
       return name;
+    });
+
+// ---------------------------------------------------------------------------
+// §3.1 concurrent-updater crash coverage (docs/CONCURRENCY.md). CI's
+// fault-sweep job runs the full exhaustive matrix through the standalone
+// driver (--concurrency={sidefile,direct}); these tier-1 legs pin the two
+// historically buggy windows deterministically.
+
+class ConcurrencySweepTest
+    : public ::testing::TestWithParam<ConcurrencyProtocol> {};
+
+/// Regression: crashing at the BringOnline flip — after the side-file's
+/// quiesced tail drain, or after direct propagation's marker-clearing pass —
+/// must neither lose acknowledged updater DML nor leave stale
+/// kEntryUndeletable markers behind (the recovered digest includes entry
+/// flags, so a surviving marker is a hard mismatch).
+TEST_P(ConcurrencySweepTest, OnlineFlipCrashKeepsAcknowledgedUpdaterWork) {
+  SweepConfig config;
+  config.concurrency = GetParam();
+  config.strategies = {Strategy::kVerticalSortMerge};
+  config.thread_counts = {1};
+  config.only_site = "txn.online_flip";
+  config.occurrences_per_site = 0;  // every flip of every off-line index
+  SweepStats stats;
+  Status s = RunCrashSweep(config, &stats);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(stats.cases_run, 0u);
+  std::string reports;
+  for (const std::string& r : stats.failure_reports) reports += r + "\n";
+  EXPECT_EQ(stats.failures, 0u) << reports;
+}
+
+/// Sampled all-site sweep with updaters riding along, both exec_threads
+/// values — the protocol machinery (WAL'd DML, spill pages, catch-up
+/// batches) must recover at every crash point, not just the flip.
+TEST_P(ConcurrencySweepTest, EverySiteRecoversWithUpdaters) {
+  SweepConfig config;
+  config.concurrency = GetParam();
+  config.strategies = {Strategy::kVerticalSortMerge};
+  config.thread_counts = {1, 4};
+  config.occurrences_per_site = SweepBudgetFromEnv();
+  SweepStats stats;
+  Status s = RunCrashSweep(config, &stats);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GT(stats.cases_run, 0u);
+  std::string reports;
+  for (const std::string& r : stats.failure_reports) reports += r + "\n";
+  EXPECT_EQ(stats.failures, 0u) << reports;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ConcurrencySweepTest,
+    ::testing::Values(ConcurrencyProtocol::kSideFile,
+                      ConcurrencyProtocol::kDirectPropagation),
+    [](const ::testing::TestParamInfo<ConcurrencyProtocol>& info) {
+      return info.param == ConcurrencyProtocol::kSideFile ? "sidefile"
+                                                          : "direct";
     });
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 Usage:
   bench_smoke_summary.py --out=OUT_JSON --fig7=TRACE_JSONL [--fig9=TRACE_JSONL]
+                         [--concurrency=BENCH_JSONL]
                          [--commit=SHA] [--date=YYYY-MM-DD]
 
 Reads the per-run JSONL written by `bench_fig7_vary_deletes` /
@@ -15,6 +16,11 @@ order (fig7: 5/10/15/20 % deletes; fig9: 2/4/6/8/10 MB):
                 y-axis; the number that must not regress),
   wall_millis — host wall time (noisy across runners; trend only),
   io_reads / io_writes — simulated page transfer counts.
+
+--concurrency ingests the JSONL written by `bench_ablation_concurrency
+--json-out=...` instead: per §3.1 protocol it records the updater ops/sec
+sustained during the bulk delete (wall-clock based — trend only) and the
+delete's simulated I/O time.
 
 Exits non-zero if OUT_JSON would be left unchanged (empty/missing traces),
 so the CI bench-smoke job cannot silently stop recording the trajectory.
@@ -49,8 +55,31 @@ def summarize(trace_path):
     return series
 
 
+def summarize_concurrency(bench_path):
+    """Per-protocol updater/delete series from bench_ablation_concurrency
+    --json-out JSONL (one line per bench invocation, in run order)."""
+    series = {}
+    with open(bench_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            run = json.loads(line)
+            for protocol, r in sorted(run.get("protocols", {}).items()):
+                per = series.setdefault(
+                    protocol,
+                    {"updaters": [], "updater_ops_per_sec": [],
+                     "delete_wall_millis": [], "sim_minutes": []})
+                per["updaters"].append(run.get("updaters"))
+                per["updater_ops_per_sec"].append(r["updater_ops_per_sec"])
+                per["delete_wall_millis"].append(r["delete_wall_ms"])
+                per["sim_minutes"].append(round(r["sim_micros"] / 60e6, 3))
+    return series
+
+
 def main() -> int:
     out_path = None
+    concurrency_path = None
     traces = {}  # bench name -> path
     commit = "unknown"
     date = "unknown"
@@ -62,6 +91,8 @@ def main() -> int:
             traces["fig7_vary_deletes"] = arg[len("--fig7="):]
         elif arg.startswith("--fig9="):
             traces["fig9_vary_memory"] = arg[len("--fig9="):]
+        elif arg.startswith("--concurrency="):
+            concurrency_path = arg[len("--concurrency="):]
         elif arg.startswith("--commit="):
             commit = arg[len("--commit="):]
         elif arg.startswith("--date="):
@@ -79,7 +110,7 @@ def main() -> int:
             commit = positional[2]
         if len(positional) > 3:
             date = positional[3]
-    if out_path is None or not traces:
+    if out_path is None or (not traces and concurrency_path is None):
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -93,6 +124,15 @@ def main() -> int:
             print(f"no trace records in {path}", file=sys.stderr)
             return 1
         benches[bench] = series
+    if concurrency_path is not None:
+        if not os.path.exists(concurrency_path):
+            print(f"missing bench file {concurrency_path}", file=sys.stderr)
+            return 1
+        series = summarize_concurrency(concurrency_path)
+        if not series:
+            print(f"no bench records in {concurrency_path}", file=sys.stderr)
+            return 1
+        benches["ablation_concurrency"] = series
 
     entry = {"date": date, "commit": commit, "benches": benches}
     size_before = os.path.getsize(out_path) if os.path.exists(out_path) else 0

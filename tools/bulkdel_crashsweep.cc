@@ -60,6 +60,8 @@ int Usage(const char* argv0) {
       "  --threads=N          restrict to one exec_threads value (default 1,4)\n"
       "  --occurrences-per-site=N  sample budget per site (default 6)\n"
       "  --exhaustive         test every occurrence of every site\n"
+      "  --concurrency=none|sidefile|direct   §3.1 updater protocol\n"
+      "  --updater-ops=N      concurrent-updater DML ops per case (default 6)\n"
       "  --tuples=N --fraction=F --memory=BYTES   workload shape\n"
       "  --workload-seed=N --keys-seed=N --injector-seed=N\n"
       "  --torture --seconds=N --seed=N   randomized time-bounded mode\n"
@@ -115,6 +117,19 @@ int main(int argc, char** argv) {
       config.strategies = {s};
     } else if (ParseFlag(argv[i], "threads", &value)) {
       config.thread_counts = {std::atoi(value.c_str())};
+    } else if (ParseFlag(argv[i], "concurrency", &value)) {
+      if (value == "none") {
+        config.concurrency = bulkdel::ConcurrencyProtocol::kNone;
+      } else if (value == "sidefile") {
+        config.concurrency = bulkdel::ConcurrencyProtocol::kSideFile;
+      } else if (value == "direct") {
+        config.concurrency = bulkdel::ConcurrencyProtocol::kDirectPropagation;
+      } else {
+        std::fprintf(stderr, "bad --concurrency '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "updater-ops", &value)) {
+      config.updater_ops = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "occurrences-per-site", &value)) {
       config.occurrences_per_site = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "tuples", &value)) {
