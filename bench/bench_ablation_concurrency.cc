@@ -13,6 +13,8 @@
 // also executes every protocol with zero updaters and checks the simulated
 // bulk-delete I/O is bit-identical to the exclusive baseline.
 
+#include <sys/stat.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace bulkdel {
@@ -46,17 +49,34 @@ struct ProtocolResult {
   uint64_t sim_micros = 0;
   uint64_t io_reads = 0;
   uint64_t io_writes = 0;
+  /// WAL activity across the whole run (zero unless the recovery log is on):
+  /// Sync() calls made vs. physical flush batches performed. Group commit's
+  /// whole point is fsyncs << syncs under concurrent committers.
+  uint64_t wal_syncs = 0;
+  uint64_t wal_fsyncs = 0;
+};
+
+/// Durability knobs for the group-commit ablation; defaults reproduce the
+/// classic protocol comparison (sim backend, no recovery log).
+struct DurabilityOpts {
+  std::string path;           ///< non-empty = file backend rooted here
+  bool recovery_log = false;  ///< WAL on: every updater ack syncs it
+  bool group_commit = true;
 };
 
 /// One bulk delete under `protocol` with `n_updaters` insert threads
 /// hammering the table for its whole duration.
 Result<ProtocolResult> RunProtocol(const BenchConfig& config,
                                    ConcurrencyProtocol protocol,
-                                   int n_updaters) {
+                                   int n_updaters,
+                                   const DurabilityOpts& durability = {}) {
   DatabaseOptions options;
   options.memory_budget_bytes = config.ScaledMemoryBytes(5.0);
   options.concurrency = protocol;
   options.bulk_chunk_entries = 128;
+  options.path = durability.path;
+  options.enable_recovery_log = durability.recovery_log;
+  options.wal_group_commit = durability.group_commit;
   BULKDEL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
                            Database::Create(options));
   WorkloadSpec spec;
@@ -107,6 +127,10 @@ Result<ProtocolResult> RunProtocol(const BenchConfig& config,
   result.sim_micros = report->io.simulated_micros;
   result.io_reads = report->io.reads;
   result.io_writes = report->io.writes;
+  result.wal_syncs = static_cast<uint64_t>(
+      db->metrics().counter(obs::metric_names::kWalSyncs)->value());
+  result.wal_fsyncs = static_cast<uint64_t>(
+      db->metrics().counter(obs::metric_names::kWalFsyncs)->value());
   return result;
 }
 
@@ -114,6 +138,7 @@ int Run(int argc, char** argv) {
   BenchConfig config = BenchConfig::FromArgs(argc, argv);
   int n_updaters = 1;
   std::string json_out;
+  std::string gc_dir = config.db_dir + "/ablation_gc";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--updaters=", 11) == 0) {
       n_updaters = std::atoi(argv[i] + 11);
@@ -193,7 +218,68 @@ int Run(int argc, char** argv) {
     json += entry;
     first = false;
   }
-  json += "}}";
+  json += "}";
+
+  // WAL group-commit ablation: the same side-file run, file-backed with the
+  // recovery log on, so every acknowledged updater op pays a WAL sync before
+  // returning OK. With group commit, concurrent committers coalesce onto one
+  // leader fsync per batch — physical fsyncs land well below acknowledged
+  // ops. Without it, every Sync() does its own flush + fsync.
+  int gc_updaters = n_updaters < 2 ? 2 : n_updaters;
+  ::mkdir(config.db_dir.c_str(), 0755);
+  ::mkdir(gc_dir.c_str(), 0755);
+  std::printf(
+      "\nWAL group-commit ablation (file-backed under %s, side-file "
+      "protocol, %d updaters)\n",
+      gc_dir.c_str(), gc_updaters);
+  std::printf("%-14s %16s %12s %12s %12s\n", "group commit", "delete wall(ms)",
+              "acked ops", "wal syncs", "wal fsyncs");
+  json += ", \"wal_group_commit\": {";
+  uint64_t fsyncs_on = 0, ops_on = 0;
+  for (bool group_commit : {true, false}) {
+    DurabilityOpts durability;
+    durability.path = gc_dir + (group_commit ? "/gc_on" : "/gc_off");
+    durability.recovery_log = true;
+    durability.group_commit = group_commit;
+    auto result = RunProtocol(config, ConcurrencyProtocol::kSideFile,
+                              gc_updaters, durability);
+    if (!result.ok()) {
+      std::fprintf(stderr, "group-commit %s: %s\n",
+                   group_commit ? "on" : "off",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (group_commit) {
+      fsyncs_on = result->wal_fsyncs;
+      ops_on = result->updater_ops;
+    }
+    std::printf("%-14s %16.1f %12llu %12llu %12llu\n",
+                group_commit ? "on" : "off", result->wall_ms,
+                static_cast<unsigned long long>(result->updater_ops),
+                static_cast<unsigned long long>(result->wal_syncs),
+                static_cast<unsigned long long>(result->wal_fsyncs));
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\"%s\": {\"delete_wall_ms\": %.1f, \"updater_ops\": "
+                  "%llu, \"wal_syncs\": %llu, \"wal_fsyncs\": %llu}",
+                  group_commit ? "" : ", ", group_commit ? "on" : "off",
+                  result->wall_ms,
+                  static_cast<unsigned long long>(result->updater_ops),
+                  static_cast<unsigned long long>(result->wal_syncs),
+                  static_cast<unsigned long long>(result->wal_fsyncs));
+    json += entry;
+  }
+  json += "}";
+  if (ops_on > 0 && fsyncs_on >= ops_on) {
+    std::fprintf(stderr,
+                 "group commit failed to coalesce: %llu fsyncs for %llu "
+                 "acknowledged ops\n",
+                 static_cast<unsigned long long>(fsyncs_on),
+                 static_cast<unsigned long long>(ops_on));
+    return 1;
+  }
+
+  json += "}";
   if (!json_out.empty()) {
     std::FILE* f = std::fopen(json_out.c_str(), "a");
     if (f == nullptr) {

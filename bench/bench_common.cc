@@ -1,6 +1,9 @@
 #include "bench/bench_common.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +32,17 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
       config.pool_shards = std::strtoull(arg + 14, nullptr, 10);
     } else if (std::strncmp(arg, "--readahead=", 12) == 0) {
       config.readahead_pages = std::strtoull(arg + 12, nullptr, 10);
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      config.backend = arg + 10;
+      if (config.backend != "sim" && config.backend != "file") {
+        std::fprintf(stderr, "bad --backend '%s' (sim|file)\n",
+                     config.backend.c_str());
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--db-dir=", 9) == 0) {
+      config.db_dir = arg + 9;
+    } else if (std::strncmp(arg, "--wal-group-commit=", 19) == 0) {
+      config.wal_group_commit = std::atoi(arg + 19) != 0;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       config.trace_out = arg + 12;
     } else if (std::strncmp(arg, "--perfetto-out=", 15) == 0) {
@@ -36,7 +50,8 @@ BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "flags: --tuples=N --tuple-size=BYTES --seed=N --threads=N "
-          "--pool-shards=N --readahead=PAGES --trace-out=FILE "
+          "--pool-shards=N --readahead=PAGES --backend=sim|file "
+          "--db-dir=PATH --wal-group-commit=0|1 --trace-out=FILE "
           "--perfetto-out=FILE\n"
           "paper scale: --tuples=1000000 --tuple-size=512\n");
       std::exit(0);
@@ -55,6 +70,15 @@ Result<BenchDb> BuildBenchDb(const BenchConfig& config,
   options.pool_shards = config.pool_shards;
   options.readahead_pages = config.readahead_pages;
   options.trace_spans = !config.perfetto_out.empty();
+  options.wal_group_commit = config.wal_group_commit;
+  if (config.backend == "file") {
+    // Benches build many databases (one per cell); each gets its own
+    // numbered subdirectory so lifetimes never overlap on disk.
+    static std::atomic<int> next_db{0};
+    ::mkdir(config.db_dir.c_str(), 0755);  // EEXIST is fine
+    options.path =
+        config.db_dir + "/db" + std::to_string(next_db.fetch_add(1));
+  }
   BenchDb bench;
   BULKDEL_ASSIGN_OR_RETURN(bench.db, Database::Create(options));
 
@@ -122,7 +146,7 @@ ResultTable::ResultTable(std::string title, std::string x_label,
       series_(std::move(series)) {}
 
 void ResultTable::AddCell(const std::string& x, const std::string& series,
-                          double sim_minutes) {
+                          double sim_minutes, double wall_millis) {
   size_t xi = xs_.size();
   for (size_t i = 0; i < xs_.size(); ++i) {
     if (xs_[i] == x) {
@@ -133,10 +157,12 @@ void ResultTable::AddCell(const std::string& x, const std::string& series,
   if (xi == xs_.size()) {
     xs_.push_back(x);
     cells_.emplace_back(series_.size(), -1.0);
+    walls_.emplace_back(series_.size(), -1.0);
   }
   for (size_t s = 0; s < series_.size(); ++s) {
     if (series_[s] == series) {
       cells_[xi][s] = sim_minutes;
+      walls_[xi][s] = wall_millis;
       return;
     }
   }
@@ -153,9 +179,16 @@ void ResultTable::Print() const {
   std::printf("\n");
   for (size_t i = 0; i < xs_.size(); ++i) {
     std::printf("%-14s", xs_[i].c_str());
-    for (double v : cells_[i]) {
+    for (size_t s = 0; s < cells_[i].size(); ++s) {
+      double v = cells_[i][s];
+      double wall = walls_[i][s];
       if (v < 0) {
         std::printf(" | %18s", "-");
+      } else if (wall >= 0) {
+        // Simulated minutes with the host wall time alongside.
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "%.2f (%.0fms)", v, wall);
+        std::printf(" | %18s", cell);
       } else {
         std::printf(" | %18.2f", v);
       }

@@ -33,6 +33,17 @@ struct BenchConfig {
   /// Leaf read-ahead window in pages (`--readahead=N`); 0 = off. Keeps
   /// simulated I/O identical — only host wall time changes.
   size_t readahead_pages = 0;
+  /// Durability backend (`--backend=sim|file`). "sim" (default) runs over
+  /// in-memory pages and WAL image; "file" runs the identical workload over
+  /// a real pwrite/fsync page file and on-disk WAL under `db_dir`. Simulated
+  /// I/O totals are bit-identical between the two; only wall time changes.
+  std::string backend = "sim";
+  /// Directory for file-backed databases (`--db-dir=PATH`); each
+  /// BuildBenchDb call gets its own numbered subdirectory. tmpfs recommended.
+  std::string db_dir = "/tmp/bulkdel_bench";
+  /// WAL group commit (`--wal-group-commit=0|1`, default on). Off = every
+  /// Sync() performs its own flush+fsync; the ablation's baseline.
+  bool wal_group_commit = true;
   /// If non-empty (`--trace-out=FILE`), every report produced via RunDelete
   /// is appended to FILE as one BulkDeleteReport::ToJson() line (JSONL), for
   /// machine-readable per-phase breakdowns of EXPERIMENTS runs.
@@ -91,14 +102,17 @@ void MaybeWriteTrace(const BenchConfig& config,
 void MaybeExportPerfetto(const BenchConfig& config);
 
 /// Markdown-ish result table: one row per x-value, one column per series,
-/// cells in simulated minutes.
+/// cells in simulated minutes — optionally with host wall milliseconds
+/// alongside (`12.34 (56ms)`), so sim-model time and real-backend time read
+/// side by side.
 class ResultTable {
  public:
   ResultTable(std::string title, std::string x_label,
               std::vector<std::string> series);
 
+  /// `wall_millis` < 0 omits the wall column for this cell.
   void AddCell(const std::string& x, const std::string& series,
-               double sim_minutes);
+               double sim_minutes, double wall_millis = -1.0);
   /// Renders and prints the table plus per-cell I/O footnotes if provided.
   void Print() const;
 
@@ -107,7 +121,8 @@ class ResultTable {
   std::string x_label_;
   std::vector<std::string> series_;
   std::vector<std::string> xs_;
-  std::vector<std::vector<double>> cells_;  // [x][series]
+  std::vector<std::vector<double>> cells_;  // [x][series], sim minutes
+  std::vector<std::vector<double>> walls_;  // [x][series], wall ms (<0 = n/a)
 };
 
 }  // namespace bench

@@ -49,7 +49,8 @@ int Run(int argc, char** argv) {
         return 1;
       }
       MaybeWriteTrace(config, *report);
-      table.AddCell(x, s.name, report->simulated_minutes());
+      table.AddCell(x, s.name, report->simulated_minutes(),
+                    static_cast<double>(report->wall_micros) / 1000.0);
     }
   }
   table.Print();

@@ -1,5 +1,8 @@
 #include "core/database.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -15,54 +18,95 @@
 
 namespace bulkdel {
 
-Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  // Back-compat: a non-empty path always meant file backing.
+  if (!options_.path.empty()) options_.backend = StorageBackend::kFile;
+}
 
-Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
-  std::unique_ptr<Database> db(new Database(std::move(options)));
-  if (db->options_.path.empty()) {
-    db->disk_ = std::make_unique<DiskManager>(db->options_.disk_model);
+Status Database::WireStorage(bool truncate) {
+  if (options_.backend == StorageBackend::kFile) {
+    if (options_.path.empty()) {
+      return Status::InvalidArgument(
+          "file storage backend requires DatabaseOptions::path");
+    }
+    if (::mkdir(options_.path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError("mkdir " + options_.path + ": " +
+                             std::strerror(errno));
+    }
+    disk_ = std::make_unique<DiskManager>(options_.path + "/pages.db",
+                                          truncate, options_.disk_model);
+    log_ = std::make_unique<LogManager>(options_.path + "/wal.log", truncate);
+    BULKDEL_RETURN_IF_ERROR(log_->open_status());
   } else {
-    db->disk_ = std::make_unique<DiskManager>(db->options_.path,
-                                              /*truncate=*/true,
-                                              db->options_.disk_model);
+    disk_ = std::make_unique<DiskManager>(options_.disk_model);
+    log_ = std::make_unique<LogManager>();
   }
-  db->log_ = std::make_unique<LogManager>();
+  log_->SetGroupCommit(options_.wal_group_commit);
   BufferPoolOptions pool_options;
-  pool_options.budget_bytes = db->options_.memory_budget_bytes;
+  pool_options.budget_bytes = options_.memory_budget_bytes;
   // Auto shard choice: parallel phases want striping, the serial executor
   // gains nothing from it.
-  pool_options.shards = db->options_.pool_shards != 0
-                            ? db->options_.pool_shards
-                            : (db->options_.exec_threads > 1 ? 8 : 1);
-  pool_options.readahead_pages = db->options_.readahead_pages;
-  pool_options.coalesce_writebacks = db->options_.coalesce_writebacks;
-  db->pool_ = std::make_unique<BufferPool>(db->disk_.get(), pool_options);
-  db->catalog_ = std::make_unique<Catalog>(db->pool_.get());
-  db->locks_ = std::make_unique<LockManager>();
-  if (db->options_.fault_injector != nullptr) {
-    FaultInjector* injector = db->options_.fault_injector.get();
-    db->disk_->SetFaultInjector(injector);
-    db->pool_->SetFaultInjector(injector);
-    db->log_->SetFaultInjector(injector);
+  pool_options.shards = options_.pool_shards != 0
+                            ? options_.pool_shards
+                            : (options_.exec_threads > 1 ? 8 : 1);
+  pool_options.readahead_pages = options_.readahead_pages;
+  pool_options.coalesce_writebacks = options_.coalesce_writebacks;
+  pool_ = std::make_unique<BufferPool>(disk_.get(), pool_options);
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+  locks_ = std::make_unique<LockManager>();
+  if (options_.fault_injector != nullptr) {
+    FaultInjector* injector = options_.fault_injector.get();
+    disk_->SetFaultInjector(injector);
+    pool_->SetFaultInjector(injector);
+    log_->SetFaultInjector(injector);
   }
   // Metric wiring: storage objects resolve their instruments once and then
   // update through raw pointers; the registry lives in the Database.
-  db->disk_->SetMetrics(&db->metrics_);
-  db->pool_->SetMetrics(&db->metrics_);
-  db->log_->SetMetrics(&db->metrics_);
-  db->sidefile_appends_counter_ =
-      db->metrics_.counter(obs::metric_names::kSideFileAppends);
-  db->sidefile_spill_pages_counter_ =
-      db->metrics_.counter(obs::metric_names::kSideFileSpillPages);
-  if (db->options_.trace_spans) {
+  disk_->SetMetrics(&metrics_);
+  pool_->SetMetrics(&metrics_);
+  log_->SetMetrics(&metrics_);
+  sidefile_appends_counter_ =
+      metrics_.counter(obs::metric_names::kSideFileAppends);
+  sidefile_spill_pages_counter_ =
+      metrics_.counter(obs::metric_names::kSideFileSpillPages);
+  if (options_.trace_spans) {
     obs::TraceRecorder::Global().SetEnabled(true);
   }
-  BULKDEL_RETURN_IF_ERROR(db->catalog_->Format());
-  if (db->options_.enable_recovery_log) {
-    LogManager* log = db->log_.get();
-    db->pool_->SetPreWritebackHook([log] { log->Sync(); });
+  if (options_.enable_recovery_log) {
+    LogManager* log = log_.get();
+    pool_->SetPreWritebackHook([log] { log->Sync(); });
   }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  BULKDEL_RETURN_IF_ERROR(db->WireStorage(/*truncate=*/true));
+  BULKDEL_RETURN_IF_ERROR(db->catalog_->Format());
   return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("Database::Open requires a path");
+  }
+  options.backend = StorageBackend::kFile;
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  BULKDEL_RETURN_IF_ERROR(db->WireStorage(/*truncate=*/false));
+  if (db->disk_->NumAllocatedPages() == 0) {
+    return Status::NotFound("no database at " + db->options_.path);
+  }
+  // The catalog root is page 0 by construction (Format's first allocation).
+  BULKDEL_RETURN_IF_ERROR(db->catalog_->Load(0));
+  // Roll any bulk delete the previous process left interrupted forward
+  // (§3.2). A cleanly closed database has an empty WAL and this is a no-op.
+  BULKDEL_RETURN_IF_ERROR(RecoverDatabase(db.get()));
+  return db;
+}
+
+Status Database::Close() {
+  BULKDEL_RETURN_IF_ERROR(Checkpoint());
+  return disk_->MarkCleanShutdown();
 }
 
 Result<TableDef*> Database::CreateTable(const std::string& name,
@@ -549,6 +593,8 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
     return Status::InvalidArgument("unknown strategy");
   }();
   if (result.ok()) {
+    result->backend =
+        storage_backend() == StorageBackend::kFile ? "file" : "sim";
     result->cascaded_rows = cascaded_rows;
     if (result->plan_explain.empty()) result->plan_explain = plan.Explain();
     std::vector<BufferPoolStats> pool_after = pool_->shard_stats();
@@ -574,7 +620,10 @@ Status Database::Checkpoint() {
   log_->Sync();
   BULKDEL_RETURN_IF_ERROR(pool_->FlushAll());
   log_->Sync();
-  return Status::OK();
+  // Durability barrier: the flushed pages must be on the medium before the
+  // checkpoint counts (fsync with the file backend; the sim backend charges
+  // the same fault site so sweep coverage is identical).
+  return disk_->Flush();
 }
 
 Status Database::VerifyIntegrity() {
@@ -630,13 +679,31 @@ Status Database::VerifyIntegrity() {
 
 Status Database::SimulateCrashAndRecover() {
   PageId catalog_page = catalog_->catalog_page();
-  // Volatile state vanishes.
+  if (storage_backend() == StorageBackend::kFile) {
+    // File backend: a crash IS a process death. Discard every in-memory
+    // object — buffer pool frames, the decoded WAL, the DiskManager's free
+    // list, the catalog cache — and reopen from the files alone, exactly
+    // like a restarted process would. The un-fsynced WAL tail (if the
+    // "crash" tore a flush) surfaces as a CRC-failing frame that recovery's
+    // scan truncates.
+    pool_->DiscardAllForCrashTest();
+    catalog_->ResetInMemory();
+    catalog_.reset();
+    pool_.reset();
+    log_.reset();
+    disk_.reset();
+    BULKDEL_RETURN_IF_ERROR(WireStorage(/*truncate=*/false));
+    // Note: an injected crash point deliberately survives the restart so
+    // tests can interrupt recovery itself (recovery must be idempotent).
+    BULKDEL_RETURN_IF_ERROR(catalog_->Load(catalog_page));
+    return RecoverDatabase(this);
+  }
+  // Sim backend: the DiskManager and the WAL's durable image are the
+  // durable medium; only the layers above them vanish.
   pool_->DiscardAllForCrashTest();
   log_->DropVolatileTail();
   catalog_->ResetInMemory();
   locks_ = std::make_unique<LockManager>();
-  // Note: an injected crash point deliberately survives the restart so tests
-  // can interrupt recovery itself (recovery must be idempotent).
   // Restart: reopen the catalog and roll interrupted work forward.
   BULKDEL_RETURN_IF_ERROR(catalog_->Load(catalog_page));
   return RecoverDatabase(this);
@@ -651,6 +718,8 @@ Result<BulkDeleteReport> Database::BulkUpdateColumn(
   Result<BulkDeleteReport> result =
       ExecuteBulkUpdate(&ctx, table, set_column, delta, filter_column, lo, hi);
   if (result.ok()) {
+    result->backend =
+        storage_backend() == StorageBackend::kFile ? "file" : "sim";
     std::vector<BufferPoolStats> pool_after = pool_->shard_stats();
     result->pool_shards.resize(pool_after.size());
     result->pool = BufferPoolStats();

@@ -26,6 +26,16 @@ namespace bulkdel {
 /// a bulk delete (paper §3.1). kNone runs the statement fully exclusively.
 enum class ConcurrencyProtocol { kNone, kSideFile, kDirectPropagation };
 
+/// Which durable medium backs the page store and the WAL.
+///  * kSim: in-memory page vector + in-memory WAL image, timed by the
+///    simulated DiskModel — deterministic, host-independent (the paper
+///    figures' backend).
+///  * kFile: real files in DatabaseOptions::path (pages.db + wal.log), with
+///    fsync barriers — wall-clock numbers and true crash/reopen semantics.
+/// The simulated I/O charge sequence is identical on both: the DiskModel
+/// accounting runs before the backing-specific data movement, never after.
+enum class StorageBackend { kSim, kFile };
+
 struct DatabaseOptions {
   /// The experiment's "available main memory": sizes the buffer pool and
   /// bounds sorting / hash tables (the paper varies this 2–10 MB).
@@ -81,8 +91,16 @@ struct DatabaseOptions {
   /// so the test harness keeps control of arming/disarming. Null in normal
   /// operation — the hot paths then pay a single pointer test.
   std::shared_ptr<FaultInjector> fault_injector;
-  /// Backing file; empty = in-memory (deterministic benchmarks).
+  /// Durable medium (see StorageBackend). A non-empty `path` implies kFile
+  /// for backward compatibility.
+  StorageBackend backend = StorageBackend::kSim;
+  /// kFile: directory holding the durable files (`pages.db`, `wal.log`, and
+  /// the clean-shutdown sidecar); created if missing. Empty = in-memory.
   std::string path;
+  /// WAL group commit (file and sim backends alike): concurrent log syncers
+  /// coalesce onto one leader flush/fsync per batch. Off = one flush+fsync
+  /// per Sync() call (the ablation baseline).
+  bool wal_group_commit = true;
 };
 
 /// What to delete: the paper's
@@ -108,6 +126,22 @@ struct BulkDeleteSpec {
 class Database {
  public:
   static Result<std::unique_ptr<Database>> Create(DatabaseOptions options);
+
+  /// Reopens an existing file-backed database from `options.path` (which
+  /// must name a directory a previous Create/Close or crashed process left
+  /// behind): scans the WAL, loads the catalog and rolls any interrupted
+  /// bulk delete forward — the restart path of §3.2, against real files.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  /// Clean shutdown (file backend): checkpoints, fsyncs the page file and
+  /// writes the clean-shutdown sidecar so a later Open restores the free
+  /// list. No-op beyond the checkpoint for the sim backend.
+  Status Close();
+
+  /// The effective durable medium (kFile if `options.path` is set).
+  StorageBackend storage_backend() const {
+    return options_.path.empty() ? StorageBackend::kSim : StorageBackend::kFile;
+  }
 
   // -- DDL ------------------------------------------------------------------
   Result<TableDef*> CreateTable(const std::string& name, const Schema& schema);
@@ -224,6 +258,12 @@ class Database {
 
  private:
   explicit Database(DatabaseOptions options);
+
+  /// Builds and wires the storage stack (disk, WAL, pool, catalog, locks,
+  /// fault injector, metrics, pre-writeback hook) against the configured
+  /// backend. `truncate` starts fresh files; false reopens existing ones.
+  /// Shared by Create, Open and the file-backed crash-reopen path.
+  Status WireStorage(bool truncate);
 
   Status ApplyIndexInsert(TableDef* table, IndexDef* index, int64_t key,
                           const Rid& rid);

@@ -181,6 +181,9 @@ std::string BulkDeleteReport::ToJson() const {
               static_cast<int64_t>(index_entries_deleted));
   AppendField(&out, "cascaded_rows", static_cast<int64_t>(cascaded_rows));
   AppendField(&out, "wall_micros", wall_micros);
+  out += "\"backend\":";
+  AppendEscaped(&out, backend);
+  out += ',';
   out += "\"io\":";
   AppendIoStats(&out, io);
   out += ",\"pool\":";
@@ -229,6 +232,8 @@ Result<BulkDeleteReport> BulkDeleteReport::FromJson(const std::string& json) {
       static_cast<uint64_t>(root.IntOr("index_entries_deleted"));
   report.cascaded_rows = static_cast<uint64_t>(root.IntOr("cascaded_rows"));
   report.wall_micros = root.IntOr("wall_micros");
+  // Older traces predate the backend field; they were all simulation runs.
+  report.backend = root.Find("backend") ? root.StringOr("backend") : "sim";
   report.plan_explain = root.StringOr("plan_explain");
   if (const JsonValue* io = root.Find("io")) {
     report.io = IoStatsFromJson(*io);

@@ -67,6 +67,10 @@ struct BulkDeleteReport {
   /// on; counters and count-valued histograms always do.
   obs::MetricsSnapshot metrics;
   int64_t wall_micros = 0;
+  /// Which durability backend executed the statement: "sim" (in-memory pages
+  /// + in-memory WAL image) or "file" (pwrite/fsync page file + on-disk WAL).
+  /// Simulated I/O totals are backend-independent; wall_micros is not.
+  std::string backend = "sim";
   std::string plan_explain;
 
   double simulated_seconds() const {

@@ -307,6 +307,10 @@ class VerticalRun {
       BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
     }
     BULKDEL_RETURN_IF_ERROR(db_->pool().FlushAll());
+    // Durability barrier: the checkpoint's claim is that the phase's pages
+    // are on the medium, so fsync the page file before recording PhaseDone
+    // (charged no-op under the sim backend, same fault site either way).
+    BULKDEL_RETURN_IF_ERROR(db_->disk().Flush());
     // Crash window: the phase's page writes are durable but its PhaseDone
     // record is not — recovery must re-run the phase idempotently.
     BULKDEL_RETURN_IF_ERROR(
@@ -861,6 +865,9 @@ class VerticalRun {
       BULKDEL_RETURN_IF_ERROR(index->tree->FlushMeta());
     }
     BULKDEL_RETURN_IF_ERROR(db_->pool().FlushAll());
+    // Finalize barrier: everything the statement wrote is fsynced before the
+    // End record can truncate the WAL that would otherwise re-create it.
+    BULKDEL_RETURN_IF_ERROR(db_->disk().Flush());
     if (logging_) {
       for (const std::string& label : deferred_checkpoints_) {
         LogRecord rec;

@@ -168,6 +168,13 @@ Status PrepareCase(const SweepConfig& config, int threads, bool with_injector,
   options.enable_recovery_log = true;
   options.exec_threads = threads;
   options.concurrency = config.concurrency;
+  if (config.backend == "file") {
+    // One scratch directory serves every case: cases run strictly one at a
+    // time and Database::Create truncates both files.
+    options.path = config.scratch_dir;
+  } else if (config.backend != "sim") {
+    return Status::InvalidArgument("unknown sweep backend: " + config.backend);
+  }
   if (config.concurrency == ConcurrencyProtocol::kSideFile) {
     // Tiny threshold: a handful of updater ops is enough to exercise the
     // spill-to-scratch-pages path under injected faults.
@@ -254,6 +261,7 @@ std::string CaseName(const SweepConfig& config, Strategy strategy, int threads,
   name += " threads=" + std::to_string(threads);
   name += " concurrency=";
   name += ConcurrencyFlagName(config.concurrency);
+  name += " backend=" + config.backend;
   name += " site=" + site;
   name += " occurrence=" + std::to_string(occurrence);
   name += " mode=";
@@ -272,6 +280,10 @@ std::string ReproCommand(const SweepConfig& config, Strategy strategy,
   cmd += " --threads=" + std::to_string(threads);
   cmd += " --concurrency=";
   cmd += ConcurrencyFlagName(config.concurrency);
+  if (config.backend != "sim") {
+    cmd += " --backend=" + config.backend;
+    cmd += " --dir=" + config.scratch_dir;
+  }
   cmd += " --site=" + site;
   cmd += " --occurrence=" + std::to_string(occurrence);
   cmd += " --mode=";

@@ -39,6 +39,16 @@ struct SweepConfig {
   /// Seeds the injector's partial-write RNG (torn log tails).
   uint64_t injector_seed = 1;
 
+  /// Durability backend under test: "sim" (in-memory pages + WAL image, the
+  /// default) or "file" (real page file + WAL under `scratch_dir`, crashes
+  /// simulated by discarding all process state and reopening from disk).
+  /// Same sweep, same digests — only the medium changes.
+  std::string backend = "sim";
+  /// Directory for the file backend's page/WAL files. Reused across cases
+  /// (cases run one at a time and Create() truncates); put it on tmpfs for
+  /// speed.
+  std::string scratch_dir = "/tmp/bulkdel_crashsweep";
+
   std::vector<Strategy> strategies = {Strategy::kVerticalSortMerge,
                                       Strategy::kVerticalHash,
                                       Strategy::kVerticalPartitionedHash};

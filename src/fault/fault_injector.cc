@@ -18,6 +18,7 @@ const std::vector<FaultSiteInfo>& FaultInjector::KnownSites() {
   static const std::vector<FaultSiteInfo> kSites = {
       {fault_sites::kDiskRead, false},
       {fault_sites::kDiskWrite, true},
+      {fault_sites::kDiskSync, false},
       {fault_sites::kPoolEvict, false},
       {fault_sites::kPoolFlush, false},
       {fault_sites::kLogSync, true},

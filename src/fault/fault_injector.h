@@ -38,6 +38,9 @@ inline constexpr char kDiskRead[] = "disk.read";
 /// DiskManager::WritePage, before the bytes reach the page. Supports
 /// kTornWrite / kShortWrite.
 inline constexpr char kDiskWrite[] = "disk.write";
+/// DiskManager::Flush, before the page file is fsynced at a checkpoint or
+/// commit barrier.
+inline constexpr char kDiskSync[] = "disk.sync";
 /// BufferPool eviction, before the dirty victim is written back.
 inline constexpr char kPoolEvict[] = "pool.evict";
 /// BufferPool::FlushAll, before the dirty sweep starts.

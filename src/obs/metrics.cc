@@ -18,7 +18,11 @@ const std::vector<MetricInfo>& KnownMetrics() {
       {metric_names::kCkptInline, MetricKind::kCounter, "count"},
       {metric_names::kCkptDeferred, MetricKind::kCounter, "count"},
       {metric_names::kWalSyncs, MetricKind::kCounter, "count"},
+      {metric_names::kWalFsyncs, MetricKind::kCounter, "count"},
+      {metric_names::kWalGroupSize, MetricKind::kHistogram, "records"},
+      {metric_names::kWalFsyncNs, MetricKind::kHistogram, "ns"},
       {metric_names::kDiskWriteRuns, MetricKind::kCounter, "count"},
+      {metric_names::kDiskSyncs, MetricKind::kCounter, "count"},
       {metric_names::kSideFileAppends, MetricKind::kCounter, "count"},
       {metric_names::kSideFileDepth, MetricKind::kGauge, "records"},
       {metric_names::kSideFileSpillPages, MetricKind::kCounter, "count"},

@@ -41,8 +41,20 @@ inline constexpr char kCkptInline[] = "ckpt.inline";
 inline constexpr char kCkptDeferred[] = "ckpt.deferred";
 /// Counter: LogManager::Sync calls.
 inline constexpr char kWalSyncs[] = "wal.syncs";
+/// Counter: WAL flush batches (one leader fsync each with the file backend).
+/// Under group commit this stays well below wal.syncs when syncers coalesce.
+inline constexpr char kWalFsyncs[] = "wal.fsyncs";
+/// Histogram, records: records covered per WAL flush batch (group-commit
+/// coalescing factor).
+inline constexpr char kWalGroupSize[] = "wal.group_size";
+/// Histogram, ns: host latency of one WAL backend append + fsync (file
+/// backend only; the sim backend observes nothing here).
+inline constexpr char kWalFsyncNs[] = "wal.fsync_ns";
 /// Counter: sequential write runs issued by DiskManager::WriteRun.
 inline constexpr char kDiskWriteRuns[] = "disk.write_runs";
+/// Counter: DiskManager::Flush barriers (one fsync each with the file
+/// backend), taken at checkpoint/commit boundaries.
+inline constexpr char kDiskSyncs[] = "disk.syncs";
 /// Counter: §3.1 updater ops appended to off-line indices' side-files.
 inline constexpr char kSideFileAppends[] = "sidefile.appends";
 /// Gauge, records: side-file depth (ops not yet caught up), sampled by the

@@ -1,0 +1,76 @@
+#ifndef BULKDEL_RECOVERY_LOG_RECORD_H_
+#define BULKDEL_RECOVERY_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "table/rid.h"
+
+namespace bulkdel {
+
+/// Bulk-delete log record types (paper §3.2). The log makes an interrupted
+/// bulk delete restartable *forward*: recovery finishes the deletion from the
+/// last checkpoint instead of rolling it back.
+enum class LogRecordType : uint8_t {
+  /// A bulk delete started: carries table / key column identity.
+  kBegin,
+  /// An intermediate delete list was materialized to stable scratch pages
+  /// ("the results of the join variants should be materialized to stable
+  /// storage"). `label` names it ("input-keys", "rids", "feed:R.B", ...).
+  kListMaterialized,
+  /// One index entry was removed by the bulk deleter (physiological redo
+  /// info: phase label + key + RID). Durable before the page write-back via
+  /// the buffer pool's pre-writeback hook.
+  kEntryDeleted,
+  /// One table record was removed; carries the projected secondary-index key
+  /// values so the downstream feeds can be reconstructed after a crash.
+  kRowDeleted,
+  /// A whole phase (one structure) finished and a checkpoint was taken.
+  kPhaseDone,
+  /// Table + unique indices done; the statement is committed and the table
+  /// lock can be released (§3.1).
+  kCommit,
+  /// All indices caught up; the bulk delete is fully finished.
+  kEnd,
+  /// One concurrent-updater DML op (§3.1) made while a bulk delete held
+  /// indices off-line. Logged *before* the heap/index mutations (`label` =
+  /// table, `key`/`rid` identify the row, `values` = full row for inserts,
+  /// `count` = 1 for insert / 0 for delete), so any durable partial effect
+  /// implies a durable record; recovery replays these idempotently over the
+  /// heap and every index.
+  kUpdaterRow,
+  /// Diagnostics: one op entered an off-line index's side-file (`label` =
+  /// index name). Not consulted for replay — kUpdaterRow records are the
+  /// single source of truth (a durable drain record would not prove the
+  /// drained index pages were durable).
+  kSideFileAppend,
+  /// Diagnostics: a catch-up batch of `count` side-file ops was applied to
+  /// `label` (index name).
+  kSideFileDrain,
+  /// A side-file shard spilled its tail to scratch `pages`; recovery frees
+  /// them (idempotently) — the ops themselves are re-derived from
+  /// kUpdaterRow records.
+  kSideFileSpill,
+};
+
+/// One past the last valid LogRecordType value (codec validation bound).
+inline constexpr uint8_t kNumLogRecordTypes =
+    static_cast<uint8_t>(LogRecordType::kSideFileSpill) + 1;
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  uint64_t bd_id = 0;
+  std::string label;            ///< phase / list label, table name for kBegin
+  std::string aux;              ///< key column for kBegin
+  std::vector<PageId> pages;    ///< kListMaterialized: scratch pages
+  uint64_t count = 0;           ///< kListMaterialized: item count
+  int64_t key = 0;              ///< kEntryDeleted
+  Rid rid;                      ///< kEntryDeleted / kRowDeleted
+  std::vector<int64_t> values;  ///< kRowDeleted: projected index keys
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_RECOVERY_LOG_RECORD_H_

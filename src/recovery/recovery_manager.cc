@@ -10,21 +10,19 @@ namespace bulkdel {
 
 namespace {
 /// Log analysis: reassembles the state of the (at most one) bulk delete that
-/// began but never logged kEnd.
-Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(
-    const std::vector<LogRecord>& records) {
+/// began but never logged kEnd. Cursor-based: visits the durable log in
+/// place via LogManager::ScanDurable instead of copying it (the copy was
+/// O(log) per crash-sweep case).
+Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(const LogManager& log) {
   std::map<uint64_t, RecoveredBulkDelete> open;
   std::set<uint64_t> ended;
-  for (const LogRecord& r : records) {
-    // A torn record is a half-written tail: the scan ends just before it.
-    // (RecoverDatabase physically truncates these, this is defense in depth.)
-    if (r.torn) break;
+  Status scan = log.ScanDurable([&](const LogRecord& r) {
     if (r.type == LogRecordType::kEnd) {
       ended.insert(r.bd_id);
       open.erase(r.bd_id);
-      continue;
+      return Status::OK();
     }
-    if (ended.count(r.bd_id) > 0) continue;
+    if (ended.count(r.bd_id) > 0) return Status::OK();
     RecoveredBulkDelete& state = open[r.bd_id];
     state.bd_id = r.bd_id;
     switch (r.type) {
@@ -78,18 +76,19 @@ Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(
       case LogRecordType::kEnd:
         break;
     }
-  }
+    return Status::OK();
+  });
+  BULKDEL_RETURN_IF_ERROR(scan);
   return open;
 }
 }  // namespace
 
 Status RecoverDatabase(Database* db) {
-  // A crash during a log sync can leave a half-written trailing record; the
-  // restart scan stops there and truncates, so the log ends at the last
-  // fully durable record.
+  // A crash during a log flush can leave a half-written trailing frame whose
+  // CRC does not verify; the restart scan stops there and truncates, so the
+  // log ends at the last fully durable record.
   db->log().DropTornTail();
-  BULKDEL_ASSIGN_OR_RETURN(auto open,
-                           Analyze(db->log().DurableSnapshot()));
+  BULKDEL_ASSIGN_OR_RETURN(auto open, Analyze(db->log()));
   for (auto& [bd_id, state] : open) {
     if (state.table.empty()) continue;  // Begin record itself not durable
     if (state.lists.count("input-keys") == 0) {

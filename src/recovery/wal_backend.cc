@@ -1,0 +1,90 @@
+#include "recovery/wal_backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bulkdel {
+
+FileWalBackend::FileWalBackend(const std::string& path, bool truncate)
+    : path_(path) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ >= 0) {
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end > 0) size_ = static_cast<size_t>(end);
+  }
+}
+
+FileWalBackend::~FileWalBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileWalBackend::Append(const std::string& data) {
+  if (fd_ < 0) return Status::IOError("wal file " + path_ + " is not open");
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::pwrite(fd_, data.data() + written, data.size() - written,
+                         static_cast<off_t>(size_ + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal append: " + std::string(std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status FileWalBackend::SyncBytes() {
+  if (fd_ < 0) return Status::IOError("wal file " + path_ + " is not open");
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("wal fsync: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileWalBackend::Truncate(size_t bytes) {
+  if (fd_ < 0) return Status::IOError("wal file " + path_ + " is not open");
+  if (bytes >= size_) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    return Status::IOError("wal truncate: " +
+                           std::string(std::strerror(errno)));
+  }
+  size_ = bytes;
+  return SyncBytes();
+}
+
+Status FileWalBackend::Rewrite(const std::string& image) {
+  if (fd_ < 0) return Status::IOError("wal file " + path_ + " is not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("wal rewrite: " +
+                           std::string(std::strerror(errno)));
+  }
+  size_ = 0;
+  BULKDEL_RETURN_IF_ERROR(Append(image));
+  return SyncBytes();
+}
+
+Status FileWalBackend::ReadAll(std::string* out) const {
+  if (fd_ < 0) return Status::IOError("wal file " + path_ + " is not open");
+  out->clear();
+  out->resize(size_);
+  size_t done = 0;
+  while (done < size_) {
+    ssize_t n = ::pread(fd_, out->data() + done, size_ - done,
+                        static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("wal read: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // shrunk underneath us; keep the zero fill
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace bulkdel

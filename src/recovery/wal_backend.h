@@ -1,0 +1,102 @@
+#ifndef BULKDEL_RECOVERY_WAL_BACKEND_H_
+#define BULKDEL_RECOVERY_WAL_BACKEND_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace bulkdel {
+
+/// The WAL's durable byte sink — the pluggable half of the durability seam.
+/// LogManager owns record semantics (framing, group commit, truncation);
+/// a WalBackend only moves bytes:
+///
+///  * SimWalBackend keeps the byte image in memory. The image IS the
+///    simulated durable medium: whatever LogManager has pushed through
+///    Append() survives a simulated crash, exactly like the file backend
+///    after the bytes hit the kernel. Deterministic, host-independent.
+///  * FileWalBackend appends to a real file and makes SyncBytes() an
+///    fsync(2), so durability claims are backed by the same syscall a
+///    production WAL uses.
+///
+/// Thread safety: none. LogManager serializes all backend calls (appends
+/// under its mutex; at most one flush in flight at a time).
+class WalBackend {
+ public:
+  virtual ~WalBackend() = default;
+
+  /// Appends `data` at the end of the log.
+  virtual Status Append(const std::string& data) = 0;
+
+  /// Forces every appended byte to the durable medium. For the file backend
+  /// this is the fsync the group-commit leader pays on behalf of the batch.
+  virtual Status SyncBytes() = 0;
+
+  /// Truncates the log to its first `bytes` bytes (torn-tail amputation on
+  /// restart).
+  virtual Status Truncate(size_t bytes) = 0;
+
+  /// Replaces the whole log with `image` and makes it durable (log
+  /// truncation after completed bulk deletes rewrites the kept suffix).
+  virtual Status Rewrite(const std::string& image) = 0;
+
+  virtual size_t size() const = 0;
+  virtual bool is_file() const = 0;
+};
+
+/// In-memory byte image (simulation backend).
+class SimWalBackend : public WalBackend {
+ public:
+  Status Append(const std::string& data) override {
+    image_.append(data);
+    return Status::OK();
+  }
+  Status SyncBytes() override { return Status::OK(); }
+  Status Truncate(size_t bytes) override {
+    if (bytes < image_.size()) image_.resize(bytes);
+    return Status::OK();
+  }
+  Status Rewrite(const std::string& image) override {
+    image_ = image;
+    return Status::OK();
+  }
+  size_t size() const override { return image_.size(); }
+  bool is_file() const override { return false; }
+
+  const std::string& image() const { return image_; }
+
+ private:
+  std::string image_;
+};
+
+/// Append-only file with real fsync durability.
+class FileWalBackend : public WalBackend {
+ public:
+  /// Opens (creating if needed) `path`; `truncate` discards existing
+  /// contents. A failed open is reported by the first Append/SyncBytes.
+  FileWalBackend(const std::string& path, bool truncate);
+  ~FileWalBackend() override;
+
+  FileWalBackend(const FileWalBackend&) = delete;
+  FileWalBackend& operator=(const FileWalBackend&) = delete;
+
+  Status Append(const std::string& data) override;
+  Status SyncBytes() override;
+  Status Truncate(size_t bytes) override;
+  Status Rewrite(const std::string& image) override;
+  size_t size() const override { return size_; }
+  bool is_file() const override { return true; }
+
+  /// Reads the whole current file contents (restart scan).
+  Status ReadAll(std::string* out) const;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  size_t size_ = 0;
+};
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_RECOVERY_WAL_BACKEND_H_

@@ -1,0 +1,170 @@
+#include "recovery/wal_codec.h"
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace bulkdel {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  StoreU32(buf, v);
+  out->append(buf, sizeof(buf));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  StoreU64(buf, v);
+  out->append(buf, sizeof(buf));
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[8];
+  StoreI64(buf, v);
+  out->append(buf, sizeof(buf));
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over a payload slice. Every Read* fails (returns
+/// false) instead of running past the end, so a frame whose CRC somehow
+/// verified but whose body is malformed still cannot crash the scan.
+struct Cursor {
+  const char* p;
+  size_t n;
+
+  bool ReadU8(uint8_t* v) {
+    if (n < 1) return false;
+    *v = static_cast<uint8_t>(*p);
+    ++p;
+    --n;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (n < 4) return false;
+    *v = LoadU32(p);
+    p += 4;
+    n -= 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (n < 8) return false;
+    *v = LoadU64(p);
+    p += 8;
+    n -= 8;
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    if (n < 8) return false;
+    *v = LoadI64(p);
+    p += 8;
+    n -= 8;
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len;
+    if (!ReadU32(&len) || n < len) return false;
+    s->assign(p, len);
+    p += len;
+    n -= len;
+    return true;
+  }
+};
+
+void EncodePayload(const LogRecord& r, std::string* out) {
+  out->push_back(static_cast<char>(r.type));
+  AppendU64(out, r.bd_id);
+  AppendString(out, r.label);
+  AppendString(out, r.aux);
+  AppendU32(out, static_cast<uint32_t>(r.pages.size()));
+  for (PageId p : r.pages) AppendU32(out, p);
+  AppendU64(out, r.count);
+  AppendI64(out, r.key);
+  AppendU64(out, r.rid.Pack());
+  AppendU32(out, static_cast<uint32_t>(r.values.size()));
+  for (int64_t v : r.values) AppendI64(out, v);
+}
+
+bool DecodePayload(const char* data, size_t size, LogRecord* r) {
+  Cursor c{data, size};
+  uint8_t type;
+  if (!c.ReadU8(&type) || type >= kNumLogRecordTypes) return false;
+  r->type = static_cast<LogRecordType>(type);
+  if (!c.ReadU64(&r->bd_id)) return false;
+  if (!c.ReadString(&r->label)) return false;
+  if (!c.ReadString(&r->aux)) return false;
+  uint32_t n_pages;
+  if (!c.ReadU32(&n_pages) || c.n < static_cast<size_t>(n_pages) * 4) {
+    return false;
+  }
+  r->pages.resize(n_pages);
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    if (!c.ReadU32(&r->pages[i])) return false;
+  }
+  if (!c.ReadU64(&r->count)) return false;
+  if (!c.ReadI64(&r->key)) return false;
+  uint64_t packed_rid;
+  if (!c.ReadU64(&packed_rid)) return false;
+  r->rid = Rid::Unpack(packed_rid);
+  uint32_t n_values;
+  if (!c.ReadU32(&n_values) || c.n < static_cast<size_t>(n_values) * 8) {
+    return false;
+  }
+  r->values.resize(n_values);
+  for (uint32_t i = 0; i < n_values; ++i) {
+    if (!c.ReadI64(&r->values[i])) return false;
+  }
+  return c.n == 0;  // trailing garbage inside a verified frame is corruption
+}
+
+}  // namespace
+
+void EncodeLogRecord(const LogRecord& record, std::string* out) {
+  std::string payload;
+  EncodePayload(record, &payload);
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+size_t EncodedLogRecordSize(const LogRecord& record) {
+  // Header + fixed fields + length-prefixed variable fields; mirrors
+  // EncodePayload exactly.
+  return kWalFrameHeaderBytes + 1 + 8 + (4 + record.label.size()) +
+         (4 + record.aux.size()) + (4 + record.pages.size() * 4) + 8 + 8 + 8 +
+         (4 + record.values.size() * 8);
+}
+
+bool DecodeOneLogRecord(const std::string& image, size_t* offset,
+                        LogRecord* record) {
+  size_t pos = *offset;
+  if (image.size() - pos < kWalFrameHeaderBytes) return false;
+  uint32_t payload_len = LoadU32(image.data() + pos);
+  uint32_t expected_crc = LoadU32(image.data() + pos + 4);
+  if (image.size() - pos - kWalFrameHeaderBytes < payload_len) return false;
+  const char* payload = image.data() + pos + kWalFrameHeaderBytes;
+  if (Crc32(payload, payload_len) != expected_crc) return false;
+  if (!DecodePayload(payload, payload_len, record)) return false;
+  *offset = pos + kWalFrameHeaderBytes + payload_len;
+  return true;
+}
+
+WalScanResult DecodeLogRecords(const std::string& image) {
+  WalScanResult result;
+  size_t offset = 0;
+  LogRecord record;
+  while (offset < image.size()) {
+    if (!DecodeOneLogRecord(image, &offset, &record)) break;
+    result.records.push_back(std::move(record));
+    record = LogRecord();
+  }
+  result.clean_bytes = offset;
+  result.torn_tail = offset < image.size();
+  return result;
+}
+
+}  // namespace bulkdel

@@ -1,0 +1,56 @@
+#ifndef BULKDEL_RECOVERY_WAL_CODEC_H_
+#define BULKDEL_RECOVERY_WAL_CODEC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "recovery/log_record.h"
+
+namespace bulkdel {
+
+/// Binary WAL frame codec. Each record is serialized as one self-delimiting,
+/// checksummed frame:
+///
+///   [u32 payload_len][u32 crc32(payload)][payload_len bytes of payload]
+///
+/// The payload is a fixed-order field dump of LogRecord (little-endian,
+/// length-prefixed strings/vectors). Torn tails need no flag bit: a crash
+/// mid-append leaves a trailing frame whose length header runs past the end
+/// of the log or whose CRC does not verify, and the scan stops there. That
+/// is the real-WAL mechanism the old `LogRecord::torn` bool only simulated.
+
+/// Bytes of frame overhead preceding every payload.
+inline constexpr size_t kWalFrameHeaderBytes = 8;
+
+/// Appends the frame for `record` to `*out`.
+void EncodeLogRecord(const LogRecord& record, std::string* out);
+
+/// Frame size (header + payload) `record` would occupy.
+size_t EncodedLogRecordSize(const LogRecord& record);
+
+/// Result of scanning a byte image for frames.
+struct WalScanResult {
+  std::vector<LogRecord> records;
+  /// Bytes of clean, fully-verified frames at the front of the image. The
+  /// scan treats the log as ending here; anything after `clean_bytes` is a
+  /// torn or corrupt tail to be truncated away.
+  size_t clean_bytes = 0;
+  /// True if trailing bytes failed the length or CRC check (torn tail).
+  bool torn_tail = false;
+};
+
+/// Decodes frames from the front of `image` until the bytes run out or a
+/// frame fails its length/CRC check. Never fails hard: a corrupt tail is the
+/// expected crash artifact, reported via `torn_tail`.
+WalScanResult DecodeLogRecords(const std::string& image);
+
+/// Decodes the single frame starting at `image[offset]`. Returns true and
+/// advances `*offset` past the frame on success; false on a torn/corrupt
+/// frame (offset unchanged).
+bool DecodeOneLogRecord(const std::string& image, size_t* offset,
+                        LogRecord* record);
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_RECOVERY_WAL_CODEC_H_

@@ -182,9 +182,25 @@ class DiskManager {
   /// Writes the contiguous run [first, first + datas.size()) under a single
   /// mutex acquisition; the per-page accounting and fault semantics match the
   /// equivalent sequence of WritePage calls exactly (a torn/short fault still
-  /// mangles only the page it fires on and fails there). Used by the buffer
-  /// pool's coalesced write-behind and checkpoint sweeps.
+  /// mangles only the page it fires on and fails there). With the file
+  /// backing, the verified pages go out as one pwritev(2) vectored write.
+  /// Used by the buffer pool's coalesced write-behind and checkpoint sweeps.
   Status WriteRun(PageId first, const std::vector<const char*>& datas);
+
+  /// Durability barrier: forces every written page to the medium (fsync(2)
+  /// with the file backing; a charged no-op for the in-memory backing so the
+  /// `disk.sync` fault site and disk.syncs counter fire identically on both).
+  /// Called at checkpoint/commit barriers.
+  Status Flush();
+
+  /// Clean-shutdown protocol for the file backing: fsyncs the page file and
+  /// writes a checksummed meta sidecar (`<path>.meta`) carrying the
+  /// allocation high-water mark and free list. A non-truncating reopen
+  /// consumes and *deletes* the sidecar, so only a cleanly closed file ever
+  /// restores its free list — a crash reopen finds no sidecar and safely
+  /// leaks the free pages instead of risking double allocation. No-op for
+  /// the in-memory backing.
+  Status MarkCleanShutdown();
 
   /// Number of pages ever allocated (high-water mark), including freed ones.
   uint32_t NumAllocatedPages() const;
@@ -224,15 +240,21 @@ class DiskManager {
   /// The calling thread's current I/O account (nullptr = global only).
   static thread_local IoAttribution* tls_attribution_;
 
+  /// Loads the clean-shutdown sidecar (if present and valid) and deletes it;
+  /// called from the non-truncating file constructor.
+  void LoadCleanShutdownMeta();
+
   DiskModel model_;
   FaultInjector* injector_ = nullptr;
   obs::Counter* write_runs_counter_ = nullptr;
+  obs::Counter* syncs_counter_ = nullptr;
   mutable std::mutex mu_;
 
   // In-memory backing (used when fd_ < 0).
   std::vector<std::unique_ptr<char[]>> pages_;
 
   // File backing.
+  std::string path_;
   int fd_ = -1;
   uint32_t file_pages_ = 0;
 

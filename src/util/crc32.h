@@ -1,0 +1,46 @@
+#ifndef BULKDEL_UTIL_CRC32_H_
+#define BULKDEL_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bulkdel {
+
+// Software CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+// checksum guarding WAL frames. A table-driven byte-at-a-time implementation
+// is plenty: frames are small and the WAL encode path is not hot relative to
+// the fsync it precedes.
+
+namespace crc32_internal {
+
+inline const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace crc32_internal
+
+inline uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0) {
+  const auto& table = crc32_internal::Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace bulkdel
+
+#endif  // BULKDEL_UTIL_CRC32_H_

@@ -3,7 +3,7 @@
 
 Usage:
   bench_smoke_summary.py --out=OUT_JSON --fig7=TRACE_JSONL [--fig9=TRACE_JSONL]
-                         [--concurrency=BENCH_JSONL]
+                         [--concurrency=BENCH_JSONL] [--require-file-backend]
                          [--commit=SHA] [--date=YYYY-MM-DD]
 
 Reads the per-run JSONL written by `bench_fig7_vary_deletes` /
@@ -17,10 +17,17 @@ order (fig7: 5/10/15/20 % deletes; fig9: 2/4/6/8/10 MB):
   wall_millis — host wall time (noisy across runners; trend only),
   io_reads / io_writes — simulated page transfer counts.
 
+Reports from a file-backed run (BulkDeleteReport.backend == "file") are kept
+as their own `<strategy>|file` series: sim_minutes must be bit-identical to
+the sim series (same workload, same disk model), while wall_millis reflects
+real pwrite/fsync I/O. --require-file-backend fails the run unless at least
+one file-backed series is present, so CI cannot silently drop that leg.
+
 --concurrency ingests the JSONL written by `bench_ablation_concurrency
 --json-out=...` instead: per §3.1 protocol it records the updater ops/sec
 sustained during the bulk delete (wall-clock based — trend only) and the
-delete's simulated I/O time.
+delete's simulated I/O time, plus the WAL group-commit ablation's
+fsyncs-vs-acknowledged-ops counts when present.
 
 Exits non-zero if OUT_JSON would be left unchanged (empty/missing traces),
 so the CI bench-smoke job cannot silently stop recording the trajectory.
@@ -43,8 +50,12 @@ def summarize(trace_path):
             if not line:
                 continue
             report = json.loads(line)
+            # Older traces predate the backend field: they were all sim runs.
+            backend = report.get("backend", "sim")
+            key = report["strategy"] if backend == "sim" else (
+                report["strategy"] + "|" + backend)
             per = series.setdefault(
-                report["strategy"],
+                key,
                 {"sim_minutes": [], "wall_millis": [], "io_reads": [],
                  "io_writes": []})
             per["sim_minutes"].append(
@@ -74,6 +85,15 @@ def summarize_concurrency(bench_path):
                 per["updater_ops_per_sec"].append(r["updater_ops_per_sec"])
                 per["delete_wall_millis"].append(r["delete_wall_ms"])
                 per["sim_minutes"].append(round(r["sim_micros"] / 60e6, 3))
+            for mode, r in sorted(run.get("wal_group_commit", {}).items()):
+                per = series.setdefault(
+                    "wal_group_commit|" + mode,
+                    {"updater_ops": [], "wal_syncs": [], "wal_fsyncs": [],
+                     "delete_wall_millis": []})
+                per["updater_ops"].append(r["updater_ops"])
+                per["wal_syncs"].append(r["wal_syncs"])
+                per["wal_fsyncs"].append(r["wal_fsyncs"])
+                per["delete_wall_millis"].append(r["delete_wall_ms"])
     return series
 
 
@@ -83,9 +103,12 @@ def main() -> int:
     traces = {}  # bench name -> path
     commit = "unknown"
     date = "unknown"
+    require_file_backend = False
     positional = []
     for arg in sys.argv[1:]:
-        if arg.startswith("--out="):
+        if arg == "--require-file-backend":
+            require_file_backend = True
+        elif arg.startswith("--out="):
             out_path = arg[len("--out="):]
         elif arg.startswith("--fig7="):
             traces["fig7_vary_deletes"] = arg[len("--fig7="):]
@@ -133,6 +156,25 @@ def main() -> int:
             print(f"no bench records in {concurrency_path}", file=sys.stderr)
             return 1
         benches["ablation_concurrency"] = series
+
+    if require_file_backend:
+        file_series = [
+            key for series in benches.values() for key in series
+            if key.endswith("|file")]
+        if not file_series:
+            print("--require-file-backend: no file-backed series in any "
+                  "trace — the file-backend bench leg did not run",
+                  file=sys.stderr)
+            return 1
+        for bench, series in benches.items():
+            for key in series:
+                if not key.endswith("|file"):
+                    continue
+                walls = series[key].get("wall_millis", [])
+                if walls and all(w <= 0 for w in walls):
+                    print(f"{bench}/{key}: file-backed run recorded no "
+                          "wall time", file=sys.stderr)
+                    return 1
 
     entry = {"date": date, "commit": commit, "benches": benches}
     size_before = os.path.getsize(out_path) if os.path.exists(out_path) else 0

@@ -61,6 +61,8 @@ int Usage(const char* argv0) {
       "  --occurrences-per-site=N  sample budget per site (default 6)\n"
       "  --exhaustive         test every occurrence of every site\n"
       "  --concurrency=none|sidefile|direct   §3.1 updater protocol\n"
+      "  --backend=sim|file   durability backend (default sim)\n"
+      "  --dir=PATH           scratch dir for --backend=file\n"
       "  --updater-ops=N      concurrent-updater DML ops per case (default 6)\n"
       "  --tuples=N --fraction=F --memory=BYTES   workload shape\n"
       "  --workload-seed=N --keys-seed=N --injector-seed=N\n"
@@ -128,6 +130,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --concurrency '%s'\n", value.c_str());
         return 2;
       }
+    } else if (ParseFlag(argv[i], "backend", &value)) {
+      if (value != "sim" && value != "file") {
+        std::fprintf(stderr, "bad --backend '%s' (sim|file)\n", value.c_str());
+        return 2;
+      }
+      config.backend = value;
+    } else if (ParseFlag(argv[i], "dir", &value)) {
+      config.scratch_dir = value;
     } else if (ParseFlag(argv[i], "updater-ops", &value)) {
       config.updater_ops = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "occurrences-per-site", &value)) {
