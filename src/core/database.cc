@@ -533,6 +533,13 @@ Result<BulkDeletePlan> Database::ExplainBulkDelete(const BulkDeleteSpec& spec,
 
 Result<BulkDeleteReport> Database::BulkDelete(const BulkDeleteSpec& spec,
                                               Strategy strategy) {
+  // One bulk-delete statement at a time. The §3.1 window is per-statement
+  // global state (active_bd_id_, per-index off-line modes, the recovery
+  // WAL's bd_id namespace), so overlapping statements from concurrent
+  // network sessions must queue here — record-at-a-time DML and reads stay
+  // fully concurrent through the lock manager. Cascades re-enter through
+  // BulkDeleteWithCascadePath and stay inside their parent's turn.
+  std::lock_guard<std::mutex> statement(bulk_delete_statement_mu_);
   std::set<std::string> cascade_path;
   return BulkDeleteWithCascadePath(spec, strategy, &cascade_path);
 }

@@ -305,6 +305,10 @@ class Database {
   std::unique_ptr<LockManager> locks_;
   std::mutex crash_point_mu_;
   std::string crash_point_;
+  /// Serializes whole bulk-delete statements (see BulkDelete()); the §3.1
+  /// concurrency protocols admit record-at-a-time DML during a statement,
+  /// not a second statement.
+  std::mutex bulk_delete_statement_mu_;
   /// Bulk delete currently holding indices off-line with recovery logging
   /// on; gates the kUpdaterRow WAL path in InsertRow/DeleteRow.
   std::atomic<uint64_t> active_bd_id_{0};

@@ -78,10 +78,17 @@ Status ParseError(const std::string& what, const Token& got) {
                                  "'");
 }
 
+Status DeleteListTooLarge(size_t max_keys) {
+  return Status::ResourceExhausted(
+      "delete list exceeds the session bound of " + std::to_string(max_keys) +
+      " keys");
+}
+
 }  // namespace
 
 Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
-                                       const std::string& statement) {
+                                       const std::string& statement,
+                                       size_t max_keys) {
   Lexer lexer(statement);
   Token t = lexer.Next();
   if (!KeywordIs(t, "DELETE")) return ParseError("DELETE", t);
@@ -131,12 +138,24 @@ Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
       }
       t = lexer.Next();
       if (t.kind != Token::kPunct || t.text != ")") return ParseError(")", t);
-      BULKDEL_ASSIGN_OR_RETURN(spec.keys,
-                               ExtractKeysFromTable(d_table->table.get(), col));
+      {
+        // Extraction scans the referenced table: shared-lock it and hold its
+        // heap latch so concurrent sessions' DML cannot move tuples mid-scan.
+        LockManager::SharedGuard lock(&db->locks(), d_table->name);
+        std::lock_guard<std::mutex> heap(d_table->heap_latch);
+        BULKDEL_ASSIGN_OR_RETURN(
+            spec.keys, ExtractKeysFromTable(d_table->table.get(), col));
+      }
+      if (max_keys != 0 && spec.keys.size() > max_keys) {
+        return DeleteListTooLarge(max_keys);
+      }
     } else {
       // IN (literal, literal, ...)
       while (true) {
         if (t.kind != Token::kNumber) return ParseError("integer literal", t);
+        if (max_keys != 0 && spec.keys.size() >= max_keys) {
+          return DeleteListTooLarge(max_keys);
+        }
         spec.keys.push_back(t.number);
         t = lexer.Next();
         if (t.kind == Token::kPunct && t.text == ",") {
@@ -157,19 +176,31 @@ Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
     if (t.kind != Token::kNumber) return ParseError("integer literal", t);
     int64_t hi = t.number;
     // Extract the key list: index range scan when available, else a scan.
+    // Either way the table is shared-locked and the structure latched so the
+    // extraction is consistent under concurrent sessions.
+    LockManager::SharedGuard lock(&db->locks(), spec.table);
     IndexDef* index = db->GetIndex(spec.table, spec.key_column);
     if (index != nullptr) {
-      BULKDEL_RETURN_IF_ERROR(index->tree->RangeScan(
-          lo, hi, [&](int64_t key, const Rid&) {
-            spec.keys.push_back(key);
-            return Status::OK();
-          }));
+      std::lock_guard<std::mutex> latch(index->cc->latch);
+      Status scan = index->tree->RangeScan(lo, hi, [&](int64_t key,
+                                                       const Rid&) {
+        if (max_keys != 0 && spec.keys.size() >= max_keys) {
+          return DeleteListTooLarge(max_keys);
+        }
+        spec.keys.push_back(key);
+        return Status::OK();
+      });
+      BULKDEL_RETURN_IF_ERROR(scan);
       spec.keys_sorted = true;
     } else {
       int col = table->schema->FindColumn(spec.key_column);
+      std::lock_guard<std::mutex> heap(table->heap_latch);
       BULKDEL_ASSIGN_OR_RETURN(
           spec.keys, ExtractKeysByScanPredicate(table->table.get(), col, col,
                                                 lo, hi));
+      if (max_keys != 0 && spec.keys.size() > max_keys) {
+        return DeleteListTooLarge(max_keys);
+      }
     }
   } else {
     return ParseError("IN or BETWEEN", t);
@@ -310,9 +341,14 @@ Result<std::string> ExecuteSelectCount(Database* db, Lexer* lexer) {
   if (t.kind != Token::kWord) return ParseError("table name", t);
   TableDef* table = db->GetTable(t.text);
   if (table == nullptr) return Status::NotFound("no table " + t.text);
+  // Reads follow the DML locking discipline (shared table lock, then the
+  // heap or index latch) so network sessions can count concurrently with
+  // other sessions' inserts and deletes.
   t = lexer->Next();
   if (t.kind == Token::kEnd ||
       (t.kind == Token::kPunct && t.text == ";")) {
+    LockManager::SharedGuard lock(&db->locks(), table->name);
+    std::lock_guard<std::mutex> heap(table->heap_latch);
     return std::string("count = " +
                        std::to_string(table->table->tuple_count()));
   }
@@ -333,8 +369,10 @@ Result<std::string> ExecuteSelectCount(Database* db, Lexer* lexer) {
   if (t.kind != Token::kNumber) return ParseError("integer literal", t);
   int64_t hi = t.number;
   uint64_t count = 0;
+  LockManager::SharedGuard lock(&db->locks(), table->name);
   IndexDef* index = table->FindIndexOnColumn(col);
   if (index != nullptr) {
+    std::lock_guard<std::mutex> latch(index->cc->latch);
     BULKDEL_RETURN_IF_ERROR(index->tree->RangeScan(
         lo, hi, [&](int64_t, const Rid&) {
           ++count;
@@ -342,6 +380,7 @@ Result<std::string> ExecuteSelectCount(Database* db, Lexer* lexer) {
         }));
   } else {
     const Schema& schema = *table->schema;
+    std::lock_guard<std::mutex> heap(table->heap_latch);
     BULKDEL_RETURN_IF_ERROR(
         table->table->Scan([&](const Rid&, const char* tuple) {
           int64_t v = schema.GetInt(tuple, static_cast<size_t>(col));
@@ -354,38 +393,102 @@ Result<std::string> ExecuteSelectCount(Database* db, Lexer* lexer) {
                      std::to_string(hi) + ")");
 }
 
+Result<std::string> ExecuteDropIndex(Database* db, Lexer* lexer) {
+  Token t = lexer->Next();
+  if (!KeywordIs(t, "INDEX")) return ParseError("INDEX", t);
+  t = lexer->Next();
+  if (!KeywordIs(t, "ON")) return ParseError("ON", t);
+  t = lexer->Next();
+  if (t.kind != Token::kWord) return ParseError("table name", t);
+  std::string table = t.text;
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
+  t = lexer->Next();
+  if (t.kind != Token::kWord) return ParseError("column name", t);
+  std::string column = t.text;
+  t = lexer->Next();
+  if (t.kind != Token::kPunct || t.text != ")") return ParseError(")", t);
+  BULKDEL_RETURN_IF_ERROR(db->DropIndex(table, column));
+  return std::string("dropped index " + table + "." + column);
+}
+
+Result<std::string> ExecuteSet(SqlSession* session, Lexer* lexer) {
+  Token t = lexer->Next();
+  if (!KeywordIs(t, "STRATEGY")) return ParseError("STRATEGY", t);
+  t = lexer->Next();
+  // Strategy names contain '-', which lexes as word/punct runs; re-join them.
+  std::string name;
+  while (t.kind == Token::kWord ||
+         (t.kind == Token::kPunct && t.text == "-")) {
+    name += t.text;
+    t = lexer->Next();
+  }
+  if (t.kind == Token::kPunct && t.text == ";") t = lexer->Next();
+  if (t.kind != Token::kEnd) return ParseError("end of statement", t);
+  Strategy strategy;
+  if (!StrategyFromName(name, &strategy)) {
+    return Status::InvalidArgument("unknown strategy '" + name + "'");
+  }
+  session->strategy = strategy;
+  return std::string("strategy = " + name);
+}
+
 }  // namespace
+
+Result<std::string> ExecuteStatement(Database* db, SqlSession* session,
+                                     const std::string& statement) {
+  Lexer lexer(statement);
+  Token t = lexer.Next();
+  Result<std::string> result = [&]() -> Result<std::string> {
+    if (KeywordIs(t, "CREATE")) return ExecuteCreate(db, &lexer);
+    if (KeywordIs(t, "DROP")) return ExecuteDropIndex(db, &lexer);
+    if (KeywordIs(t, "INSERT")) return ExecuteInsert(db, &lexer);
+    if (KeywordIs(t, "SELECT")) return ExecuteSelectCount(db, &lexer);
+    if (KeywordIs(t, "SET")) return ExecuteSet(session, &lexer);
+    if (KeywordIs(t, "SHOW")) {
+      Token what = lexer.Next();
+      if (!KeywordIs(what, "STRATEGY")) return ParseError("STRATEGY", what);
+      return std::string("strategy = ") + StrategyName(session->strategy);
+    }
+    if (KeywordIs(t, "EXPLAIN")) {
+      std::string rest = statement;
+      size_t pos = rest.find_first_not_of(" \t");
+      pos = rest.find(' ', pos);  // skip the EXPLAIN token
+      if (pos == std::string::npos) {
+        return Status::InvalidArgument("EXPLAIN what?");
+      }
+      BULKDEL_ASSIGN_OR_RETURN(
+          BulkDeleteSpec spec,
+          ParseBulkDelete(db, rest.substr(pos + 1), session->max_delete_keys));
+      BULKDEL_ASSIGN_OR_RETURN(BulkDeletePlan plan,
+                               db->ExplainBulkDelete(spec, session->strategy));
+      return plan.Explain();
+    }
+    if (KeywordIs(t, "DELETE")) {
+      BULKDEL_ASSIGN_OR_RETURN(
+          BulkDeleteSpec spec,
+          ParseBulkDelete(db, statement, session->max_delete_keys));
+      BULKDEL_ASSIGN_OR_RETURN(BulkDeleteReport report,
+                               db->BulkDelete(spec, session->strategy));
+      return std::string("deleted " + std::to_string(report.rows_deleted) +
+                         " row(s) [" + StrategyName(report.strategy_used) +
+                         ", " + std::to_string(report.simulated_seconds()) +
+                         " simulated s]");
+    }
+    return ParseError(
+        "CREATE, DROP, INSERT, SELECT, SET, SHOW, EXPLAIN or DELETE", t);
+  }();
+  if (result.ok()) ++session->statements;
+  return result;
+}
 
 Result<std::string> ExecuteStatement(Database* db,
                                      const std::string& statement,
                                      Strategy strategy) {
-  Lexer lexer(statement);
-  Token t = lexer.Next();
-  if (KeywordIs(t, "CREATE")) return ExecuteCreate(db, &lexer);
-  if (KeywordIs(t, "INSERT")) return ExecuteInsert(db, &lexer);
-  if (KeywordIs(t, "SELECT")) return ExecuteSelectCount(db, &lexer);
-  if (KeywordIs(t, "EXPLAIN")) {
-    std::string rest = statement;
-    size_t pos = rest.find_first_not_of(" \t");
-    pos = rest.find(' ', pos);  // skip the EXPLAIN token
-    if (pos == std::string::npos) {
-      return Status::InvalidArgument("EXPLAIN what?");
-    }
-    BULKDEL_ASSIGN_OR_RETURN(BulkDeleteSpec spec,
-                             ParseBulkDelete(db, rest.substr(pos + 1)));
-    BULKDEL_ASSIGN_OR_RETURN(BulkDeletePlan plan,
-                             db->ExplainBulkDelete(spec, strategy));
-    return plan.Explain();
-  }
-  if (KeywordIs(t, "DELETE")) {
-    BULKDEL_ASSIGN_OR_RETURN(BulkDeleteReport report,
-                             ExecuteSql(db, statement, strategy));
-    return std::string("deleted " + std::to_string(report.rows_deleted) +
-                       " row(s) [" + StrategyName(report.strategy_used) +
-                       ", " + std::to_string(report.simulated_seconds()) +
-                       " simulated s]");
-  }
-  return ParseError("CREATE, INSERT, SELECT, EXPLAIN or DELETE", t);
+  SqlSession session;
+  session.strategy = strategy;
+  session.max_delete_keys = 0;  // unbounded, as before sessions existed
+  return ExecuteStatement(db, &session, statement);
 }
 
 }  // namespace bulkdel

@@ -19,24 +19,55 @@ namespace bulkdel {
 /// the referenced table projecting <col2>. BETWEEN extracts the key list
 /// through an index range scan when one exists, else a table scan.
 /// Keywords are case-insensitive; identifiers are case-sensitive.
+///
+/// `max_keys` bounds the delete list however it is produced (IN-list
+/// literals, subquery extraction, BETWEEN expansion): one more key than the
+/// bound aborts the parse with kResourceExhausted. 0 = unbounded. Network
+/// sessions always pass a bound so wire-delivered garbage cannot turn into
+/// an allocation storm (docs/SERVER.md).
 Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
-                                       const std::string& statement);
+                                       const std::string& statement,
+                                       size_t max_keys = 0);
 
 /// Parses and executes in one step.
 Result<BulkDeleteReport> ExecuteSql(Database* db, const std::string& statement,
                                     Strategy strategy = Strategy::kOptimizer);
 
-/// General statement dispatcher for the interactive shell and scripts.
-/// Supports, in addition to the DELETE forms above:
+/// Per-connection statement context. Each network session (and each shell)
+/// owns one: statement execution itself is stateless against the shared
+/// Database, but the session carries the client's strategy choice, the
+/// parser's delete-list bound and running counters. Not thread-safe — a
+/// session belongs to exactly one connection thread.
+struct SqlSession {
+  /// Strategy for DELETE/EXPLAIN statements; `SET STRATEGY <name>` rebinds.
+  Strategy strategy = Strategy::kOptimizer;
+  /// Bound handed to ParseBulkDelete (0 = unbounded). The server default
+  /// keeps a hostile IN-list from exhausting memory before planning starts.
+  size_t max_delete_keys = 1u << 20;
+  /// Statements successfully executed through this session.
+  uint64_t statements = 0;
+};
+
+/// General statement dispatcher for the interactive shell, scripts and the
+/// network server (src/net). Supports, in addition to the DELETE forms above:
 ///
 ///   CREATE TABLE <t> (<col> INT, ..., <col> CHAR(<n>))
 ///   CREATE [UNIQUE] INDEX ON <t> (<col>) [CLUSTERED] [PRIORITY <p>]
+///   DROP INDEX ON <t> (<col>)
 ///   INSERT INTO <t> VALUES (<int>, ...)
 ///   SELECT COUNT(*) FROM <t> [WHERE <col> BETWEEN <lo> AND <hi>]
 ///   EXPLAIN DELETE FROM ...      (prints the chosen plan, runs nothing)
+///   SET STRATEGY <name>          (optimizer, vertical-sort-merge, ...)
+///   SHOW STRATEGY
 ///
 /// Returns a human-readable result line (row counts, plan text, report
-/// summary).
+/// summary). Reads take the table's shared lock and the heap/index latches,
+/// so sessions on different threads may execute concurrently against one
+/// Database.
+Result<std::string> ExecuteStatement(Database* db, SqlSession* session,
+                                     const std::string& statement);
+
+/// Single-shot convenience: a throwaway unbounded session with `strategy`.
 Result<std::string> ExecuteStatement(Database* db,
                                      const std::string& statement,
                                      Strategy strategy = Strategy::kOptimizer);

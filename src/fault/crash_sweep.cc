@@ -18,6 +18,69 @@ namespace bulkdel {
 
 namespace {
 
+/// FNV-1a over a stream of int64 words.
+struct Fnv64 {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(int64_t v) {
+    uint64_t u = static_cast<uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::string> LogicalContentHash(Database* db,
+                                       const std::string& table_name) {
+  TableDef* table = db->GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("content hash: no table " + table_name);
+  }
+  const Schema& schema = *table->schema;
+  std::vector<std::vector<int64_t>> rows;
+  BULKDEL_RETURN_IF_ERROR(
+      table->table->Scan([&](const Rid& rid, const char* tuple) {
+        (void)rid;  // deliberately excluded — see header comment
+        std::vector<int64_t> row;
+        row.reserve(schema.num_columns());
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          row.push_back(schema.GetInt(tuple, c));
+        }
+        rows.push_back(std::move(row));
+        return Status::OK();
+      }));
+  std::sort(rows.begin(), rows.end());
+  Fnv64 fnv;
+  for (const auto& row : rows) {
+    for (int64_t v : row) fnv.Mix(v);
+    fnv.Mix(static_cast<int64_t>(0x517cc1b727220a95ull));  // row separator
+  }
+  std::string digest = "rows=" + std::to_string(rows.size()) + " hash=" +
+                       std::to_string(fnv.h);
+  for (const auto& index : table->indices) {
+    std::vector<std::pair<int64_t, uint16_t>> entries;
+    BULKDEL_RETURN_IF_ERROR(index->tree->ScanAll(
+        [&](int64_t key, const Rid& rid, uint16_t flags) {
+          (void)rid;
+          entries.emplace_back(key, flags);
+          return Status::OK();
+        }));
+    std::sort(entries.begin(), entries.end());
+    Fnv64 idx;
+    for (const auto& [key, flags] : entries) {
+      idx.Mix(key);
+      idx.Mix(static_cast<int64_t>(flags));
+    }
+    digest += "; " + index->name + ": n=" + std::to_string(entries.size()) +
+              " hash=" + std::to_string(idx.h);
+  }
+  return digest;
+}
+
+namespace {
+
 /// Logical content of a database: every live row (rid + column values) and
 /// every index's (key, rid) entry set. Two runs that end in the same logical
 /// state produce identical digests regardless of physical node layout.

@@ -8,9 +8,22 @@
 #include "core/database.h"
 #include "fault/fault_injector.h"
 #include "plan/plan.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace bulkdel {
+
+/// RID-free logical content digest of one table: a stable hash over the
+/// sorted multiset of row column values plus, per index, the sorted multiset
+/// of (key, entry-flag) pairs. Unlike the crash sweep's internal digest this
+/// deliberately excludes RIDs, so two histories that insert the same rows in
+/// different physical orders (e.g. N concurrent connections vs a serial
+/// replay of the same acknowledged statements) compare equal exactly when
+/// their visible contents match. Pair with Database::VerifyIntegrity(),
+/// which separately checks that every index entry resolves to its heap row.
+/// Callers must quiesce DML first; the scan takes no locks.
+Result<std::string> LogicalContentHash(Database* db,
+                                       const std::string& table_name);
 
 /// Configuration of one crash-recovery sweep (see docs/FAULTS.md).
 ///

@@ -1,0 +1,98 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bulkdel {
+namespace net {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    max_frame_bytes_ = other.max_frame_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               size_t max_frame_bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status s = Status::IOError(std::string("connect ") + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  client.max_frame_bytes_ = max_frame_bytes;
+  return client;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> Client::RoundTrip(FrameType type,
+                                      const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  Status s = WriteFrame(fd_, type, payload);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  Frame response;
+  s = ReadFrame(fd_, max_frame_bytes_, &response);
+  if (!s.ok()) {
+    // EOF here means the server closed between our request and its response
+    // (shutdown or admission rejection already delivered earlier).
+    Close();
+    return s;
+  }
+  if (response.type == FrameType::kOk) return std::move(response.payload);
+  if (response.type == FrameType::kError) {
+    return DecodeErrorPayload(response.payload);
+  }
+  Close();
+  return Status::Corruption("unexpected response frame type " +
+                            std::to_string(static_cast<int>(response.type)));
+}
+
+Result<std::string> Client::Execute(const std::string& statement) {
+  return RoundTrip(FrameType::kQuery, statement);
+}
+
+Status Client::Ping() {
+  Result<std::string> pong = RoundTrip(FrameType::kPing, "");
+  return pong.ok() ? Status::OK() : pong.status();
+}
+
+}  // namespace net
+}  // namespace bulkdel

@@ -1,0 +1,50 @@
+#ifndef BULKDEL_NET_CLIENT_H_
+#define BULKDEL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+#include "util/result.h"
+
+namespace bulkdel {
+namespace net {
+
+/// Blocking single-connection client for the wire protocol (docs/SERVER.md).
+/// One outstanding request at a time — the protocol is strictly
+/// request/response per connection. Not thread-safe; give each thread its
+/// own Client (that is the whole point of the server).
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Runs one SQL statement; returns the server's result line, or the
+  /// reconstructed server-side Status (same code, same message) on error.
+  Result<std::string> Execute(const std::string& statement);
+
+  /// Liveness probe.
+  Status Ping();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  Result<std::string> RoundTrip(FrameType type, const std::string& payload);
+
+  int fd_ = -1;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace net
+}  // namespace bulkdel
+
+#endif  // BULKDEL_NET_CLIENT_H_

@@ -1,0 +1,258 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/clock.h"
+
+namespace bulkdel {
+namespace net {
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Result<std::unique_ptr<Server>> Server::Start(Database* db,
+                                              ServerOptions options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("server needs a database");
+  }
+  if (options.max_sessions < 1) {
+    return Status::InvalidArgument("max_sessions must be >= 1");
+  }
+  std::unique_ptr<Server> server(new Server(db, std::move(options)));
+  BULKDEL_RETURN_IF_ERROR(server->Listen());
+  obs::MetricsRegistry& metrics = db->metrics();
+  server->conns_gauge_ = metrics.gauge(obs::metric_names::kNetConns);
+  server->accepted_counter_ = metrics.counter(obs::metric_names::kNetAccepted);
+  server->rejected_counter_ = metrics.counter(obs::metric_names::kNetRejected);
+  server->bytes_in_counter_ = metrics.counter(obs::metric_names::kNetBytesIn);
+  server->bytes_out_counter_ = metrics.counter(obs::metric_names::kNetBytesOut);
+  server->req_ns_histogram_ = metrics.histogram(obs::metric_names::kNetReqNs);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->Log("listening on " + server->options_.host + ":" +
+              std::to_string(server->port_));
+  return server;
+}
+
+Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError(std::string("bind ") + options_.host + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    Status s = Status::IOError(std::string("getsockname: ") +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() closed the listen socket (or it failed hard): accept no more.
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ReapFinishedSessions();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+      // Bounded admission: refuse loudly. The write is best-effort — the
+      // refused client may already be gone.
+      WriteFrame(fd, FrameType::kError,
+                 EncodeErrorPayload(Status::ResourceExhausted(
+                     "server busy: " + std::to_string(options_.max_sessions) +
+                     " sessions active")))
+          .ok();
+      ::close(fd);
+      rejected_counter_->Add();
+      Log("rejected connection (at max_sessions=" +
+          std::to_string(options_.max_sessions) + ")");
+      continue;
+    }
+    uint64_t id = next_session_id_++;
+    accepted_counter_->Add();
+    sessions_served_.fetch_add(1, std::memory_order_relaxed);
+    active_sessions_.fetch_add(1, std::memory_order_relaxed);
+    conns_gauge_->Set(active_sessions_.load(std::memory_order_relaxed));
+    std::thread worker([this, id, fd] { SessionLoop(id, fd); });
+    sessions_.emplace(id, std::make_pair(fd, std::move(worker)));
+    Log("session " + std::to_string(id) + " connected");
+  }
+}
+
+void Server::SessionLoop(uint64_t id, int fd) {
+  SqlSession sql;
+  sql.strategy = options_.default_strategy;
+  sql.max_delete_keys = options_.max_delete_keys;
+  uint64_t statements = 0;
+  std::string close_reason = "peer closed";
+  while (true) {
+    Frame frame;
+    Status s = ReadFrame(fd, options_.max_frame_bytes, &frame);
+    if (!s.ok()) {
+      if (!s.IsAborted()) {
+        // Framing is broken (oversized length, mid-frame EOF, socket error):
+        // answer best-effort, then drop the connection — the stream can no
+        // longer be re-synchronized.
+        WriteFrame(fd, FrameType::kError, EncodeErrorPayload(s)).ok();
+        close_reason = s.ToString();
+      }
+      break;
+    }
+    int64_t begin_ns = MonotonicNanos();
+    bytes_in_counter_->Add(static_cast<int64_t>(frame.payload.size()));
+    Status write;
+    switch (frame.type) {
+      case FrameType::kPing:
+        write = WriteFrame(fd, FrameType::kOk, "pong");
+        bytes_out_counter_->Add(4);
+        break;
+      case FrameType::kQuery: {
+        Result<std::string> result =
+            ExecuteStatement(db_, &sql, frame.payload);
+        ++statements;
+        statements_served_.fetch_add(1, std::memory_order_relaxed);
+        if (result.ok()) {
+          write = WriteFrame(fd, FrameType::kOk, *result);
+          bytes_out_counter_->Add(static_cast<int64_t>(result->size()));
+        } else {
+          std::string payload = EncodeErrorPayload(result.status());
+          write = WriteFrame(fd, FrameType::kError, payload);
+          bytes_out_counter_->Add(static_cast<int64_t>(payload.size()));
+        }
+        break;
+      }
+      default:
+        // Unknown type with intact framing: report and keep the session.
+        write = WriteFrame(
+            fd, FrameType::kError,
+            EncodeErrorPayload(Status::InvalidArgument(
+                "unexpected frame type " +
+                std::to_string(static_cast<int>(frame.type)))));
+        break;
+    }
+    req_ns_histogram_->Observe(MonotonicNanos() - begin_ns);
+    if (!write.ok()) {
+      close_reason = write.ToString();
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      close_reason = "drained";
+      break;
+    }
+  }
+  ::close(fd);
+  active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  conns_gauge_->Set(active_sessions_.load(std::memory_order_relaxed));
+  Log("session " + std::to_string(id) + " closed after " +
+      std::to_string(statements) + " statement(s): " + close_reason);
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(id);
+}
+
+void Server::ReapFinishedSessions() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : finished_) {
+      auto it = sessions_.find(id);
+      if (it == sessions_.end()) continue;
+      done.push_back(std::move(it->second.second));
+      sessions_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (std::thread& t : done) t.join();
+}
+
+Status Server::Stop() {
+  if (stopped_.exchange(true)) return Status::OK();
+  // Phase 1: no new work. The accept loop exits when the listen fd dies;
+  // sessions finish the statement they are executing (the drain check sits
+  // after the response write, so in-flight work always completes and its
+  // result always goes out).
+  draining_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Phase 2: wake sessions that are idle in ReadFrame. SHUT_RD makes their
+  // blocking read return 0 (clean EOF) while leaving the write side open, so
+  // a response racing the shutdown is still delivered.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, entry] : sessions_) {
+      ::shutdown(entry.first, SHUT_RD);
+    }
+  }
+  // Phase 3: join everything.
+  std::map<uint64_t, std::pair<int, std::thread>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    remaining.swap(sessions_);
+    finished_.clear();
+  }
+  for (auto& [id, entry] : remaining) {
+    if (entry.second.joinable()) entry.second.join();
+  }
+  listen_fd_ = -1;
+  Log("stopped: served " + std::to_string(sessions_served()) +
+      " session(s), " + std::to_string(statements_served()) +
+      " statement(s)");
+  return Status::OK();
+}
+
+void Server::Log(const std::string& line) {
+  if (options_.logger) options_.logger("[server] " + line);
+}
+
+}  // namespace net
+}  // namespace bulkdel

@@ -1,0 +1,125 @@
+#ifndef BULKDEL_NET_SERVER_H_
+#define BULKDEL_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sql.h"
+#include "net/wire.h"
+#include "util/result.h"
+
+namespace bulkdel {
+namespace net {
+
+struct ServerOptions {
+  /// Bind address. The server is a loopback/experiment front end; binding a
+  /// public interface is the operator's explicit choice.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks, Server::port() reports it.
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Bounded worker admission: at most this many connection threads run at
+  /// once; connection N+1 is answered with kError/kResourceExhausted and
+  /// closed rather than queued, so a flood degrades loudly instead of
+  /// building an invisible backlog.
+  int max_sessions = 64;
+  /// Frame-length cap enforced on every received frame (docs/SERVER.md).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-session delete-list bound handed to the SQL parser.
+  size_t max_delete_keys = 1u << 20;
+  /// Strategy each new session starts with (SET STRATEGY rebinds per
+  /// session).
+  Strategy default_strategy = Strategy::kOptimizer;
+  /// Optional log sink for one-line connection/lifecycle events. Called from
+  /// server threads; must be thread-safe. Null = silent.
+  std::function<void(const std::string&)> logger;
+};
+
+/// Multi-client SQL server: one accept loop, one thread per admitted
+/// connection, every session funneling statements into one shared Database
+/// through its own SqlSession (docs/SERVER.md).
+///
+/// Lifecycle: Start() binds/listens and returns once the accept loop runs.
+/// Stop() drains gracefully — it stops accepting, lets every in-flight
+/// statement finish and its response go out, wakes idle sessions off their
+/// blocking read, then joins all threads. The destructor calls Stop().
+///
+/// Instrumentation (db->metrics()): net.conns gauge, net.accepted /
+/// net.rejected / net.bytes_in / net.bytes_out counters, net.req_ns
+/// per-statement latency histogram.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(Database* db,
+                                               ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolves option `port == 0`).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown; idempotent. Returns after every session thread has
+  /// exited.
+  Status Stop();
+
+  int active_sessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
+  uint64_t sessions_served() const {
+    return sessions_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t statements_served() const {
+    return statements_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Server(Database* db, ServerOptions options);
+
+  Status Listen();
+  void AcceptLoop();
+  void SessionLoop(uint64_t id, int fd);
+  /// Joins threads of sessions that already exited (accept-loop housekeeping
+  /// so a long-lived server does not accumulate dead std::thread objects).
+  void ReapFinishedSessions();
+  void Log(const std::string& line);
+
+  Database* db_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex mu_;
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, std::pair<int, std::thread>> sessions_;  ///< id -> fd+thread
+  std::vector<uint64_t> finished_;  ///< ids whose loop returned; join pending
+
+  std::atomic<int> active_sessions_{0};
+  std::atomic<uint64_t> sessions_served_{0};
+  std::atomic<uint64_t> statements_served_{0};
+
+  // Instruments resolved once at Start().
+  obs::Gauge* conns_gauge_ = nullptr;
+  obs::Counter* accepted_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* bytes_in_counter_ = nullptr;
+  obs::Counter* bytes_out_counter_ = nullptr;
+  obs::Histogram* req_ns_histogram_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace bulkdel
+
+#endif  // BULKDEL_NET_SERVER_H_

@@ -1,0 +1,125 @@
+#include "net/wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bulkdel {
+namespace net {
+
+namespace {
+
+uint32_t LoadLe32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void AppendLe32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+/// Writes all of [data, data+size); EINTR-safe, no SIGPIPE.
+Status WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes. `*eof_at_start` distinguishes a clean close
+/// on a message boundary from a mid-frame truncation.
+Status ReadAll(int fd, char* data, size_t size, bool* eof_at_start) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (eof_at_start != nullptr && got == 0) {
+        *eof_at_start = true;
+        return Status::Aborted("connection closed");
+      }
+      return Status::Corruption("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  AppendLe32(out, static_cast<uint32_t>(payload.size() + 1));
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+DecodeResult DecodeFrame(std::string_view data, size_t max_frame_bytes,
+                         Frame* frame, size_t* consumed) {
+  if (data.size() < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  uint32_t length = LoadLe32(data.data());
+  if (length < 1 || length > max_frame_bytes) return DecodeResult::kBad;
+  if (data.size() < kFrameHeaderBytes + length) return DecodeResult::kNeedMore;
+  frame->type = static_cast<FrameType>(
+      static_cast<unsigned char>(data[kFrameHeaderBytes]));
+  frame->payload.assign(data.substr(kFrameHeaderBytes + 1, length - 1));
+  *consumed = kFrameHeaderBytes + length;
+  return DecodeResult::kFrame;
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  std::string encoded;
+  encoded.reserve(kFrameHeaderBytes + 1 + payload.size());
+  AppendFrame(&encoded, type, payload);
+  return WriteAll(fd, encoded.data(), encoded.size());
+}
+
+Status ReadFrame(int fd, size_t max_frame_bytes, Frame* frame) {
+  char header[kFrameHeaderBytes];
+  bool eof_at_start = false;
+  Status s = ReadAll(fd, header, sizeof(header), &eof_at_start);
+  if (!s.ok()) return s;
+  uint32_t length = LoadLe32(header);
+  if (length < 1 || length > max_frame_bytes) {
+    return Status::Corruption("invalid frame length " + std::to_string(length));
+  }
+  std::string body(length, '\0');
+  BULKDEL_RETURN_IF_ERROR(ReadAll(fd, body.data(), body.size(), nullptr));
+  frame->type = static_cast<FrameType>(static_cast<unsigned char>(body[0]));
+  frame->payload.assign(body, 1, body.size() - 1);
+  return Status::OK();
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string payload;
+  payload.push_back(static_cast<char>(status.code()));
+  payload.append(status.message());
+  return payload;
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  if (payload.empty()) return Status::Internal("empty error payload");
+  auto code = static_cast<StatusCode>(static_cast<unsigned char>(payload[0]));
+  if (code == StatusCode::kOk || code > StatusCode::kInternal) {
+    return Status::Internal("bad wire status code; message: " +
+                            std::string(payload.substr(1)));
+  }
+  return Status(code, std::string(payload.substr(1)));
+}
+
+}  // namespace net
+}  // namespace bulkdel

@@ -1,0 +1,81 @@
+#ifndef BULKDEL_NET_WIRE_H_
+#define BULKDEL_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bulkdel {
+namespace net {
+
+/// Wire protocol (docs/SERVER.md): every message is one length-prefixed
+/// frame, symmetric in both directions:
+///
+///   [u32 length, little-endian] [u8 type] [payload: length-1 bytes]
+///
+/// `length` counts the type byte plus the payload, so a valid frame has
+/// length >= 1. Payloads are raw bytes (SQL text and result text are UTF-8;
+/// kError carries a 1-byte StatusCode followed by the message). A frame whose
+/// length exceeds the receiver's limit is a protocol error: the receiver
+/// must answer kError/kResourceExhausted (server) or fail the call (client)
+/// and close, since the stream can no longer be trusted to be in sync.
+enum class FrameType : uint8_t {
+  // Requests.
+  kQuery = 'Q',  ///< payload = one SQL statement
+  kPing = 'P',   ///< liveness probe; payload ignored
+  // Responses.
+  kOk = 'R',     ///< payload = human-readable result line
+  kError = 'E',  ///< payload = [u8 StatusCode][message]
+};
+
+/// Fixed header size: u32 length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Default cap on length (type + payload). Statements routinely carry large
+/// IN-lists; 4 MiB bounds a hostile or corrupt length prefix while leaving
+/// room for ~400k-key delete lists.
+inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kQuery;
+  std::string payload;
+};
+
+/// Appends one encoded frame to `out`.
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
+/// Outcome of one streaming decode attempt.
+enum class DecodeResult {
+  kFrame,     ///< a complete frame was decoded; *consumed bytes were used
+  kNeedMore,  ///< the buffer holds only a prefix of a frame
+  kBad,       ///< malformed (zero length or over `max_frame_bytes`)
+};
+
+/// Decodes the first frame of `data`. On kFrame, `*frame` holds it and
+/// `*consumed` the encoded size. On kNeedMore nothing is written. On kBad the
+/// stream is unrecoverable (the length prefix itself is invalid).
+DecodeResult DecodeFrame(std::string_view data, size_t max_frame_bytes,
+                         Frame* frame, size_t* consumed);
+
+/// Blocking full-frame socket I/O. WriteFrame loops until every byte is
+/// written (EINTR-safe, SIGPIPE suppressed). ReadFrame loops until one full
+/// frame arrives. Errors:
+///   kAborted     clean EOF before any header byte (peer closed)
+///   kCorruption  mid-frame EOF or an invalid/oversized length prefix
+///   kIOError     errno-level socket failure
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+Status ReadFrame(int fd, size_t max_frame_bytes, Frame* frame);
+
+/// Response payload helpers: kError frames carry the StatusCode so the
+/// client can reconstruct the same Status the statement produced server-side.
+std::string EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(std::string_view payload);
+
+}  // namespace net
+}  // namespace bulkdel
+
+#endif  // BULKDEL_NET_WIRE_H_

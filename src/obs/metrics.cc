@@ -28,6 +28,12 @@ const std::vector<MetricInfo>& KnownMetrics() {
       {metric_names::kSideFileSpillPages, MetricKind::kCounter, "count"},
       {metric_names::kSideFileDrainBatch, MetricKind::kHistogram, "records"},
       {metric_names::kSideFileCatchupNs, MetricKind::kHistogram, "ns"},
+      {metric_names::kNetConns, MetricKind::kGauge, "count"},
+      {metric_names::kNetAccepted, MetricKind::kCounter, "count"},
+      {metric_names::kNetRejected, MetricKind::kCounter, "count"},
+      {metric_names::kNetBytesIn, MetricKind::kCounter, "count"},
+      {metric_names::kNetBytesOut, MetricKind::kCounter, "count"},
+      {metric_names::kNetReqNs, MetricKind::kHistogram, "ns"},
   };
   return kMetrics;
 }

@@ -66,6 +66,19 @@ inline constexpr char kSideFileSpillPages[] = "sidefile.spill_pages";
 inline constexpr char kSideFileDrainBatch[] = "sidefile.drain_batch";
 /// Histogram, ns: host latency of one catch-up batch (sort + merge apply).
 inline constexpr char kSideFileCatchupNs[] = "sidefile.catchup_ns";
+/// Gauge, count: currently connected network sessions (src/net server).
+inline constexpr char kNetConns[] = "net.conns";
+/// Counter: connections admitted by the server's accept loop.
+inline constexpr char kNetAccepted[] = "net.accepted";
+/// Counter: connections refused because max_sessions were already active.
+inline constexpr char kNetRejected[] = "net.rejected";
+/// Counter: request-frame payload bytes received across all sessions.
+inline constexpr char kNetBytesIn[] = "net.bytes_in";
+/// Counter: response-frame payload bytes sent across all sessions.
+inline constexpr char kNetBytesOut[] = "net.bytes_out";
+/// Histogram, ns: server-side statement latency — frame decoded to response
+/// written (the end-to-end number minus client-side socket time).
+inline constexpr char kNetReqNs[] = "net.req_ns";
 }  // namespace metric_names
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

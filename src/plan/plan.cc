@@ -28,6 +28,20 @@ const char* StrategyName(Strategy s) {
   return "unknown";
 }
 
+bool StrategyFromName(const std::string& name, Strategy* out) {
+  for (Strategy s :
+       {Strategy::kTraditional, Strategy::kTraditionalSorted,
+        Strategy::kDropCreate, Strategy::kVerticalSortMerge,
+        Strategy::kVerticalHash, Strategy::kVerticalPartitionedHash,
+        Strategy::kOptimizer}) {
+    if (name == StrategyName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 const char* DeleteMethodName(DeleteMethod m) {
   switch (m) {
     case DeleteMethod::kMerge:

@@ -28,6 +28,10 @@ enum class Strategy {
 
 const char* StrategyName(Strategy s);
 
+/// Inverse of StrategyName ("vertical-sort-merge" -> kVerticalSortMerge).
+/// Returns false (leaving *out untouched) for unknown names.
+bool StrategyFromName(const std::string& name, Strategy* out);
+
 /// Join method of one ⋉̸ operator (paper §2.1: "⋉̸ method").
 enum class DeleteMethod {
   kMerge,            ///< sort the list, one merging leaf/page pass

@@ -135,6 +135,110 @@ TEST_F(SqlTest, ExecuteStatementErrors) {
   EXPECT_FALSE(ExecuteStatement(db.get(), "EXPLAIN").ok());
 }
 
+// Error paths a network server depends on: every malformed or out-of-bounds
+// statement must come back as a typed Status — never an abort — and leave
+// the database usable.
+TEST_F(SqlTest, MalformedStatementsAreInvalidArgument) {
+  for (const char* bad :
+       {"", ";", "DELETE", "DELETE FROM", "DELETE FROM R",
+        "DELETE FROM R WHERE", "DELETE FROM R WHERE A",
+        "DELETE FROM R WHERE A IN", "DELETE FROM R WHERE A IN (",
+        "DELETE FROM R WHERE A IN (1,", "DELETE FROM R WHERE A IN (1 2)",
+        "DELETE FROM R WHERE A BETWEEN 1", "DELETE FROM R WHERE A = 5",
+        "INSERT INTO R", "INSERT INTO R VALUES", "INSERT INTO R VALUES (",
+        "SELECT * FROM R", "SELECT COUNT(*) FROM R WHERE A > 5",
+        "SET", "SET STRATEGY", "SHOW", "DROP", "DROP INDEX ON R",
+        "CREATE", "@#$%", "DELETE FROM R WHERE A IN (SELECT)",
+        "DELETE FROM R WHERE A IN (SELECT A FROM)"}) {
+    SqlSession session;
+    auto r = ExecuteStatement(db_.get(), &session, bad);
+    EXPECT_FALSE(r.ok()) << "accepted: \"" << bad << "\"";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << bad << " -> " << r.status().ToString();
+    EXPECT_EQ(session.statements, 0u);
+  }
+  // The database is still fully usable after all of that.
+  EXPECT_TRUE(ExecuteStatement(db_.get(), "SELECT COUNT(*) FROM R").ok());
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(SqlTest, UnknownTableAndIndexAreNotFound) {
+  struct Case {
+    const char* statement;
+    StatusCode code;
+  } cases[] = {
+      {"DELETE FROM nope WHERE A IN (1)", StatusCode::kNotFound},
+      {"DELETE FROM R WHERE Z IN (1)", StatusCode::kNotFound},
+      {"DELETE FROM R WHERE A IN (SELECT A FROM nope)", StatusCode::kNotFound},
+      {"DELETE FROM R WHERE A IN (SELECT Z FROM D)", StatusCode::kNotFound},
+      {"SELECT COUNT(*) FROM nope", StatusCode::kNotFound},
+      {"SELECT COUNT(*) FROM R WHERE Z BETWEEN 1 AND 2", StatusCode::kNotFound},
+      {"INSERT INTO nope VALUES (1)", StatusCode::kNotFound},
+      {"DROP INDEX ON nope (A)", StatusCode::kNotFound},
+      {"DROP INDEX ON R (PAD)", StatusCode::kNotFound},
+      {"EXPLAIN DELETE FROM nope WHERE A IN (1)", StatusCode::kNotFound},
+  };
+  for (const Case& c : cases) {
+    auto r = ExecuteStatement(db_.get(), c.statement);
+    ASSERT_FALSE(r.ok()) << c.statement;
+    EXPECT_EQ(r.status().code(), c.code)
+        << c.statement << " -> " << r.status().ToString();
+  }
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(SqlTest, OversizedInListIsResourceExhausted) {
+  SqlSession session;
+  session.max_delete_keys = 5;
+  // Literal list over the bound: refused before any key extraction work.
+  auto r = ExecuteStatement(db_.get(), &session,
+                            "DELETE FROM R WHERE A IN (1, 2, 3, 4, 5, 6)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  // Subquery (D holds 10 keys) and range forms hit the same bound.
+  r = ExecuteStatement(db_.get(), &session,
+                       "DELETE FROM R WHERE A IN (SELECT A FROM D)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  r = ExecuteStatement(db_.get(), &session,
+                       "DELETE FROM R WHERE A BETWEEN 0 AND 99");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // Nothing was deleted by the refused statements; in-bounds ones work.
+  EXPECT_EQ(*ExecuteStatement(db_.get(), "SELECT COUNT(*) FROM R"),
+            "count = 1000");
+  r = ExecuteStatement(db_.get(), &session,
+                       "DELETE FROM R WHERE A IN (1, 2, 3)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(session.statements, 1u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(SqlTest, SessionStrategyAndDropIndex) {
+  SqlSession session;
+  EXPECT_EQ(*ExecuteStatement(db_.get(), &session, "SHOW STRATEGY"),
+            "strategy = optimizer");
+  auto r = ExecuteStatement(db_.get(), &session, "SET STRATEGY warp-drive");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(
+      ExecuteStatement(db_.get(), &session, "SET STRATEGY vertical-hash")
+          .ok());
+  EXPECT_EQ(*ExecuteStatement(db_.get(), &session, "SHOW STRATEGY"),
+            "strategy = vertical-hash");
+  // Another session is unaffected.
+  SqlSession other;
+  EXPECT_EQ(*ExecuteStatement(db_.get(), &other, "SHOW STRATEGY"),
+            "strategy = optimizer");
+  ASSERT_TRUE(
+      ExecuteStatement(db_.get(), &session, "DROP INDEX ON R (B)").ok());
+  EXPECT_EQ(db_->GetIndex("R", "B"), nullptr);
+  EXPECT_FALSE(
+      ExecuteStatement(db_.get(), &session, "DROP INDEX ON R (B)").ok());
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
 TEST_F(SqlTest, ExecuteSqlEndToEnd) {
   auto report = ExecuteSql(
       db_.get(), "DELETE FROM R WHERE A IN (SELECT A FROM D)");

@@ -3,7 +3,8 @@
 
 Usage:
   bench_smoke_summary.py --out=OUT_JSON --fig7=TRACE_JSONL [--fig9=TRACE_JSONL]
-                         [--concurrency=BENCH_JSONL] [--require-file-backend]
+                         [--concurrency=BENCH_JSONL] [--server=LOADGEN_JSON]...
+                         [--require-file-backend]
                          [--commit=SHA] [--date=YYYY-MM-DD]
 
 Reads the per-run JSONL written by `bench_fig7_vary_deletes` /
@@ -28,6 +29,14 @@ one file-backed series is present, so CI cannot silently drop that leg.
 sustained during the bulk delete (wall-clock based — trend only) and the
 delete's simulated I/O time, plus the WAL group-commit ablation's
 fsyncs-vs-acknowledged-ops counts when present.
+
+--server (repeatable, one file per backend leg) ingests the summary JSON
+written by `bulkdel_loadgen --json-out=...`: per backend it records sustained
+throughput and tail latency (p50/p99/p999) for each op class served by the
+network server, plus the durability and side-file counters sampled over the
+run. Ingestion *fails* if any op class ran zero ops, is missing p999, or the
+total throughput is absent — the CI server-loadtest job must not silently
+record a loadgen run that didn't actually exercise the mix.
 
 Exits non-zero if OUT_JSON would be left unchanged (empty/missing traces),
 so the CI bench-smoke job cannot silently stop recording the trajectory.
@@ -97,9 +106,47 @@ def summarize_concurrency(bench_path):
     return series
 
 
+def summarize_server(paths):
+    """Per-backend series from bulkdel_loadgen --json-out files. Returns
+    (series, error): error is a string when a run is unusable (missing tail
+    quantiles or throughput), which must fail the job rather than record a
+    hollow entry."""
+    series = {}
+    for path in paths:
+        with open(path) as f:
+            run = json.load(f)
+        key = run.get("backend", "sim")
+        if run.get("protocol") not in (None, "sidefile"):
+            key += "|" + run["protocol"]
+        if "total_ops_per_sec" not in run:
+            return None, f"{path}: no total_ops_per_sec"
+        if run.get("errors", 0):
+            return None, f"{path}: {run['errors']} statement error(s)"
+        per = series.setdefault(key, {})
+        per.setdefault("clients", []).append(run.get("clients"))
+        per.setdefault("elapsed_s", []).append(run.get("elapsed_s"))
+        per.setdefault("total_ops_per_sec", []).append(
+            run["total_ops_per_sec"])
+        for op, stats in sorted(run.get("op_classes", {}).items()):
+            if not stats.get("ops"):
+                return None, f"{path}: op class {op} ran zero ops"
+            for field in ("ops_per_sec", "p50_us", "p99_us", "p999_us"):
+                if field not in stats:
+                    return None, f"{path}: {op} missing {field}"
+                per.setdefault(f"{op}_{field}", []).append(stats[field])
+        metrics = run.get("metrics", {})
+        for counter in ("wal.fsyncs", "disk.syncs", "sidefile.appends",
+                        "net.rejected"):
+            if counter in metrics:
+                per.setdefault(counter.replace(".", "_"), []).append(
+                    metrics[counter])
+    return series, None
+
+
 def main() -> int:
     out_path = None
     concurrency_path = None
+    server_paths = []
     traces = {}  # bench name -> path
     commit = "unknown"
     date = "unknown"
@@ -116,6 +163,8 @@ def main() -> int:
             traces["fig9_vary_memory"] = arg[len("--fig9="):]
         elif arg.startswith("--concurrency="):
             concurrency_path = arg[len("--concurrency="):]
+        elif arg.startswith("--server="):
+            server_paths.append(arg[len("--server="):])
         elif arg.startswith("--commit="):
             commit = arg[len("--commit="):]
         elif arg.startswith("--date="):
@@ -133,7 +182,8 @@ def main() -> int:
             commit = positional[2]
         if len(positional) > 3:
             date = positional[3]
-    if out_path is None or (not traces and concurrency_path is None):
+    if out_path is None or (not traces and concurrency_path is None and
+                            not server_paths):
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -156,6 +206,19 @@ def main() -> int:
             print(f"no bench records in {concurrency_path}", file=sys.stderr)
             return 1
         benches["ablation_concurrency"] = series
+    if server_paths:
+        for path in server_paths:
+            if not os.path.exists(path):
+                print(f"missing loadgen file {path}", file=sys.stderr)
+                return 1
+        series, error = summarize_server(server_paths)
+        if error is not None:
+            print(f"--server: {error}", file=sys.stderr)
+            return 1
+        if not series:
+            print("--server: no loadgen records", file=sys.stderr)
+            return 1
+        benches["server"] = series
 
     if require_file_backend:
         file_series = [
