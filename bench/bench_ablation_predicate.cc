@@ -1,9 +1,28 @@
-// Ablation for §2.1's "primary ⋉̸ predicate": locating secondary-index
-// entries by key (merge with the sorted (key,RID) feed) vs by RID (hash
-// probe over the whole leaf level) vs by RID within key ranges (partitioned).
-// Exercises the exec operators directly on one secondary index.
+// Ablation for §2.1's "primary ⋉̸ predicate", in two parts.
+//
+// Part 1 — probe predicate: locating secondary-index entries by key (merge
+// with the sorted (key,RID) feed) vs by RID (hash probe over the whole leaf
+// level) vs by RID within key ranges (partitioned). Exercises the exec
+// operators directly on one secondary index.
+//
+// Part 2 — statement predicate class: a BETWEEN over 10% of the key space,
+// executed as a first-class range plan (leaf-run + extent-drop passes) vs
+// the same doomed set expanded into an explicit IN-list (the pre-range
+// behavior, handed to the planner as a sorted key list — its best case).
+// Clustered key-index-only table at Figure-7 scale. The range plan must
+// charge at least 5x fewer simulated page transfers (reads + writes) than
+// the expanded plan; the run FAILS below that ratio, so CI holds the line.
+//
+// Extra flags (on top of the common bench flags):
+//   --json-out=FILE    append one machine-readable JSON line for part 2
+//                      (consumed by tools/bench_smoke_summary.py
+//                      --predicate=FILE)
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "exec/hash_delete.h"
@@ -14,8 +33,18 @@ namespace bulkdel {
 namespace bench {
 namespace {
 
+/// Minimum (expanded IN-list cost) / (range plan cost) ratio in simulated
+/// page transfers — the acceptance bar for the first-class range path.
+constexpr double kMinRangeAdvantage = 5.0;
+
 int Run(int argc, char** argv) {
   BenchConfig config = BenchConfig::FromArgs(argc, argv);
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    }
+  }
   size_t memory = config.ScaledMemoryBytes(5.0);
   std::printf("Ablation: primary ⋉̸ predicate on a secondary index\n");
 
@@ -94,6 +123,118 @@ int Run(int argc, char** argv) {
       "key probe pays the feed sort, the RID probes skip it — differences\n"
       "stay small, exactly the paper's point that predicate choice is a\n"
       "planner degree of freedom rather than a correctness concern.\n");
+
+  // Part 2: statement predicate class — range plan vs expanded IN-list on a
+  // clustered key-index-only table (Figure-7 scale, 10% of the rows, taken
+  // as the centered quantile window of the A-population so the doomed set
+  // is one contiguous key range).
+  std::printf("\nAblation: BETWEEN as a range plan vs expanded IN-list\n");
+  constexpr double kFraction = 0.10;
+  struct PlanResult {
+    uint64_t rows_deleted = 0;
+    int64_t reads = 0;
+    int64_t writes = 0;
+    int64_t sim_micros = 0;
+    int64_t wall_micros = 0;
+    std::string backend;
+  };
+  PlanResult results[2];  // [0] = range, [1] = expanded IN-list
+  for (int variant = 0; variant < 2; ++variant) {
+    auto bench = BuildBenchDb(config, {"A"}, memory, /*clustered_on_a=*/true);
+    if (!bench.ok()) {
+      std::fprintf(stderr, "setup: %s\n", bench.status().ToString().c_str());
+      return 1;
+    }
+    const Workload& w = bench->workload;
+    std::vector<int64_t> sorted_a = w.values[0];
+    std::sort(sorted_a.begin(), sorted_a.end());
+    size_t n = static_cast<size_t>(kFraction * sorted_a.size());
+    if (n == 0) n = 1;
+    size_t start = (sorted_a.size() - n) / 2;
+
+    BulkDeleteSpec spec;
+    spec.table = w.spec.table_name;
+    spec.key_column = "A";
+    spec.keys_sorted = true;
+    if (variant == 0) {
+      spec.predicate = DeletePredicate::kRange;
+      spec.range_lo = sorted_a[start];
+      spec.range_hi = sorted_a[start + n - 1];
+    } else {
+      // The same doomed set as an already-sorted point-key list: exactly
+      // what expanding the BETWEEN used to hand the planner, at its best.
+      spec.keys.assign(sorted_a.begin() + start, sorted_a.begin() + start + n);
+    }
+    auto report = bench->db->BulkDelete(spec, Strategy::kOptimizer);
+    if (!report.ok()) {
+      std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    results[variant] = {report->rows_deleted, report->io.reads,
+                        report->io.writes, report->io.simulated_micros,
+                        report->wall_micros, report->backend};
+    std::printf("%-18s deleted=%llu reads=%lld writes=%lld sim=%.2f min\n",
+                variant == 0 ? "range plan" : "expanded IN-list",
+                static_cast<unsigned long long>(report->rows_deleted),
+                static_cast<long long>(report->io.reads),
+                static_cast<long long>(report->io.writes),
+                static_cast<double>(report->io.simulated_micros) / 60e6);
+  }
+  if (results[0].rows_deleted != results[1].rows_deleted) {
+    std::fprintf(stderr,
+                 "FAIL: range plan deleted %llu rows, expanded IN-list "
+                 "deleted %llu — the plans disagree on the doomed set\n",
+                 static_cast<unsigned long long>(results[0].rows_deleted),
+                 static_cast<unsigned long long>(results[1].rows_deleted));
+    return 1;
+  }
+  int64_t range_cost = results[0].reads + results[0].writes;
+  int64_t expanded_cost = results[1].reads + results[1].writes;
+  double ratio = range_cost == 0
+                     ? 0.0
+                     : static_cast<double>(expanded_cost) /
+                           static_cast<double>(range_cost);
+  std::printf(
+      "\nrange plan: %lld page transfers; expanded IN-list: %lld "
+      "(%.1fx)\n",
+      static_cast<long long>(range_cost),
+      static_cast<long long>(expanded_cost), ratio);
+  if (range_cost == 0 || ratio < kMinRangeAdvantage) {
+    std::fprintf(stderr,
+                 "FAIL: range plan must charge at least %.0fx fewer "
+                 "simulated transfers than the expanded IN-list plan "
+                 "(got %.1fx)\n",
+                 kMinRangeAdvantage, ratio);
+    return 1;
+  }
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"bench\":\"ablation_predicate\",\"backend\":\"%s\","
+        "\"n_tuples\":%llu,\"fraction\":%.2f,\"rows_deleted\":%llu,"
+        "\"range\":{\"io_reads\":%lld,\"io_writes\":%lld,"
+        "\"sim_micros\":%lld,\"wall_micros\":%lld},"
+        "\"expanded_in\":{\"io_reads\":%lld,\"io_writes\":%lld,"
+        "\"sim_micros\":%lld,\"wall_micros\":%lld},"
+        "\"ratio\":%.2f}\n",
+        results[0].backend.c_str(),
+        static_cast<unsigned long long>(config.n_tuples), kFraction,
+        static_cast<unsigned long long>(results[0].rows_deleted),
+        static_cast<long long>(results[0].reads),
+        static_cast<long long>(results[0].writes),
+        static_cast<long long>(results[0].sim_micros),
+        static_cast<long long>(results[0].wall_micros),
+        static_cast<long long>(results[1].reads),
+        static_cast<long long>(results[1].writes),
+        static_cast<long long>(results[1].sim_micros),
+        static_cast<long long>(results[1].wall_micros), ratio);
+    std::fclose(f);
+  }
   return 0;
 }
 

@@ -136,6 +136,13 @@ Status BTree::FreeNode(PageId page) {
       --num_inner_;
     }
   }
+  if (deferred_frees_ != nullptr) {
+    // Deferred reclamation (see BulkDeleteRange): the page stays allocated —
+    // and any cached frame stays valid — until the caller frees it after the
+    // statement's End record is durable.
+    deferred_frees_->push_back(page);
+    return Status::OK();
+  }
   return pool_->DeletePage(page);
 }
 
@@ -912,6 +919,161 @@ Status BTree::BulkDeleteByPredicate(
     guard.Release();
     if (!done) prefetch.Announce(next);
     cur = next;
+  }
+  entry_count_ -= local.entries_deleted;
+  BULKDEL_RETURN_IF_ERROR(FinishBulkDelete(std::move(empties), reorg, &local));
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status BTree::BulkDeleteRange(
+    int64_t lo, int64_t hi, ReorgMode reorg, std::vector<Rid>* deleted_rids,
+    BtreeBulkDeleteStats* stats,
+    const std::function<Status(PageId, const std::vector<KeyRid>&)>&
+        on_leaf_drop,
+    const std::function<void(int64_t, const Rid&)>& on_delete,
+    std::vector<PageId>* dropped_pages) {
+  deferred_frees_ = dropped_pages;
+  Status status = BulkDeleteRangeLocked(lo, hi, reorg, deleted_rids, stats,
+                                        on_leaf_drop, on_delete);
+  deferred_frees_ = nullptr;
+  return status;
+}
+
+Status BTree::BulkDeleteRangeLocked(
+    int64_t lo, int64_t hi, ReorgMode reorg, std::vector<Rid>* deleted_rids,
+    BtreeBulkDeleteStats* stats,
+    const std::function<Status(PageId, const std::vector<KeyRid>&)>&
+        on_leaf_drop,
+    const std::function<void(int64_t, const Rid&)>& on_delete) {
+  BtreeBulkDeleteStats local;
+  std::vector<EmptyLeaf> empties;
+  // Contiguous dropped-leaf runs are spliced out of the sibling chain with
+  // two boundary writes (the left neighbor's right pointer and the right
+  // neighbor's left pointer); the dropped leaves themselves are never
+  // modified, so the only per-leaf charge is the read that harvested their
+  // entries. Parent maintenance dirties one inner page per fan-out children.
+  std::vector<EmptyLeaf> run;
+  PageId run_left = kInvalidPageId;
+  auto close_run = [&]() -> Status {
+    if (run.empty()) return Status::OK();
+    if (run_left != kInvalidPageId) {
+      PageId next;
+      {
+        BULKDEL_ASSIGN_OR_RETURN(PageGuard guard,
+                                 pool_->FetchPage(run.back().page));
+        next = BTreeNode(guard.data()).right_sibling();
+      }
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(run_left));
+      BTreeNode left_node(guard.data());
+      left_node.set_right_sibling(next);
+      guard.MarkDirty();
+    }
+    for (const EmptyLeaf& d : run) {
+      if (d.page == root_) {
+        // Root collapse promoted this dropped leaf to be the whole tree: it
+        // survives as the empty root, so it must actually be emptied (the
+        // one dropped leaf whose image is written) — and unhooked from its
+        // freed former neighbors.
+        BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(d.page));
+        BTreeNode node(guard.data());
+        node.LeafRemoveRange(0, node.count());
+        node.set_left_sibling(kInvalidPageId);
+        node.set_right_sibling(kInvalidPageId);
+        guard.MarkDirty();
+        continue;
+      }
+      BULKDEL_RETURN_IF_ERROR(FreeNode(d.page));
+      if (height_ > 1) {
+        BULKDEL_RETURN_IF_ERROR(RemoveChildAtLevel(1, d.page, d.probe));
+      }
+      ++local.leaves_freed;
+    }
+    run.clear();
+    return Status::OK();
+  };
+  if (lo <= hi) {
+    BULKDEL_ASSIGN_OR_RETURN(PageId cur, DescendToLeaf(KeyRid::Min(lo)));
+    LeafPrefetcher prefetch(pool_);
+    bool done = false;
+    while (cur != kInvalidPageId && !done) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(cur));
+      BTreeNode node(guard.data());
+      ++local.leaves_visited;
+      uint16_t count = node.count();
+      KeyRid probe0 = count > 0 ? node.LeafEntryAt(0) : KeyRid::Min(kMinKey);
+      // Leaf-run fast path: every entry covered by [lo, hi] and none pinned
+      // undeletable — the leaf dies whole: one drop record, no write, no
+      // per-entry removal.
+      bool run_leaf = count > 0 && height_ > 1 && node.LeafKey(0) >= lo &&
+                      node.LeafKey(static_cast<uint16_t>(count - 1)) <= hi;
+      if (run_leaf) {
+        for (uint16_t pos = 0; pos < count; ++pos) {
+          if (node.LeafFlags(pos) & BTreeNode::kEntryUndeletable) {
+            run_leaf = false;
+            break;
+          }
+        }
+      }
+      if (run_leaf) {
+        std::vector<KeyRid> harvest;
+        harvest.reserve(count);
+        for (uint16_t pos = 0; pos < count; ++pos) {
+          harvest.push_back(node.LeafEntryAt(pos));
+        }
+        if (on_leaf_drop) BULKDEL_RETURN_IF_ERROR(on_leaf_drop(cur, harvest));
+        if (deleted_rids != nullptr) {
+          for (const KeyRid& e : harvest) deleted_rids->push_back(e.rid);
+        }
+        if (run.empty()) run_left = node.left_sibling();
+        run.push_back(EmptyLeaf{cur, probe0});
+        local.entries_deleted += count;
+        ++local.leaves_dropped;
+        PageId next = node.right_sibling();
+        guard.Release();
+        prefetch.Announce(next);
+        cur = next;
+        continue;
+      }
+      // Boundary (or marker-pinned) leaf: splice any open run out of the
+      // chain before the per-entry pass mutates this leaf.
+      if (!run.empty()) {
+        node.set_left_sibling(run_left);
+        guard.MarkDirty();
+        BULKDEL_RETURN_IF_ERROR(close_run());
+      }
+      // Per-entry removal.
+      bool modified = false;
+      uint16_t pos = count > 0 ? node.LeafLowerBound(lo) : 0;
+      while (pos < node.count()) {
+        int64_t k = node.LeafKey(pos);
+        if (k > hi) {
+          done = true;
+          break;
+        }
+        if (node.LeafFlags(pos) & BTreeNode::kEntryUndeletable) {
+          ++local.skipped_undeletable;
+          ++pos;
+          continue;
+        }
+        if (deleted_rids != nullptr) deleted_rids->push_back(node.LeafRid(pos));
+        if (on_delete) on_delete(k, node.LeafRid(pos));
+        node.LeafRemoveAt(pos);
+        modified = true;
+        ++local.entries_deleted;
+      }
+      if (modified) guard.MarkDirty();
+      if (node.count() == 0 && height_ > 1) {
+        empties.push_back(EmptyLeaf{cur, probe0});
+      }
+      PageId next = node.right_sibling();
+      guard.Release();
+      if (!done) prefetch.Announce(next);
+      cur = next;
+    }
+    // A run still open here ran off the right end of the chain (or the range
+    // covered everything up to a leaf we never fetched): splice it out now.
+    BULKDEL_RETURN_IF_ERROR(close_run());
   }
   entry_count_ -= local.entries_deleted;
   BULKDEL_RETURN_IF_ERROR(FinishBulkDelete(std::move(empties), reorg, &local));

@@ -53,6 +53,9 @@ struct BtreeBulkDeleteStats {
   uint64_t entries_deleted = 0;
   uint64_t leaves_visited = 0;
   uint64_t leaves_freed = 0;
+  /// Leaves freed by the range leaf-run pass *without* per-entry removal
+  /// (fully covered by [lo, hi]); also counted in leaves_freed.
+  uint64_t leaves_dropped = 0;
   uint64_t skipped_undeletable = 0;
 };
 
@@ -154,6 +157,38 @@ class BTree {
       std::optional<int64_t> hi = std::nullopt,
       const std::function<void(int64_t, const Rid&)>& on_delete = nullptr);
 
+  /// Range bulk delete with the leaf-run fast path: removes every entry with
+  /// lo <= key <= hi. Leaves *fully* covered by the range (and free of
+  /// kEntryUndeletable markers) are unlinked and freed whole — their entries
+  /// are never touched individually and the pages are never written: each
+  /// contiguous run of dropped leaves is spliced out of the sibling chain
+  /// with two boundary-neighbor writes, so the pass charges one read per
+  /// dropped leaf (to harvest its RIDs) plus parent maintenance; only the
+  /// two boundary leaves see per-entry removal. Deleted RIDs are appended to `deleted_rids` in key
+  /// order when non-null. `on_leaf_drop` fires once per dropped leaf *before*
+  /// it is detached, with the leaf's page id and its full entry list (the
+  /// recovery layer logs one kRangeLeafRun record); returning an error
+  /// aborts the pass with the leaf intact. `on_delete` sees each
+  /// individually removed boundary entry (logged as kEntryDeleted). An
+  /// inverted range (lo > hi) deletes nothing.
+  ///
+  /// With `dropped_pages` non-null, no page is returned to the allocator
+  /// during the pass: every node the pass empties (dropped leaves, collapsed
+  /// inner nodes) is unlinked and detached but its page id is pushed onto
+  /// `dropped_pages` for the caller to free later. Range deletes free whole
+  /// subchains, and an immediate free lets a concurrent list spill reuse the
+  /// page while stale on-disk siblings/parents still point at it — after a
+  /// crash, recovery's re-traversal would then walk into arbitrary bytes.
+  /// The bulk-delete executor frees the collected pages only once the
+  /// statement's End record is durable.
+  Status BulkDeleteRange(
+      int64_t lo, int64_t hi, ReorgMode reorg,
+      std::vector<Rid>* deleted_rids, BtreeBulkDeleteStats* stats = nullptr,
+      const std::function<Status(PageId, const std::vector<KeyRid>&)>&
+          on_leaf_drop = nullptr,
+      const std::function<void(int64_t, const Rid&)>& on_delete = nullptr,
+      std::vector<PageId>* dropped_pages = nullptr);
+
   /// Read-only merge lookup: one leaf-level pass visiting every entry whose
   /// key appears in `keys` (ascending). The set-oriented analogue of probing
   /// the index per key — used to check referential integrity constraints
@@ -233,6 +268,13 @@ class BTree {
   };
   Status FinishBulkDelete(std::vector<EmptyLeaf> empties, ReorgMode reorg,
                           BtreeBulkDeleteStats* stats);
+  /// BulkDeleteRange body; runs with `deferred_frees_` installed.
+  Status BulkDeleteRangeLocked(
+      int64_t lo, int64_t hi, ReorgMode reorg, std::vector<Rid>* deleted_rids,
+      BtreeBulkDeleteStats* stats,
+      const std::function<Status(PageId, const std::vector<KeyRid>&)>&
+          on_leaf_drop,
+      const std::function<void(int64_t, const Rid&)>& on_delete);
 
   // Reorganization routines (defined in reorg.cc).
   Status CompactAndRebuild();
@@ -249,6 +291,9 @@ class BTree {
   BufferPool* pool_;
   PageId meta_page_;
   IndexOptions options_;
+  /// When non-null, FreeNode defers: it pushes the page here instead of
+  /// returning it to the allocator. Scoped to BulkDeleteRange (see its doc).
+  std::vector<PageId>* deferred_frees_ = nullptr;
   PageId root_ = kInvalidPageId;
   // Relaxed atomics: read by the planner while updaters insert/delete.
   RelaxedAtomic<int> height_ = 1;

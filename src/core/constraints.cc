@@ -17,31 +17,62 @@ Result<std::vector<int64_t>> DoomedValuesOfColumn(
     Database* db, TableDef* table, const BulkDeleteSpec& spec, int column) {
   const Schema& schema = *table->schema;
   int key_column = schema.FindColumn(spec.key_column);
-  std::vector<int64_t> sorted_keys = spec.keys;
-  std::sort(sorted_keys.begin(), sorted_keys.end());
-  if (column == key_column) return sorted_keys;
-
-  std::vector<Rid> rids;
   IndexDef* key_index =
       key_column >= 0 ? table->FindIndexOnColumn(key_column) : nullptr;
-  if (key_index != nullptr) {
-    BULKDEL_RETURN_IF_ERROR(key_index->tree->MergeLookupSortedKeys(
-        sorted_keys, [&](int64_t, const Rid& rid) {
-          rids.push_back(rid);
-          return Status::OK();
-        }));
-  } else {
-    // No access path: one scan probing a key hash.
-    U64HashSet set(sorted_keys.size());
-    for (int64_t k : sorted_keys) set.Insert(static_cast<uint64_t>(k));
-    BULKDEL_RETURN_IF_ERROR(
-        table->table->Scan([&](const Rid& rid, const char* tuple) {
-          if (set.Contains(static_cast<uint64_t>(
-                  schema.GetInt(tuple, static_cast<size_t>(key_column))))) {
+
+  std::vector<Rid> rids;
+  if (spec.is_range()) {
+    // Range predicate: FK processing is the one consumer that genuinely
+    // needs the doomed values materialized, so do it here — a read-only
+    // index range scan when the key column is indexed, one predicate scan
+    // otherwise. An empty/inverted range dooms nothing.
+    if (spec.range_empty()) return std::vector<int64_t>{};
+    std::vector<int64_t> keys;
+    if (key_index != nullptr) {
+      BULKDEL_RETURN_IF_ERROR(key_index->tree->RangeScan(
+          spec.range_lo, spec.range_hi, [&](int64_t key, const Rid& rid) {
+            keys.push_back(key);
             rids.push_back(rid);
-          }
-          return Status::OK();
-        }));
+            return Status::OK();
+          }));
+    } else {
+      BULKDEL_RETURN_IF_ERROR(
+          table->table->Scan([&](const Rid& rid, const char* tuple) {
+            int64_t key =
+                schema.GetInt(tuple, static_cast<size_t>(key_column));
+            if (key >= spec.range_lo && key <= spec.range_hi) {
+              keys.push_back(key);
+              rids.push_back(rid);
+            }
+            return Status::OK();
+          }));
+      std::sort(keys.begin(), keys.end());
+    }
+    if (column == key_column) return keys;
+  } else {
+    std::vector<int64_t> sorted_keys = spec.keys;
+    std::sort(sorted_keys.begin(), sorted_keys.end());
+    if (column == key_column) return sorted_keys;
+
+    if (key_index != nullptr) {
+      BULKDEL_RETURN_IF_ERROR(key_index->tree->MergeLookupSortedKeys(
+          sorted_keys, [&](int64_t, const Rid& rid) {
+            rids.push_back(rid);
+            return Status::OK();
+          }));
+    } else {
+      // No access path: one scan probing a key hash.
+      U64HashSet set(sorted_keys.size());
+      for (int64_t k : sorted_keys) set.Insert(static_cast<uint64_t>(k));
+      BULKDEL_RETURN_IF_ERROR(
+          table->table->Scan([&](const Rid& rid, const char* tuple) {
+            if (set.Contains(static_cast<uint64_t>(
+                    schema.GetInt(tuple, static_cast<size_t>(key_column))))) {
+              rids.push_back(rid);
+            }
+            return Status::OK();
+          }));
+    }
   }
   BULKDEL_RETURN_IF_ERROR(
       SortRids(&db->disk(), db->options().memory_budget_bytes, &rids));

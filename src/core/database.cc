@@ -524,8 +524,24 @@ Result<BulkDeletePlan> Database::ExplainBulkDelete(const BulkDeleteSpec& spec,
   TableDef* t = GetTable(spec.table);
   if (t == nullptr) return Status::NotFound("no table " + spec.table);
   IndexDef* key_index = catalog_->GetIndex(spec.table, spec.key_column);
-  PlannerInput input = MakePlannerInput(t, key_index, spec.keys.size(),
-                                        spec.keys_sorted);
+  uint64_t n_delete = spec.keys.size();
+  if (spec.is_range()) {
+    // Width estimate clamped to the table size; an inverted range dooms
+    // nothing. The unsigned subtraction is overflow-safe for any lo <= hi.
+    if (spec.range_empty()) {
+      n_delete = 0;
+    } else {
+      uint64_t width = static_cast<uint64_t>(spec.range_hi) -
+                       static_cast<uint64_t>(spec.range_lo) + 1;
+      n_delete = width == 0 ? t->table->tuple_count()
+                            : std::min(width, t->table->tuple_count());
+    }
+  }
+  PlannerInput input =
+      MakePlannerInput(t, key_index, n_delete, spec.keys_sorted);
+  input.is_range = spec.is_range();
+  input.range_lo = spec.range_lo;
+  input.range_hi = spec.range_hi;
   CostModel cost(options_.disk_model, options_.memory_budget_bytes);
   Planner planner(cost);
   return planner.PlanFor(strategy, input);

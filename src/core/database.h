@@ -103,16 +103,34 @@ struct DatabaseOptions {
   bool wal_group_commit = true;
 };
 
+/// Predicate class of a bulk delete: an explicit key list (the paper's
+/// table D) or a contiguous key range [lo, hi] (BETWEEN). Ranges are
+/// first-class — they are *not* expanded into point keys; the predicate is
+/// evaluated at execution time inside the statement's exclusive-lock window,
+/// so rows entering the range between parse and execution still die.
+enum class DeletePredicate : uint8_t { kKeys, kRange };
+
 /// What to delete: the paper's
 ///   DELETE FROM R WHERE R.A IN (SELECT D.A FROM D)
-/// with `table` = R, `key_column` = A and `keys` = the contents of D.
+/// with `table` = R, `key_column` = A and `keys` = the contents of D —
+/// or, with `predicate == kRange`,
+///   DELETE FROM R WHERE R.A BETWEEN lo AND hi
+/// with `keys` empty and [range_lo, range_hi] carried symbolically.
 struct BulkDeleteSpec {
   std::string table;
   std::string key_column;
+  DeletePredicate predicate = DeletePredicate::kKeys;
   std::vector<int64_t> keys;
   /// The keys are already sorted ascending (skips the sort phase of merge
   /// plans; the traditional executor still probes them in the given order).
   bool keys_sorted = false;
+  /// Inclusive bounds, meaningful when predicate == kRange. An inverted
+  /// range (lo > hi) is empty and deletes zero rows, not an error.
+  int64_t range_lo = 0;
+  int64_t range_hi = 0;
+
+  bool is_range() const { return predicate == DeletePredicate::kRange; }
+  bool range_empty() const { return is_range() && range_lo > range_hi; }
 };
 
 /// The database façade: storage + catalog + planner + executors.

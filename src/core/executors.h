@@ -53,6 +53,20 @@ struct RecoveredBulkDelete {
   std::set<std::string> phases_done;
   bool committed = false;
 
+  /// Range-predicate statement (kBegin carried [lo,hi] instead of a key
+  /// list). Resume re-runs the range passes idempotently.
+  bool is_range = false;
+  int64_t range_lo = 0;
+  int64_t range_hi = 0;
+  /// Heap pages whose kExtentDrop record is durable: re-dropped (if still
+  /// chained) and freed by the resumed finalize phase.
+  std::vector<PageId> extent_pages;
+  /// Index leaves whose kRangeLeafRun record is durable. Their frees were
+  /// deferred past the (never-reached) End record, so the resumed finalize
+  /// phase reclaims them; re-dropped ones show up in both lists and are
+  /// freed once.
+  std::vector<PageId> leaf_pages;
+
   struct List {
     std::vector<PageId> pages;
     uint64_t count = 0;

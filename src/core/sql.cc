@@ -175,33 +175,17 @@ Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
     t = lexer.Next();
     if (t.kind != Token::kNumber) return ParseError("integer literal", t);
     int64_t hi = t.number;
-    // Extract the key list: index range scan when available, else a scan.
-    // Either way the table is shared-locked and the structure latched so the
-    // extraction is consistent under concurrent sessions.
-    LockManager::SharedGuard lock(&db->locks(), spec.table);
-    IndexDef* index = db->GetIndex(spec.table, spec.key_column);
-    if (index != nullptr) {
-      std::lock_guard<std::mutex> latch(index->cc->latch);
-      Status scan = index->tree->RangeScan(lo, hi, [&](int64_t key,
-                                                       const Rid&) {
-        if (max_keys != 0 && spec.keys.size() >= max_keys) {
-          return DeleteListTooLarge(max_keys);
-        }
-        spec.keys.push_back(key);
-        return Status::OK();
-      });
-      BULKDEL_RETURN_IF_ERROR(scan);
-      spec.keys_sorted = true;
-    } else {
-      int col = table->schema->FindColumn(spec.key_column);
-      std::lock_guard<std::mutex> heap(table->heap_latch);
-      BULKDEL_ASSIGN_OR_RETURN(
-          spec.keys, ExtractKeysByScanPredicate(table->table.get(), col, col,
-                                                lo, hi));
-      if (max_keys != 0 && spec.keys.size() > max_keys) {
-        return DeleteListTooLarge(max_keys);
-      }
-    }
+    // BETWEEN is a first-class range predicate: carried symbolically and
+    // evaluated at execution time inside the statement's exclusive-lock
+    // window. No key extraction here — that used to be O(tuples), capped by
+    // max_keys (so sliding-window deletes errored), and raced concurrent DML
+    // because the shared lock was dropped before execution. Ranges are
+    // deliberately exempt from the session key bound: their plans are
+    // O(extents freed), not O(keys materialized).
+    spec.predicate = DeletePredicate::kRange;
+    spec.range_lo = lo;
+    spec.range_hi = hi;
+    spec.keys_sorted = true;  // a range is trivially in key order
   } else {
     return ParseError("IN or BETWEEN", t);
   }

@@ -16,15 +16,19 @@ namespace bulkdel {
 ///
 /// The IN-subquery form is the paper's running example (table D holds the
 /// keys of the records to delete); the subquery is evaluated as a scan of
-/// the referenced table projecting <col2>. BETWEEN extracts the key list
-/// through an index range scan when one exists, else a table scan.
+/// the referenced table projecting <col2>. BETWEEN is a first-class range
+/// predicate: the bounds are carried symbolically in the spec
+/// (DeletePredicate::kRange) for the planner's range plans — leaf-run and
+/// extent-drop passes — never expanded into a point-key list.
 /// Keywords are case-insensitive; identifiers are case-sensitive.
 ///
 /// `max_keys` bounds the delete list however it is produced (IN-list
-/// literals, subquery extraction, BETWEEN expansion): one more key than the
-/// bound aborts the parse with kResourceExhausted. 0 = unbounded. Network
-/// sessions always pass a bound so wire-delivered garbage cannot turn into
-/// an allocation storm (docs/SERVER.md).
+/// literals, subquery extraction): one more key than the bound aborts the
+/// parse with kResourceExhausted. 0 = unbounded. Ranges are deliberately
+/// exempt — a two-literal BETWEEN is O(1) to parse and plan no matter how
+/// many rows it covers. Network sessions always pass a bound so
+/// wire-delivered garbage cannot turn into an allocation storm
+/// (docs/SERVER.md).
 Result<BulkDeleteSpec> ParseBulkDelete(Database* db,
                                        const std::string& statement,
                                        size_t max_keys = 0);

@@ -41,6 +41,22 @@ Status TraditionalCore(TableDef* table, IndexDef* key_index,
   return Status::OK();
 }
 
+/// Materializes a range predicate's doomed keys from the key index. Must run
+/// inside the statement's exclusive table lock — evaluating the predicate any
+/// earlier would race concurrent inserts into the range (the extract-then-
+/// execute race the range predicate class exists to close).
+Result<std::vector<int64_t>> RangeKeys(IndexDef* key_index,
+                                       const BulkDeleteSpec& spec) {
+  std::vector<int64_t> keys;
+  if (spec.range_empty()) return keys;
+  BULKDEL_RETURN_IF_ERROR(key_index->tree->RangeScan(
+      spec.range_lo, spec.range_hi, [&](int64_t key, const Rid&) {
+        if (keys.empty() || keys.back() != key) keys.push_back(key);
+        return Status::OK();
+      }));
+  return keys;
+}
+
 Status FinalizeStructures(ExecContext* ctx, TableDef* table) {
   PhaseScope scope(ctx, "finalize");
   BULKDEL_RETURN_IF_ERROR(table->table->FlushMeta());
@@ -64,7 +80,12 @@ Result<BulkDeleteReport> ExecuteTraditional(ExecContext* ctx, TableDef* table,
   db->locks().LockExclusive(table->name);
   Status status = [&]() -> Status {
     std::vector<int64_t> keys = spec.keys;
-    if (sort_first && !spec.keys_sorted) {
+    if (spec.is_range()) {
+      // Ranges materialize under the lock and arrive in key order already.
+      PhaseScope scope(ctx, "range-scan-keys");
+      BULKDEL_ASSIGN_OR_RETURN(keys, RangeKeys(key_index, spec));
+      scope.set_items(keys.size());
+    } else if (sort_first && !spec.keys_sorted) {
       PhaseScope scope(ctx, "sort-keys");
       BULKDEL_RETURN_IF_ERROR(SortKeys(
           &db->disk(), db->options().memory_budget_bytes, &keys));
@@ -124,7 +145,11 @@ Result<BulkDeleteReport> ExecuteDropCreate(ExecContext* ctx, TableDef* table,
 
     // Traditional (sorted) delete against the remaining structures.
     std::vector<int64_t> keys = spec.keys;
-    if (!spec.keys_sorted) {
+    if (spec.is_range()) {
+      PhaseScope scope(ctx, "range-scan-keys");
+      BULKDEL_ASSIGN_OR_RETURN(keys, RangeKeys(key_index, spec));
+      scope.set_items(keys.size());
+    } else if (!spec.keys_sorted) {
       PhaseScope scope(ctx, "sort-keys");
       BULKDEL_RETURN_IF_ERROR(SortKeys(
           &db->disk(), db->options().memory_budget_bytes, &keys));

@@ -101,6 +101,9 @@ class VerticalRun {
   Result<BulkDeleteReport> Run(const BulkDeleteSpec& spec) {
     keys_ = spec.keys;
     keys_sorted_ = spec.keys_sorted;
+    is_range_ = spec.is_range();
+    range_lo_ = spec.range_lo;
+    range_hi_ = spec.range_hi;
     Stopwatch total;
 
     Status status = RunPhases();
@@ -245,6 +248,13 @@ class VerticalRun {
                               static_cast<size_t>(key_index_->column))
                           .name
                     : key_column_fallback_;
+    if (is_range_) {
+      // Range predicate: [lo, hi] rides in the Begin record itself (a
+      // non-empty values field marks the statement as a range delete for
+      // recovery). The empty input-keys list below keeps the resume path's
+      // list accounting uniform.
+      begin.values = {range_lo_, range_hi_};
+    }
     db_->log().Append(std::move(begin));
     BULKDEL_RETURN_IF_ERROR(MaterializeList("input-keys", keys_));
     db_->log().Sync();
@@ -353,7 +363,36 @@ class VerticalRun {
         db_->log().Append(std::move(rec));
       };
     }
-    if (step != nullptr && step->method == DeleteMethod::kClassicHash) {
+    if (is_range_) {
+      // Leaf-run pass: fully-covered leaves are logged whole (one
+      // kRangeLeafRun record carrying every (key, RID) pair) and spliced out
+      // of the chain without ever being written; only boundary entries go
+      // through the per-entry path with kEntryDeleted records.
+      auto on_leaf_drop = [this, &label](
+                              PageId leaf,
+                              const std::vector<KeyRid>& run) -> Status {
+        BULKDEL_RETURN_IF_ERROR(
+            db_->CheckFault(fault_sites::kBtreeRangeLeafRun, label));
+        if (logging_) {
+          LogRecord rec;
+          rec.type = LogRecordType::kRangeLeafRun;
+          rec.bd_id = bd_id_;
+          rec.label = label;
+          rec.pages = {leaf};
+          rec.count = run.size();
+          rec.values.reserve(run.size() * 2);
+          for (const KeyRid& e : run) {
+            rec.values.push_back(e.key);
+            rec.values.push_back(static_cast<int64_t>(e.rid.Pack()));
+          }
+          db_->log().Append(std::move(rec));
+        }
+        return Status::OK();
+      };
+      BULKDEL_RETURN_IF_ERROR(key_index_->tree->BulkDeleteRange(
+          range_lo_, range_hi_, db_->options().reorg, &rids_, &stats,
+          on_leaf_drop, wal, &dropped_leaf_pages_));
+    } else if (step != nullptr && step->method == DeleteMethod::kClassicHash) {
       U64HashSet set(keys_.size());
       for (int64_t k : keys_) set.Insert(static_cast<uint64_t>(k));
       BULKDEL_RETURN_IF_ERROR(key_index_->tree->BulkDeleteByPredicate(
@@ -391,6 +430,41 @@ class VerticalRun {
       BULKDEL_RETURN_IF_ERROR(
           SortRids(&db_->disk(), db_->options().memory_budget_bytes, &rids_));
       rids_sorted_ = true;
+    }
+    if (is_range_) {
+      // A resumed range run seeds RIDs from kRangeLeafRun/kEntryDeleted
+      // records AND rediscovers the survivors among them in the re-run key
+      // pass; a duplicate RID would double-count a page's doomed tuples in
+      // the extent-drop coverage proof, so collapse them here.
+      rids_.erase(std::unique(rids_.begin(), rids_.end(),
+                              [](const Rid& a, const Rid& b) {
+                                return a.Pack() == b.Pack();
+                              }),
+                  rids_.end());
+      // Extent-drop pass: fully-covered heap pages are spliced out of the
+      // chain without being read (no feeds to project — range secondaries
+      // probe by RID). Each drop is WAL-logged before the splice; the pages
+      // themselves are freed at finalize, after the End record is durable.
+      uint64_t deleted = 0;
+      auto on_drop = [this](PageId page, uint64_t tuples) -> Status {
+        BULKDEL_RETURN_IF_ERROR(db_->CheckFault(fault_sites::kHeapExtentDrop,
+                                                std::to_string(page)));
+        if (logging_) {
+          LogRecord rec;
+          rec.type = LogRecordType::kExtentDrop;
+          rec.bd_id = bd_id_;
+          rec.pages = {page};
+          rec.count = tuples;
+          db_->log().Append(std::move(rec));
+        }
+        return Status::OK();
+      };
+      BULKDEL_RETURN_IF_ERROR(table_->table->BulkDeleteSortedRidsExtentDrop(
+          rids_, recovered_extent_pages_, on_drop, nullptr, &deleted,
+          &extent_pages_));
+      report_.rows_deleted += deleted;
+      scope.set_items(deleted);
+      return CheckpointPhase(label);
     }
     const Schema& schema = *table_->schema;
     uint64_t deleted = 0;
@@ -437,13 +511,18 @@ class VerticalRun {
       return Status::NotFound("no column " + key_column_fallback_);
     }
     U64HashSet set(keys_.size());
-    for (int64_t k : keys_) set.Insert(static_cast<uint64_t>(k));
+    if (!is_range_) {
+      for (int64_t k : keys_) set.Insert(static_cast<uint64_t>(k));
+    }
     const Schema& schema = *table_->schema;
     uint64_t deleted = 0;
     BULKDEL_RETURN_IF_ERROR(table_->table->ScanDeleteIf(
         [&](const Rid&, const char* tuple) {
-          return set.Contains(static_cast<uint64_t>(
-              schema.GetInt(tuple, static_cast<size_t>(key_column))));
+          int64_t k = schema.GetInt(tuple, static_cast<size_t>(key_column));
+          // Range with no access path: one predicate scan — the predicate is
+          // evaluated here, inside the admission window, not at parse time.
+          if (is_range_) return k >= range_lo_ && k <= range_hi_;
+          return set.Contains(static_cast<uint64_t>(k));
         },
         [&](const Rid& rid, const char* tuple) {
           std::vector<int64_t> values;
@@ -487,6 +566,24 @@ class VerticalRun {
     DeleteMethod method = step != nullptr ? step->method : DeleteMethod::kMerge;
     std::vector<KeyRid>& feed = feeds_.at(index->name);
     BtreeBulkDeleteStats stats;
+
+    if (is_range_ && key_index_ != nullptr) {
+      // Range plans skip feed projection: the RID list from the leaf-run
+      // pass probes each secondary directly (rids_ is immutable once the
+      // table phase is done, so concurrent secondary phases share it).
+      std::unique_lock<std::mutex> latch = LatchIndex(index);
+      BULKDEL_RETURN_IF_ERROR(HashDeleteIndexByRids(
+          index->tree.get(), rids_, db_->options().reorg, &stats));
+      latch.unlock();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        report_.index_entries_deleted += stats.entries_deleted;
+      }
+      leaf_reorg_hist_->Observe(static_cast<int64_t>(stats.leaves_freed));
+      scope.set_items(stats.entries_deleted);
+      BULKDEL_RETURN_IF_ERROR(BringOnline(index));
+      return CheckpointPhase(label, /*deferrable=*/true);
+    }
 
     switch (method) {
       case DeleteMethod::kMerge: {
@@ -912,6 +1009,39 @@ class VerticalRun {
       BULKDEL_RETURN_IF_ERROR(db_->disk().FreePage(p));
     }
     recovered_sidefile_pages_.clear();
+    // Extent-dropped heap pages are freed only now, after the End record:
+    // freeing them earlier would let the allocator alias them while a
+    // post-crash recovery could still re-process their kExtentDrop records.
+    // The two sources (this run's drops, recovered drops already detached
+    // before the crash) can overlap on a resume, so free each page once.
+    if (!extent_pages_.empty() || !recovered_extent_pages_.empty()) {
+      std::vector<PageId> to_free = extent_pages_;
+      for (PageId p : recovered_extent_pages_) {
+        if (std::find(to_free.begin(), to_free.end(), p) == to_free.end()) {
+          to_free.push_back(p);
+        }
+      }
+      BULKDEL_RETURN_IF_ERROR(table_->table->FreeDroppedPages(to_free));
+      extent_pages_.clear();
+      recovered_extent_pages_.clear();
+    }
+    // Likewise the index nodes the leaf-run pass detached. A resumed run can
+    // re-drop a leaf whose detach write was lost, so the recovered and live
+    // lists may overlap — free each page once (pool drop: a cached frame for
+    // the emptied node must not be written back over a reallocated page).
+    if (!dropped_leaf_pages_.empty() || !recovered_leaf_pages_.empty()) {
+      std::vector<PageId> to_free = dropped_leaf_pages_;
+      for (PageId p : recovered_leaf_pages_) {
+        if (std::find(to_free.begin(), to_free.end(), p) == to_free.end()) {
+          to_free.push_back(p);
+        }
+      }
+      for (PageId p : to_free) {
+        BULKDEL_RETURN_IF_ERROR(db_->pool().DeletePage(p));
+      }
+      dropped_leaf_pages_.clear();
+      recovered_leaf_pages_.clear();
+    }
     return Status::OK();
   }
 
@@ -949,6 +1079,11 @@ class VerticalRun {
     key_column_fallback_ = state.key_column;
     updater_replay_ = state.updater_ops;
     recovered_sidefile_pages_ = state.sidefile_pages;
+    is_range_ = state.is_range;
+    range_lo_ = state.range_lo;
+    range_hi_ = state.range_hi;
+    recovered_extent_pages_ = state.extent_pages;
+    recovered_leaf_pages_ = state.leaf_pages;
     // Input keys.
     auto input = state.lists.find("input-keys");
     if (input == state.lists.end()) {
@@ -967,19 +1102,32 @@ class VerticalRun {
         }
         BULKDEL_RETURN_IF_ERROR(LoadList(rids->second, &rids_));
       } else if (!state.wal_index_entries.empty()) {
-        // Replay: remove WAL'd entries whose page writes were lost, and seed
-        // the RID list with the WAL'd deletions (their entries are gone, so
-        // the re-run below cannot rediscover them).
-        std::vector<KeyRid> wal = state.wal_index_entries;
-        std::sort(wal.begin(), wal.end());
-        BULKDEL_RETURN_IF_ERROR(key_index_->tree->BulkDeleteSortedEntries(
-            wal, ReorgMode::kFreeAtEmpty, nullptr));
-        for (const KeyRid& e : wal) rids_.push_back(e.rid);
+        if (is_range_) {
+          // Range resume: only seed the RID list. The re-run key phase
+          // deletes whatever of these entries still exists (the [lo, hi]
+          // pass rediscovers them — producing duplicates the table phase
+          // removes), and a per-entry removal here would free emptied
+          // leaves immediately, re-introducing the page-reuse hazard the
+          // deferred-free protocol exists to close.
+          for (const KeyRid& e : state.wal_index_entries) {
+            rids_.push_back(e.rid);
+          }
+        } else {
+          // Replay: remove WAL'd entries whose page writes were lost, and
+          // seed the RID list with the WAL'd deletions (their entries are
+          // gone, so the re-run below cannot rediscover them).
+          std::vector<KeyRid> wal = state.wal_index_entries;
+          std::sort(wal.begin(), wal.end());
+          BULKDEL_RETURN_IF_ERROR(key_index_->tree->BulkDeleteSortedEntries(
+              wal, ReorgMode::kFreeAtEmpty, nullptr));
+          for (const KeyRid& e : wal) rids_.push_back(e.rid);
+        }
       }
     }
 
     if (Done("table") || Done("table-no-index")) {
       for (IndexDef* index : secondaries_) {
+        if (is_range_ && key_index_ != nullptr) continue;  // no feeds: by RID
         auto feed = state.lists.find("feed:" + index->name);
         if (feed == state.lists.end()) {
           return Status::Corruption("table phase done but feed missing for " +
@@ -1052,6 +1200,21 @@ class VerticalRun {
 
   std::vector<int64_t> keys_;
   bool keys_sorted_ = false;
+  /// Range predicate ([lo, hi] on the key column) — keys_ stays empty and
+  /// the key/table passes run their leaf-run / extent-drop variants.
+  bool is_range_ = false;
+  int64_t range_lo_ = 0;
+  int64_t range_hi_ = 0;
+  /// Heap pages detached by the extent-drop pass (this run / recovered from
+  /// kExtentDrop records); freed at finalize after the End record.
+  std::vector<PageId> extent_pages_;
+  std::vector<PageId> recovered_extent_pages_;
+  /// Index nodes detached by the leaf-run pass (this run / recovered from
+  /// kRangeLeafRun records); same deferred reclamation as extent pages —
+  /// freeing them mid-statement would let a list spill reuse a page that
+  /// stale on-disk tree pointers still reference (fatal after a crash).
+  std::vector<PageId> dropped_leaf_pages_;
+  std::vector<PageId> recovered_leaf_pages_;
   std::vector<Rid> rids_;
   bool rids_sorted_ = false;
   std::map<std::string, std::vector<KeyRid>> feeds_;
@@ -1099,11 +1262,19 @@ Result<BulkDeleteReport> ResumeVertical(Database* db,
   BulkDeleteSpec spec;
   spec.table = state.table;
   spec.key_column = state.key_column;
-  PlannerInput input = db->MakePlannerInput(
-      table, key_index, state.lists.count("input-keys")
-                            ? state.lists.at("input-keys").count
-                            : 0,
-      true);
+  uint64_t n_delete = state.lists.count("input-keys")
+                          ? state.lists.at("input-keys").count
+                          : 0;
+  if (state.is_range && state.range_hi >= state.range_lo) {
+    uint64_t width = static_cast<uint64_t>(state.range_hi) -
+                     static_cast<uint64_t>(state.range_lo) + 1;
+    n_delete = width == 0 ? table->table->tuple_count()
+                          : std::min(width, table->table->tuple_count());
+  }
+  PlannerInput input = db->MakePlannerInput(table, key_index, n_delete, true);
+  input.is_range = state.is_range;
+  input.range_lo = state.range_lo;
+  input.range_hi = state.range_hi;
   CostModel cost(db->options().disk_model, db->options().memory_budget_bytes);
   Planner planner(cost);
   BULKDEL_ASSIGN_OR_RETURN(

@@ -23,7 +23,8 @@ Result<std::vector<int64_t>> ExtractKeysByScanPredicate(HeapTable* table,
                                                         int key_column,
                                                         int filter_column,
                                                         int64_t lo,
-                                                        int64_t hi) {
+                                                        int64_t hi,
+                                                        size_t max_keys) {
   const Schema& schema = table->schema();
   if (key_column < 0 ||
       static_cast<size_t>(key_column) >= schema.num_columns() ||
@@ -35,6 +36,11 @@ Result<std::vector<int64_t>> ExtractKeysByScanPredicate(HeapTable* table,
   BULKDEL_RETURN_IF_ERROR(table->Scan([&](const Rid&, const char* tuple) {
     int64_t v = schema.GetInt(tuple, static_cast<size_t>(filter_column));
     if (v >= lo && v <= hi) {
+      if (max_keys != 0 && keys.size() >= max_keys) {
+        return Status::ResourceExhausted(
+            "delete list exceeds the session bound of " +
+            std::to_string(max_keys) + " keys");
+      }
       keys.push_back(schema.GetInt(tuple, static_cast<size_t>(key_column)));
     }
     return Status::OK();

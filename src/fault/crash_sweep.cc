@@ -272,8 +272,28 @@ Status PrepareCase(const SweepConfig& config, int threads, bool with_injector,
 
   out->spec.table = spec.table_name;
   out->spec.key_column = "A";
-  out->spec.keys = workload.value().MakeDeleteKeys(config.delete_fraction,
-                                                   config.delete_keys_seed);
+  if (config.predicate == "range") {
+    // Centered quantile window of the duplicate-free A-population covering
+    // delete_fraction of the rows: deterministic for a given workload seed,
+    // and guaranteed to doom exactly `n` rows.
+    std::vector<int64_t> sorted = workload.value().values[0];
+    std::sort(sorted.begin(), sorted.end());
+    size_t n = static_cast<size_t>(
+        config.delete_fraction * static_cast<double>(config.n_tuples));
+    if (n == 0) n = 1;
+    if (n > sorted.size()) n = sorted.size();
+    size_t start = (sorted.size() - n) / 2;
+    out->spec.predicate = DeletePredicate::kRange;
+    out->spec.range_lo = sorted[start];
+    out->spec.range_hi = sorted[start + n - 1];
+    out->spec.keys_sorted = true;
+  } else if (config.predicate == "keys") {
+    out->spec.keys = workload.value().MakeDeleteKeys(config.delete_fraction,
+                                                     config.delete_keys_seed);
+  } else {
+    return Status::InvalidArgument("unknown sweep predicate: " +
+                                   config.predicate);
+  }
   if (out->updater != nullptr) {
     out->updater->db = out->db.get();
     out->updater->table = spec.table_name;
@@ -325,6 +345,7 @@ std::string CaseName(const SweepConfig& config, Strategy strategy, int threads,
   name += " concurrency=";
   name += ConcurrencyFlagName(config.concurrency);
   name += " backend=" + config.backend;
+  name += " predicate=" + config.predicate;
   name += " site=" + site;
   name += " occurrence=" + std::to_string(occurrence);
   name += " mode=";
@@ -346,6 +367,9 @@ std::string ReproCommand(const SweepConfig& config, Strategy strategy,
   if (config.backend != "sim") {
     cmd += " --backend=" + config.backend;
     cmd += " --dir=" + config.scratch_dir;
+  }
+  if (config.predicate != "keys") {
+    cmd += " --predicate=" + config.predicate;
   }
   cmd += " --site=" + site;
   cmd += " --occurrence=" + std::to_string(occurrence);

@@ -49,6 +49,12 @@ struct SweepConfig {
   size_t memory_budget_bytes = 128u << 10;
   uint64_t workload_seed = 20010407;
   uint64_t delete_keys_seed = 7;
+  /// Predicate class of the swept statement: "keys" (the paper's IN-list,
+  /// the default) or "range" (BETWEEN [lo, hi] with the bounds chosen as a
+  /// centered quantile window of the A-population covering
+  /// `delete_fraction` of the rows — exercising the leaf-run / extent-drop
+  /// WAL records and their fault sites).
+  std::string predicate = "keys";
   /// Seeds the injector's partial-write RNG (torn log tails).
   uint64_t injector_seed = 1;
 

@@ -31,6 +31,8 @@ const std::vector<FaultSiteInfo>& FaultInjector::KnownSites() {
       {fault_sites::kTxnSideFileAppend, false},
       {fault_sites::kTxnCatchupBatch, false},
       {fault_sites::kTxnOnlineFlip, false},
+      {fault_sites::kBtreeRangeLeafRun, false},
+      {fault_sites::kHeapExtentDrop, false},
   };
   return kSites;
 }

@@ -89,6 +89,39 @@ double CostModel::TablePassCost(const TableInfo& table,
   return sort + SeqPages(touched) + SeqPages(touched);  // read + write back
 }
 
+double CostModel::IndexRangeLeafRunCost(const IndexInfo& index,
+                                        uint64_t n_delete) const {
+  if (index.entries == 0) return 0.0;
+  // A contiguous key range covers a contiguous run of leaves.
+  double frac = std::min(
+      1.0, static_cast<double>(n_delete) / static_cast<double>(index.entries));
+  double covered = static_cast<double>(index.leaves) * frac;
+  // Each covered leaf is read once (sequential chain walk). Interior leaves
+  // are emptied with one header write; only the ~2 boundary leaves pay an
+  // entry-level rewrite, and the parent fix-ups are amortized into the same
+  // header-write term.
+  double read = SeqPages(covered);
+  double write = SeqPages(covered) * 0.25 + SeqPages(2.0);
+  return read + write;
+}
+
+double CostModel::HeapExtentDropCost(const TableInfo& table,
+                                     uint64_t n_delete) const {
+  if (table.tuples == 0) return 0.0;
+  double frac = std::min(
+      1.0, static_cast<double>(n_delete) / static_cast<double>(table.tuples));
+  double covered = static_cast<double>(table.pages) * frac;
+  // Fully-covered pages are never read: the splice rewrites one predecessor
+  // page per dropped run (a contiguous range is ~1 run), and the ~2 boundary
+  // pages take the ordinary read-modify-write path. The page frees are
+  // header-only metadata writes, far below one page I/O each — charge a
+  // small per-page residue so a huge drop is not literally free.
+  double boundary = RandomPages(2.0) + SeqPages(2.0);
+  double splice = RandomPages(1.0);
+  double residue = SeqPages(covered) * 0.02;
+  return boundary + splice + residue;
+}
+
 double CostModel::TraditionalCost(const TableInfo& table,
                                   const std::vector<IndexInfo>& indices,
                                   uint64_t n_delete, bool sorted_list) const {

@@ -70,6 +70,19 @@ class CostModel {
   /// tuples (≈ min(n_delete, pages) page reads + dirty write-backs).
   double TablePassCost(const TableInfo& table, uint64_t n_delete) const;
 
+  /// Range leaf-run pass over the key index: descend once, walk the covered
+  /// leaf chain. Fully-covered leaves are freed with one header write each
+  /// (no entry-level rewrite); only the two boundary leaves pay a full
+  /// read-modify-write. No sort — a range is trivially in key order.
+  double IndexRangeLeafRunCost(const IndexInfo& index,
+                               uint64_t n_delete) const;
+
+  /// Range extent-drop pass over the heap: fully-covered pages are spliced
+  /// out of the chain without being read (one predecessor write per dropped
+  /// run), and only boundary pages pay the ordinary read-modify-write. Valid
+  /// only with a clustered key index (contiguous keys ⇒ contiguous pages).
+  double HeapExtentDropCost(const TableInfo& table, uint64_t n_delete) const;
+
   /// Traditional horizontal execution: per-record random probes of the key
   /// index, the table, and every index.
   double TraditionalCost(const TableInfo& table,

@@ -27,8 +27,12 @@ BulkDeletePlan Planner::MakeHorizontal(Strategy strategy,
       strategy == Strategy::kTraditionalSorted || input.keys_sorted;
   step.est_micros = cost_.TraditionalCost(
       input.table, input.indices, input.n_delete,
-      strategy == Strategy::kTraditionalSorted);
-  step.note = "horizontal: probe key index per record, delete everywhere";
+      strategy == Strategy::kTraditionalSorted || input.is_range);
+  step.note = input.is_range
+                  ? "horizontal: range-scan key index for keys, then "
+                    "record-at-a-time"
+                  : "horizontal: probe key index per record, delete everywhere";
+  if (input.is_range) step.input_sorted = true;  // ranges are in key order
   plan.steps.push_back(step);
   plan.est_micros = step.est_micros;
   return plan;
@@ -80,18 +84,27 @@ Result<BulkDeletePlan> Planner::MakeVertical(const PlannerInput& input,
                          ? DeleteMethod::kMerge
                          : static_cast<DeleteMethod>(forced_method);
     if (m == DeleteMethod::kPartitionedHash) m = DeleteMethod::kMerge;
+    if (input.is_range) m = DeleteMethod::kMerge;  // leaf-run pass is a merge
     step.method = m;
-    step.input_sorted = input.keys_sorted && m == DeleteMethod::kMerge;
+    step.input_sorted =
+        (input.keys_sorted || input.is_range) && m == DeleteMethod::kMerge;
     step.est_micros =
-        m == DeleteMethod::kMerge
+        input.is_range
+            ? cost_.IndexRangeLeafRunCost(*key_index, input.n_delete)
+        : m == DeleteMethod::kMerge
             ? cost_.IndexMergePassCost(*key_index, input.n_delete)
             : cost_.IndexHashPassCost(*key_index, input.n_delete);
-    step.note = "locates doomed RIDs";
+    step.note = input.is_range
+                    ? "range leaf-run pass: frees covered leaves whole, "
+                      "locates doomed RIDs"
+                    : "locates doomed RIDs";
     plan.steps.push_back(step);
   }
 
   // Step 2: the base table, probed by RID, merge (page-ordered) pass. When
   // the key index is clustered the RID list arrives already in page order.
+  // Range plans over a clustered key index take the extent-drop pass:
+  // fully-covered heap pages are spliced out of the chain unread.
   {
     PlanStep step;
     step.structure = "table";
@@ -102,11 +115,24 @@ Result<BulkDeletePlan> Planner::MakeVertical(const PlannerInput& input,
     step.probe = ProbeBy::kRid;
     step.method = DeleteMethod::kMerge;
     step.input_sorted = key_index != nullptr && key_index->clustered;
-    step.est_micros = cost_.TablePassCost(input.table, input.n_delete);
-    step.note = key_index == nullptr
-                    ? "no key index: full scan probing a key hash set"
-                    : "projects secondary-index feeds";
-    if (key_index == nullptr) step.probe = ProbeBy::kKey;
+    bool extent_drop =
+        input.is_range && key_index != nullptr && key_index->clustered;
+    step.est_micros = extent_drop
+                          ? cost_.HeapExtentDropCost(input.table,
+                                                     input.n_delete)
+                          : cost_.TablePassCost(input.table, input.n_delete);
+    if (key_index == nullptr) {
+      step.note = input.is_range
+                      ? "no key index: full scan with [lo,hi] predicate"
+                      : "no key index: full scan probing a key hash set";
+      step.probe = ProbeBy::kKey;
+    } else if (extent_drop) {
+      step.note = "extent-drop pass: splices covered pages out unread";
+    } else if (input.is_range) {
+      step.note = "page-ordered RID pass (key index not clustered)";
+    } else {
+      step.note = "projects secondary-index feeds";
+    }
     plan.steps.push_back(step);
   }
 
@@ -153,7 +179,15 @@ Result<BulkDeletePlan> Planner::MakeVertical(const PlannerInput& input,
     step.est_micros = method == DeleteMethod::kMerge     ? merge_cost
                       : method == DeleteMethod::kClassicHash ? hash_cost
                                                              : part_cost;
-    if (index->unique) step.note = "unique: processed before non-unique";
+    if (input.is_range && key_index != nullptr) {
+      // Range plans with a key index skip feed projection: secondaries are
+      // probed straight from the RID list produced by the leaf-run pass.
+      step.probe = ProbeBy::kRid;
+      step.note = index->unique ? "unique, rid-probed from range RID list"
+                                : "rid-probed from range RID list";
+    } else if (index->unique) {
+      step.note = "unique: processed before non-unique";
+    }
     plan.steps.push_back(step);
   }
 

@@ -15,6 +15,12 @@ struct PlannerInput {
   std::vector<IndexInfo> indices;  ///< exactly one flagged is_key_index
   uint64_t n_delete = 0;
   bool keys_sorted = false;  ///< delete list arrives pre-sorted
+  /// Range-predicate class (DELETE ... BETWEEN lo AND hi): the plan never
+  /// materializes a key list up front. n_delete then holds the clamped
+  /// width estimate min(hi - lo + 1, tuples).
+  bool is_range = false;
+  int64_t range_lo = 0;
+  int64_t range_hi = 0;
 };
 
 /// Cost-based planner for bulk DELETE statements.

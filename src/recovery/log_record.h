@@ -53,11 +53,22 @@ enum class LogRecordType : uint8_t {
   /// them (idempotently) — the ops themselves are re-derived from
   /// kUpdaterRow records.
   kSideFileSpill,
+  /// Range delete: one fully-covered B-link leaf was unlinked and freed
+  /// without per-entry removal. `pages` = the freed leaf, `values` = the
+  /// leaf's (key, packed-rid) pairs interleaved, so recovery can re-derive
+  /// both the doomed RIDs and the secondary-index feeds exactly as if the
+  /// entries had been logged one kEntryDeleted at a time.
+  kRangeLeafRun,
+  /// Range delete: fully-covered heap extents were detached from the table's
+  /// page chain without reading them. `pages` = the dropped heap pages,
+  /// `count` = tuples they held. The pages are freed only at finalize (after
+  /// kEnd is durable), so recovery re-detaches idempotently.
+  kExtentDrop,
 };
 
 /// One past the last valid LogRecordType value (codec validation bound).
 inline constexpr uint8_t kNumLogRecordTypes =
-    static_cast<uint8_t>(LogRecordType::kSideFileSpill) + 1;
+    static_cast<uint8_t>(LogRecordType::kExtentDrop) + 1;
 
 struct LogRecord {
   LogRecordType type = LogRecordType::kBegin;

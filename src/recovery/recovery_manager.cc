@@ -29,6 +29,13 @@ Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(const LogManager& log) {
       case LogRecordType::kBegin:
         state.table = r.label;
         state.key_column = r.aux;
+        // A non-empty values field marks a range-predicate statement: the
+        // bounds ride in the Begin record instead of an input-keys list.
+        if (r.values.size() >= 2) {
+          state.is_range = true;
+          state.range_lo = r.values[0];
+          state.range_hi = r.values[1];
+        }
         break;
       case LogRecordType::kListMaterialized: {
         RecoveredBulkDelete::List list;
@@ -69,6 +76,31 @@ Result<std::map<uint64_t, RecoveredBulkDelete>> Analyze(const LogManager& log) {
         // needs to reclaim the pages (after the resumed run's End record).
         state.sidefile_pages.insert(state.sidefile_pages.end(),
                                     r.pages.begin(), r.pages.end());
+        break;
+      case LogRecordType::kRangeLeafRun:
+        // One dropped leaf of the range leaf-run pass: its (key, packed-rid)
+        // pairs stand in for the kEntryDeleted records the per-entry path
+        // would have written. Superseded by the key phase's checkpoint
+        // (whose "rids" list covers every located RID).
+        if (state.phases_done.count(r.label) == 0) {
+          for (size_t i = 0; i + 1 < r.values.size(); i += 2) {
+            state.wal_index_entries.emplace_back(
+                r.values[i],
+                Rid::Unpack(static_cast<uint64_t>(r.values[i + 1])));
+          }
+        }
+        // The leaf's page free was deferred past the End record (which was
+        // never reached), so the resumed finalize must reclaim it —
+        // collected unconditionally, like extent pages.
+        state.leaf_pages.insert(state.leaf_pages.end(), r.pages.begin(),
+                                r.pages.end());
+        break;
+      case LogRecordType::kExtentDrop:
+        // Heap pages detached (or about to be detached) by the extent-drop
+        // pass. Collected unconditionally: the pages are freed only by the
+        // resumed run's finalize, and re-detaching is idempotent.
+        state.extent_pages.insert(state.extent_pages.end(), r.pages.begin(),
+                                  r.pages.end());
         break;
       case LogRecordType::kSideFileAppend:
       case LogRecordType::kSideFileDrain:

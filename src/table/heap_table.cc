@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "table/heap_page.h"
 #include "util/coding.h"
@@ -29,6 +30,7 @@ Result<HeapTable> HeapTable::Create(BufferPool* pool, const Schema& schema) {
   StoreU32(header.data() + kTupleSizeOff, schema.tuple_size());
   StoreU32(header.data() + kNumPagesOff, 0);
   header.MarkDirty();
+  table.extent_map_valid_ = true;  // empty map, maintained by DML from here
   return table;
 }
 
@@ -82,8 +84,32 @@ Status HeapTable::AppendDataPage(PageId* new_page) {
   }
   last_data_page_ = *new_page;
   ++num_data_pages_;
+  ExtentMapAppend(*new_page, 0);
   return Status::OK();
 }
+
+void HeapTable::ExtentMapAppend(PageId page, uint32_t occupied) {
+  if (!extent_map_valid_) return;
+  extent_pos_[page] = extents_.size();
+  extents_.push_back(Extent{page, occupied});
+}
+
+void HeapTable::BumpOccupancy(PageId page, int delta) {
+  if (!extent_map_valid_) return;
+  auto it = extent_pos_.find(page);
+  if (it == extent_pos_.end()) {
+    // A page the map never saw (e.g. a replayed pre-crash tail page): the
+    // map can no longer prove coverage — fail safe and rebuild on demand.
+    extent_map_valid_ = false;
+    extents_.clear();
+    extent_pos_.clear();
+    return;
+  }
+  extents_[it->second].occupied =
+      static_cast<uint32_t>(static_cast<int64_t>(extents_[it->second].occupied) +
+                            delta);
+}
+
 
 Result<Rid> HeapTable::Insert(const char* tuple) {
   // Try pages known to have space first (slots freed by deletes).
@@ -96,6 +122,7 @@ Result<Rid> HeapTable::Insert(const char* tuple) {
       page.MarkDirty();
       if (hp.IsFull()) pages_with_space_.pop_back();
       ++tuple_count_;
+      BumpOccupancy(candidate, 1);
       return Rid(candidate, static_cast<uint16_t>(slot));
     }
     pages_with_space_.pop_back();  // stale entry
@@ -108,6 +135,7 @@ Result<Rid> HeapTable::Insert(const char* tuple) {
     if (slot >= 0) {
       page.MarkDirty();
       ++tuple_count_;
+      BumpOccupancy(last_data_page_, 1);
       return Rid(last_data_page_, static_cast<uint16_t>(slot));
     }
   }
@@ -121,6 +149,7 @@ Result<Rid> HeapTable::Insert(const char* tuple) {
   }
   page.MarkDirty();
   ++tuple_count_;
+  BumpOccupancy(fresh, 1);
   return Rid(fresh, static_cast<uint16_t>(slot));
 }
 
@@ -184,6 +213,7 @@ Status HeapTable::InsertAt(const Rid& rid, const char* tuple) {
   }
   page.MarkDirty();
   ++tuple_count_;
+  BumpOccupancy(rid.page, 1);
   return Status::OK();
 }
 
@@ -217,6 +247,7 @@ Status HeapTable::Delete(const Rid& rid, char* deleted_tuple) {
   hp.Delete(rid.slot);
   page.MarkDirty();
   --tuple_count_;
+  BumpOccupancy(rid.page, -1);
   if (was_full) pages_with_space_.push_back(rid.page);
   return Status::OK();
 }
@@ -297,6 +328,7 @@ Status HeapTable::ScanDeleteIf(
       bool was_full = hp.IsFull();
       bool modified = false;
       uint16_t cap = hp.capacity();
+      uint64_t page_deleted = 0;
       for (uint16_t slot = 0; slot < cap; ++slot) {
         if (!hp.SlotOccupied(slot)) continue;
         Rid rid(current, slot);
@@ -305,10 +337,12 @@ Status HeapTable::ScanDeleteIf(
         if (on_delete) on_delete(rid, tuple);
         hp.Delete(slot);
         modified = true;
-        ++deleted;
+        ++page_deleted;
       }
       if (modified) {
         page.MarkDirty();
+        deleted += page_deleted;
+        BumpOccupancy(current, -static_cast<int>(page_deleted));
         if (was_full && !hp.IsFull()) pages_with_space_.push_back(current);
       }
       next = hp.next_page();
@@ -355,6 +389,7 @@ Status HeapTable::BulkDeleteSortedRids(
     HeapPage hp(page.data(), schema_->tuple_size());
     bool was_full = hp.IsFull();
     bool modified = false;
+    uint64_t page_deleted = 0;
     for (; i < rids.size() && rids[i].page == page_id; ++i) {
       uint16_t slot = rids[i].slot;
       if (slot >= hp.capacity() || !hp.SlotOccupied(slot)) {
@@ -364,16 +399,162 @@ Status HeapTable::BulkDeleteSortedRids(
       if (on_delete) on_delete(rids[i], hp.TupleAt(slot));
       hp.Delete(slot);
       modified = true;
-      ++deleted;
+      ++page_deleted;
     }
     if (modified) {
       page.MarkDirty();
+      deleted += page_deleted;
+      BumpOccupancy(page_id, -static_cast<int>(page_deleted));
       if (was_full && !hp.IsFull()) pages_with_space_.push_back(page_id);
     }
   }
   tuple_count_ -= deleted;
   if (deleted_count != nullptr) *deleted_count = deleted;
   if (missing != nullptr) *missing = absent;
+  return Status::OK();
+}
+
+Status HeapTable::EnsureExtentMap() {
+  if (extent_map_valid_) return Status::OK();
+  extents_.clear();
+  extent_pos_.clear();
+  PageId current = first_data_page_;
+  HeapChainPrefetcher prefetch(pool_);
+  while (current != kInvalidPageId) {
+    PageId next;
+    uint32_t live;
+    {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(current));
+      HeapPage hp(page.data(), schema_->tuple_size());
+      live = hp.live_count();
+      next = hp.next_page();
+    }
+    extent_pos_[current] = extents_.size();
+    extents_.push_back(Extent{current, live});
+    prefetch.Announce(next);
+    current = next;
+  }
+  extent_map_valid_ = true;
+  return Status::OK();
+}
+
+Status HeapTable::BulkDeleteSortedRidsExtentDrop(
+    const std::vector<Rid>& rids, const std::vector<PageId>& force_drop,
+    const std::function<Status(PageId, uint64_t)>& on_drop,
+    const std::function<void(const Rid&, const char*)>& on_delete,
+    uint64_t* deleted_count, std::vector<PageId>* dropped_out) {
+  BULKDEL_RETURN_IF_ERROR(EnsureExtentMap());
+  uint64_t deleted = 0;
+
+  // Classify pages. A page drops whole when the extent map proves every one
+  // of its live tuples is doomed (occupied == doomed-RID count), or when its
+  // kExtentDrop record is already durable (crash resume) and it is still
+  // chained. Already-detached force_drop pages are skipped outright — their
+  // tuples left the durable chain before the crash.
+  std::unordered_map<PageId, uint64_t> doomed;
+  for (const Rid& r : rids) ++doomed[r.page];
+  std::unordered_set<PageId> forced(force_drop.begin(), force_drop.end());
+  std::unordered_set<PageId> drops;
+  std::unordered_set<PageId> skip;
+  for (const auto& [page, n] : doomed) {
+    auto it = extent_pos_.find(page);
+    if (it == extent_pos_.end()) {
+      skip.insert(page);  // not in the chain: nothing of it is visible
+      continue;
+    }
+    if (forced.count(page) || extents_[it->second].occupied == n) {
+      drops.insert(page);
+    }
+  }
+  for (PageId page : forced) {
+    // Forced pages may carry no doomed RIDs on resume (the RID list was
+    // re-derived after their index entries died): still re-drop if chained.
+    if (extent_pos_.count(page)) drops.insert(page);
+  }
+
+  // Boundary pages: the ordinary one-pass read-modify-write merge.
+  size_t i = 0;
+  while (i < rids.size()) {
+    PageId page_id = rids[i].page;
+    if (drops.count(page_id) || skip.count(page_id)) {
+      for (; i < rids.size() && rids[i].page == page_id; ++i) {
+      }
+      continue;
+    }
+    BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(page_id));
+    HeapPage hp(page.data(), schema_->tuple_size());
+    bool was_full = hp.IsFull();
+    bool modified = false;
+    uint64_t page_deleted = 0;
+    for (; i < rids.size() && rids[i].page == page_id; ++i) {
+      uint16_t slot = rids[i].slot;
+      if (slot >= hp.capacity() || !hp.SlotOccupied(slot)) continue;
+      if (on_delete) on_delete(rids[i], hp.TupleAt(slot));
+      hp.Delete(slot);
+      modified = true;
+      ++page_deleted;
+    }
+    if (modified) {
+      page.MarkDirty();
+      deleted += page_deleted;
+      BumpOccupancy(page_id, -static_cast<int>(page_deleted));
+      if (was_full && !hp.IsFull()) pages_with_space_.push_back(page_id);
+    }
+  }
+
+  if (!drops.empty()) {
+    // Log every drop first (record-before-mutation), then splice: a crash
+    // between record and splice leaves the page chained, and the resume pass
+    // re-drops it idempotently via force_drop.
+    for (const Extent& e : extents_) {
+      if (!drops.count(e.page)) continue;
+      BULKDEL_RETURN_IF_ERROR(on_drop(e.page, e.occupied));
+      if (dropped_out != nullptr) dropped_out->push_back(e.page);
+      deleted += e.occupied;
+    }
+    // Splice the chain around the dropped runs, touching only the kept
+    // predecessor of each run — never the dropped pages themselves.
+    std::vector<Extent> kept;
+    kept.reserve(extents_.size() - drops.size());
+    for (const Extent& e : extents_) {
+      if (!drops.count(e.page)) kept.push_back(e);
+    }
+    for (size_t j = 0; j < kept.size(); ++j) {
+      PageId want_next =
+          j + 1 < kept.size() ? kept[j + 1].page : kInvalidPageId;
+      size_t old_pos = extent_pos_[kept[j].page];
+      PageId old_next = old_pos + 1 < extents_.size()
+                            ? extents_[old_pos + 1].page
+                            : kInvalidPageId;
+      if (old_next == want_next) continue;
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(kept[j].page));
+      HeapPage hp(page.data(), schema_->tuple_size());
+      hp.set_next_page(want_next);
+      page.MarkDirty();
+    }
+    first_data_page_ = kept.empty() ? kInvalidPageId : kept.front().page;
+    last_data_page_ = kept.empty() ? kInvalidPageId : kept.back().page;
+    num_data_pages_ -= static_cast<uint32_t>(drops.size());
+    pages_with_space_.erase(
+        std::remove_if(pages_with_space_.begin(), pages_with_space_.end(),
+                       [&](PageId p) { return drops.count(p) > 0; }),
+        pages_with_space_.end());
+    extents_ = std::move(kept);
+    extent_pos_.clear();
+    for (size_t j = 0; j < extents_.size(); ++j) {
+      extent_pos_[extents_[j].page] = j;
+    }
+  }
+
+  tuple_count_ -= deleted;
+  if (deleted_count != nullptr) *deleted_count = deleted;
+  return Status::OK();
+}
+
+Status HeapTable::FreeDroppedPages(const std::vector<PageId>& pages) {
+  for (PageId page : pages) {
+    BULKDEL_RETURN_IF_ERROR(pool_->DeletePage(page));
+  }
   return Status::OK();
 }
 
@@ -404,6 +585,9 @@ Status HeapTable::Drop() {
   tuple_count_ = 0;
   num_data_pages_ = 0;
   pages_with_space_.clear();
+  extents_.clear();
+  extent_pos_.clear();
+  extent_map_valid_ = true;  // valid empty map: the table is gone
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -95,6 +96,36 @@ class HeapTable {
       const std::function<void(const Rid&, const char*)>& on_delete,
       uint64_t* deleted_count, uint64_t* missing = nullptr);
 
+  /// Extent-drop bulk delete: deletes an ascending-sorted RID list like
+  /// BulkDeleteSortedRids, but pages whose every live tuple is doomed (the
+  /// in-memory extent map proves `occupied(P) == doomed RIDs on P`) are
+  /// *dropped whole*: spliced out of the page chain without ever being read.
+  /// `on_drop(page, tuples)` fires once per dropped page before the splice
+  /// (the recovery layer logs kExtentDrop); an error aborts with the page
+  /// intact. Dropped pages are appended to `dropped_out` and stay allocated —
+  /// the caller frees them with FreeDroppedPages() once the statement's End
+  /// record is durable (freeing earlier would let the allocator alias them
+  /// before the drop is recoverable). `force_drop` (crash resume) names
+  /// pages whose kExtentDrop record is already durable: if still chained
+  /// they are re-dropped idempotently, if already detached they are skipped.
+  /// Boundary pages (partially covered) take the ordinary read-modify-write
+  /// path with `on_delete`.
+  Status BulkDeleteSortedRidsExtentDrop(
+      const std::vector<Rid>& rids, const std::vector<PageId>& force_drop,
+      const std::function<Status(PageId, uint64_t)>& on_drop,
+      const std::function<void(const Rid&, const char*)>& on_delete,
+      uint64_t* deleted_count, std::vector<PageId>* dropped_out);
+
+  /// Frees pages previously detached by the extent-drop pass (idempotent —
+  /// DiskManager::FreePage tolerates re-frees after a crash replay).
+  Status FreeDroppedPages(const std::vector<PageId>& pages);
+
+  /// Builds the in-memory extent map (chain-order page list + per-page live
+  /// counts) if it is not current: one sequential chain walk. Create() starts
+  /// with a valid empty map maintained incrementally by DML; Open()
+  /// invalidates it, so the first extent-drop after a reopen pays the walk.
+  Status EnsureExtentMap();
+
   /// Persists header metadata (count, chain endpoints).
   Status FlushMeta();
 
@@ -111,6 +142,11 @@ class HeapTable {
   Status AppendDataPage(PageId* new_page);
   Status LoadMeta();
 
+  /// Extent-map occupancy bookkeeping. A page the valid map does not know
+  /// invalidates the map (fail safe: the next extent-drop rebuilds it).
+  void BumpOccupancy(PageId page, int delta);
+  void ExtentMapAppend(PageId page, uint32_t occupied);
+
   BufferPool* pool_;
   const Schema* schema_;
   PageId header_page_;
@@ -122,6 +158,18 @@ class HeapTable {
   /// Pages known to have at least one free slot (may contain stale entries;
   /// verified on use).
   std::vector<PageId> pages_with_space_;
+
+  /// In-memory extent map: the page chain in order with per-page live
+  /// counts, powering the extent-drop full-coverage proof without reading
+  /// the pages. Valid from Create(); invalidated by Open() and rebuilt
+  /// lazily by EnsureExtentMap().
+  struct Extent {
+    PageId page;
+    uint32_t occupied;
+  };
+  std::vector<Extent> extents_;
+  std::unordered_map<PageId, size_t> extent_pos_;
+  bool extent_map_valid_ = false;
 };
 
 }  // namespace bulkdel

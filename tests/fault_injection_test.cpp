@@ -100,7 +100,7 @@ TEST(FaultInjectorTest, CheckWriteReportsTheHitForPartialModes) {
 
 TEST(FaultInjectorTest, KnownSitesAreStableAndQueryable) {
   const auto& sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 15u);
+  EXPECT_EQ(sites.size(), 17u);
   for (const FaultSiteInfo& site : sites) {
     EXPECT_TRUE(FaultInjector::IsKnownSite(site.name)) << site.name;
   }

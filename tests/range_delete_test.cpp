@@ -1,0 +1,480 @@
+// Range predicates (BETWEEN) are first-class: the planner gets a symbolic
+// [lo, hi] instead of an expanded key list, and every strategy must delete
+// exactly the rows whose key lies in the range *at execution time*. The
+// suite checks (a) strategy equivalence for range plans across workload
+// shapes and thread counts, (b) logical equivalence with the keys-mode
+// delete of the same doomed set, (c) the edge cases (inverted, empty,
+// whole-table, non-indexed-column, bounds absent from the table), and
+// (d) the extract-then-execute race the predicate class exists to close:
+// a row entering the range after parse but before execution still dies,
+// and a row admitted after the statement's lock window survives.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/sql.h"
+#include "fault/crash_sweep.h"
+#include "workload/generator.h"
+
+namespace bulkdel {
+namespace {
+
+struct RangeParam {
+  Strategy strategy;
+  int n_indices;  // 1..3 (A always first)
+  bool clustered;
+  const char* name;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<RangeParam>& info) {
+  return info.param.name;
+}
+
+class RangeDeleteTest : public ::testing::TestWithParam<RangeParam> {};
+
+constexpr uint64_t kTuples = 4000;
+
+WorkloadSpec MakeSpec(const RangeParam& param) {
+  WorkloadSpec spec;
+  spec.n_tuples = kTuples;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  spec.clustered_on_a = param.clustered;
+  return spec;
+}
+
+std::vector<std::string> IndexedColumns(int n_indices) {
+  std::vector<std::string> columns = {"A", "B", "C"};
+  columns.resize(static_cast<size_t>(n_indices));
+  return columns;
+}
+
+BulkDeleteSpec RangeSpec(int64_t lo, int64_t hi) {
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.predicate = DeletePredicate::kRange;
+  bd.range_lo = lo;
+  bd.range_hi = hi;
+  bd.keys_sorted = true;
+  return bd;
+}
+
+/// The quantile range [sorted_a[begin], sorted_a[begin + count - 1]]:
+/// A-values are duplicate-free, so it dooms exactly `count` rows.
+struct QuantileRange {
+  int64_t lo;
+  int64_t hi;
+};
+QuantileRange MidRange(const Workload& workload, size_t begin, size_t count) {
+  std::vector<int64_t> sorted = workload.values[0];
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileRange{sorted[begin], sorted[begin + count - 1]};
+}
+
+std::set<int64_t> DoomedInRange(const Workload& workload, int column,
+                                int64_t lo, int64_t hi) {
+  std::set<int64_t> doomed;
+  for (int64_t v : workload.values[static_cast<size_t>(column)]) {
+    if (v >= lo && v <= hi) doomed.insert(v);
+  }
+  return doomed;
+}
+
+struct RunOutcome {
+  uint64_t rows_deleted = 0;
+  std::multiset<int64_t> surviving_a;
+  std::string hash;
+};
+
+/// Builds the workload fresh, runs the given delete spec, verifies the end
+/// state against the doomed set (computed on column A) and returns the
+/// outcome plus the RID-free content hash for cross-run comparison.
+RunOutcome RunDelete(const RangeParam& param, const BulkDeleteSpec& bd,
+                     const std::set<int64_t>& doomed, int exec_threads) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  options.exec_threads = exec_threads;
+  auto db = *Database::Create(options);
+  auto workload =
+      *SetUpPaperDatabase(db.get(), MakeSpec(param),
+                          IndexedColumns(param.n_indices));
+  (void)workload;
+
+  auto report = db->BulkDelete(bd, param.strategy);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (!report.ok()) return RunOutcome{};
+
+  RunOutcome out;
+  out.rows_deleted = report->rows_deleted;
+  EXPECT_EQ(report->rows_deleted, doomed.size());
+
+  TableDef* table = db->GetTable("R");
+  EXPECT_EQ(table->table->tuple_count(), kTuples - doomed.size());
+  EXPECT_TRUE(table->table
+                  ->Scan([&](const Rid&, const char* tuple) {
+                    int64_t a = table->schema->GetInt(tuple, 0);
+                    EXPECT_EQ(doomed.count(a), 0u) << "doomed row survived";
+                    out.surviving_a.insert(a);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(out.surviving_a.size(), kTuples - doomed.size());
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+  out.hash = *LogicalContentHash(db.get(), "R");
+  return out;
+}
+
+/// Every strategy deletes exactly the rows in the range — no expansion into
+/// a key list anywhere on the way.
+TEST_P(RangeDeleteTest, EndStateMatchesDoomedSet) {
+  const RangeParam& param = GetParam();
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  auto probe = *Database::Create(options);
+  auto workload =
+      *SetUpPaperDatabase(probe.get(), MakeSpec(param),
+                          IndexedColumns(param.n_indices));
+  QuantileRange range = MidRange(workload, 1800, 400);
+  std::set<int64_t> doomed = DoomedInRange(workload, 0, range.lo, range.hi);
+  ASSERT_EQ(doomed.size(), 400u);
+  RunDelete(param, RangeSpec(range.lo, range.hi), doomed, /*exec_threads=*/1);
+}
+
+/// The phase-DAG scheduler must be invisible to results for range plans
+/// exactly as for key-list plans.
+TEST_P(RangeDeleteTest, ParallelEndStateMatchesSerial) {
+  const RangeParam& param = GetParam();
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  auto probe = *Database::Create(options);
+  auto workload =
+      *SetUpPaperDatabase(probe.get(), MakeSpec(param),
+                          IndexedColumns(param.n_indices));
+  QuantileRange range = MidRange(workload, 1200, 600);
+  std::set<int64_t> doomed = DoomedInRange(workload, 0, range.lo, range.hi);
+  RunOutcome serial =
+      RunDelete(param, RangeSpec(range.lo, range.hi), doomed, 1);
+  RunOutcome parallel =
+      RunDelete(param, RangeSpec(range.lo, range.hi), doomed, 4);
+  EXPECT_EQ(serial.rows_deleted, parallel.rows_deleted);
+  EXPECT_EQ(serial.surviving_a, parallel.surviving_a);
+  EXPECT_EQ(serial.hash, parallel.hash);
+}
+
+/// A range delete and a keys-mode delete of the same doomed set must leave
+/// logically identical databases (the leaf-run and extent-drop fast paths
+/// change the physical history, never the visible contents).
+TEST_P(RangeDeleteTest, MatchesEquivalentKeyListDelete) {
+  const RangeParam& param = GetParam();
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  auto probe = *Database::Create(options);
+  auto workload =
+      *SetUpPaperDatabase(probe.get(), MakeSpec(param),
+                          IndexedColumns(param.n_indices));
+  QuantileRange range = MidRange(workload, 2600, 500);
+  std::set<int64_t> doomed = DoomedInRange(workload, 0, range.lo, range.hi);
+
+  RunOutcome by_range =
+      RunDelete(param, RangeSpec(range.lo, range.hi), doomed, 1);
+
+  BulkDeleteSpec by_keys;
+  by_keys.table = "R";
+  by_keys.key_column = "A";
+  by_keys.keys.assign(doomed.begin(), doomed.end());
+  by_keys.keys_sorted = true;
+  RunOutcome by_list = RunDelete(param, by_keys, doomed, 1);
+
+  EXPECT_EQ(by_range.rows_deleted, by_list.rows_deleted);
+  EXPECT_EQ(by_range.surviving_a, by_list.surviving_a);
+  EXPECT_EQ(by_range.hash, by_list.hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeDeleteTest,
+    ::testing::Values(
+        RangeParam{Strategy::kTraditional, 1, true, "TraditionalClustered"},
+        RangeParam{Strategy::kTraditionalSorted, 3, false,
+                   "TraditionalSorted3Idx"},
+        RangeParam{Strategy::kDropCreate, 3, false, "DropCreate3Idx"},
+        RangeParam{Strategy::kVerticalSortMerge, 3, false, "SortMerge3Idx"},
+        RangeParam{Strategy::kVerticalSortMerge, 1, true,
+                   "SortMergeClusteredExtentDrop"},
+        RangeParam{Strategy::kVerticalHash, 3, false, "Hash3Idx"},
+        RangeParam{Strategy::kVerticalPartitionedHash, 3, false,
+                   "Partitioned3Idx"},
+        RangeParam{Strategy::kOptimizer, 1, true, "OptimizerClustered"},
+        RangeParam{Strategy::kOptimizer, 3, false, "Optimizer3Idx"}),
+    ParamName);
+
+// ---------------------------------------------------------------------------
+// Edge cases. All use the optimizer plus one explicit vertical strategy:
+// the point is the predicate semantics, not the full strategy matrix.
+// ---------------------------------------------------------------------------
+
+struct EdgeFixture {
+  std::unique_ptr<Database> db;
+  Workload workload;
+};
+
+EdgeFixture MakeEdgeFixture(bool clustered, int n_indices) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  EdgeFixture f;
+  f.db = *Database::Create(options);
+  WorkloadSpec spec;
+  spec.n_tuples = kTuples;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  spec.clustered_on_a = clustered;
+  f.workload = *SetUpPaperDatabase(f.db.get(), spec,
+                                   IndexedColumns(n_indices));
+  return f;
+}
+
+/// Inverted bounds (lo > hi) are an empty range: a 0-row report, not an
+/// error — and the table is untouched.
+TEST(RangeDeleteEdgeCases, InvertedBoundsDeleteZeroRows) {
+  for (Strategy s : {Strategy::kOptimizer, Strategy::kVerticalSortMerge,
+                     Strategy::kTraditional}) {
+    EdgeFixture f = MakeEdgeFixture(/*clustered=*/true, /*n_indices=*/1);
+    auto report = f.db->BulkDelete(RangeSpec(5000, 100), s);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->rows_deleted, 0u);
+    EXPECT_EQ(f.db->GetTable("R")->table->tuple_count(), kTuples);
+    EXPECT_TRUE(f.db->VerifyIntegrity().ok());
+  }
+}
+
+/// A well-formed range that covers no live key also reports zero rows.
+TEST(RangeDeleteEdgeCases, EmptyRangeDeletesZeroRows) {
+  EdgeFixture f = MakeEdgeFixture(/*clustered=*/false, /*n_indices=*/2);
+  int64_t min_a = *std::min_element(f.workload.values[0].begin(),
+                                    f.workload.values[0].end());
+  auto report =
+      f.db->BulkDelete(RangeSpec(min_a - 1000, min_a - 1),
+                       Strategy::kOptimizer);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 0u);
+  EXPECT_EQ(f.db->GetTable("R")->table->tuple_count(), kTuples);
+  EXPECT_TRUE(f.db->VerifyIntegrity().ok());
+}
+
+/// The whole-table range, including the int64 extremes (whose width
+/// overflows a uint64 — the estimate clamps instead of wrapping).
+TEST(RangeDeleteEdgeCases, WholeTableRangeDeletesEverything) {
+  EdgeFixture f = MakeEdgeFixture(/*clustered=*/true, /*n_indices=*/3);
+  auto report =
+      f.db->BulkDelete(RangeSpec(std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max()),
+                       Strategy::kOptimizer);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, kTuples);
+  EXPECT_EQ(f.db->GetTable("R")->table->tuple_count(), 0u);
+  EXPECT_TRUE(f.db->VerifyIntegrity().ok());
+}
+
+/// A range on a column with no index of its own falls back to the
+/// full-scan predicate path but must still maintain every other index.
+TEST(RangeDeleteEdgeCases, NonIndexedColumnRangeFallsBackToScan) {
+  EdgeFixture f = MakeEdgeFixture(/*clustered=*/false, /*n_indices=*/1);
+  std::vector<int64_t> sorted_b = f.workload.values[1];
+  std::sort(sorted_b.begin(), sorted_b.end());
+  int64_t lo = sorted_b[1000];
+  int64_t hi = sorted_b[1299];
+  std::set<int64_t> doomed_b = DoomedInRange(f.workload, 1, lo, hi);
+  ASSERT_EQ(doomed_b.size(), 300u);
+
+  BulkDeleteSpec bd = RangeSpec(lo, hi);
+  bd.key_column = "B";
+  auto report = f.db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, doomed_b.size());
+  TableDef* table = f.db->GetTable("R");
+  EXPECT_EQ(table->table->tuple_count(), kTuples - doomed_b.size());
+  EXPECT_TRUE(table->table
+                  ->Scan([&](const Rid&, const char* tuple) {
+                    int64_t b = table->schema->GetInt(tuple, 1);
+                    EXPECT_EQ(doomed_b.count(b), 0u);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(f.db->VerifyIntegrity().ok());
+}
+
+/// Bounds that are not themselves live keys (they fall into gaps of the
+/// duplicate-free population) behave identically to bounds that are: the
+/// doomed set is whatever lies inside, computed at execution time.
+TEST(RangeDeleteEdgeCases, AbsentBoundsBehaveLikePresentBounds) {
+  EdgeFixture probe = MakeEdgeFixture(/*clustered=*/true, /*n_indices=*/1);
+  std::set<int64_t> live(probe.workload.values[0].begin(),
+                         probe.workload.values[0].end());
+  // A-values are duplicate-free with density < 1, so gaps exist; find a
+  // lo/hi pair that misses the population around the 40% quantile.
+  std::vector<int64_t> sorted(live.begin(), live.end());
+  int64_t lo = sorted[1600] + 1;
+  while (live.count(lo) > 0) ++lo;
+  int64_t hi = sorted[2000] - 1;
+  while (live.count(hi) > 0) --hi;
+  ASSERT_LT(lo, hi);
+  std::set<int64_t> doomed = DoomedInRange(probe.workload, 0, lo, hi);
+  ASSERT_GT(doomed.size(), 0u);
+
+  for (Strategy s : {Strategy::kVerticalSortMerge, Strategy::kOptimizer}) {
+    EdgeFixture f = MakeEdgeFixture(/*clustered=*/true, /*n_indices=*/1);
+    auto report = f.db->BulkDelete(RangeSpec(lo, hi), s);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->rows_deleted, doomed.size());
+    EXPECT_TRUE(f.db->VerifyIntegrity().ok());
+  }
+}
+
+/// A narrow range inside a single leaf exercises the boundary-only path of
+/// the leaf-run pass (nothing to drop whole), a wide one frees many full
+/// leaves; both must agree with the doomed set exactly.
+TEST(RangeDeleteEdgeCases, MidLeafAndMultiLeafRanges) {
+  EdgeFixture probe = MakeEdgeFixture(/*clustered=*/true, /*n_indices=*/1);
+  std::vector<int64_t> sorted = probe.workload.values[0];
+  std::sort(sorted.begin(), sorted.end());
+  struct Window {
+    size_t begin;
+    size_t count;
+  };
+  // 3 keys sit well inside one leaf; 1500 span dozens of leaves (and, with
+  // the clustered table, dozens of heap extents).
+  for (Window w : {Window{500, 3}, Window{900, 1500}}) {
+    int64_t lo = sorted[w.begin];
+    int64_t hi = sorted[w.begin + w.count - 1];
+    std::set<int64_t> doomed = DoomedInRange(probe.workload, 0, lo, hi);
+    ASSERT_EQ(doomed.size(), w.count);
+    EdgeFixture f = MakeEdgeFixture(/*clustered=*/true, /*n_indices=*/1);
+    auto report = f.db->BulkDelete(RangeSpec(lo, hi),
+                                   Strategy::kVerticalSortMerge);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->rows_deleted, w.count);
+    EXPECT_EQ(f.db->GetTable("R")->table->tuple_count(), kTuples - w.count);
+    EXPECT_TRUE(f.db->VerifyIntegrity().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The mid-statement insert race (the bug this predicate class fixes).
+// ---------------------------------------------------------------------------
+
+/// Finds an A-value inside [lo, hi] that no live row carries (so the probe
+/// insert cannot trip the unique key index).
+int64_t AbsentKeyInRange(const Workload& workload, int64_t lo, int64_t hi) {
+  std::set<int64_t> live(workload.values[0].begin(),
+                         workload.values[0].end());
+  for (int64_t v = lo; v <= hi; ++v) {
+    if (live.count(v) == 0) return v;
+  }
+  ADD_FAILURE() << "no gap in [" << lo << ", " << hi << "]";
+  return lo;
+}
+
+/// A row inserted *between parse and execution* with a key inside the range
+/// must die: the predicate is evaluated inside the statement's lock window,
+/// not frozen into a key list at parse time. (Under the old BETWEEN
+/// expansion this row survived — the extract-then-execute race.)
+TEST(RangeDeleteRace, RowInsertedAfterParseStillDies) {
+  for (Strategy s : {Strategy::kVerticalSortMerge, Strategy::kTraditional,
+                     Strategy::kOptimizer}) {
+    EdgeFixture f = MakeEdgeFixture(/*clustered=*/false, /*n_indices=*/1);
+    QuantileRange range = MidRange(f.workload, 2000, 300);
+    std::set<int64_t> doomed =
+        DoomedInRange(f.workload, 0, range.lo, range.hi);
+    int64_t straggler = AbsentKeyInRange(f.workload, range.lo, range.hi);
+
+    auto spec = ParseBulkDelete(
+        f.db.get(), "DELETE FROM R WHERE A BETWEEN " +
+                        std::to_string(range.lo) + " AND " +
+                        std::to_string(range.hi));
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    ASSERT_TRUE(spec->is_range());
+
+    // The race: a row enters the range after the statement was parsed.
+    ASSERT_TRUE(f.db->InsertRow("R", {straggler, 1, 2, 3}).ok());
+
+    auto report = f.db->BulkDelete(*spec, s);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->rows_deleted, doomed.size() + 1);
+    EXPECT_EQ(f.db->GetTable("R")->table->tuple_count(),
+              kTuples - doomed.size());
+    EXPECT_TRUE(f.db->VerifyIntegrity().ok());
+
+    // Serial replay: the same insert acknowledged before the delete.
+    EdgeFixture ref = MakeEdgeFixture(/*clustered=*/false, /*n_indices=*/1);
+    ASSERT_TRUE(ref.db->InsertRow("R", {straggler, 1, 2, 3}).ok());
+    ASSERT_TRUE(
+        ref.db->BulkDelete(RangeSpec(range.lo, range.hi), s).ok());
+    EXPECT_EQ(*LogicalContentHash(f.db.get(), "R"),
+              *LogicalContentHash(ref.db.get(), "R"));
+  }
+}
+
+/// A concurrent insert released mid-statement blocks on the table lock and
+/// is admitted only after the delete's window closes: the row survives, and
+/// the end state equals the serial replay "delete, then insert".
+TEST(RangeDeleteRace, ConcurrentInsertIsAdmittedAfterTheWindow) {
+  std::atomic<bool> statement_started{false};
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  options.phase_begin_hook = [&](const std::string&) {
+    statement_started.store(true, std::memory_order_release);
+  };
+  auto db = *Database::Create(options);
+  WorkloadSpec spec;
+  spec.n_tuples = kTuples;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  spec.clustered_on_a = true;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A"});
+
+  QuantileRange range = MidRange(workload, 1500, 500);
+  std::set<int64_t> doomed = DoomedInRange(workload, 0, range.lo, range.hi);
+  int64_t straggler = AbsentKeyInRange(workload, range.lo, range.hi);
+
+  std::thread inserter([&]() {
+    while (!statement_started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // Blocks on the table's shared lock until the statement commits; the
+    // row is admitted after the delete's window and must survive.
+    ASSERT_TRUE(db->InsertRow("R", {straggler, 1, 2, 3}).ok());
+  });
+  auto report =
+      db->BulkDelete(RangeSpec(range.lo, range.hi),
+                     Strategy::kVerticalSortMerge);
+  inserter.join();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, doomed.size());
+  EXPECT_EQ(db->GetTable("R")->table->tuple_count(),
+            kTuples - doomed.size() + 1);
+  EXPECT_TRUE(db->VerifyIntegrity().ok());
+
+  // Serial replay of the acknowledged order: delete, then insert.
+  DatabaseOptions ref_options;
+  ref_options.memory_budget_bytes = 256 * 1024;
+  auto ref = *Database::Create(ref_options);
+  ASSERT_TRUE(SetUpPaperDatabase(ref.get(), spec, {"A"}).ok());
+  ASSERT_TRUE(ref->BulkDelete(RangeSpec(range.lo, range.hi),
+                              Strategy::kVerticalSortMerge)
+                  .ok());
+  ASSERT_TRUE(ref->InsertRow("R", {straggler, 1, 2, 3}).ok());
+  EXPECT_EQ(*LogicalContentHash(db.get(), "R"),
+            *LogicalContentHash(ref.get(), "R"));
+}
+
+}  // namespace
+}  // namespace bulkdel

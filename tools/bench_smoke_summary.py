@@ -3,7 +3,8 @@
 
 Usage:
   bench_smoke_summary.py --out=OUT_JSON --fig7=TRACE_JSONL [--fig9=TRACE_JSONL]
-                         [--concurrency=BENCH_JSONL] [--server=LOADGEN_JSON]...
+                         [--concurrency=BENCH_JSONL] [--predicate=BENCH_JSONL]
+                         [--server=LOADGEN_JSON]...
                          [--require-file-backend]
                          [--commit=SHA] [--date=YYYY-MM-DD]
 
@@ -29,6 +30,13 @@ one file-backed series is present, so CI cannot silently drop that leg.
 sustained during the bulk delete (wall-clock based — trend only) and the
 delete's simulated I/O time, plus the WAL group-commit ablation's
 fsyncs-vs-acknowledged-ops counts when present.
+
+--predicate ingests the JSONL written by `bench_ablation_predicate
+--json-out=...`: simulated I/O and wall time of the first-class range plan
+vs the same doomed set expanded into an IN-list, plus the range-advantage
+ratio in page transfers. Ingestion *fails* unless every recorded run shows
+the range plan at least 5x cheaper — the bench-smoke job must not record a
+regression of the range path as a normal entry.
 
 --server (repeatable, one file per backend leg) ingests the summary JSON
 written by `bulkdel_loadgen --json-out=...`: per backend it records sustained
@@ -106,6 +114,45 @@ def summarize_concurrency(bench_path):
     return series
 
 
+def summarize_predicate(bench_path):
+    """Range-plan vs expanded-IN-list series from bench_ablation_predicate
+    --json-out JSONL (one line per bench invocation, in run order). Returns
+    (series, error): a run missing the advantage ratio — or recording one
+    below 5x — must fail the job, not be recorded as a hollow entry."""
+    series = {}
+    with open(bench_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            run = json.loads(line)
+            backend = run.get("backend", "sim")
+            suffix = "" if backend == "sim" else "|" + backend
+            if "ratio" not in run:
+                return None, f"{bench_path}: no range-advantage ratio"
+            if run["ratio"] < 5.0:
+                return None, (f"{bench_path}: range plan only {run['ratio']}x"
+                              " cheaper than the expanded IN-list (need 5x)")
+            for plan in ("range", "expanded_in"):
+                if plan not in run:
+                    return None, f"{bench_path}: no {plan} record"
+                r = run[plan]
+                per = series.setdefault(
+                    plan + suffix,
+                    {"sim_minutes": [], "wall_millis": [], "io_reads": [],
+                     "io_writes": []})
+                per["sim_minutes"].append(round(r["sim_micros"] / 60e6, 3))
+                per["wall_millis"].append(round(r["wall_micros"] / 1e3, 1))
+                per["io_reads"].append(r["io_reads"])
+                per["io_writes"].append(r["io_writes"])
+            per = series.setdefault(
+                "range_advantage" + suffix,
+                {"ratio": [], "rows_deleted": []})
+            per["ratio"].append(run["ratio"])
+            per["rows_deleted"].append(run.get("rows_deleted"))
+    return series, None
+
+
 def summarize_server(paths):
     """Per-backend series from bulkdel_loadgen --json-out files. Returns
     (series, error): error is a string when a run is unusable (missing tail
@@ -146,6 +193,7 @@ def summarize_server(paths):
 def main() -> int:
     out_path = None
     concurrency_path = None
+    predicate_path = None
     server_paths = []
     traces = {}  # bench name -> path
     commit = "unknown"
@@ -163,6 +211,8 @@ def main() -> int:
             traces["fig9_vary_memory"] = arg[len("--fig9="):]
         elif arg.startswith("--concurrency="):
             concurrency_path = arg[len("--concurrency="):]
+        elif arg.startswith("--predicate="):
+            predicate_path = arg[len("--predicate="):]
         elif arg.startswith("--server="):
             server_paths.append(arg[len("--server="):])
         elif arg.startswith("--commit="):
@@ -183,7 +233,7 @@ def main() -> int:
         if len(positional) > 3:
             date = positional[3]
     if out_path is None or (not traces and concurrency_path is None and
-                            not server_paths):
+                            predicate_path is None and not server_paths):
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -206,6 +256,18 @@ def main() -> int:
             print(f"no bench records in {concurrency_path}", file=sys.stderr)
             return 1
         benches["ablation_concurrency"] = series
+    if predicate_path is not None:
+        if not os.path.exists(predicate_path):
+            print(f"missing bench file {predicate_path}", file=sys.stderr)
+            return 1
+        series, error = summarize_predicate(predicate_path)
+        if error is not None:
+            print(f"--predicate: {error}", file=sys.stderr)
+            return 1
+        if not series:
+            print(f"no bench records in {predicate_path}", file=sys.stderr)
+            return 1
+        benches["ablation_predicate"] = series
     if server_paths:
         for path in server_paths:
             if not os.path.exists(path):

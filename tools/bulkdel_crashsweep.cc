@@ -62,6 +62,7 @@ int Usage(const char* argv0) {
       "  --exhaustive         test every occurrence of every site\n"
       "  --concurrency=none|sidefile|direct   §3.1 updater protocol\n"
       "  --backend=sim|file   durability backend (default sim)\n"
+      "  --predicate=keys|range   statement predicate class (default keys)\n"
       "  --dir=PATH           scratch dir for --backend=file\n"
       "  --updater-ops=N      concurrent-updater DML ops per case (default 6)\n"
       "  --tuples=N --fraction=F --memory=BYTES   workload shape\n"
@@ -138,6 +139,13 @@ int main(int argc, char** argv) {
       config.backend = value;
     } else if (ParseFlag(argv[i], "dir", &value)) {
       config.scratch_dir = value;
+    } else if (ParseFlag(argv[i], "predicate", &value)) {
+      if (value != "keys" && value != "range") {
+        std::fprintf(stderr, "bad --predicate '%s' (keys|range)\n",
+                     value.c_str());
+        return 2;
+      }
+      config.predicate = value;
     } else if (ParseFlag(argv[i], "updater-ops", &value)) {
       config.updater_ops = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "occurrences-per-site", &value)) {

@@ -8,6 +8,7 @@
 //   INSERT INTO R VALUES (k, k%997, k%101)        -- "insert"
 //   SELECT COUNT(*) FROM R WHERE A BETWEEN k AND k -- "point_read"
 //   DELETE FROM R WHERE A IN (k1, ..., kB)         -- "bulk_delete"
+//   DELETE FROM R WHERE A BETWEEN k1 AND kB        -- "range_delete"
 // recording per-class latency histograms (p50/p99/p999 at log2-bucket
 // granularity) and sustained throughput. Bulk deletes ride the §3.1
 // concurrent-DML machinery: with --protocol=sidefile the other clients'
@@ -69,8 +70,9 @@ int Usage(const char* argv0) {
       "  --clients=N          client threads (default 4)\n"
       "  --seconds=S          run duration (default 10; 0 = use --ops)\n"
       "  --ops=N              per-client op cap (0 = time-bounded)\n"
-      "  --mix=I:R:D          insert:point_read:bulk_delete weights (8:8:1)\n"
-      "  --bulk-batch=N       keys per bulk delete (default 64)\n"
+      "  --mix=I:R:D[:G]      insert:point_read:bulk_delete:range_delete\n"
+      "                       weights (default 8:8:1:1)\n"
+      "  --bulk-batch=N       keys per bulk/range delete (default 64)\n"
       "  --preload=N          rows loaded before the clock starts (20000)\n"
       "  --seed=N             workload seed (default 1)\n"
       "  --backend=sim|file   durability backend (default sim)\n"
@@ -111,9 +113,10 @@ struct OpStats {
 
 struct ClientState {
   std::thread thread;
-  bulkdel::obs::Histogram insert_ns, read_ns, delete_ns;
-  int64_t insert_max = 0, read_max = 0, delete_max = 0;
+  bulkdel::obs::Histogram insert_ns, read_ns, delete_ns, range_ns;
+  int64_t insert_max = 0, read_max = 0, delete_max = 0, range_max = 0;
   int64_t inserts = 0, reads = 0, deletes = 0;  ///< acknowledged ops
+  int64_t range_deletes = 0;
   int64_t rows_deleted = 0;
   int64_t errors = 0;
   std::string first_error;
@@ -123,7 +126,7 @@ struct Config {
   int clients = 4;
   double seconds = 10.0;
   int64_t ops = 0;
-  int64_t mix_insert = 8, mix_read = 8, mix_delete = 1;
+  int64_t mix_insert = 8, mix_read = 8, mix_delete = 1, mix_range = 1;
   int bulk_batch = 64;
   int64_t preload = 20000;
   uint64_t seed = 1;
@@ -158,18 +161,37 @@ void RunClient(const Config& cfg, const std::string& host, uint16_t port,
   // Client tid owns keys [base, base + 2^40): disjoint from the preload
   // range and every other client, so a delete always hits its own rows.
   int64_t next_key = (static_cast<int64_t>(tid) + 1) << 40;
-  const int64_t mix_total = cfg.mix_insert + cfg.mix_read + cfg.mix_delete;
+  const int64_t mix_total =
+      cfg.mix_insert + cfg.mix_read + cfg.mix_delete + cfg.mix_range;
   int64_t ops_done = 0;
   while ((cfg.ops == 0 || ops_done < cfg.ops) &&
          (deadline_ns == 0 || MonotonicNanos() < deadline_ns)) {
     int64_t draw = static_cast<int64_t>(rng() % mix_total);
-    // A bulk delete needs a backlog of this client's own rows; fall back to
+    // Any delete needs a backlog of this client's own rows; fall back to
     // an insert until the backlog exists (self-balancing steady state).
-    bool want_delete = draw >= cfg.mix_insert + cfg.mix_read &&
-                       live.size() >= static_cast<size_t>(2 * cfg.bulk_batch);
-    bool want_read = !want_delete && draw >= cfg.mix_insert && !live.empty();
+    bool backlog = live.size() >= static_cast<size_t>(2 * cfg.bulk_batch);
+    bool want_range =
+        backlog && draw >= cfg.mix_insert + cfg.mix_read + cfg.mix_delete;
+    bool want_delete = !want_range && backlog &&
+                       draw >= cfg.mix_insert + cfg.mix_read;
+    bool want_read = !want_range && !want_delete && draw >= cfg.mix_insert &&
+                     !live.empty();
+    size_t batch = static_cast<size_t>(cfg.bulk_batch);
+    // The oldest `batch` keys form one contiguous block exactly when the
+    // window does not straddle the preload-block/own-space gap; a BETWEEN
+    // over a non-contiguous window would doom rows this client still counts
+    // as live, so fall back to the IN-list shape for that window.
+    if (want_range && live[batch - 1] - live[0] !=
+                          static_cast<int64_t>(batch) - 1) {
+      want_range = false;
+      want_delete = true;
+    }
     std::string statement;
-    if (want_delete) {
+    if (want_range) {
+      statement = "DELETE FROM R WHERE A BETWEEN " +
+                  std::to_string(live[0]) + " AND " +
+                  std::to_string(live[batch - 1]);
+    } else if (want_delete) {
       statement = "DELETE FROM R WHERE A IN (";
       for (int i = 0; i < cfg.bulk_batch; ++i) {
         if (i > 0) statement += ", ";
@@ -196,7 +218,13 @@ void RunClient(const Config& cfg, const std::string& host, uint16_t port,
       if (!client.connected()) break;  // socket-level failure: stop
       continue;
     }
-    if (want_delete) {
+    if (want_range) {
+      state->range_ns.Observe(ns);
+      state->range_max = std::max(state->range_max, ns);
+      ++state->range_deletes;
+      state->rows_deleted += cfg.bulk_batch;
+      live.erase(live.begin(), live.begin() + cfg.bulk_batch);
+    } else if (want_delete) {
       state->delete_ns.Observe(ns);
       state->delete_max = std::max(state->delete_max, ns);
       ++state->deletes;
@@ -249,11 +277,21 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "ops", &v)) {
       cfg.ops = std::stoll(v);
     } else if (ParseFlag(argv[i], "mix", &v)) {
-      size_t c1 = v.find(':'), c2 = v.rfind(':');
-      if (c1 == std::string::npos || c2 == c1) return Usage(argv[0]);
-      cfg.mix_insert = std::stoll(v.substr(0, c1));
-      cfg.mix_read = std::stoll(v.substr(c1 + 1, c2 - c1 - 1));
-      cfg.mix_delete = std::stoll(v.substr(c2 + 1));
+      std::vector<int64_t> weights;
+      size_t pos = 0;
+      while (pos <= v.size()) {
+        size_t colon = v.find(':', pos);
+        if (colon == std::string::npos) colon = v.size();
+        weights.push_back(std::stoll(v.substr(pos, colon - pos)));
+        pos = colon + 1;
+      }
+      if (weights.size() < 3 || weights.size() > 4) return Usage(argv[0]);
+      cfg.mix_insert = weights[0];
+      cfg.mix_read = weights[1];
+      cfg.mix_delete = weights[2];
+      // Three-part mixes predate the range class; they keep its default
+      // weight so the op class still exercises the range-plan path.
+      if (weights.size() == 4) cfg.mix_range = weights[3];
     } else if (ParseFlag(argv[i], "bulk-batch", &v)) {
       cfg.bulk_batch = std::stoi(v);
     } else if (ParseFlag(argv[i], "preload", &v)) {
@@ -285,8 +323,10 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (cfg.clients < 1 || cfg.bulk_batch < 1 ||
-      (cfg.mix_insert + cfg.mix_read + cfg.mix_delete) <= 0) {
+  if (cfg.clients < 1 || cfg.bulk_batch < 1 || cfg.mix_insert < 0 ||
+      cfg.mix_read < 0 || cfg.mix_delete < 0 || cfg.mix_range < 0 ||
+      (cfg.mix_insert + cfg.mix_read + cfg.mix_delete + cfg.mix_range) <=
+          0) {
     return Usage(argv[0]);
   }
   if (cfg.backend == "file" && cfg.db_dir.empty() &&
@@ -382,12 +422,21 @@ int main(int argc, char** argv) {
   if (spawn) before = db->metrics().Snapshot();
 
   // -- Timed run -------------------------------------------------------------
-  // Preloaded keys are dealt round-robin into the clients' initial
-  // backlogs so bulk deletes fire from the first seconds of the run.
+  // Preloaded keys are dealt out as one contiguous block per client so
+  // deletes fire from the first seconds of the run — and so the oldest keys
+  // of each backlog form a dense range a BETWEEN delete can cover exactly
+  // (round-robin dealing would interleave the clients' key spaces and every
+  // range window would fall back to the IN-list shape).
   std::vector<std::deque<int64_t>> initial(
       static_cast<size_t>(cfg.clients));
+  int64_t block = cfg.preload / cfg.clients;
   for (int64_t k = 1; k <= cfg.preload; ++k) {
-    initial[static_cast<size_t>((k - 1) % cfg.clients)].push_back(k);
+    size_t owner = block > 0 ? static_cast<size_t>((k - 1) / block)
+                             : static_cast<size_t>(cfg.clients) - 1;
+    if (owner >= static_cast<size_t>(cfg.clients)) {
+      owner = static_cast<size_t>(cfg.clients) - 1;  // remainder to the last
+    }
+    initial[owner].push_back(k);
   }
   int64_t start_ns = MonotonicNanos();
   int64_t deadline_ns =
@@ -408,21 +457,24 @@ int main(int argc, char** argv) {
       static_cast<double>(MonotonicNanos() - start_ns) / 1e9;
 
   // -- Aggregate -------------------------------------------------------------
-  OpStats insert_stats, read_stats, delete_stats;
-  int64_t inserts = 0, reads = 0, deletes = 0, rows_deleted = 0, errors = 0;
+  OpStats insert_stats, read_stats, delete_stats, range_stats;
+  int64_t inserts = 0, reads = 0, deletes = 0, range_deletes = 0;
+  int64_t rows_deleted = 0, errors = 0;
   std::string first_error;
   for (ClientState& c : clients) {
     insert_stats.Merge(c.insert_ns, c.insert_max, 0);
     read_stats.Merge(c.read_ns, c.read_max, 0);
     delete_stats.Merge(c.delete_ns, c.delete_max, 0);
+    range_stats.Merge(c.range_ns, c.range_max, 0);
     inserts += c.inserts;
     reads += c.reads;
     deletes += c.deletes;
+    range_deletes += c.range_deletes;
     rows_deleted += c.rows_deleted;
     errors += c.errors;
     if (first_error.empty()) first_error = c.first_error;
   }
-  int64_t total_ops = inserts + reads + deletes;
+  int64_t total_ops = inserts + reads + deletes + range_deletes;
 
   // -- Consistency check: acked effects must all be visible ------------------
   int exit_code = 0;
@@ -510,7 +562,8 @@ int main(int argc, char** argv) {
   bulkdel::json::AppendEscaped(
       &summary, std::to_string(cfg.mix_insert) + ":" +
                     std::to_string(cfg.mix_read) + ":" +
-                    std::to_string(cfg.mix_delete));
+                    std::to_string(cfg.mix_delete) + ":" +
+                    std::to_string(cfg.mix_range));
   summary += ", \"bulk_batch\": " + std::to_string(cfg.bulk_batch);
   summary += ", \"preload\": " + std::to_string(cfg.preload);
   summary += ", \"total_ops\": " + std::to_string(total_ops);
@@ -523,6 +576,8 @@ int main(int argc, char** argv) {
   AppendOpJson(&summary, "point_read", read_stats, elapsed_s);
   summary += ", ";
   AppendOpJson(&summary, "bulk_delete", delete_stats, elapsed_s);
+  summary += ", ";
+  AppendOpJson(&summary, "range_delete", range_stats, elapsed_s);
   summary += "}, \"metrics\": " + metrics_json + "}";
 
   std::printf("%s\n", summary.c_str());
