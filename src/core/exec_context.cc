@@ -1,12 +1,15 @@
 #include "core/exec_context.h"
 
 #include "core/database.h"
+#include "obs/statement_registry.h"
 #include "obs/trace_recorder.h"
 
 namespace bulkdel {
 
 ExecContext::ExecContext(Database* db)
-    : db_(db), root_scope_(&root_attribution_) {
+    : db_(db),
+      statement_id_(obs::StatementRegistry::CurrentThreadStatement()),
+      root_scope_(&root_attribution_) {
   thread_ordinals_[std::this_thread::get_id()] = next_ordinal_++;
 }
 
@@ -59,6 +62,12 @@ PhaseScope::PhaseScope(ExecContext* ctx, std::string name, std::string parent)
       thread_id_(ctx->ThreadOrdinal()),
       io_scope_(&attribution_) {
   if (obs::TraceRecorder::Global().enabled()) begin_nanos_ = MonotonicNanos();
+  // Publish the phase to the live statement row (sys.statements). Plain
+  // registry memory — never the DiskManager — so simulated I/O stays
+  // bit-identical with the observability plane on or off.
+  if (ctx_->statement_id() != 0) {
+    obs::StatementRegistry::Global().SetPhase(ctx_->statement_id(), name_);
+  }
   if (ctx_->db() != nullptr) {
     const auto& hook = ctx_->db()->options().phase_begin_hook;
     if (hook) hook(name_);

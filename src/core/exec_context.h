@@ -61,6 +61,13 @@ class ExecContext {
   /// created the context).
   int ThreadOrdinal();
 
+  /// The obs::StatementRegistry id of the SQL statement this execution runs
+  /// under, or 0 when the execution was not started through the SQL layer
+  /// (benches calling BulkDelete directly, recovery). Captured from the
+  /// statement thread's thread-local at construction so PhaseScope can
+  /// publish the current phase from worker threads.
+  uint64_t statement_id() const { return statement_id_; }
+
   /// Called by PhaseScope when a phase finishes; appends to the collected
   /// trace and accumulates the statement's attributed I/O total.
   void RecordPhase(PhaseStats phase);
@@ -78,6 +85,7 @@ class ExecContext {
  private:
   Database* db_;
   Stopwatch epoch_;
+  uint64_t statement_id_ = 0;
 
   mutable std::mutex mu_;
   std::vector<PhaseStats> phases_;

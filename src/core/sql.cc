@@ -1,10 +1,15 @@
 #include "core/sql.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <optional>
 #include <vector>
 
 #include "exec/delete_list.h"
+#include "obs/slow_query_log.h"
+#include "obs/statement_registry.h"
+#include "util/json.h"
 
 namespace bulkdel {
 
@@ -309,11 +314,139 @@ Result<std::string> ExecuteInsert(Database* db, Lexer* lexer) {
   return std::string("inserted 1 row at " + rid.ToString());
 }
 
+// -- sys.* virtual tables -----------------------------------------------------
+//
+// Read-only snapshots of the observability plane, rendered as aligned text
+// tables (first line is the header). They read atomics and registry memory
+// only — no table locks, no DiskManager — so scraping a live server cannot
+// perturb running statements or simulated I/O (docs/OBSERVABILITY.md).
+
+std::string FormatRows(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += row[c];
+      if (c + 1 < row.size() && c < widths.size()) {
+        out.append(widths[c] - row[c].size(), ' ');
+      }
+    }
+    out += '\n';
+  };
+  append_row(header);
+  for (const auto& row : rows) append_row(row);
+  out.pop_back();  // no trailing newline in statement results
+  return out;
+}
+
+/// "(lo,hi]" for the log2 bucket a quantile landed in: both edges matter
+/// because the quantization is a full power of two.
+std::string QuantileCell(const obs::HistogramSnapshot& h, double q) {
+  if (h.count == 0) return "-";
+  return "(" + std::to_string(h.ApproxQuantileLo(q)) + "," +
+         std::to_string(h.ApproxQuantile(q)) + "]";
+}
+
+std::string SysMetrics(Database* db) {
+  obs::MetricsSnapshot snap = db->metrics().Snapshot();
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, value] : snap.counters) {
+    const obs::MetricInfo* info = obs::FindKnownMetric(name);
+    const char* kind =
+        info != nullptr && info->kind == obs::MetricKind::kGauge ? "gauge"
+                                                                 : "counter";
+    rows.push_back({name, kind, info != nullptr ? info->unit : "-",
+                    std::to_string(value), "-", "-", "-"});
+  }
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    const obs::MetricInfo* info = obs::FindKnownMetric(h.name);
+    rows.push_back({h.name, "histogram", info != nullptr ? info->unit : "-",
+                    std::to_string(h.count), QuantileCell(h, 0.50),
+                    QuantileCell(h, 0.99), QuantileCell(h, 0.999)});
+  }
+  return FormatRows({"name", "kind", "unit", "value", "p50", "p99", "p999"},
+                    rows);
+}
+
+std::string SysHistograms(Database* db) {
+  obs::MetricsSnapshot snap = db->metrics().Snapshot();
+  std::vector<std::vector<std::string>> rows;
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      if (h.buckets[b] == 0) continue;
+      int64_t hi = obs::Histogram::BucketUpperBound(static_cast<int>(b));
+      int64_t lo =
+          b == 0 ? 0
+                 : obs::Histogram::BucketUpperBound(static_cast<int>(b) - 1) +
+                       1;
+      rows.push_back({h.name, std::to_string(b), std::to_string(lo),
+                      std::to_string(hi), std::to_string(h.buckets[b]),
+                      std::to_string(cumulative)});
+    }
+  }
+  return FormatRows({"name", "bucket", "lo", "hi", "count", "cum"}, rows);
+}
+
+std::string SysSessions() {
+  std::vector<std::vector<std::string>> rows;
+  for (const obs::SessionRow& s : obs::StatementRegistry::Global().Sessions()) {
+    rows.push_back({std::to_string(s.id), s.peer,
+                    std::to_string(s.elapsed_nanos / 1000),
+                    std::to_string(s.statements),
+                    s.inflight_statement == 0
+                        ? "-"
+                        : std::to_string(s.inflight_statement)});
+  }
+  return FormatRows({"session", "peer", "elapsed_us", "statements", "inflight"},
+                    rows);
+}
+
+std::string SysStatements() {
+  std::vector<std::vector<std::string>> rows;
+  for (const obs::StatementRow& s :
+       obs::StatementRegistry::Global().Statements()) {
+    const char* state = !s.finished ? "run" : (s.ok ? "ok" : "error");
+    // Two always-populating counters from the live delta show attribution at
+    // a glance; the full delta rides the slow-query log / BulkDeleteReport.
+    int64_t d_wal = s.delta.CounterOr(obs::metric_names::kWalSyncs);
+    int64_t d_phases =
+        s.delta.CounterOr(obs::metric_names::kSchedPhasesDispatched);
+    rows.push_back({std::to_string(s.id),
+                    s.session_id == 0 ? "-" : std::to_string(s.session_id),
+                    state, s.phase.empty() ? "-" : s.phase,
+                    std::to_string(s.elapsed_nanos / 1000),
+                    std::to_string(s.rows), std::to_string(d_wal),
+                    std::to_string(d_phases), s.statement});
+  }
+  return FormatRows({"id", "session", "state", "phase", "elapsed_us", "rows",
+                     "d_wal_syncs", "d_phases", "statement"},
+                    rows);
+}
+
+Result<std::string> ExecuteSysSelect(Database* db, const std::string& name) {
+  if (name == "metrics") return SysMetrics(db);
+  if (name == "histograms") return SysHistograms(db);
+  if (name == "sessions") return SysSessions();
+  if (name == "statements") return SysStatements();
+  return Status::NotFound(
+      "no sys table " + name +
+      " (known: sys.metrics, sys.histograms, sys.sessions, sys.statements)");
+}
+
 Result<std::string> ExecuteSelectCount(Database* db, Lexer* lexer) {
-  // SELECT COUNT(*) FROM t [WHERE col BETWEEN lo AND hi]
+  // SELECT COUNT(*) FROM t [WHERE col BETWEEN lo AND hi]; the dispatcher
+  // consumed COUNT.
   Token t = lexer->Next();
-  if (!KeywordIs(t, "COUNT")) return ParseError("COUNT", t);
-  t = lexer->Next();
   if (t.kind != Token::kPunct || t.text != "(") return ParseError("(", t);
   t = lexer->Next();
   if (t.kind != Token::kPunct || t.text != "*") return ParseError("*", t);
@@ -377,6 +510,33 @@ Result<std::string> ExecuteSelectCount(Database* db, Lexer* lexer) {
                      std::to_string(hi) + ")");
 }
 
+Result<std::string> ExecuteSelect(Database* db, Lexer* lexer) {
+  Token t = lexer->Next();
+  if (t.kind == Token::kPunct && t.text == "*") {
+    // SELECT * FROM sys.<name>
+    t = lexer->Next();
+    if (!KeywordIs(t, "FROM")) return ParseError("FROM", t);
+    t = lexer->Next();
+    if (t.kind != Token::kWord) return ParseError("table name", t);
+    std::string qualifier = t.text;
+    t = lexer->Next();
+    if (qualifier == "sys" && t.kind == Token::kPunct && t.text == ".") {
+      t = lexer->Next();
+      if (t.kind != Token::kWord) return ParseError("sys table name", t);
+      std::string name = t.text;
+      t = lexer->Next();
+      if (t.kind == Token::kPunct && t.text == ";") t = lexer->Next();
+      if (t.kind != Token::kEnd) return ParseError("end of statement", t);
+      return ExecuteSysSelect(db, name);
+    }
+    return Status::InvalidArgument(
+        "SELECT * is supported for sys.* virtual tables only "
+        "(data tables support SELECT COUNT(*))");
+  }
+  if (!KeywordIs(t, "COUNT")) return ParseError("COUNT or *", t);
+  return ExecuteSelectCount(db, lexer);
+}
+
 Result<std::string> ExecuteDropIndex(Database* db, Lexer* lexer) {
   Token t = lexer->Next();
   if (!KeywordIs(t, "INDEX")) return ParseError("INDEX", t);
@@ -417,22 +577,71 @@ Result<std::string> ExecuteSet(SqlSession* session, Lexer* lexer) {
   return std::string("strategy = " + name);
 }
 
+/// Builds and appends the slow-query JSONL record once the statement scope
+/// measured an over-threshold latency. For DELETEs the record embeds the
+/// full BulkDeleteReport JSON — the phase spans bulkdel_tracecat --slowlog
+/// walks for the critical path plus the statement's metrics delta
+/// (docs/OBSERVABILITY.md documents the layout).
+void MaybeCaptureSlowQuery(SqlSession* session,
+                           const obs::StatementScope& scope,
+                           const std::string& statement,
+                           const Result<std::string>& result,
+                           const std::optional<BulkDeleteReport>& report) {
+  obs::SlowQueryLog* log = session->slow_log;
+  if (log == nullptr) return;
+  int64_t elapsed_ns = scope.ElapsedNanos();
+  if (!log->Exceeds(elapsed_ns)) return;
+  std::string rec = "{\"statement_id\":" + std::to_string(scope.id()) +
+                    ",\"session\":" + std::to_string(session->session_id) +
+                    ",\"elapsed_ns\":" + std::to_string(elapsed_ns) +
+                    ",\"threshold_ns\":" + std::to_string(log->threshold_ns()) +
+                    ",\"ok\":" + (result.ok() ? "true" : "false") +
+                    ",\"statement\":";
+  json::AppendEscaped(&rec, statement.substr(0, 4096));
+  if (result.ok()) {
+    rec += ",\"result\":";
+    json::AppendEscaped(&rec, *result);
+  } else {
+    rec += ",\"error\":";
+    json::AppendEscaped(&rec, result.status().ToString());
+  }
+  if (report.has_value()) {
+    rec += ",\"report\":";
+    rec += report->ToJson();
+  }
+  rec += '}';
+  log->Append(rec).ok();  // best-effort: capture must never fail a statement
+}
+
 }  // namespace
 
 Result<std::string> ExecuteStatement(Database* db, SqlSession* session,
                                      const std::string& statement) {
+  // Every statement attributes to a row in the global StatementRegistry for
+  // its duration (sys.statements / sys.sessions); the scope also carries the
+  // thread-local id ExecContext captures so worker-thread phases publish to
+  // the right row.
+  obs::StatementScope scope(session->session_id, statement,
+                            db != nullptr ? &db->metrics() : nullptr);
+  // DELETE keeps its report alive past the dispatcher when slow-query
+  // capture might need the phase spans.
+  std::optional<BulkDeleteReport> delete_report;
   Lexer lexer(statement);
   Token t = lexer.Next();
   Result<std::string> result = [&]() -> Result<std::string> {
     if (KeywordIs(t, "CREATE")) return ExecuteCreate(db, &lexer);
     if (KeywordIs(t, "DROP")) return ExecuteDropIndex(db, &lexer);
     if (KeywordIs(t, "INSERT")) return ExecuteInsert(db, &lexer);
-    if (KeywordIs(t, "SELECT")) return ExecuteSelectCount(db, &lexer);
+    if (KeywordIs(t, "SELECT")) return ExecuteSelect(db, &lexer);
     if (KeywordIs(t, "SET")) return ExecuteSet(session, &lexer);
     if (KeywordIs(t, "SHOW")) {
       Token what = lexer.Next();
-      if (!KeywordIs(what, "STRATEGY")) return ParseError("STRATEGY", what);
-      return std::string("strategy = ") + StrategyName(session->strategy);
+      if (KeywordIs(what, "STRATEGY")) {
+        return std::string("strategy = ") + StrategyName(session->strategy);
+      }
+      if (KeywordIs(what, "METRICS")) return SysMetrics(db);
+      if (KeywordIs(what, "SESSIONS")) return SysSessions();
+      return ParseError("STRATEGY, METRICS or SESSIONS", what);
     }
     if (KeywordIs(t, "EXPLAIN")) {
       std::string rest = statement;
@@ -454,15 +663,20 @@ Result<std::string> ExecuteStatement(Database* db, SqlSession* session,
           ParseBulkDelete(db, statement, session->max_delete_keys));
       BULKDEL_ASSIGN_OR_RETURN(BulkDeleteReport report,
                                db->BulkDelete(spec, session->strategy));
-      return std::string("deleted " + std::to_string(report.rows_deleted) +
-                         " row(s) [" + StrategyName(report.strategy_used) +
-                         ", " + std::to_string(report.simulated_seconds()) +
-                         " simulated s]");
+      scope.set_rows(report.rows_deleted);
+      std::string line =
+          "deleted " + std::to_string(report.rows_deleted) + " row(s) [" +
+          StrategyName(report.strategy_used) + ", " +
+          std::to_string(report.simulated_seconds()) + " simulated s]";
+      if (session->slow_log != nullptr) delete_report = std::move(report);
+      return line;
     }
     return ParseError(
         "CREATE, DROP, INSERT, SELECT, SET, SHOW, EXPLAIN or DELETE", t);
   }();
+  scope.set_ok(result.ok());
   if (result.ok()) ++session->statements;
+  MaybeCaptureSlowQuery(session, scope, statement, result, delete_report);
   return result;
 }
 

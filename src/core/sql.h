@@ -8,6 +8,10 @@
 
 namespace bulkdel {
 
+namespace obs {
+class SlowQueryLog;
+}  // namespace obs
+
 /// Minimal SQL front end for the statement class the paper studies:
 ///
 ///   DELETE FROM <table> WHERE <col> IN (<int literal>, ...)
@@ -50,6 +54,14 @@ struct SqlSession {
   size_t max_delete_keys = 1u << 20;
   /// Statements successfully executed through this session.
   uint64_t statements = 0;
+  /// obs::StatementRegistry id this session is registered under, or 0 for
+  /// anonymous sessions (embedded shell, tests): every statement still rows
+  /// in sys.statements, but sys.sessions lists registered sessions only.
+  uint64_t session_id = 0;
+  /// Shared slow-query sink (owned by the server; null = capture off).
+  /// Statements whose host latency exceeds the sink's threshold append one
+  /// JSONL record (docs/OBSERVABILITY.md).
+  obs::SlowQueryLog* slow_log = nullptr;
 };
 
 /// General statement dispatcher for the interactive shell, scripts and the
@@ -60,10 +72,25 @@ struct SqlSession {
 ///   DROP INDEX ON <t> (<col>)
 ///   INSERT INTO <t> VALUES (<int>, ...)
 ///   SELECT COUNT(*) FROM <t> [WHERE <col> BETWEEN <lo> AND <hi>]
+///   SELECT * FROM sys.<name>     (read-only virtual tables, see below)
 ///   EXPLAIN DELETE FROM ...      (prints the chosen plan, runs nothing)
 ///   SET STRATEGY <name>          (optimizer, vertical-sort-merge, ...)
 ///   SHOW STRATEGY
+///   SHOW METRICS                 (sugar over SELECT * FROM sys.metrics)
+///   SHOW SESSIONS                (sugar over SELECT * FROM sys.sessions)
 ///
+/// Virtual tables (docs/OBSERVABILITY.md) expose the live observability
+/// plane to ordinary SELECTs over the wire: `sys.metrics` (every registered
+/// counter/gauge plus histogram summaries), `sys.histograms` (one row per
+/// populated log2 bucket), `sys.sessions` (connected sessions from the
+/// global StatementRegistry) and `sys.statements` (in-flight statements
+/// with their current executor phase and live metrics delta, plus recently
+/// finished ones). They are read-only snapshots of in-memory state: no
+/// table locks, no DiskManager I/O. Unknown sys.* names are kNotFound.
+///
+/// Every statement executed through a session registers in the global
+/// obs::StatementRegistry for its duration; statements slower than the
+/// session's slow-query threshold (if configured) append a JSONL record.
 /// Returns a human-readable result line (row counts, plan text, report
 /// summary). Reads take the table's shared lock and the heap/index latches,
 /// so sessions on different threads may execute concurrently against one

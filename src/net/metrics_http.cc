@@ -1,0 +1,198 @@
+#include "net/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "core/database.h"
+#include "obs/exposition.h"
+#include "obs/statement_registry.h"
+
+namespace bulkdel {
+namespace net {
+
+namespace {
+
+/// Largest request head we accept; a scrape request line is tens of bytes.
+constexpr size_t kMaxRequestBytes = 8192;
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer gone; scrape responses are best-effort
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\n"
+                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(Database* db, MetricsHttpOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(
+    Database* db, MetricsHttpOptions options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("metrics endpoint needs a database");
+  }
+  std::unique_ptr<MetricsHttpServer> server(
+      new MetricsHttpServer(db, std::move(options)));
+  BULKDEL_RETURN_IF_ERROR(server->Listen());
+  server->accept_thread_ =
+      std::thread([s = server.get()] { s->AcceptLoop(); });
+  server->Log("metrics on http://" + server->options_.host + ":" +
+              std::to_string(server->port_) + "/metrics");
+  return server;
+}
+
+Status MetricsHttpServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError(std::string("bind ") + options_.host + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    Status s =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Stop() closed the listener
+    }
+    // Short timeouts so a stalled scraper cannot wedge the (serial) loop.
+    timeval timeout{};
+    timeout.tv_sec = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request head (we ignore headers and bodies).
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (request.find('\n') == std::string::npos) return;  // no request line
+      break;  // request line arrived; headers cut short is fine
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t eol = request.find('\n');
+  if (eol == std::string::npos) return;
+  std::string line = request.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  std::string method =
+      sp1 == std::string::npos ? line : line.substr(0, sp1);
+  std::string target =
+      sp1 == std::string::npos || sp2 == std::string::npos
+          ? std::string()
+          : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    WriteAll(fd, HttpResponse(405, "Method Not Allowed",
+                              "only GET is supported\n"));
+    return;
+  }
+  if (target != "/metrics") {
+    WriteAll(fd, HttpResponse(404, "Not Found", "try /metrics\n"));
+    return;
+  }
+  obs::StatementRegistry& statements = obs::StatementRegistry::Global();
+  std::string body = obs::PrometheusText(
+      db_->metrics().Snapshot(),
+      {{"sessions_active", statements.sessions_active()},
+       {"statements_inflight", statements.statements_inflight()},
+       {"statements_total", statements.statements_begun()}});
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  WriteAll(fd, HttpResponse(200, "OK", body));
+}
+
+Status MetricsHttpServer::Stop() {
+  if (stopped_.exchange(true)) return Status::OK();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+  Log("metrics endpoint stopped after " + std::to_string(scrapes()) +
+      " scrape(s)");
+  return Status::OK();
+}
+
+void MetricsHttpServer::Log(const std::string& line) {
+  if (options_.logger) options_.logger("[metrics] " + line);
+}
+
+}  // namespace net
+}  // namespace bulkdel

@@ -1,0 +1,78 @@
+#ifndef BULKDEL_NET_METRICS_HTTP_H_
+#define BULKDEL_NET_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/result.h"
+
+namespace bulkdel {
+
+class Database;
+
+namespace net {
+
+struct MetricsHttpOptions {
+  /// Bind address; loopback by default, like the SQL listener.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks, MetricsHttpServer::port() reports it.
+  uint16_t port = 0;
+  /// Optional log sink (thread-safe; null = silent).
+  std::function<void(const std::string&)> logger;
+};
+
+/// Minimal GET-only HTTP/1.1 endpoint serving the database's metrics in
+/// Prometheus text exposition format at `/metrics` (obs/exposition.h),
+/// including statement/session gauges from the global StatementRegistry.
+/// Anything but `GET /metrics` gets 404; non-GET methods get 405. One
+/// accept thread handles scrapes serially with short socket timeouts — a
+/// scrape is a few KB and Prometheus polls on the order of seconds, so
+/// serial service keeps the server to one thread and zero allocations of
+/// session state. Connections close after each response.
+///
+/// Reading metrics only snapshots atomics; the endpoint never touches the
+/// DiskManager, so scraping cannot perturb simulated I/O.
+class MetricsHttpServer {
+ public:
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(
+      Database* db, MetricsHttpOptions options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound TCP port (resolves option `port == 0`).
+  uint16_t port() const { return port_; }
+
+  /// Closes the listener and joins the accept thread; idempotent.
+  Status Stop();
+
+  uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MetricsHttpServer(Database* db, MetricsHttpOptions options);
+
+  Status Listen();
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void Log(const std::string& line);
+
+  Database* db_;
+  MetricsHttpOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> scrapes_{0};
+};
+
+}  // namespace net
+}  // namespace bulkdel
+
+#endif  // BULKDEL_NET_METRICS_HTTP_H_

@@ -10,6 +10,7 @@
 
 #include <utility>
 
+#include "obs/statement_registry.h"
 #include "util/clock.h"
 
 namespace bulkdel {
@@ -37,10 +38,35 @@ Result<std::unique_ptr<Server>> Server::Start(Database* db,
   server->bytes_in_counter_ = metrics.counter(obs::metric_names::kNetBytesIn);
   server->bytes_out_counter_ = metrics.counter(obs::metric_names::kNetBytesOut);
   server->req_ns_histogram_ = metrics.histogram(obs::metric_names::kNetReqNs);
+  if (server->options_.metrics_port >= 0) {
+    MetricsHttpOptions http;
+    http.host = server->options_.host;
+    http.port = static_cast<uint16_t>(server->options_.metrics_port);
+    http.logger = server->options_.logger;
+    BULKDEL_ASSIGN_OR_RETURN(server->metrics_http_,
+                             MetricsHttpServer::Start(db, std::move(http)));
+  }
+  if (server->options_.slow_query_ns > 0 &&
+      !server->options_.slow_query_log.empty()) {
+    server->slow_log_ = std::make_unique<obs::SlowQueryLog>(
+        server->options_.slow_query_log, server->options_.slow_query_ns);
+    BULKDEL_RETURN_IF_ERROR(server->slow_log_->open_status());
+    server->Log("slow-query capture > " +
+                std::to_string(server->options_.slow_query_ns) + " ns -> " +
+                server->options_.slow_query_log);
+  }
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   server->Log("listening on " + server->options_.host + ":" +
               std::to_string(server->port_));
   return server;
+}
+
+uint16_t Server::metrics_port() const {
+  return metrics_http_ != nullptr ? metrics_http_->port() : 0;
+}
+
+uint64_t Server::slow_queries_logged() const {
+  return slow_log_ != nullptr ? slow_log_->records() : 0;
 }
 
 Status Server::Listen() {
@@ -131,6 +157,13 @@ void Server::SessionLoop(uint64_t id, int fd) {
   SqlSession sql;
   sql.strategy = options_.default_strategy;
   sql.max_delete_keys = options_.max_delete_keys;
+  // Register with the live observability plane: the session rows in
+  // sys.sessions, its statements attribute to it in sys.statements, and
+  // over-threshold statements land in the shared slow-query log.
+  sql.session_id =
+      obs::StatementRegistry::Global().RegisterSession("tcp:" +
+                                                       std::to_string(id));
+  sql.slow_log = slow_log_.get();
   uint64_t statements = 0;
   std::string close_reason = "peer closed";
   while (true) {
@@ -189,6 +222,7 @@ void Server::SessionLoop(uint64_t id, int fd) {
     }
   }
   ::close(fd);
+  obs::StatementRegistry::Global().UnregisterSession(sql.session_id);
   active_sessions_.fetch_sub(1, std::memory_order_relaxed);
   conns_gauge_->Set(active_sessions_.load(std::memory_order_relaxed));
   Log("session " + std::to_string(id) + " closed after " +
@@ -244,6 +278,9 @@ Status Server::Stop() {
     if (entry.second.joinable()) entry.second.join();
   }
   listen_fd_ = -1;
+  // The /metrics endpoint drains last so the server stays scrapeable while
+  // in-flight statements finish.
+  if (metrics_http_ != nullptr) metrics_http_->Stop();
   Log("stopped: served " + std::to_string(sessions_served()) +
       " session(s), " + std::to_string(statements_served()) +
       " statement(s)");

@@ -13,7 +13,9 @@
 
 #include "core/database.h"
 #include "core/sql.h"
+#include "net/metrics_http.h"
 #include "net/wire.h"
+#include "obs/slow_query_log.h"
 #include "util/result.h"
 
 namespace bulkdel {
@@ -41,6 +43,15 @@ struct ServerOptions {
   /// Optional log sink for one-line connection/lifecycle events. Called from
   /// server threads; must be thread-safe. Null = silent.
   std::function<void(const std::string&)> logger;
+  /// Port for the GET-only /metrics HTTP endpoint (Prometheus text
+  /// exposition; docs/OBSERVABILITY.md). -1 = no endpoint; 0 = ephemeral,
+  /// Server::metrics_port() reports the bound port. Shares `host`.
+  int metrics_port = -1;
+  /// Statements slower than this many host nanoseconds append a JSONL
+  /// record to `slow_query_log`. 0 = capture off.
+  int64_t slow_query_ns = 0;
+  /// Path of the slow-query JSONL sink; empty = capture off.
+  std::string slow_query_log;
 };
 
 /// Multi-client SQL server: one accept loop, one thread per admitted
@@ -66,6 +77,12 @@ class Server {
 
   /// The bound TCP port (resolves option `port == 0`).
   uint16_t port() const { return port_; }
+
+  /// Bound port of the /metrics endpoint, or 0 when disabled.
+  uint16_t metrics_port() const;
+
+  /// Slow-query records appended so far (0 when capture is off).
+  uint64_t slow_queries_logged() const;
 
   /// Graceful shutdown; idempotent. Returns after every session thread has
   /// exited.
@@ -96,6 +113,11 @@ class Server {
   ServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
+  /// Live observability plane: /metrics endpoint + shared slow-query sink
+  /// (both optional; see ServerOptions). The endpoint outlives the SQL
+  /// drain in Stop() so the server stays scrapeable while draining.
+  std::unique_ptr<MetricsHttpServer> metrics_http_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 
   std::thread accept_thread_;
   std::atomic<bool> draining_{false};

@@ -1,0 +1,85 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+
+namespace bulkdel {
+namespace obs {
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "bulkdel_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+void AppendType(std::string* out, const std::string& prom_name,
+                const char* type) {
+  *out += "# TYPE ";
+  *out += prom_name;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+void AppendSample(std::string* out, const std::string& prom_name, int64_t v) {
+  *out += prom_name;
+  *out += ' ';
+  *out += std::to_string(v);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusText(
+    const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, int64_t>>& extra_gauges) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    std::string prom = PrometheusMetricName(name);
+    const MetricInfo* info = FindKnownMetric(name);
+    // The snapshot flattens counters and gauges into one list; recover the
+    // kind from the static metric table. Dynamic names export untyped.
+    if (info == nullptr) {
+      AppendType(&out, prom, "untyped");
+    } else if (info->kind == MetricKind::kGauge) {
+      AppendType(&out, prom, "gauge");
+    } else {
+      AppendType(&out, prom, "counter");
+    }
+    AppendSample(&out, prom, value);
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    std::string prom = PrometheusMetricName(h.name);
+    AppendType(&out, prom, "histogram");
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      out += prom;
+      out += "_bucket{le=\"";
+      out += std::to_string(Histogram::BucketUpperBound(static_cast<int>(b)));
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += prom;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(h.count);
+    out += '\n';
+    AppendSample(&out, prom + "_sum", h.sum);
+    AppendSample(&out, prom + "_count", h.count);
+  }
+  for (const auto& [name, value] : extra_gauges) {
+    std::string prom = PrometheusMetricName(name);
+    AppendType(&out, prom, "gauge");
+    AppendSample(&out, prom, value);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace bulkdel

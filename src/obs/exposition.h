@@ -1,0 +1,36 @@
+#ifndef BULKDEL_OBS_EXPOSITION_H_
+#define BULKDEL_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bulkdel {
+namespace obs {
+
+/// `name` as a Prometheus metric name: "bulkdel_" prefix, every character
+/// outside [a-zA-Z0-9_] replaced with '_' ("bp.fetch_ns" ->
+/// "bulkdel_bp_fetch_ns").
+std::string PrometheusMetricName(const std::string& name);
+
+/// Renders `snap` in the Prometheus text exposition format (version 0.0.4):
+/// one `# TYPE` line per metric (kind from KnownMetrics(); dynamically
+/// registered names export untyped), scalar samples for counters/gauges, and
+/// cumulative `_bucket{le="..."}` series plus `_sum`/`_count` for the log2
+/// histograms — `le` values are the buckets' inclusive upper bounds
+/// (2^b - 1), ending with `+Inf`.
+///
+/// `extra_gauges` appends process-level series that live outside the
+/// registry (statement/session counts from the StatementRegistry); names go
+/// through the same sanitizer.
+std::string PrometheusText(
+    const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, int64_t>>& extra_gauges = {});
+
+}  // namespace obs
+}  // namespace bulkdel
+
+#endif  // BULKDEL_OBS_EXPOSITION_H_

@@ -38,22 +38,46 @@ const std::vector<MetricInfo>& KnownMetrics() {
   return kMetrics;
 }
 
+const MetricInfo* FindKnownMetric(const std::string& name) {
+  for (const MetricInfo& info : KnownMetrics()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
 int64_t Histogram::BucketUpperBound(int bucket) {
   if (bucket <= 0) return 0;
   if (bucket >= 63) return INT64_MAX;
   return (int64_t{1} << bucket) - 1;
 }
 
-int64_t HistogramSnapshot::ApproxQuantile(double quantile) const {
-  if (count <= 0) return 0;
-  int64_t rank = static_cast<int64_t>(quantile * static_cast<double>(count));
-  if (rank >= count) rank = count - 1;
+namespace {
+
+/// Index of the log2 bucket containing the quantile, or -1 when empty.
+int QuantileBucket(const HistogramSnapshot& h, double quantile) {
+  if (h.count <= 0) return -1;
+  int64_t rank = static_cast<int64_t>(quantile * static_cast<double>(h.count));
+  if (rank >= h.count) rank = h.count - 1;
   int64_t seen = 0;
-  for (size_t b = 0; b < buckets.size(); ++b) {
-    seen += buckets[b];
-    if (seen > rank) return Histogram::BucketUpperBound(static_cast<int>(b));
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    seen += h.buckets[b];
+    if (seen > rank) return static_cast<int>(b);
   }
-  return Histogram::BucketUpperBound(static_cast<int>(buckets.size()) - 1);
+  return static_cast<int>(h.buckets.size()) - 1;
+}
+
+}  // namespace
+
+int64_t HistogramSnapshot::ApproxQuantile(double quantile) const {
+  int bucket = QuantileBucket(*this, quantile);
+  return bucket < 0 ? 0 : Histogram::BucketUpperBound(bucket);
+}
+
+int64_t HistogramSnapshot::ApproxQuantileLo(double quantile) const {
+  int bucket = QuantileBucket(*this, quantile);
+  // Bucket b holds (2^(b-1) - 1, 2^b - 1]; its lower edge is the previous
+  // bucket's upper bound (bucket 0 holds exactly 0, so lo == hi there).
+  return bucket <= 0 ? 0 : Histogram::BucketUpperBound(bucket - 1);
 }
 
 HistogramSnapshot HistogramSnapshot::operator-(

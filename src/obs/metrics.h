@@ -93,6 +93,10 @@ struct MetricInfo {
 /// and docs. A registry may additionally hold dynamically registered names.
 const std::vector<MetricInfo>& KnownMetrics();
 
+/// KnownMetrics() entry for `name`, or null for dynamically registered
+/// names (which report as counters of unknown unit).
+const MetricInfo* FindKnownMetric(const std::string& name);
+
 /// Monotonic counter; relaxed increments, safe from any thread.
 class Counter {
  public:
@@ -165,6 +169,12 @@ struct HistogramSnapshot {
   /// Value below which `quantile` (0..1) of the samples fall, estimated at
   /// bucket granularity (returns the containing bucket's upper bound).
   int64_t ApproxQuantile(double quantile) const;
+
+  /// Lower edge of the same containing bucket: the quantile lies in
+  /// (ApproxQuantileLo(q), ApproxQuantile(q)]. Quantization is a full power
+  /// of two, so consumers that report only the upper bound overstate by up
+  /// to 2x; report both (loadgen's *_lo JSON fields).
+  int64_t ApproxQuantileLo(double quantile) const;
 
   HistogramSnapshot operator-(const HistogramSnapshot& o) const;
   bool operator==(const HistogramSnapshot& o) const {

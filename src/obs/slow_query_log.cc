@@ -1,0 +1,33 @@
+#include "obs/slow_query_log.h"
+
+namespace bulkdel {
+namespace obs {
+
+SlowQueryLog::SlowQueryLog(const std::string& path, int64_t threshold_ns)
+    : path_(path), threshold_ns_(threshold_ns) {
+  if (threshold_ns_ <= 0 || path_.empty()) {
+    open_status_ = Status::OK();  // capture off by configuration
+    return;
+  }
+  out_.open(path_, std::ios::out | std::ios::app);
+  if (!out_.is_open()) {
+    open_status_ = Status::IOError("cannot open slow-query log " + path_);
+    return;
+  }
+  enabled_ = true;
+}
+
+Status SlowQueryLog::Append(const std::string& json_record) {
+  if (!enabled_) return Status::FailedPrecondition("slow-query log disabled");
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << json_record << '\n';
+  out_.flush();
+  if (!out_.good()) {
+    return Status::IOError("slow-query log write failed: " + path_);
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace bulkdel

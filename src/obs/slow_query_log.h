@@ -1,0 +1,66 @@
+#ifndef BULKDEL_OBS_SLOW_QUERY_LOG_H_
+#define BULKDEL_OBS_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace bulkdel {
+namespace obs {
+
+/// Append-only JSONL sink for statements that exceeded a latency threshold.
+///
+/// The log is deliberately dumb: the SQL layer decides what a record looks
+/// like (docs/OBSERVABILITY.md documents the layout — statement text,
+/// elapsed time, metrics delta and, for DELETEs, the full BulkDeleteReport
+/// whose phase spans bulkdel_tracecat --slowlog consumes); this class only
+/// owns the threshold, the file handle and the append mutex. Appends go to
+/// the host filesystem directly — never through the DiskManager — so slow
+/// query capture cannot perturb simulated I/O.
+///
+/// Thread-safe: sessions on different threads share one instance.
+class SlowQueryLog {
+ public:
+  /// Opens `path` for appending. `threshold_ns` <= 0 disables capture
+  /// (Exceeds always false). Open failure also disables capture; the
+  /// status is kept for the owner to report.
+  SlowQueryLog(const std::string& path, int64_t threshold_ns);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  bool enabled() const { return enabled_; }
+  Status open_status() const { return open_status_; }
+  int64_t threshold_ns() const { return threshold_ns_; }
+  const std::string& path() const { return path_; }
+
+  bool Exceeds(int64_t elapsed_ns) const {
+    return enabled_ && elapsed_ns > threshold_ns_;
+  }
+
+  /// Appends one record (a complete JSON object, no trailing newline) and
+  /// flushes so a crash or a concurrent reader sees whole lines.
+  Status Append(const std::string& json_record);
+
+  uint64_t records() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string path_;
+  int64_t threshold_ns_;
+  bool enabled_ = false;
+  Status open_status_;
+  std::mutex mu_;
+  std::ofstream out_;
+  std::atomic<uint64_t> records_{0};
+};
+
+}  // namespace obs
+}  // namespace bulkdel
+
+#endif  // BULKDEL_OBS_SLOW_QUERY_LOG_H_

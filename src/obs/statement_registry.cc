@@ -1,0 +1,186 @@
+#include "obs/statement_registry.h"
+
+#include "util/clock.h"
+
+namespace bulkdel {
+namespace obs {
+
+namespace {
+thread_local uint64_t tls_current_statement = 0;
+}  // namespace
+
+StatementRegistry& StatementRegistry::Global() {
+  static StatementRegistry* registry = new StatementRegistry();
+  return *registry;
+}
+
+uint64_t StatementRegistry::CurrentThreadStatement() {
+  return tls_current_statement;
+}
+
+uint64_t StatementRegistry::RegisterSession(const std::string& peer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_session_id_++;
+  SessionState& state = sessions_[id];
+  state.peer = peer;
+  state.begin_nanos = MonotonicNanos();
+  return id;
+}
+
+void StatementRegistry::UnregisterSession(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+}
+
+uint64_t StatementRegistry::BeginStatement(uint64_t session_id,
+                                           const std::string& text,
+                                           MetricsRegistry* metrics) {
+  // Snapshot outside our mutex: MetricsRegistry has its own lock and the
+  // scrape path (Statements()) nests ours -> theirs, never the reverse.
+  MetricsSnapshot begin;
+  if (metrics != nullptr) begin = metrics->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_statement_id_++;
+  ++statements_begun_;
+  StatementState& state = inflight_[id];
+  state.session_id = session_id;
+  state.text = text.substr(0, kStatementTextCap);
+  state.begin_nanos = MonotonicNanos();
+  state.metrics = metrics;
+  state.begin_metrics = std::move(begin);
+  auto session = sessions_.find(session_id);
+  if (session != sessions_.end()) session->second.inflight_statement = id;
+  return id;
+}
+
+void StatementRegistry::SetPhase(uint64_t statement_id,
+                                 const std::string& phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(statement_id);
+  if (it != inflight_.end()) it->second.phase = phase;
+}
+
+void StatementRegistry::EndStatement(uint64_t statement_id, bool ok,
+                                     uint64_t rows) {
+  // Final delta snapshotted outside our mutex (see BeginStatement). The
+  // registry pointer stays valid between the two critical sections: the
+  // statement is still running, so its Database is alive.
+  MetricsRegistry* metrics = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(statement_id);
+    if (it == inflight_.end()) return;
+    metrics = it->second.metrics;
+  }
+  MetricsSnapshot end;
+  if (metrics != nullptr) end = metrics->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(statement_id);
+  if (it == inflight_.end()) return;
+  StatementState& state = it->second;
+  StatementRow row;
+  row.id = statement_id;
+  row.session_id = state.session_id;
+  row.finished = true;
+  row.ok = ok;
+  row.phase = std::move(state.phase);
+  row.elapsed_nanos = MonotonicNanos() - state.begin_nanos;
+  row.rows = rows;
+  row.statement = std::move(state.text);
+  if (metrics != nullptr) row.delta = end - state.begin_metrics;
+  auto session = sessions_.find(state.session_id);
+  if (session != sessions_.end()) {
+    ++session->second.statements;
+    if (session->second.inflight_statement == statement_id) {
+      session->second.inflight_statement = 0;
+    }
+  }
+  inflight_.erase(it);
+  recent_.push_front(std::move(row));
+  while (recent_.size() > kRecentStatements) recent_.pop_back();
+}
+
+std::vector<StatementRow> StatementRegistry::Statements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = MonotonicNanos();
+  std::vector<StatementRow> rows;
+  rows.reserve(inflight_.size() + recent_.size());
+  for (const auto& [id, state] : inflight_) {
+    StatementRow row;
+    row.id = id;
+    row.session_id = state.session_id;
+    row.finished = false;
+    row.phase = state.phase;
+    row.elapsed_nanos = now - state.begin_nanos;
+    row.statement = state.text;
+    if (state.metrics != nullptr) {
+      row.delta = state.metrics->Snapshot() - state.begin_metrics;
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const StatementRow& finished : recent_) rows.push_back(finished);
+  return rows;
+}
+
+std::vector<SessionRow> StatementRegistry::Sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = MonotonicNanos();
+  std::vector<SessionRow> rows;
+  rows.reserve(sessions_.size());
+  for (const auto& [id, state] : sessions_) {
+    SessionRow row;
+    row.id = id;
+    row.peer = state.peer;
+    row.elapsed_nanos = now - state.begin_nanos;
+    row.statements = state.statements;
+    row.inflight_statement = state.inflight_statement;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+int64_t StatementRegistry::sessions_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+int64_t StatementRegistry::statements_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(inflight_.size());
+}
+
+int64_t StatementRegistry::statements_begun() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(statements_begun_);
+}
+
+void StatementRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+  inflight_.clear();
+  recent_.clear();
+  next_session_id_ = 1;
+  next_statement_id_ = 1;
+  statements_begun_ = 0;
+}
+
+StatementScope::StatementScope(uint64_t session_id, const std::string& text,
+                               MetricsRegistry* metrics)
+    : id_(StatementRegistry::Global().BeginStatement(session_id, text,
+                                                     metrics)),
+      saved_thread_statement_(tls_current_statement),
+      begin_nanos_(MonotonicNanos()) {
+  tls_current_statement = id_;
+}
+
+StatementScope::~StatementScope() {
+  tls_current_statement = saved_thread_statement_;
+  StatementRegistry::Global().EndStatement(id_, ok_, rows_);
+}
+
+int64_t StatementScope::ElapsedNanos() const {
+  return MonotonicNanos() - begin_nanos_;
+}
+
+}  // namespace obs
+}  // namespace bulkdel

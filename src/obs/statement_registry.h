@@ -1,0 +1,161 @@
+#ifndef BULKDEL_OBS_STATEMENT_REGISTRY_H_
+#define BULKDEL_OBS_STATEMENT_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bulkdel {
+namespace obs {
+
+/// One row of `sys.statements`: a statement currently executing or one of
+/// the most recently finished ones. `delta` is the statement's metrics
+/// delta — live (registry-now minus statement-begin) for in-flight rows,
+/// final for finished rows.
+struct StatementRow {
+  uint64_t id = 0;
+  uint64_t session_id = 0;  ///< 0 = anonymous (embedded shell / tests)
+  bool finished = false;
+  bool ok = true;           ///< meaningful once finished
+  std::string phase;        ///< most recently begun executor phase
+  int64_t elapsed_nanos = 0;
+  uint64_t rows = 0;        ///< rows deleted (DELETE statements)
+  std::string statement;    ///< truncated to kStatementTextCap
+  MetricsSnapshot delta;
+};
+
+/// One row of `sys.sessions`.
+struct SessionRow {
+  uint64_t id = 0;
+  std::string peer;
+  int64_t elapsed_nanos = 0;
+  uint64_t statements = 0;       ///< statements finished on this session
+  uint64_t inflight_statement = 0;  ///< 0 = idle
+};
+
+/// Process-wide registry of live SQL sessions and statements — the backing
+/// store of the sys.sessions / sys.statements virtual tables and the
+/// per-statement attribution that slow-query capture reads.
+///
+/// One registry serves the whole process (Global()), mirroring
+/// TraceRecorder: worker threads spawned by any statement attribute their
+/// phases to the statement that started them via a thread-local statement
+/// id, captured by ExecContext on the statement thread and published to
+/// PhaseScope on whichever thread runs the phase.
+///
+/// Everything here is plain memory behind one mutex — registration,
+/// phase updates and snapshots never perform I/O and never touch the
+/// DiskManager, so simulated per-phase I/O stays bit-identical with the
+/// observability plane on or off (the PR 4 identity invariant; asserted by
+/// obs_test).
+class StatementRegistry {
+ public:
+  static StatementRegistry& Global();
+
+  /// Statement text kept per row; longer statements are truncated (the
+  /// slow-query log keeps more — see SlowQueryLog).
+  static constexpr size_t kStatementTextCap = 512;
+  /// Finished statements retained for sys.statements, newest first.
+  static constexpr size_t kRecentStatements = 32;
+
+  StatementRegistry() = default;
+  StatementRegistry(const StatementRegistry&) = delete;
+  StatementRegistry& operator=(const StatementRegistry&) = delete;
+
+  // -- Sessions ---------------------------------------------------------------
+  /// Registers a connection; returns its registry id (never 0). `peer` is a
+  /// human-readable origin label ("tcp:3", "shell").
+  uint64_t RegisterSession(const std::string& peer);
+  void UnregisterSession(uint64_t session_id);
+
+  // -- Statements -------------------------------------------------------------
+  /// Marks a statement in flight and snapshots `metrics` (may be null) so
+  /// in-flight rows report a live delta. Returns the statement id (never 0).
+  /// Callers normally use StatementScope instead.
+  uint64_t BeginStatement(uint64_t session_id, const std::string& text,
+                          MetricsRegistry* metrics);
+  /// Records the most recently begun phase; called by PhaseScope from
+  /// whichever thread runs the phase. Unknown ids are ignored (the statement
+  /// already finished).
+  void SetPhase(uint64_t statement_id, const std::string& phase);
+  /// Moves the statement to the finished ring with its final metrics delta.
+  void EndStatement(uint64_t statement_id, bool ok, uint64_t rows);
+
+  // -- Snapshots (sys.* tables, /metrics) -------------------------------------
+  /// In-flight statements (oldest first), then recent finished ones (newest
+  /// first). In-flight rows carry live elapsed/delta computed at call time.
+  std::vector<StatementRow> Statements() const;
+  std::vector<SessionRow> Sessions() const;
+  int64_t sessions_active() const;
+  int64_t statements_inflight() const;
+  int64_t statements_begun() const;
+
+  /// The statement id the calling thread is executing under, or 0. Captured
+  /// by ExecContext so worker threads inherit it from the statement thread.
+  static uint64_t CurrentThreadStatement();
+
+  /// Drops all state (test seam; callers must ensure no statement is in
+  /// flight).
+  void Reset();
+
+ private:
+  struct SessionState {
+    std::string peer;
+    int64_t begin_nanos = 0;
+    uint64_t statements = 0;
+    uint64_t inflight_statement = 0;
+  };
+  struct StatementState {
+    uint64_t session_id = 0;
+    std::string text;
+    std::string phase;
+    int64_t begin_nanos = 0;
+    MetricsRegistry* metrics = nullptr;  ///< alive while the statement runs
+    MetricsSnapshot begin_metrics;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_statement_id_ = 1;
+  uint64_t statements_begun_ = 0;
+  std::map<uint64_t, SessionState> sessions_;
+  std::map<uint64_t, StatementState> inflight_;
+  std::deque<StatementRow> recent_;  ///< newest first, bounded
+};
+
+/// RAII registration of one statement in the global registry. Construct on
+/// the statement thread before parsing; the destructor finishes the row.
+/// Sets the thread-local statement id for the scope's lifetime (saving and
+/// restoring any outer value, so nested ExecuteStatement calls attribute to
+/// the innermost statement).
+class StatementScope {
+ public:
+  StatementScope(uint64_t session_id, const std::string& text,
+                 MetricsRegistry* metrics);
+  ~StatementScope();
+
+  StatementScope(const StatementScope&) = delete;
+  StatementScope& operator=(const StatementScope&) = delete;
+
+  uint64_t id() const { return id_; }
+  int64_t ElapsedNanos() const;
+  void set_ok(bool ok) { ok_ = ok; }
+  void set_rows(uint64_t rows) { rows_ = rows; }
+
+ private:
+  uint64_t id_;
+  uint64_t saved_thread_statement_;
+  int64_t begin_nanos_;
+  bool ok_ = true;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace obs
+}  // namespace bulkdel
+
+#endif  // BULKDEL_OBS_STATEMENT_REGISTRY_H_

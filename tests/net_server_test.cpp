@@ -6,11 +6,16 @@
 
 #include "net/server.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,6 +26,7 @@
 #include "core/sql.h"
 #include "fault/crash_sweep.h"
 #include "net/client.h"
+#include "util/json.h"
 
 namespace bulkdel {
 namespace net {
@@ -31,6 +37,40 @@ std::unique_ptr<Database> MakeDb(DatabaseOptions options = {}) {
     options.memory_budget_bytes = 512 * 1024;
   }
   return *Database::Create(std::move(options));
+}
+
+/// One raw HTTP exchange against the /metrics endpoint: send `request`
+/// verbatim, read to EOF (the server closes after each response).
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+std::string HttpGetMetrics(uint16_t port, const std::string& path) {
+  return HttpExchange(
+      port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
 }
 
 TEST(NetServer, StartStopIdempotent) {
@@ -214,6 +254,198 @@ TEST(NetServer, GracefulShutdownDrainsInFlightStatement) {
   // New connections are refused after Stop.
   auto late = Client::Connect("127.0.0.1", port);
   EXPECT_TRUE(!late.ok() || !late->Ping().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Live observability plane: /metrics endpoint, sys.* over the wire,
+// slow-query capture
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, MetricsEndpointServesPrometheusText) {
+  auto db = MakeDb();
+  ServerOptions options;
+  options.metrics_port = 0;  // ephemeral
+  auto server = *Server::Start(db.get(), options);
+  ASSERT_GT(server->metrics_port(), 0);
+
+  // Move some counters so the exposition carries live traffic.
+  auto client = *Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.Execute("CREATE TABLE T (A INT)").ok());
+  ASSERT_TRUE(client.Execute("INSERT INTO T VALUES (1)").ok());
+
+  std::string reply = HttpGetMetrics(server->metrics_port(), "/metrics");
+  EXPECT_EQ(reply.substr(0, 15), "HTTP/1.1 200 OK") << reply;
+  EXPECT_NE(reply.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(reply.find("# TYPE bulkdel_net_conns gauge\n"),
+            std::string::npos) << reply;
+  EXPECT_NE(reply.find("bulkdel_net_accepted 1\n"), std::string::npos);
+  EXPECT_NE(reply.find("bulkdel_net_req_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  // Registry-external gauges from the statement registry ride along.
+  EXPECT_NE(reply.find("bulkdel_sessions_active"), std::string::npos);
+  EXPECT_NE(reply.find("bulkdel_statements_total"), std::string::npos);
+
+  // Wrong path and wrong method are typed HTTP errors, not hangs.
+  EXPECT_EQ(HttpGetMetrics(server->metrics_port(), "/nope").substr(0, 12),
+            "HTTP/1.1 404");
+  EXPECT_EQ(HttpExchange(server->metrics_port(),
+                         "POST /metrics HTTP/1.1\r\n\r\n")
+                .substr(0, 12),
+            "HTTP/1.1 405");
+
+  client.Close();
+  ASSERT_TRUE(server->Stop().ok());
+  // The endpoint dies with the server.
+  EXPECT_EQ(HttpGetMetrics(server->metrics_port(), "/metrics"), "");
+}
+
+TEST(NetServer, SlowQueryCaptureWritesTracecatConsumableRecords) {
+  std::string path = ::testing::TempDir() + "/net_slow_query_test.jsonl";
+  std::remove(path.c_str());
+  auto db = MakeDb();
+  ServerOptions options;
+  options.slow_query_ns = 1;  // everything is slow
+  options.slow_query_log = path;
+  auto server = *Server::Start(db.get(), options);
+  auto client = *Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.Execute("CREATE TABLE T (A INT, B INT)").ok());
+  ASSERT_TRUE(client.Execute("CREATE UNIQUE INDEX ON T (A)").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(client.Execute("INSERT INTO T VALUES (" + std::to_string(i) +
+                               ", " + std::to_string(i) + ")")
+                    .ok());
+  }
+  ASSERT_TRUE(client.Execute("DELETE FROM T WHERE A IN (1, 2, 3)").ok());
+  client.Close();
+  EXPECT_GT(server->slow_queries_logged(), 0u);
+  ASSERT_TRUE(server->Stop().ok());
+
+  std::ifstream in(path);
+  std::string line;
+  int records = 0, delete_reports = 0;
+  while (std::getline(in, line)) {
+    ++records;
+    auto rec = json::Parse(line);
+    ASSERT_TRUE(rec.ok()) << line;
+    EXPECT_GT(rec->IntOr("session"), 0) << line;
+    EXPECT_GT(rec->IntOr("elapsed_ns"), 0);
+    const json::Value* report = rec->Find("report");
+    if (report != nullptr) {
+      ++delete_reports;
+      // The span subtree bulkdel_tracecat --slowlog walks.
+      const json::Value* phases = report->Find("phases");
+      ASSERT_NE(phases, nullptr) << line;
+      EXPECT_FALSE(phases->array.empty());
+    }
+  }
+  EXPECT_EQ(records, 53);
+  EXPECT_EQ(delete_reports, 1);
+  std::remove(path.c_str());
+}
+
+// TSan-covered: continuous /metrics scrapes and sys.statements queries race
+// a bulk delete and three socket updaters. The plane must stay readable and
+// data-race-free while secondary indices are off-line, and the SQL result
+// must survive VerifyIntegrity.
+TEST(NetServer, ObservabilityPlaneUnderConcurrentLoad) {
+  DatabaseOptions db_options;
+  db_options.memory_budget_bytes = 512 * 1024;
+  db_options.concurrency = ConcurrencyProtocol::kSideFile;
+  auto db = MakeDb(std::move(db_options));
+  ServerOptions options;
+  options.metrics_port = 0;
+  auto server = *Server::Start(db.get(), options);
+  uint16_t port = server->port();
+  uint16_t http_port = server->metrics_port();
+
+  const int kUpdaters = 3;
+  const int64_t kPreload = 600;
+  {
+    auto setup = *Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(setup.Execute("CREATE TABLE R (A INT, B INT, C INT)").ok());
+    ASSERT_TRUE(setup.Execute("CREATE UNIQUE INDEX ON R (A)").ok());
+    ASSERT_TRUE(setup.Execute("CREATE INDEX ON R (B)").ok());
+    for (int64_t k = 1; k <= kPreload; ++k) {
+      ASSERT_TRUE(setup.Execute("INSERT INTO R VALUES (" + std::to_string(k) +
+                                ", " + std::to_string(k % 31) + ", " +
+                                std::to_string(k % 17) + ")")
+                      .ok());
+    }
+  }
+  std::string bulk_delete = "DELETE FROM R WHERE A IN (";
+  for (int64_t k = 1; k <= kPreload / 2; ++k) {
+    bulk_delete += (k > 1 ? ", " : "") + std::to_string(k * 2);
+  }
+  bulk_delete += ")";
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> scrapes{0};
+  std::atomic<int> sys_queries{0};
+  std::atomic<bool> saw_running_statement{false};
+
+  std::thread observer([&] {
+    auto conn = Client::Connect("127.0.0.1", port);
+    if (!conn.ok()) {
+      ++failures;
+      return;
+    }
+    while (!done.load(std::memory_order_acquire)) {
+      std::string scraped = HttpGetMetrics(http_port, "/metrics");
+      if (scraped.substr(0, 15) == "HTTP/1.1 200 OK" &&
+          scraped.find("bulkdel_net_conns") != std::string::npos) {
+        ++scrapes;
+      } else {
+        ++failures;
+      }
+      auto r = conn->Execute("SELECT * FROM sys.statements");
+      if (r.ok()) {
+        ++sys_queries;
+        // The probe's own SELECT is always in flight while rendering, so
+        // every reply deterministically shows at least one "run" row.
+        if (r->find(" run ") != std::string::npos) {
+          saw_running_statement.store(true, std::memory_order_relaxed);
+        }
+      } else {
+        ++failures;
+      }
+    }
+  });
+  std::vector<std::thread> updaters;
+  for (int t = 0; t < kUpdaters; ++t) {
+    updaters.emplace_back([&, t] {
+      auto conn = Client::Connect("127.0.0.1", port);
+      if (!conn.ok()) {
+        ++failures;
+        return;
+      }
+      int64_t base = (static_cast<int64_t>(t) + 1) << 32;
+      int64_t next = 0;
+      while (!done.load(std::memory_order_acquire) || next < 10) {
+        auto r = conn->Execute("INSERT INTO R VALUES (" +
+                               std::to_string(base + next) + ", 1, 2)");
+        if (!r.ok()) {
+          ++failures;
+          break;
+        }
+        ++next;
+      }
+    });
+  }
+  {
+    auto conn = *Client::Connect("127.0.0.1", port);
+    auto r = conn.Execute(bulk_delete);
+    if (!r.ok()) ++failures;
+    done.store(true, std::memory_order_release);
+  }
+  observer.join();
+  for (std::thread& t : updaters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_GT(sys_queries.load(), 0);
+  EXPECT_TRUE(saw_running_statement.load());
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
 }
 
 // The acceptance test: N concurrent socket sessions run disjoint-range DML

@@ -6,12 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "core/database.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/statement_registry.h"
 #include "obs/trace_recorder.h"
 #include "util/json.h"
 #include "workload/generator.h"
@@ -78,6 +83,25 @@ TEST(MetricsTest, SnapshotDeltaIsPerStatement) {
   ASSERT_NE(hs, nullptr);
   EXPECT_EQ(hs->count, 2);
   EXPECT_EQ(hs->sum, 33);
+}
+
+TEST(MetricsTest, ApproxQuantileLoBracketsTheQuantile) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("test.h");
+  for (int i = 0; i < 90; ++i) h->Observe(3);    // bucket 2: (1, 3]
+  for (int i = 0; i < 10; ++i) h->Observe(100);  // bucket 7: (63, 127]
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const obs::HistogramSnapshot* s = snap.FindHistogram("test.h");
+  ASSERT_NE(s, nullptr);
+  // The true quantile lies in (ApproxQuantileLo(q), ApproxQuantile(q)].
+  EXPECT_EQ(s->ApproxQuantileLo(0.5), 1);
+  EXPECT_EQ(s->ApproxQuantile(0.5), 3);
+  EXPECT_EQ(s->ApproxQuantileLo(0.99), 63);
+  EXPECT_EQ(s->ApproxQuantile(0.99), 127);
+  // Empty histogram: both bounds are 0, not garbage.
+  obs::HistogramSnapshot empty;
+  EXPECT_EQ(empty.ApproxQuantileLo(0.5), 0);
+  EXPECT_EQ(empty.ApproxQuantile(0.5), 0);
 }
 
 TEST(MetricsTest, RegistryPointersAreStableAndKindsDoNotAlias) {
@@ -314,6 +338,253 @@ TEST(ObsIdentityTest, UntracedRunStillCountsClockFreeMetrics) {
       report.metrics.FindHistogram(obs::metric_names::kSchedQueueDepth);
   ASSERT_NE(depth, nullptr);
   EXPECT_GT(depth->count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (/metrics)
+// ---------------------------------------------------------------------------
+
+TEST(ExpositionTest, MetricNameSanitizes) {
+  EXPECT_EQ(obs::PrometheusMetricName("bp.fetch_ns"), "bulkdel_bp_fetch_ns");
+  EXPECT_EQ(obs::PrometheusMetricName("net.bytes_in"),
+            "bulkdel_net_bytes_in");
+  EXPECT_EQ(obs::PrometheusMetricName("weird-name!"), "bulkdel_weird_name_");
+}
+
+TEST(ExpositionTest, RendersCountersGaugesAndCumulativeHistograms) {
+  obs::MetricsRegistry registry;
+  registry.counter(obs::metric_names::kWalSyncs)->Add(5);
+  registry.gauge(obs::metric_names::kNetConns)->Set(3);
+  obs::Histogram* h = registry.histogram(obs::metric_names::kWalSyncRecords);
+  h->Observe(0);  // bucket 0
+  h->Observe(3);  // bucket 2
+  h->Observe(3);
+  std::string text = obs::PrometheusText(registry.Snapshot(),
+                                         {{"sessions_active", 7}});
+  // Kinds recovered from the static metric table.
+  EXPECT_NE(text.find("# TYPE bulkdel_wal_syncs counter\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("bulkdel_wal_syncs 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bulkdel_net_conns gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("bulkdel_net_conns 3\n"), std::string::npos);
+  // Histogram buckets are cumulative with le = the log2 bucket's inclusive
+  // upper bound, ending with +Inf == _count.
+  EXPECT_NE(text.find("# TYPE bulkdel_wal_sync_records histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bulkdel_wal_sync_records_bucket{le=\"0\"} 1\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("bulkdel_wal_sync_records_bucket{le=\"3\"} 3\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("bulkdel_wal_sync_records_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("bulkdel_wal_sync_records_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("bulkdel_wal_sync_records_count 3\n"),
+            std::string::npos);
+  // Process-level series outside the registry ride along as gauges.
+  EXPECT_NE(text.find("# TYPE bulkdel_sessions_active gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("bulkdel_sessions_active 7\n"), std::string::npos);
+  // No line is emitted twice (duplicate series break Prometheus ingestion).
+  std::set<std::string> seen;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string line = text.substr(pos, eol - pos);
+    EXPECT_TRUE(seen.insert(line).second) << "duplicate line: " << line;
+    pos = eol + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement registry (sys.sessions / sys.statements backing store)
+// ---------------------------------------------------------------------------
+
+struct StatementRegistryGuard {
+  StatementRegistryGuard() { obs::StatementRegistry::Global().Reset(); }
+  ~StatementRegistryGuard() { obs::StatementRegistry::Global().Reset(); }
+};
+
+TEST(StatementRegistryTest, SessionAndStatementLifecycle) {
+  StatementRegistryGuard guard;
+  obs::StatementRegistry& reg = obs::StatementRegistry::Global();
+  obs::MetricsRegistry metrics;
+
+  uint64_t session = reg.RegisterSession("tcp:42");
+  ASSERT_NE(session, 0u);
+  EXPECT_EQ(reg.sessions_active(), 1);
+  EXPECT_EQ(obs::StatementRegistry::CurrentThreadStatement(), 0u);
+
+  metrics.counter(obs::metric_names::kWalSyncs)->Add(100);
+  {
+    obs::StatementScope scope(session, "DELETE FROM R WHERE A IN (1)",
+                              &metrics);
+    EXPECT_EQ(obs::StatementRegistry::CurrentThreadStatement(), scope.id());
+    EXPECT_EQ(reg.statements_inflight(), 1);
+    metrics.counter(obs::metric_names::kWalSyncs)->Add(3);  // statement work
+    reg.SetPhase(scope.id(), "delete_index:R.A");
+
+    std::vector<obs::StatementRow> rows = reg.Statements();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].id, scope.id());
+    EXPECT_EQ(rows[0].session_id, session);
+    EXPECT_FALSE(rows[0].finished);
+    EXPECT_EQ(rows[0].phase, "delete_index:R.A");
+    // Live delta covers only work since BeginStatement, not the baseline.
+    EXPECT_EQ(rows[0].delta.CounterOr(obs::metric_names::kWalSyncs), 3);
+
+    std::vector<obs::SessionRow> sessions = reg.Sessions();
+    ASSERT_EQ(sessions.size(), 1u);
+    EXPECT_EQ(sessions[0].peer, "tcp:42");
+    EXPECT_EQ(sessions[0].inflight_statement, scope.id());
+    scope.set_ok(true);
+    scope.set_rows(1);
+  }
+  EXPECT_EQ(obs::StatementRegistry::CurrentThreadStatement(), 0u);
+  EXPECT_EQ(reg.statements_inflight(), 0);
+
+  // Finished row moved to the recent ring with its final delta frozen.
+  metrics.counter(obs::metric_names::kWalSyncs)->Add(50);  // post-statement
+  std::vector<obs::StatementRow> rows = reg.Statements();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].finished);
+  EXPECT_TRUE(rows[0].ok);
+  EXPECT_EQ(rows[0].rows, 1u);
+  EXPECT_EQ(rows[0].delta.CounterOr(obs::metric_names::kWalSyncs), 3);
+  EXPECT_EQ(reg.Sessions()[0].statements, 1u);
+  EXPECT_EQ(reg.Sessions()[0].inflight_statement, 0u);
+
+  reg.UnregisterSession(session);
+  EXPECT_EQ(reg.sessions_active(), 0);
+}
+
+TEST(StatementRegistryTest, TextTruncationAndRecentRingBound) {
+  StatementRegistryGuard guard;
+  obs::StatementRegistry& reg = obs::StatementRegistry::Global();
+  std::string huge(10000, 'x');
+  {
+    obs::StatementScope scope(0, huge, nullptr);
+  }
+  std::vector<obs::StatementRow> rows = reg.Statements();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].statement.size(),
+            obs::StatementRegistry::kStatementTextCap);
+  // The finished ring is bounded, newest first.
+  for (int i = 0; i < 100; ++i) {
+    obs::StatementScope scope(0, "stmt " + std::to_string(i), nullptr);
+  }
+  rows = reg.Statements();
+  EXPECT_EQ(rows.size(), obs::StatementRegistry::kRecentStatements);
+  EXPECT_EQ(rows[0].statement, "stmt 99");
+}
+
+TEST(StatementRegistryTest, NestedScopesAttributeToTheInnermost) {
+  StatementRegistryGuard guard;
+  obs::StatementScope outer(0, "outer", nullptr);
+  {
+    obs::StatementScope inner(0, "inner", nullptr);
+    EXPECT_EQ(obs::StatementRegistry::CurrentThreadStatement(), inner.id());
+  }
+  EXPECT_EQ(obs::StatementRegistry::CurrentThreadStatement(), outer.id());
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log
+// ---------------------------------------------------------------------------
+
+TEST(SlowQueryLogTest, ThresholdAppendAndDisabledStates) {
+  std::string path = ::testing::TempDir() + "/slow_query_log_test.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::SlowQueryLog log(path, 1000);
+    ASSERT_TRUE(log.enabled()) << log.open_status().ToString();
+    EXPECT_FALSE(log.Exceeds(1000));  // strictly greater-than
+    EXPECT_TRUE(log.Exceeds(1001));
+    EXPECT_TRUE(log.Append("{\"a\": 1}").ok());
+    EXPECT_TRUE(log.Append("{\"a\": 2}").ok());
+    EXPECT_EQ(log.records(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(json::Parse(line).ok()) << line;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+
+  // threshold <= 0 disables capture entirely.
+  obs::SlowQueryLog off(path, 0);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.Exceeds(INT64_MAX));
+  EXPECT_EQ(off.Append("{}").code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Identity: the statement-attribution plane (registry + phase publication)
+// must not perturb simulated I/O either — same invariant as tracing.
+// ---------------------------------------------------------------------------
+
+BulkDeleteReport RunPlaneDelete(int exec_threads, bool plane) {
+  StatementRegistryGuard guard;
+  DatabaseOptions options;
+  options.memory_budget_bytes = 4ull << 20;
+  options.exec_threads = exec_threads;
+  auto db = *Database::Create(options);
+
+  WorkloadSpec spec;
+  spec.n_tuples = 10000;
+  spec.n_int_columns = 4;
+  spec.tuple_size = 64;
+  auto workload = *SetUpPaperDatabase(db.get(), spec, {"A", "B", "C"});
+
+  BulkDeleteSpec bd;
+  bd.table = "R";
+  bd.key_column = "A";
+  bd.keys = workload.MakeDeleteKeys(0.15, 42);
+
+  obs::StatementRegistry& reg = obs::StatementRegistry::Global();
+  BulkDeleteReport out;
+  if (plane) {
+    uint64_t session = reg.RegisterSession("test");
+    obs::StatementScope scope(session, "DELETE (plane identity)",
+                              &db->metrics());
+    Result<BulkDeleteReport> report =
+        db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (report.ok()) out = *report;
+    // While the scope is open, sys.statements shows the statement in flight
+    // with the last executor phase and a live metrics delta.
+    std::vector<obs::StatementRow> rows = reg.Statements();
+    EXPECT_EQ(rows.size(), 1u);
+    if (!rows.empty()) {
+      EXPECT_EQ(rows[0].id, scope.id());
+      EXPECT_FALSE(rows[0].finished);
+      EXPECT_FALSE(rows[0].phase.empty());  // PhaseScope published via tls
+      EXPECT_GT(rows[0].delta.CounterOr(
+                    obs::metric_names::kSchedPhasesDispatched), 0);
+    }
+    reg.UnregisterSession(session);
+  } else {
+    Result<BulkDeleteReport> report =
+        db->BulkDelete(bd, Strategy::kVerticalSortMerge);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (report.ok()) out = *report;
+  }
+  return out;
+}
+
+TEST(ObsIdentityTest, SimulatedIoBitIdenticalPlaneOnOffSerial) {
+  BulkDeleteReport off = RunPlaneDelete(1, /*plane=*/false);
+  BulkDeleteReport on = RunPlaneDelete(1, /*plane=*/true);
+  ExpectSameSimulatedIo(off, on);
+}
+
+TEST(ObsIdentityTest, SimulatedIoBitIdenticalPlaneOnOffParallel) {
+  BulkDeleteReport off = RunPlaneDelete(4, /*plane=*/false);
+  BulkDeleteReport on = RunPlaneDelete(4, /*plane=*/true);
+  ExpectSameSimulatedIo(off, on);
 }
 
 TEST(ObsExplainTest, ExplainListsMetricsAndTraceCategories) {

@@ -4,7 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "core/database.h"
+#include "obs/slow_query_log.h"
+#include "obs/statement_registry.h"
+#include "util/json.h"
 
 namespace bulkdel {
 namespace {
@@ -254,6 +260,195 @@ TEST_F(SqlTest, SessionStrategyAndDropIndex) {
   EXPECT_FALSE(
       ExecuteStatement(db_.get(), &session, "DROP INDEX ON R (B)").ok());
   ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+// ---------------------------------------------------------------------------
+// sys.* virtual tables + SHOW sugar + slow-query capture
+// ---------------------------------------------------------------------------
+
+/// sys.sessions / sys.statements read process-global state; each test starts
+/// and ends from a clean registry so ordering does not leak between tests.
+struct RegistryReset {
+  RegistryReset() { obs::StatementRegistry::Global().Reset(); }
+  ~RegistryReset() { obs::StatementRegistry::Global().Reset(); }
+};
+
+TEST_F(SqlTest, SysMetricsAndHistogramsSelect) {
+  RegistryReset reset;
+  // Generate some metric traffic first so value columns are nonzero.
+  ASSERT_TRUE(
+      ExecuteStatement(db_.get(), "DELETE FROM R WHERE A IN (1, 2, 3)").ok());
+  auto r = ExecuteStatement(db_.get(), "SELECT * FROM sys.metrics");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Header row then one row per registered metric, counters and histograms.
+  EXPECT_NE(r->find("name"), std::string::npos) << *r;
+  EXPECT_NE(r->find("kind"), std::string::npos);
+  EXPECT_NE(r->find("sched.phases_dispatched"), std::string::npos) << *r;
+  EXPECT_NE(r->find("bp.fetch_ns"), std::string::npos);
+  EXPECT_NE(r->find("net.conns"), std::string::npos);
+
+  // Nonzero buckets (and only those) show as per-bucket rows with their
+  // (lo, hi] edges and cumulative counts.
+  db_->metrics().histogram(obs::metric_names::kWalSyncRecords)->Observe(5);
+  r = ExecuteStatement(db_.get(), "SELECT * FROM sys.histograms");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("bucket"), std::string::npos) << *r;
+  EXPECT_NE(r->find("cum"), std::string::npos);
+  EXPECT_NE(r->find("wal.sync_records"), std::string::npos) << *r;
+}
+
+TEST_F(SqlTest, SysSessionsAndStatementsSelect) {
+  RegistryReset reset;
+  obs::StatementRegistry& reg = obs::StatementRegistry::Global();
+  SqlSession session;
+  session.session_id = reg.RegisterSession("test:1");
+  ASSERT_TRUE(ExecuteStatement(db_.get(), &session,
+                               "DELETE FROM R WHERE A IN (10, 11)")
+                  .ok());
+  auto r = ExecuteStatement(db_.get(), &session, "SELECT * FROM sys.sessions");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("test:1"), std::string::npos) << *r;
+
+  r = ExecuteStatement(db_.get(), &session, "SELECT * FROM sys.statements");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The finished DELETE is in the recent ring with its row count; the
+  // SELECT itself shows as in-flight (state "run").
+  EXPECT_NE(r->find("DELETE FROM R WHERE A IN (10, 11)"), std::string::npos)
+      << *r;
+  EXPECT_NE(r->find("ok"), std::string::npos);
+  EXPECT_NE(r->find("run"), std::string::npos) << *r;
+  EXPECT_NE(r->find("SELECT * FROM sys.statements"), std::string::npos);
+  reg.UnregisterSession(session.session_id);
+}
+
+TEST_F(SqlTest, ShowMetricsAndSessionsAreSysSugar) {
+  RegistryReset reset;
+  auto show = ExecuteStatement(db_.get(), "SHOW METRICS");
+  auto select = ExecuteStatement(db_.get(), "SELECT * FROM sys.metrics");
+  ASSERT_TRUE(show.ok()) << show.status().ToString();
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  EXPECT_EQ(*show, *select);
+  auto sessions = ExecuteStatement(db_.get(), "SHOW SESSIONS");
+  ASSERT_TRUE(sessions.ok()) << sessions.status().ToString();
+  EXPECT_NE(sessions->find("session"), std::string::npos) << *sessions;
+}
+
+TEST_F(SqlTest, SysSelectTypedErrors) {
+  // Unknown sys table: NotFound naming the known ones.
+  auto r = ExecuteStatement(db_.get(), "SELECT * FROM sys.nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound)
+      << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("sys.metrics"), std::string::npos);
+  // SELECT * over a data table stays unsupported, with a typed error.
+  r = ExecuteStatement(db_.get(), "SELECT * FROM R");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Bad SHOW argument names all three options.
+  r = ExecuteStatement(db_.get(), "SHOW GIBBERISH");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("SESSIONS"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SqlTest, SlowQueryCaptureWritesParseableRecordsWithReports) {
+  RegistryReset reset;
+  std::string path = ::testing::TempDir() + "/sql_slow_query_test.jsonl";
+  std::remove(path.c_str());
+  obs::SlowQueryLog log(path, 1);  // 1 ns: every statement is "slow"
+  ASSERT_TRUE(log.enabled()) << log.open_status().ToString();
+  SqlSession session;
+  session.session_id = obs::StatementRegistry::Global().RegisterSession("t");
+  session.slow_log = &log;
+  ASSERT_TRUE(ExecuteStatement(db_.get(), &session,
+                               "DELETE FROM R WHERE A IN (20, 21, 22)")
+                  .ok());
+  // Failed statements are captured too, with their error text.
+  EXPECT_FALSE(
+      ExecuteStatement(db_.get(), &session, "DELETE FROM nope WHERE A IN (1)")
+          .ok());
+  obs::StatementRegistry::Global().UnregisterSession(session.session_id);
+  EXPECT_EQ(log.records(), 2u);
+
+  std::ifstream in(path);
+  std::string line;
+  int deletes_with_report = 0, errors = 0;
+  while (std::getline(in, line)) {
+    auto rec = json::Parse(line);
+    ASSERT_TRUE(rec.ok()) << line;
+    EXPECT_GT(rec->IntOr("elapsed_ns"), 0);
+    EXPECT_EQ(rec->IntOr("threshold_ns"), 1);
+    const json::Value* report = rec->Find("report");
+    if (report != nullptr) {
+      ++deletes_with_report;
+      // The embedded BulkDeleteReport carries the phase spans tracecat
+      // consumes and the simulated I/O totals.
+      EXPECT_NE(report->Find("phases"), nullptr) << line;
+      const json::Value* io = report->Find("io");
+      ASSERT_NE(io, nullptr);
+      // A 3-key delete may be fully cached (0 reads); the totals just have
+      // to be present and sane.
+      EXPECT_NE(io->Find("reads"), nullptr) << line;
+      EXPECT_GE(io->IntOr("simulated_micros"), 0);
+    }
+    if (rec->Find("error") != nullptr) ++errors;
+  }
+  EXPECT_EQ(deletes_with_report, 1);
+  EXPECT_EQ(errors, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(SqlTest, PlaneOnOffSqlRunsAreMetricIdentical) {
+  // The full plane (session registration + attribution + slow-query capture)
+  // must not change what the engine does: two identical statement streams,
+  // one under the plane and one bare, land on identical deterministic
+  // counters and identical data.
+  RegistryReset reset;
+  std::string path = ::testing::TempDir() + "/sql_plane_identity.jsonl";
+  std::remove(path.c_str());
+  auto run = [&](bool plane) {
+    DatabaseOptions options;
+    options.memory_budget_bytes = 256 * 1024;
+    auto db = *Database::Create(options);
+    obs::SlowQueryLog log(path, plane ? 1 : 0);
+    SqlSession session;
+    if (plane) {
+      session.session_id =
+          obs::StatementRegistry::Global().RegisterSession("t");
+      session.slow_log = &log;
+    }
+    auto exec = [&](const std::string& s) {
+      auto r = ExecuteStatement(db.get(), &session, s);
+      EXPECT_TRUE(r.ok()) << s << " -> " << r.status().ToString();
+    };
+    exec("CREATE TABLE T (A INT, B INT)");
+    exec("CREATE UNIQUE INDEX ON T (A)");
+    exec("CREATE INDEX ON T (B)");
+    for (int64_t i = 0; i < 200; ++i) {
+      exec("INSERT INTO T VALUES (" + std::to_string(i) + ", " +
+           std::to_string(i % 7) + ")");
+    }
+    exec("DELETE FROM T WHERE A BETWEEN 50 AND 149");
+    auto count = ExecuteStatement(db.get(), &session, "SELECT COUNT(*) FROM T");
+    EXPECT_TRUE(count.ok());
+    if (plane) {
+      obs::StatementRegistry::Global().UnregisterSession(session.session_id);
+      EXPECT_GT(log.records(), 0u);
+    }
+    obs::MetricsSnapshot snap = db->metrics().Snapshot();
+    return std::make_pair(count.ok() ? *count : std::string(), snap);
+  };
+  auto [count_off, off] = run(false);
+  auto [count_on, on] = run(true);
+  EXPECT_EQ(count_off, "count = 100");
+  EXPECT_EQ(count_on, count_off);
+  for (const char* name :
+       {"sched.phases_dispatched", "ckpt.inline", "ckpt.deferred",
+        "leaf.pages_reorganized", "disk.write_runs", "disk.syncs"}) {
+    EXPECT_EQ(off.CounterOr(name), on.CounterOr(name)) << name;
+  }
+  std::remove(path.c_str());
 }
 
 TEST_F(SqlTest, ExecuteSqlEndToEnd) {

@@ -40,9 +40,10 @@ regression of the range path as a normal entry.
 
 --server (repeatable, one file per backend leg) ingests the summary JSON
 written by `bulkdel_loadgen --json-out=...`: per backend it records sustained
-throughput and tail latency (p50/p99/p999) for each op class served by the
-network server, plus the durability and side-file counters sampled over the
-run. Ingestion *fails* if any op class ran zero ops, is missing p999, or the
+throughput and tail latency (p50/p99/p999, with the log2-bucket lower bound
+of each quantile as p*_us_lo when the loadgen emitted it) for each op class
+served by the network server, plus the durability and side-file counters
+sampled over the run. Ingestion *fails* if any op class ran zero ops, is missing p999, or the
 total throughput is absent — the CI server-loadtest job must not silently
 record a loadgen run that didn't actually exercise the mix.
 
@@ -181,6 +182,12 @@ def summarize_server(paths):
                 if field not in stats:
                     return None, f"{path}: {op} missing {field}"
                 per.setdefault(f"{op}_{field}", []).append(stats[field])
+            # Log2-bucket lower bounds (the true quantile is in
+            # (*_us_lo, *_us]); optional so pre-existing loadgen files
+            # without them still ingest.
+            for field in ("p50_us_lo", "p99_us_lo", "p999_us_lo"):
+                if field in stats:
+                    per.setdefault(f"{op}_{field}", []).append(stats[field])
         metrics = run.get("metrics", {})
         for counter in ("wal.fsyncs", "disk.syncs", "sidefile.appends",
                         "net.rejected"):

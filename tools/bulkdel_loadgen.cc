@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -83,7 +85,16 @@ int Usage(const char* argv0) {
       "  --max-sessions=N     server admission bound (default clients+4)\n"
       "  --json-out=PATH      write the machine-readable summary here\n"
       "  --server-log=PATH    append the server's session log here\n"
-      "  --connect=HOST:PORT  drive an external server instead of spawning\n",
+      "  --connect=HOST:PORT  drive an external server instead of spawning\n"
+      "  --metrics-port=P     expose GET /metrics on 127.0.0.1:P during the\n"
+      "                       run (0 = ephemeral; default off; spawn only)\n"
+      "  --trace-spans=on|off enable the span recorder so *_ns phase\n"
+      "                       histograms (bp.fetch_ns, ...) populate (off)\n"
+      "  --slow-query-ns=N    statements slower than N ns land in the\n"
+      "                       slow-query JSONL (0 = off; spawn only)\n"
+      "  --slow-query-log=P   slow-query JSONL path (with --slow-query-ns)\n"
+      "  --probe-ms=N         every N ms an extra session SELECTs\n"
+      "                       sys.statements and records what it saw (off)\n",
       argv0);
   return 2;
 }
@@ -140,6 +151,11 @@ struct Config {
   std::string server_log;
   std::string connect_host;
   uint16_t connect_port = 0;
+  int metrics_port = -1;  // -1 = no /metrics endpoint, 0 = ephemeral
+  bool trace_spans = false;
+  int64_t slow_query_ns = 0;
+  std::string slow_query_log;
+  int probe_ms = 0;  // 0 = no sys.statements probe session
 };
 
 std::string InsertStatement(int64_t key) {
@@ -243,6 +259,50 @@ void RunClient(const Config& cfg, const std::string& host, uint16_t port,
   }
 }
 
+/// What the sys.statements probe session observed during the run. The probe
+/// is an ordinary client: it proves the observability plane answers over the
+/// wire while the workload races, not just in-process.
+struct ProbeStats {
+  int64_t scrapes = 0;   ///< successful SELECT * FROM sys.statements replies
+  int64_t errors = 0;
+  bool saw_inflight_delete = false;  ///< a DELETE row with state "run"
+  std::string phase_seen;            ///< its phase column, e.g. "delete_index"
+};
+
+void RunProbe(const std::string& host, uint16_t port, int interval_ms,
+              const std::atomic<bool>* stop, ProbeStats* stats) {
+  Result<Client> conn = Client::Connect(host, port);
+  if (!conn.ok()) {
+    stats->errors = 1;
+    return;
+  }
+  Client client = std::move(*conn);
+  while (!stop->load(std::memory_order_acquire)) {
+    Result<std::string> reply = client.Execute("SELECT * FROM sys.statements");
+    if (!reply.ok()) {
+      ++stats->errors;
+      if (!client.connected()) break;
+    } else {
+      ++stats->scrapes;
+      // Rows: id session state phase elapsed_us rows d_wal d_phases stmt...
+      std::istringstream lines(*reply);
+      std::string line;
+      std::getline(lines, line);  // header
+      while (std::getline(lines, line)) {
+        std::istringstream cols(line);
+        std::string id, session, state, phase;
+        cols >> id >> session >> state >> phase;
+        if (state == "run" && line.find("DELETE") != std::string::npos) {
+          stats->saw_inflight_delete = true;
+          if (phase != "-") stats->phase_seen = phase;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  client.Close();
+}
+
 void AppendOpJson(std::string* out, const char* name, const OpStats& s,
                   double elapsed_s) {
   *out += "\"";
@@ -254,12 +314,22 @@ void AppendOpJson(std::string* out, const char* name, const OpStats& s,
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.1f", rate);
   *out += std::string(", \"ops_per_sec\": ") + buf;
+  // Each quantile is a log2-bucket: *_us is the bucket's inclusive upper
+  // bound, *_us_lo its exclusive lower bound, so the true quantile lies in
+  // (*_us_lo, *_us]. Reporting only the upper bound overstates latency by up
+  // to 2x at the tail — consumers that care about quantization keep both.
   *out += ", \"p50_us\": " +
           std::to_string(s.latency_ns.ApproxQuantile(0.5) / 1000);
+  *out += ", \"p50_us_lo\": " +
+          std::to_string(s.latency_ns.ApproxQuantileLo(0.5) / 1000);
   *out += ", \"p99_us\": " +
           std::to_string(s.latency_ns.ApproxQuantile(0.99) / 1000);
+  *out += ", \"p99_us_lo\": " +
+          std::to_string(s.latency_ns.ApproxQuantileLo(0.99) / 1000);
   *out += ", \"p999_us\": " +
           std::to_string(s.latency_ns.ApproxQuantile(0.999) / 1000);
+  *out += ", \"p999_us_lo\": " +
+          std::to_string(s.latency_ns.ApproxQuantileLo(0.999) / 1000);
   *out += ", \"max_us\": " + std::to_string(s.max_ns / 1000);
   *out += ", \"errors\": " + std::to_string(s.errors) + "}";
 }
@@ -319,6 +389,16 @@ int main(int argc, char** argv) {
       if (colon == std::string::npos) return Usage(argv[0]);
       cfg.connect_host = v.substr(0, colon);
       cfg.connect_port = static_cast<uint16_t>(std::stoi(v.substr(colon + 1)));
+    } else if (ParseFlag(argv[i], "metrics-port", &v)) {
+      cfg.metrics_port = std::stoi(v);
+    } else if (ParseFlag(argv[i], "trace-spans", &v)) {
+      cfg.trace_spans = v != "off";
+    } else if (ParseFlag(argv[i], "slow-query-ns", &v)) {
+      cfg.slow_query_ns = std::stoll(v);
+    } else if (ParseFlag(argv[i], "slow-query-log", &v)) {
+      cfg.slow_query_log = v;
+    } else if (ParseFlag(argv[i], "probe-ms", &v)) {
+      cfg.probe_ms = std::stoi(v);
     } else {
       return Usage(argv[0]);
     }
@@ -348,6 +428,9 @@ int main(int argc, char** argv) {
     options.memory_budget_bytes = cfg.memory;
     options.enable_recovery_log = true;
     options.wal_group_commit = cfg.wal_group_commit;
+    // The *_ns phase histograms (bp.fetch_ns, ...) only populate while the
+    // span recorder runs; CI's /metrics gate needs them live.
+    options.trace_spans = cfg.trace_spans;
     if (cfg.protocol == "sidefile") {
       options.concurrency = ConcurrencyProtocol::kSideFile;
     } else if (cfg.protocol == "direct") {
@@ -373,6 +456,9 @@ int main(int argc, char** argv) {
     ServerOptions sopts;
     sopts.max_sessions =
         cfg.max_sessions > 0 ? cfg.max_sessions : cfg.clients + 4;
+    sopts.metrics_port = cfg.metrics_port;
+    sopts.slow_query_ns = cfg.slow_query_ns;
+    sopts.slow_query_log = cfg.slow_query_log;
     if (!cfg.server_log.empty()) {
       server_log.open(cfg.server_log, std::ios::app);
       sopts.logger = [&server_log, &log_mu](const std::string& line) {
@@ -391,6 +477,12 @@ int main(int argc, char** argv) {
     server = std::move(*started);
     host = "127.0.0.1";
     port = server->port();
+    if (server->metrics_port() != 0) {
+      // Announce early (and on stderr, away from the JSON summary) so a
+      // scraper started alongside the run can find the endpoint.
+      std::fprintf(stderr, "metrics endpoint: http://%s:%u/metrics\n",
+                   host.c_str(), server->metrics_port());
+    }
   }
 
   // -- Schema + preload (through the socket, like any client) ----------------
@@ -443,6 +535,14 @@ int main(int argc, char** argv) {
       cfg.seconds > 0 ? start_ns + static_cast<int64_t>(cfg.seconds * 1e9)
                       : 0;
   std::vector<ClientState> clients(static_cast<size_t>(cfg.clients));
+  ProbeStats probe;
+  std::atomic<bool> probe_stop{false};
+  std::thread probe_thread;
+  if (cfg.probe_ms > 0) {
+    probe_thread = std::thread([&cfg, &host, port, &probe_stop, &probe] {
+      RunProbe(host, port, cfg.probe_ms, &probe_stop, &probe);
+    });
+  }
   for (int t = 0; t < cfg.clients; ++t) {
     ClientState* state = &clients[static_cast<size_t>(t)];
     std::deque<int64_t> live = std::move(initial[static_cast<size_t>(t)]);
@@ -453,6 +553,10 @@ int main(int argc, char** argv) {
         });
   }
   for (ClientState& c : clients) c.thread.join();
+  if (probe_thread.joinable()) {
+    probe_stop.store(true, std::memory_order_release);
+    probe_thread.join();
+  }
   double elapsed_s =
       static_cast<double>(MonotonicNanos() - start_ns) / 1e9;
 
@@ -502,7 +606,11 @@ int main(int argc, char** argv) {
   boot->Close();
 
   std::string metrics_json = "{}";
+  int64_t slow_queries = 0;
+  int metrics_port = 0;
   if (spawn) {
+    slow_queries = static_cast<int64_t>(server->slow_queries_logged());
+    metrics_port = server->metrics_port();
     Status stopped = server->Stop();
     if (!stopped.ok()) {
       std::fprintf(stderr, "Stop: %s\n", stopped.ToString().c_str());
@@ -525,7 +633,8 @@ int main(int argc, char** argv) {
       bulkdel::json::AppendEscaped(&metrics_json, name);
       metrics_json += ": " + std::to_string(delta.CounterOr(name));
     }
-    for (const char* name : {"net.req_ns", "sched.queue_depth"}) {
+    for (const char* name :
+         {"net.req_ns", "sched.queue_depth", "bp.fetch_ns"}) {
       const bulkdel::obs::HistogramSnapshot* h = delta.FindHistogram(name);
       if (h == nullptr) continue;
       metrics_json += ", ";
@@ -578,7 +687,19 @@ int main(int argc, char** argv) {
   AppendOpJson(&summary, "bulk_delete", delete_stats, elapsed_s);
   summary += ", ";
   AppendOpJson(&summary, "range_delete", range_stats, elapsed_s);
-  summary += "}, \"metrics\": " + metrics_json + "}";
+  summary += "}, \"metrics\": " + metrics_json;
+  summary += ", \"metrics_port\": " + std::to_string(metrics_port);
+  summary += ", \"slow_queries\": " + std::to_string(slow_queries);
+  if (cfg.probe_ms > 0) {
+    summary += ", \"probe\": {\"scrapes\": " + std::to_string(probe.scrapes) +
+               ", \"errors\": " + std::to_string(probe.errors) +
+               ", \"saw_inflight_delete\": " +
+               (probe.saw_inflight_delete ? "true" : "false") +
+               ", \"phase_seen\": ";
+    bulkdel::json::AppendEscaped(&summary, probe.phase_seen);
+    summary += "}";
+  }
+  summary += "}";
 
   std::printf("%s\n", summary.c_str());
   if (!cfg.json_out.empty()) {

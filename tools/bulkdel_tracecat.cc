@@ -6,9 +6,14 @@
 //   - per-thread busy % (span time / trace wall time per lane),
 //   - instant-event counts by name (pool evictions, read-ahead issues, ...),
 //   - with --reports=FILE.jsonl, the top histogram tails aggregated over the
-//     BulkDeleteReport::ToJson lines a bench wrote via --trace-out.
+//     BulkDeleteReport::ToJson lines a bench wrote via --trace-out,
+//   - with --slowlog=FILE.jsonl, the server's slow-query records (see
+//     docs/OBSERVABILITY.md): one header per record and, for DELETEs, the
+//     same critical-path summary as for full Perfetto traces, walked over
+//     the phase spans embedded in the record's BulkDeleteReport.
 //
-// Usage: bulkdel_tracecat TRACE.json [--reports=FILE.jsonl] [--top=N]
+// Usage: bulkdel_tracecat [TRACE.json] [--reports=FILE.jsonl]
+//                         [--slowlog=FILE.jsonl] [--top=N]
 
 #include <algorithm>
 #include <cstdio>
@@ -229,31 +234,100 @@ int PrintHistogramTails(const std::string& path, size_t top) {
   return 0;
 }
 
+/// One slow-query JSONL record per line: header with attribution, then the
+/// critical path over the embedded report's phase spans (DELETEs). The
+/// record format is produced by the SQL layer's slow-query capture.
+int PrintSlowLog(const std::string& path, size_t top) {
+  (void)top;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  size_t records = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<json::Value> parsed = json::Parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "skipping unparsable slow-query line: %s\n",
+                   parsed.status().ToString().c_str());
+      continue;
+    }
+    const json::Value& rec = *parsed;
+    ++records;
+    const json::Value* ok = rec.Find("ok");
+    bool succeeded = ok == nullptr || ok->boolean;
+    std::printf("%sslow query #%lld  session %lld  %.3f ms (threshold %.3f "
+                "ms)  %s\n",
+                records > 1 ? "\n" : "",
+                static_cast<long long>(rec.IntOr("statement_id")),
+                static_cast<long long>(rec.IntOr("session")),
+                static_cast<double>(rec.IntOr("elapsed_ns")) / 1e6,
+                static_cast<double>(rec.IntOr("threshold_ns")) / 1e6,
+                succeeded ? "ok" : "error");
+    std::string statement = rec.StringOr("statement");
+    std::printf("  %s\n", statement.substr(0, 160).c_str());
+    if (!succeeded) {
+      std::printf("  error: %s\n", rec.StringOr("error").c_str());
+    }
+    const json::Value* report = rec.Find("report");
+    const json::Value* phases =
+        report != nullptr ? report->Find("phases") : nullptr;
+    if (phases == nullptr || phases->kind != json::Value::Kind::kArray) {
+      std::printf("  (no phase spans — not a DELETE)\n");
+      continue;
+    }
+    TraceSummary summary;
+    for (const json::Value& pv : phases->array) {
+      Span span;
+      span.name = pv.StringOr("name");
+      span.cat = "phase";
+      span.parent = pv.StringOr("parent");
+      span.ts = static_cast<double>(pv.IntOr("begin_micros"));
+      span.dur = static_cast<double>(pv.IntOr("end_micros") -
+                                     pv.IntOr("begin_micros"));
+      span.tid = pv.IntOr("thread_id");
+      summary.spans.push_back(std::move(span));
+    }
+    PrintCriticalPath(summary);
+  }
+  std::printf("%s%zu slow-query record(s) in %s\n", records > 0 ? "\n" : "",
+              records, path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   std::string trace_path;
   std::string reports_path;
+  std::string slowlog_path;
   size_t top = 12;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--reports=", 10) == 0) {
       reports_path = arg + 10;
+    } else if (std::strncmp(arg, "--slowlog=", 10) == 0) {
+      slowlog_path = arg + 10;
     } else if (std::strncmp(arg, "--top=", 6) == 0) {
       top = std::strtoull(arg + 6, nullptr, 10);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "usage: bulkdel_tracecat TRACE.json [--reports=FILE.jsonl] "
-          "[--top=N]\n"
+          "usage: bulkdel_tracecat [TRACE.json] [--reports=FILE.jsonl] "
+          "[--slowlog=FILE.jsonl] [--top=N]\n"
           "TRACE.json: Chrome trace from a bench --perfetto-out=FILE run\n"
           "--reports:  BulkDeleteReport JSONL from --trace-out=FILE, for "
-          "histogram tails\n");
+          "histogram tails\n"
+          "--slowlog:  server slow-query JSONL (--slow-query-ns capture); "
+          "prints the critical path per record\n");
       return 0;
     } else if (arg[0] != '-') {
       trace_path = arg;
     }
   }
-  if (trace_path.empty() && reports_path.empty()) {
+  if (trace_path.empty() && reports_path.empty() && slowlog_path.empty()) {
     std::fprintf(stderr,
-                 "usage: bulkdel_tracecat TRACE.json [--reports=FILE.jsonl]\n");
+                 "usage: bulkdel_tracecat [TRACE.json] [--reports=FILE.jsonl] "
+                 "[--slowlog=FILE.jsonl]\n");
     return 1;
   }
   if (!trace_path.empty()) {
@@ -269,6 +343,11 @@ int Run(int argc, char** argv) {
     PrintCriticalPath(*summary);
     PrintThreadBusy(*summary);
     PrintInstants(*summary, top);
+  }
+  if (!slowlog_path.empty()) {
+    if (!trace_path.empty()) std::printf("\n");
+    int rc = PrintSlowLog(slowlog_path, top);
+    if (rc != 0) return rc;
   }
   if (!reports_path.empty()) {
     return PrintHistogramTails(reports_path, top);
