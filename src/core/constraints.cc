@@ -1,6 +1,7 @@
 #include "core/constraints.h"
 
 #include <algorithm>
+#include <map>
 
 #include "exec/hash_delete.h"
 #include "sort/external_sort.h"
@@ -9,30 +10,44 @@ namespace bulkdel {
 
 namespace {
 
-/// Values of `column` among the doomed rows. Fast path: the FK references
-/// the delete-key column itself, so the delete list *is* the value list.
-/// Otherwise: one read-only merge lookup on the key index yields the doomed
-/// RIDs; fetching the rows in RID order yields the values.
-Result<std::vector<int64_t>> DoomedValuesOfColumn(
-    Database* db, TableDef* table, const BulkDeleteSpec& spec, int column) {
+/// Shared Phase-A derivation: the doomed rows' values of every column in
+/// `columns`, each sorted ascending. The delete-key column is served from
+/// the delete list (or the range scan) directly; all other columns share
+/// ONE RID derivation (index merge lookup / range scan / hash-probed scan),
+/// ONE RID sort and ONE fetch pass that projects every requested column —
+/// this is the "share one sort of the key set across all FK fan-out" of
+/// ROADMAP item 4. Naive mode calls this once per FK with a single column,
+/// re-running the whole derivation each time (the ablation baseline).
+Result<std::map<int, std::vector<int64_t>>> DeriveDoomedColumnValues(
+    Database* db, TableDef* table, const BulkDeleteSpec& spec,
+    const std::set<int>& columns) {
   const Schema& schema = *table->schema;
   int key_column = schema.FindColumn(spec.key_column);
   IndexDef* key_index =
       key_column >= 0 ? table->FindIndexOnColumn(key_column) : nullptr;
 
+  std::map<int, std::vector<int64_t>> out;
+  const bool want_key = columns.count(key_column) > 0;
+  std::vector<int> fetch_columns;
+  for (int c : columns) {
+    if (c != key_column) fetch_columns.push_back(c);
+  }
+
   std::vector<Rid> rids;
+  std::vector<int64_t> keys;
   if (spec.is_range()) {
-    // Range predicate: FK processing is the one consumer that genuinely
-    // needs the doomed values materialized, so do it here — a read-only
-    // index range scan when the key column is indexed, one predicate scan
-    // otherwise. An empty/inverted range dooms nothing.
-    if (spec.range_empty()) return std::vector<int64_t>{};
-    std::vector<int64_t> keys;
+    // Range predicate: one read-only index range scan when the key column
+    // is indexed, one predicate scan otherwise. An empty/inverted range
+    // dooms nothing.
+    if (spec.range_empty()) {
+      for (int c : columns) out[c] = {};
+      return out;
+    }
     if (key_index != nullptr) {
       BULKDEL_RETURN_IF_ERROR(key_index->tree->RangeScan(
           spec.range_lo, spec.range_hi, [&](int64_t key, const Rid& rid) {
-            keys.push_back(key);
-            rids.push_back(rid);
+            if (want_key) keys.push_back(key);
+            if (!fetch_columns.empty()) rids.push_back(rid);
             return Status::OK();
           }));
     } else {
@@ -41,50 +56,58 @@ Result<std::vector<int64_t>> DoomedValuesOfColumn(
             int64_t key =
                 schema.GetInt(tuple, static_cast<size_t>(key_column));
             if (key >= spec.range_lo && key <= spec.range_hi) {
-              keys.push_back(key);
-              rids.push_back(rid);
+              if (want_key) keys.push_back(key);
+              if (!fetch_columns.empty()) rids.push_back(rid);
             }
             return Status::OK();
           }));
       std::sort(keys.begin(), keys.end());
     }
-    if (column == key_column) return keys;
   } else {
     std::vector<int64_t> sorted_keys = spec.keys;
     std::sort(sorted_keys.begin(), sorted_keys.end());
-    if (column == key_column) return sorted_keys;
-
-    if (key_index != nullptr) {
-      BULKDEL_RETURN_IF_ERROR(key_index->tree->MergeLookupSortedKeys(
-          sorted_keys, [&](int64_t, const Rid& rid) {
-            rids.push_back(rid);
-            return Status::OK();
-          }));
-    } else {
-      // No access path: one scan probing a key hash.
-      U64HashSet set(sorted_keys.size());
-      for (int64_t k : sorted_keys) set.Insert(static_cast<uint64_t>(k));
-      BULKDEL_RETURN_IF_ERROR(
-          table->table->Scan([&](const Rid& rid, const char* tuple) {
-            if (set.Contains(static_cast<uint64_t>(
-                    schema.GetInt(tuple, static_cast<size_t>(key_column))))) {
+    if (want_key) keys = sorted_keys;
+    if (!fetch_columns.empty()) {
+      if (key_index != nullptr) {
+        BULKDEL_RETURN_IF_ERROR(key_index->tree->MergeLookupSortedKeys(
+            sorted_keys, [&](int64_t, const Rid& rid) {
               rids.push_back(rid);
-            }
-            return Status::OK();
-          }));
+              return Status::OK();
+            }));
+      } else {
+        // No access path: one scan probing a key hash.
+        U64HashSet set(sorted_keys.size());
+        for (int64_t k : sorted_keys) set.Insert(static_cast<uint64_t>(k));
+        BULKDEL_RETURN_IF_ERROR(
+            table->table->Scan([&](const Rid& rid, const char* tuple) {
+              if (set.Contains(static_cast<uint64_t>(schema.GetInt(
+                      tuple, static_cast<size_t>(key_column))))) {
+                rids.push_back(rid);
+              }
+              return Status::OK();
+            }));
+      }
     }
   }
-  BULKDEL_RETURN_IF_ERROR(
-      SortRids(&db->disk(), db->options().memory_budget_bytes, &rids));
-  std::vector<int64_t> values;
-  values.reserve(rids.size());
-  std::vector<char> tuple(schema.tuple_size());
-  for (const Rid& rid : rids) {
-    BULKDEL_RETURN_IF_ERROR(table->table->Get(rid, tuple.data()));
-    values.push_back(schema.GetInt(tuple.data(), static_cast<size_t>(column)));
+  if (want_key) out[key_column] = std::move(keys);
+
+  if (!fetch_columns.empty()) {
+    BULKDEL_RETURN_IF_ERROR(
+        SortRids(&db->disk(), db->options().memory_budget_bytes, &rids));
+    for (int c : fetch_columns) out[c].reserve(rids.size());
+    std::vector<char> tuple(schema.tuple_size());
+    for (const Rid& rid : rids) {
+      BULKDEL_RETURN_IF_ERROR(table->table->Get(rid, tuple.data()));
+      for (int c : fetch_columns) {
+        out[c].push_back(
+            schema.GetInt(tuple.data(), static_cast<size_t>(c)));
+      }
+    }
+    for (int c : fetch_columns) {
+      std::sort(out[c].begin(), out[c].end());
+    }
   }
-  std::sort(values.begin(), values.end());
-  return values;
+  return out;
 }
 
 /// References in the child to any of `parent_values` (sorted): counted via a
@@ -114,21 +137,41 @@ Result<uint64_t> CountChildReferences(TableDef* child,
 
 }  // namespace
 
-Status ProcessForeignKeysForBulkDelete(Database* db, TableDef* table,
-                                       const BulkDeleteSpec& spec,
-                                       Strategy strategy,
-                                       std::set<std::string>* cascade_path,
-                                       uint64_t* cascaded_rows) {
+Status PlanForeignKeysForBulkDelete(Database* db, TableDef* table,
+                                    const BulkDeleteSpec& spec,
+                                    std::set<std::string>* cascade_path,
+                                    CascadePlan* plan) {
   std::vector<const ForeignKeyDef*> fks;
   for (const ForeignKeyDef& fk : db->catalog().foreign_keys()) {
     if (fk.parent_table == table->name) fks.push_back(&fk);
   }
   if (fks.empty()) return Status::OK();
 
-  for (const ForeignKeyDef* fk : fks) {
+  // Derive the referenced columns' doomed values: shared — one RID
+  // derivation + sort + fetch covering every FK — or re-run per FK when
+  // fk_shared_sort is off (the bench_ablation_cascade baseline).
+  std::vector<std::vector<int64_t>> values_per_fk(fks.size());
+  if (db->options().fk_shared_sort) {
+    std::set<int> columns;
+    for (const ForeignKeyDef* fk : fks) columns.insert(fk->parent_column);
     BULKDEL_ASSIGN_OR_RETURN(
-        std::vector<int64_t> values,
-        DoomedValuesOfColumn(db, table, spec, fk->parent_column));
+        auto by_column, DeriveDoomedColumnValues(db, table, spec, columns));
+    for (size_t i = 0; i < fks.size(); ++i) {
+      values_per_fk[i] = by_column[fks[i]->parent_column];
+    }
+  } else {
+    for (size_t i = 0; i < fks.size(); ++i) {
+      BULKDEL_ASSIGN_OR_RETURN(
+          auto by_column,
+          DeriveDoomedColumnValues(db, table, spec,
+                                   {fks[i]->parent_column}));
+      values_per_fk[i] = std::move(by_column[fks[i]->parent_column]);
+    }
+  }
+
+  for (size_t i = 0; i < fks.size(); ++i) {
+    const ForeignKeyDef* fk = fks[i];
+    std::vector<int64_t>& values = values_per_fk[i];
     values.erase(std::unique(values.begin(), values.end()), values.end());
     TableDef* child = db->GetTable(fk->child_table);
     if (child == nullptr) {
@@ -147,22 +190,30 @@ Status ProcessForeignKeysForBulkDelete(Database* db, TableDef* table,
       }
       continue;
     }
-    // CASCADE: bulk delete the referencing child rows first, recursively.
+    // CASCADE: plan the child leg, recursing first so the flattened plan
+    // lists the deepest descendants ahead of their parents — and so a
+    // RESTRICT anywhere down the chain still fails before any mutation.
     if (cascade_path->count(fk->child_table) > 0) {
       return Status::FailedPrecondition("cyclic cascade through table " +
                                         fk->child_table);
     }
-    BulkDeleteSpec child_spec;
-    child_spec.table = fk->child_table;
-    child_spec.key_column =
+    CascadeChildDelete leg;
+    leg.table = fk->child_table;
+    leg.key_column =
         child->schema->column(static_cast<size_t>(fk->child_column)).name;
-    child_spec.keys = std::move(values);
+    leg.keys = std::move(values);
+
+    BulkDeleteSpec child_spec;
+    child_spec.table = leg.table;
+    child_spec.key_column = leg.key_column;
+    child_spec.keys = leg.keys;
     child_spec.keys_sorted = true;
-    BULKDEL_ASSIGN_OR_RETURN(
-        BulkDeleteReport child_report,
-        db->BulkDeleteWithCascadePath(child_spec, strategy, cascade_path));
-    *cascaded_rows +=
-        child_report.rows_deleted + child_report.cascaded_rows;
+    cascade_path->insert(fk->child_table);
+    Status child_status = PlanForeignKeysForBulkDelete(
+        db, child, child_spec, cascade_path, plan);
+    cascade_path->erase(fk->child_table);
+    BULKDEL_RETURN_IF_ERROR(child_status);
+    plan->children.push_back(std::move(leg));
   }
   return Status::OK();
 }
@@ -193,25 +244,43 @@ Status CheckChildInsert(Database* db, TableDef* child_table,
   return Status::OK();
 }
 
-Status ProcessParentRowDelete(Database* db, TableDef* parent_table,
-                              const char* tuple,
-                              std::set<std::string>* cascade_path) {
+namespace {
+
+/// Recursive Phase A over one table's doomed row set, presented as a
+/// projection callback (sorted, deduplicated values of a column). Appends
+/// CASCADE targets post-order (deepest first); fails on RESTRICT references
+/// or cycles with nothing mutated.
+Status PlanRowFanout(
+    Database* db, TableDef* table,
+    const std::function<Result<std::vector<int64_t>>(int column)>&
+        doomed_values,
+    std::set<std::string>* cascade_path,
+    std::vector<RowCascadeTarget>* targets) {
   for (const ForeignKeyDef& fk : db->catalog().foreign_keys()) {
-    if (fk.parent_table != parent_table->name) continue;
-    int64_t value = parent_table->schema->GetInt(
-        tuple, static_cast<size_t>(fk.parent_column));
+    if (fk.parent_table != table->name) continue;
+    BULKDEL_ASSIGN_OR_RETURN(std::vector<int64_t> values,
+                             doomed_values(fk.parent_column));
+    if (values.empty()) continue;
     TableDef* child = db->GetTable(fk.child_table);
     if (child == nullptr) continue;
     IndexDef* child_index = child->FindIndexOnColumn(fk.child_column);
     std::vector<Rid> referencing;
     if (child_index != nullptr) {
-      BULKDEL_ASSIGN_OR_RETURN(referencing, child_index->tree->Search(value));
+      BULKDEL_RETURN_IF_ERROR(child_index->tree->MergeLookupSortedKeys(
+          values, [&](int64_t, const Rid& rid) {
+            referencing.push_back(rid);
+            return Status::OK();
+          }));
     } else {
+      // Unindexed child column: ONE hash-probed scan for the whole value
+      // set (not one scan per referencing value).
+      U64HashSet set(values.size());
+      for (int64_t v : values) set.Insert(static_cast<uint64_t>(v));
       const Schema& schema = *child->schema;
       BULKDEL_RETURN_IF_ERROR(
           child->table->Scan([&](const Rid& rid, const char* t) {
-            if (schema.GetInt(t, static_cast<size_t>(fk.child_column)) ==
-                value) {
+            if (set.Contains(static_cast<uint64_t>(schema.GetInt(
+                    t, static_cast<size_t>(fk.child_column))))) {
               referencing.push_back(rid);
             }
             return Status::OK();
@@ -220,7 +289,7 @@ Status ProcessParentRowDelete(Database* db, TableDef* parent_table,
     if (referencing.empty()) continue;
     if (fk.action == FkAction::kRestrict) {
       return Status::FailedPrecondition(
-          "delete from " + parent_table->name + " would orphan " +
+          "delete from " + table->name + " would orphan " +
           std::to_string(referencing.size()) + " row(s) of " +
           fk.child_table + " (RESTRICT)");
     }
@@ -228,14 +297,54 @@ Status ProcessParentRowDelete(Database* db, TableDef* parent_table,
       return Status::FailedPrecondition("cyclic cascade through table " +
                                         fk.child_table);
     }
-    cascade_path->insert(fk.child_table);
+    std::sort(referencing.begin(), referencing.end());
+    referencing.erase(std::unique(referencing.begin(), referencing.end()),
+                      referencing.end());
+    // Fetch the doomed child tuples once; grandchild fan-out projects from
+    // this buffer instead of re-reading the heap per FK.
+    std::vector<std::vector<char>> child_tuples;
+    child_tuples.reserve(referencing.size());
     for (const Rid& rid : referencing) {
-      BULKDEL_RETURN_IF_ERROR(
-          db->DeleteRowWithCascadePath(fk.child_table, rid, cascade_path));
+      std::vector<char> t(child->schema->tuple_size());
+      BULKDEL_RETURN_IF_ERROR(child->table->Get(rid, t.data()));
+      child_tuples.push_back(std::move(t));
     }
+    auto child_values =
+        [&](int column) -> Result<std::vector<int64_t>> {
+      std::vector<int64_t> v;
+      v.reserve(child_tuples.size());
+      for (const std::vector<char>& t : child_tuples) {
+        v.push_back(
+            child->schema->GetInt(t.data(), static_cast<size_t>(column)));
+      }
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      return v;
+    };
+    cascade_path->insert(fk.child_table);
+    Status child_status =
+        PlanRowFanout(db, child, child_values, cascade_path, targets);
     cascade_path->erase(fk.child_table);
+    BULKDEL_RETURN_IF_ERROR(child_status);
+    RowCascadeTarget target;
+    target.table = fk.child_table;
+    target.rids = std::move(referencing);
+    targets->push_back(std::move(target));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status PlanParentRowDelete(Database* db, TableDef* parent_table,
+                           const char* tuple,
+                           std::set<std::string>* cascade_path,
+                           std::vector<RowCascadeTarget>* targets) {
+  auto row_values = [&](int column) -> Result<std::vector<int64_t>> {
+    return std::vector<int64_t>{parent_table->schema->GetInt(
+        tuple, static_cast<size_t>(column))};
+  };
+  return PlanRowFanout(db, parent_table, row_values, cascade_path, targets);
 }
 
 }  // namespace bulkdel

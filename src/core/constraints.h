@@ -9,36 +9,82 @@
 
 namespace bulkdel {
 
-/// Set-oriented referential-integrity processing for bulk deletes (§2.1):
-/// constraints are checked (and cascades executed) *before* the parent
-/// table or its indices are touched, "so that no work needs to be undone if
-/// an integrity constraint fails".
+/// Set-oriented referential-integrity processing for bulk deletes, done in
+/// two strictly separated phases (§2.1: "so that no work needs to be
+/// undone"):
 ///
-/// For every FK referencing the parent table: collect the doomed rows'
-/// referenced-column values (directly from the delete list when the FK
-/// references the delete key column, otherwise via one read-only merge
-/// lookup + table fetch), then either merge-count references in the child
-/// (RESTRICT — any hit fails the statement) or recursively bulk delete the
-/// referencing child rows (CASCADE).
+///   Phase A (read-only planning) — derive the doomed rows' referenced
+///   column values *once* (one index lookup + one RID sort + one fetch pass
+///   shared across every FK that fans out of the table), evaluate **every**
+///   RESTRICT — including RESTRICTs reached transitively through CASCADE
+///   children — against the pre-statement state, and only then emit a
+///   cascade plan. A RESTRICT violation therefore fails the statement
+///   before any mutation, regardless of the catalog order of the FKs.
+///
+///   Phase B (execution) — the caller runs the plan's per-child-table bulk
+///   deletes (deepest descendants first, so a child is empty of its own
+///   dependents before its rows die), then deletes the parent rows.
 ///
 /// `cascade_path` carries the tables already being deleted up-stack to
-/// reject cyclic cascades. `cascaded_rows` accumulates child deletions.
-Status ProcessForeignKeysForBulkDelete(Database* db, TableDef* table,
-                                       const BulkDeleteSpec& spec,
-                                       Strategy strategy,
-                                       std::set<std::string>* cascade_path,
-                                       uint64_t* cascaded_rows);
+/// reject cyclic cascades. See docs/CONSTRAINTS.md.
+
+/// One CASCADE leg of a planned multi-table delete: a vertical bulk delete
+/// of `table` keyed on `key_column` with the (sorted, deduplicated) doomed
+/// parent values as the delete list.
+struct CascadeChildDelete {
+  std::string table;
+  std::string key_column;
+  std::vector<int64_t> keys;
+};
+
+/// The full fan-out of one bulk delete, flattened deepest-first: executing
+/// `children` in order, then the parent delete, preserves the old recursive
+/// execution order exactly (children were always processed before their
+/// parents' rows died).
+struct CascadePlan {
+  std::vector<CascadeChildDelete> children;
+
+  /// Total child keys across all legs (phase-trace item count).
+  uint64_t TotalKeys() const {
+    uint64_t n = 0;
+    for (const CascadeChildDelete& c : children) n += c.keys.size();
+    return n;
+  }
+};
+
+/// Phase A for a bulk delete: read-only. On success `plan` holds every
+/// CASCADE leg (deepest-first); any RESTRICT violation (direct or reached
+/// through a CASCADE chain) or cascade cycle fails with nothing mutated.
+/// With `DatabaseOptions::fk_shared_sort` (the default) the doomed RID set
+/// of each table is derived and sorted once and shared across all of that
+/// table's FKs; without it the derivation re-runs per FK (the ablation
+/// baseline).
+Status PlanForeignKeysForBulkDelete(Database* db, TableDef* table,
+                                    const BulkDeleteSpec& spec,
+                                    std::set<std::string>* cascade_path,
+                                    CascadePlan* plan);
 
 /// Row-level FK checks for DML. Verifies every FK of `child_table` is
 /// satisfied by `tuple`'s values (the parent row must exist).
 Status CheckChildInsert(Database* db, TableDef* child_table,
                         const char* tuple);
 
-/// Row-level FK processing when one parent row dies: RESTRICT fails if
-/// references exist; CASCADE recursively deletes referencing child rows.
-Status ProcessParentRowDelete(Database* db, TableDef* parent_table,
-                              const char* tuple,
-                              std::set<std::string>* cascade_path);
+/// One CASCADE leg of a planned row delete: the child rows (by RID) doomed
+/// in `table`.
+struct RowCascadeTarget {
+  std::string table;
+  std::vector<Rid> rids;
+};
+
+/// Phase A for a single-row delete: read-only. Collects every transitively
+/// referencing child row into `targets` (deepest-first) and fails on any
+/// RESTRICT reference or cascade cycle with nothing mutated. Unindexed
+/// child columns cost one hash-probed scan per child table per statement
+/// (not one scan per referencing value).
+Status PlanParentRowDelete(Database* db, TableDef* parent_table,
+                           const char* tuple,
+                           std::set<std::string>* cascade_path,
+                           std::vector<RowCascadeTarget>* targets);
 
 }  // namespace bulkdel
 

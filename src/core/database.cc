@@ -383,10 +383,36 @@ Status Database::DeleteRowWithCascadePath(
     std::lock_guard<std::mutex> heap(t->heap_latch);
     BULKDEL_RETURN_IF_ERROR(t->table->Get(rid, tuple.data()));
   }
-  // Referential integrity first: a RESTRICT violation must leave the row
-  // untouched; CASCADE removes the referencing child rows.
+  // Phase A, read-only: every RESTRICT — direct or reached through a
+  // CASCADE chain — is evaluated here, before any mutation, so a violation
+  // leaves every table untouched regardless of the FKs' catalog order.
+  std::vector<RowCascadeTarget> targets;
   BULKDEL_RETURN_IF_ERROR(
-      ProcessParentRowDelete(this, t, tuple.data(), cascade_path));
+      PlanParentRowDelete(this, t, tuple.data(), cascade_path, &targets));
+  // Phase B: deepest descendants first, then this row. A RID an earlier
+  // overlapping leg already removed (diamond fan-out) is tolerated.
+  for (const RowCascadeTarget& target : targets) {
+    for (const Rid& child_rid : target.rids) {
+      BULKDEL_RETURN_IF_ERROR(
+          DeleteRowNoFk(target.table, child_rid, /*missing_ok=*/true));
+    }
+  }
+  return DeleteRowNoFk(table_name, rid, /*missing_ok=*/false);
+}
+
+Status Database::DeleteRowNoFk(const std::string& table_name, const Rid& rid,
+                               bool missing_ok) {
+  TableDef* t = GetTable(table_name);
+  if (t == nullptr) return Status::NotFound("no table " + table_name);
+  LockManager::SharedGuard lock(locks_.get(), table_name);
+  BULKDEL_RETURN_IF_ERROR(CheckAlive());
+  std::vector<char> tuple(t->schema->tuple_size());
+  {
+    std::lock_guard<std::mutex> heap(t->heap_latch);
+    Status get = t->table->Get(rid, tuple.data());
+    if (get.IsNotFound() && missing_ok) return Status::OK();
+    BULKDEL_RETURN_IF_ERROR(get);
+  }
   const uint64_t bd_id = updater_logging_id();
   {
     std::lock_guard<std::mutex> heap(t->heap_latch);
@@ -406,7 +432,18 @@ Status Database::DeleteRowWithCascadePath(
       }
       log_->Append(std::move(rec));
     }
-    BULKDEL_RETURN_IF_ERROR(t->table->Delete(rid));
+    {
+      Status del = t->table->Delete(rid);
+      if (del.IsNotFound() && missing_ok) return Status::OK();
+      BULKDEL_RETURN_IF_ERROR(del);
+    }
+    if (options_.scrub_deleted_pages) {
+      // Verified erasure: zero the dead slot's bytes while still under the
+      // heap latch. Safe before the statement completes — the kUpdaterRow
+      // record above carries the full row, and recovery never reads dead
+      // slot bytes.
+      (void)t->table->ScrubDeadSlots({rid}, /*skip_pages=*/{});
+    }
   }
   for (auto& index : t->indices) {
     int64_t key =
@@ -560,30 +597,13 @@ Result<BulkDeleteReport> Database::BulkDelete(const BulkDeleteSpec& spec,
   return BulkDeleteWithCascadePath(spec, strategy, &cascade_path);
 }
 
-Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
-    const BulkDeleteSpec& spec, Strategy strategy,
-    std::set<std::string>* cascade_path) {
+Result<BulkDeleteReport> Database::ExecuteBulkDeletePlanned(
+    ExecContext* ctx, const BulkDeleteSpec& spec, Strategy strategy) {
   TableDef* t = GetTable(spec.table);
   if (t == nullptr) return Status::NotFound("no table " + spec.table);
   IndexDef* key_index = catalog_->GetIndex(spec.table, spec.key_column);
-
-  // Referential integrity, set-at-a-time and before any deletion (§2.1):
-  // RESTRICT violations abort here with nothing to undo; CASCADEs recurse.
-  cascade_path->insert(spec.table);
-  uint64_t cascaded_rows = 0;
-  Status fk_status = ProcessForeignKeysForBulkDelete(
-      this, t, spec, strategy, cascade_path, &cascaded_rows);
-  cascade_path->erase(spec.table);
-  BULKDEL_RETURN_IF_ERROR(fk_status);
-
   BULKDEL_ASSIGN_OR_RETURN(BulkDeletePlan plan,
                            ExplainBulkDelete(spec, strategy));
-  // One execution context per statement: phase trace, per-phase I/O
-  // attribution and the cancel flag all live here. Cascaded child deletes
-  // recurse through BulkDeleteWithCascadePath and get their own context.
-  ExecContext ctx(this);
-  std::vector<BufferPoolStats> pool_before = pool_->shard_stats();
-  obs::MetricsSnapshot metrics_before = metrics_.Snapshot();
   Result<BulkDeleteReport> result = [&]() -> Result<BulkDeleteReport> {
     switch (plan.strategy) {
       case Strategy::kTraditional:
@@ -591,25 +611,25 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
           return Status::FailedPrecondition(
               "traditional delete requires an index on " + spec.key_column);
         }
-        return ExecuteTraditional(&ctx, t, key_index, spec,
+        return ExecuteTraditional(ctx, t, key_index, spec,
                                   /*sort_first=*/false);
       case Strategy::kTraditionalSorted:
         if (key_index == nullptr) {
           return Status::FailedPrecondition(
               "traditional delete requires an index on " + spec.key_column);
         }
-        return ExecuteTraditional(&ctx, t, key_index, spec,
+        return ExecuteTraditional(ctx, t, key_index, spec,
                                   /*sort_first=*/true);
       case Strategy::kDropCreate:
         if (key_index == nullptr) {
           return Status::FailedPrecondition(
               "drop & create requires an index on " + spec.key_column);
         }
-        return ExecuteDropCreate(&ctx, t, key_index, spec);
+        return ExecuteDropCreate(ctx, t, key_index, spec);
       case Strategy::kVerticalSortMerge:
       case Strategy::kVerticalHash:
       case Strategy::kVerticalPartitionedHash:
-        return ExecuteVertical(&ctx, t, key_index, spec, plan);
+        return ExecuteVertical(ctx, t, key_index, spec, plan);
       case Strategy::kOptimizer:
         return Status::Internal("planner returned unresolved strategy");
     }
@@ -618,8 +638,83 @@ Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
   if (result.ok()) {
     result->backend =
         storage_backend() == StorageBackend::kFile ? "file" : "sim";
-    result->cascaded_rows = cascaded_rows;
     if (result->plan_explain.empty()) result->plan_explain = plan.Explain();
+  }
+  return result;
+}
+
+Result<BulkDeleteReport> Database::BulkDeleteWithCascadePath(
+    const BulkDeleteSpec& spec, Strategy strategy,
+    std::set<std::string>* cascade_path) {
+  TableDef* t = GetTable(spec.table);
+  if (t == nullptr) return Status::NotFound("no table " + spec.table);
+
+  // One execution context per statement: phase trace, per-phase I/O
+  // attribution and the cancel flag. Created before FK planning so the
+  // fk-plan / cascade phases land in the statement's trace.
+  ExecContext ctx(this);
+  std::vector<BufferPoolStats> pool_before = pool_->shard_stats();
+  obs::MetricsSnapshot metrics_before = metrics_.Snapshot();
+
+  // Phase A, read-only (§2.1 done right): derive the doomed value set once,
+  // evaluate EVERY RESTRICT — including those reached through CASCADE
+  // chains — and only then emit the cascade plan. A violation aborts here
+  // with nothing to undo, regardless of FK catalog order.
+  bool has_fks = false;
+  for (const ForeignKeyDef& fk : catalog_->foreign_keys()) {
+    if (fk.parent_table == spec.table) {
+      has_fks = true;
+      break;
+    }
+  }
+  CascadePlan fk_plan;
+  if (has_fks) {
+    PhaseScope fk_scope(&ctx, "fk-plan");
+    cascade_path->insert(spec.table);
+    Status plan_status =
+        PlanForeignKeysForBulkDelete(this, t, spec, cascade_path, &fk_plan);
+    cascade_path->erase(spec.table);
+    BULKDEL_RETURN_IF_ERROR(plan_status);
+    fk_scope.set_items(fk_plan.TotalKeys());
+  }
+
+  // Phase B: the cascade legs run as plain (FK-less) vertical bulk deletes,
+  // deepest descendants first, reusing the shared sorted value lists. Each
+  // leg gets its own child context (per-leg I/O attribution); the enclosing
+  // cascade:<table> scope stamps the statement's live phase label.
+  uint64_t cascaded_rows = 0;
+  std::vector<CascadeTableRows> cascade_tables;
+  IoStats cascade_io;
+  uint64_t cascade_index_entries = 0;
+  for (const CascadeChildDelete& leg : fk_plan.children) {
+    PhaseScope leg_scope(&ctx, "cascade:" + leg.table);
+    BulkDeleteSpec leg_spec;
+    leg_spec.table = leg.table;
+    leg_spec.key_column = leg.key_column;
+    leg_spec.keys = leg.keys;
+    leg_spec.keys_sorted = true;
+    Result<BulkDeleteReport> leg_result = [&]() -> Result<BulkDeleteReport> {
+      ExecContext leg_ctx(this);
+      return ExecuteBulkDeletePlanned(&leg_ctx, leg_spec, strategy);
+    }();
+    BULKDEL_RETURN_IF_ERROR(leg_result.status());
+    cascaded_rows += leg_result->rows_deleted;
+    cascade_io += leg_result->io;
+    cascade_index_entries += leg_result->index_entries_deleted;
+    cascade_tables.push_back(CascadeTableRows{leg.table,
+                                              leg_result->rows_deleted});
+    leg_scope.set_items(leg_result->rows_deleted);
+  }
+
+  Result<BulkDeleteReport> result =
+      ExecuteBulkDeletePlanned(&ctx, spec, strategy);
+  if (result.ok()) {
+    result->cascaded_rows = cascaded_rows;
+    result->cascade_tables = std::move(cascade_tables);
+    // The statement total includes what its cascade legs did (each leg's
+    // context attributed its own I/O; fold it back in here).
+    result->io += cascade_io;
+    result->index_entries_deleted += cascade_index_entries;
     std::vector<BufferPoolStats> pool_after = pool_->shard_stats();
     result->pool_shards.resize(pool_after.size());
     result->pool = BufferPoolStats();

@@ -22,6 +22,8 @@
 
 namespace bulkdel {
 
+class ExecContext;
+
 /// Which protocol concurrent updaters use while indices are off-line during
 /// a bulk delete (paper §3.1). kNone runs the statement fully exclusively.
 enum class ConcurrencyProtocol { kNone, kSideFile, kDirectPropagation };
@@ -101,6 +103,20 @@ struct DatabaseOptions {
   /// coalesce onto one leader flush/fsync per batch. Off = one flush+fsync
   /// per Sync() call (the ablation baseline).
   bool wal_group_commit = true;
+  /// Share one derivation (index lookup + RID sort + fetch pass) of the
+  /// doomed row set across every foreign key fanning out of a bulk-deleted
+  /// table. Off re-runs the derivation per FK — the per-FK-naive baseline
+  /// of bench_ablation_cascade. Phase ordering (every RESTRICT before any
+  /// CASCADE mutation) is unconditional; only the derivation cost toggles.
+  bool fk_shared_sort = true;
+  /// Verified-erasure mode: after a statement's End record is durable,
+  /// zero the dead tuple bytes in surviving heap pages and overwrite
+  /// dropped extent/leaf/scratch pages with zeros (then flush). Off by
+  /// default: the extra writes break the simulated-I/O identity the
+  /// default configuration guarantees. Covers vertical bulk deletes and
+  /// row-path DML; see docs/CONSTRAINTS.md for the durability argument and
+  /// the scavenger test.
+  bool scrub_deleted_pages = false;
 };
 
 /// Predicate class of a bulk delete: an explicit key list (the paper's
@@ -276,6 +292,20 @@ class Database {
 
  private:
   explicit Database(DatabaseOptions options);
+
+  /// Runs one bulk delete — plan, executor dispatch, backend/plan fill —
+  /// with NO foreign-key processing, against the caller's ExecContext.
+  /// Phase B of the two-phase cascade engine executes child legs and the
+  /// parent delete through here.
+  Result<BulkDeleteReport> ExecuteBulkDeletePlanned(ExecContext* ctx,
+                                                    const BulkDeleteSpec& spec,
+                                                    Strategy strategy);
+
+  /// Deletes one row (heap + indices + WAL), skipping FK processing: the
+  /// Phase-B executor of planned row cascades. `missing_ok` tolerates RIDs
+  /// already removed by an overlapping cascade leg (diamond fan-out).
+  Status DeleteRowNoFk(const std::string& table, const Rid& rid,
+                       bool missing_ok);
 
   /// Builds and wires the storage stack (disk, WAL, pool, catalog, locks,
   /// fault injector, metrics, pre-writeback hook) against the configured

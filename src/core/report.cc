@@ -29,6 +29,11 @@ std::string BulkDeleteReport::ToString() const {
                 static_cast<long long>(io.sequential_accesses),
                 static_cast<long long>(io.random_accesses));
   out += buf;
+  for (const CascadeTableRows& c : cascade_tables) {
+    std::snprintf(buf, sizeof(buf), "  cascade %-15s rows=%llu\n",
+                  c.table.c_str(), static_cast<unsigned long long>(c.rows));
+    out += buf;
+  }
   for (const PhaseStats& p : phases) {
     std::snprintf(buf, sizeof(buf),
                   "  phase %-16s items=%-8llu sim=%8.3f s  io=%lld/%lld"
@@ -180,6 +185,17 @@ std::string BulkDeleteReport::ToJson() const {
   AppendField(&out, "index_entries_deleted",
               static_cast<int64_t>(index_entries_deleted));
   AppendField(&out, "cascaded_rows", static_cast<int64_t>(cascaded_rows));
+  out += "\"cascade_tables\":[";
+  for (size_t i = 0; i < cascade_tables.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"table\":";
+    AppendEscaped(&out, cascade_tables[i].table);
+    out += ',';
+    AppendField(&out, "rows", static_cast<int64_t>(cascade_tables[i].rows),
+                /*comma=*/false);
+    out += '}';
+  }
+  out += "],";
   AppendField(&out, "wall_micros", wall_micros);
   out += "\"backend\":";
   AppendEscaped(&out, backend);
@@ -231,6 +247,17 @@ Result<BulkDeleteReport> BulkDeleteReport::FromJson(const std::string& json) {
   report.index_entries_deleted =
       static_cast<uint64_t>(root.IntOr("index_entries_deleted"));
   report.cascaded_rows = static_cast<uint64_t>(root.IntOr("cascaded_rows"));
+  if (const JsonValue* cascades = root.Find("cascade_tables")) {
+    if (cascades->kind != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument("\"cascade_tables\" must be an array");
+    }
+    for (const JsonValue& cv : cascades->array) {
+      CascadeTableRows c;
+      c.table = cv.StringOr("table");
+      c.rows = static_cast<uint64_t>(cv.IntOr("rows"));
+      report.cascade_tables.push_back(std::move(c));
+    }
+  }
   report.wall_micros = root.IntOr("wall_micros");
   // Older traces predate the backend field; they were all simulation runs.
   report.backend = root.Find("backend") ? root.StringOr("backend") : "sim";

@@ -44,6 +44,20 @@ struct PhaseStats {
   }
 };
 
+/// Per-table attribution of one statement's CASCADE fan-out: how many rows
+/// one child-table leg of the cascade plan removed. A table cascaded into
+/// through more than one FK appears once per leg, in execution (deepest-
+/// first) order.
+struct CascadeTableRows {
+  std::string table;
+  uint64_t rows = 0;
+
+  friend bool operator==(const CascadeTableRows& a,
+                         const CascadeTableRows& b) {
+    return a.table == b.table && a.rows == b.rows;
+  }
+};
+
 /// Result of Database::BulkDelete. The headline metric is
 /// `simulated_seconds()` — elapsed time under the 2001-era DiskModel — which
 /// is what the paper's figures plot; raw I/O counters and host wall time are
@@ -54,6 +68,9 @@ struct BulkDeleteReport {
   uint64_t index_entries_deleted = 0;
   /// Child rows removed by CASCADE foreign keys (recursively).
   uint64_t cascaded_rows = 0;
+  /// Per-child-table breakdown of `cascaded_rows`, one entry per cascade
+  /// leg in execution order. Empty when nothing cascaded.
+  std::vector<CascadeTableRows> cascade_tables;
   std::vector<PhaseStats> phases;
   IoStats io;
   /// Buffer-pool activity during this statement (delta across the run).

@@ -668,6 +668,18 @@ Result<std::string> ExecuteStatement(Database* db, SqlSession* session,
           "deleted " + std::to_string(report.rows_deleted) + " row(s) [" +
           StrategyName(report.strategy_used) + ", " +
           std::to_string(report.simulated_seconds()) + " simulated s]";
+      if (report.cascaded_rows > 0) {
+        // Per-leg attribution so "forget user X" answers show where the
+        // collateral rows went without a slow-log round trip.
+        line += ", cascaded " + std::to_string(report.cascaded_rows) +
+                " row(s) (";
+        for (size_t i = 0; i < report.cascade_tables.size(); ++i) {
+          if (i > 0) line += ", ";
+          line += report.cascade_tables[i].table + ": " +
+                  std::to_string(report.cascade_tables[i].rows);
+        }
+        line += ")";
+      }
       if (session->slow_log != nullptr) delete_report = std::move(report);
       return line;
     }

@@ -37,6 +37,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <unordered_set>
 
 #include "core/executors.h"
 #include "core/phase_scheduler.h"
@@ -533,6 +534,11 @@ class VerticalRun {
             values.push_back(v);
             feeds_[index->name].emplace_back(v, rid);
           }
+          // This path never fills rids_ (no access-path pass produced one);
+          // the scrub pass needs the dead slots, so collect them here.
+          if (db_->options().scrub_deleted_pages) {
+            scrub_rids_.push_back(rid);
+          }
           if (logging_) {
             LogRecord rec;
             rec.type = LogRecordType::kRowDeleted;
@@ -991,6 +997,7 @@ class VerticalRun {
       for (std::vector<PageId>& pages : spilled_pages_) {
         for (PageId p : pages) {
           BULKDEL_RETURN_IF_ERROR(db_->disk().FreePage(p));
+          NoteFreedPage(p);
         }
       }
       spilled_pages_.clear();
@@ -1003,10 +1010,12 @@ class VerticalRun {
     for (auto& index : table_->indices) {
       for (PageId p : index->cc->side_file.TakeReclaimablePages()) {
         BULKDEL_RETURN_IF_ERROR(db_->disk().FreePage(p));
+        NoteFreedPage(p);
       }
     }
     for (PageId p : recovered_sidefile_pages_) {
       BULKDEL_RETURN_IF_ERROR(db_->disk().FreePage(p));
+      NoteFreedPage(p);
     }
     recovered_sidefile_pages_.clear();
     // Extent-dropped heap pages are freed only now, after the End record:
@@ -1022,6 +1031,7 @@ class VerticalRun {
         }
       }
       BULKDEL_RETURN_IF_ERROR(table_->table->FreeDroppedPages(to_free));
+      for (PageId p : to_free) NoteFreedPage(p);
       extent_pages_.clear();
       recovered_extent_pages_.clear();
     }
@@ -1038,11 +1048,52 @@ class VerticalRun {
       }
       for (PageId p : to_free) {
         BULKDEL_RETURN_IF_ERROR(db_->pool().DeletePage(p));
+        NoteFreedPage(p);
       }
       dropped_leaf_pages_.clear();
       recovered_leaf_pages_.clear();
     }
+    if (db_->options().scrub_deleted_pages) {
+      BULKDEL_RETURN_IF_ERROR(ScrubAfterEnd());
+    }
     return Status::OK();
+  }
+
+  /// Verified-erasure pass (DatabaseOptions::scrub_deleted_pages), run as
+  /// the tail of finalize when every freed page is reclaimable and — with
+  /// logging — the End record is durable: dead tuple bytes carry no
+  /// recovery obligation anymore, so zeroing them cannot lose committed
+  /// work, and a crash mid-scrub merely leaves some dead bytes behind for
+  /// the next scrubbed statement (erasure is guaranteed on clean statement
+  /// completion). Two legs: memset the dead slots of surviving heap pages
+  /// (through the pool, flushed below), and overwrite every page this
+  /// statement freed — heap extents, dropped B-tree leaves, spilled
+  /// delete-list / side-file scratch pages — with zeros directly on disk
+  /// (they are out of the pool, so no stale frame can resurrect the bytes).
+  Status ScrubAfterEnd() {
+    std::unordered_set<PageId> freed(scrub_freed_pages_.begin(),
+                                     scrub_freed_pages_.end());
+    std::vector<Rid> dead = rids_;
+    dead.insert(dead.end(), scrub_rids_.begin(), scrub_rids_.end());
+    std::sort(dead.begin(), dead.end());
+    dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+    if (!dead.empty()) {
+      BULKDEL_RETURN_IF_ERROR(table_->table->ScrubDeadSlots(dead, freed));
+      BULKDEL_RETURN_IF_ERROR(db_->pool().FlushAll());
+    }
+    if (!freed.empty()) {
+      std::vector<char> zeros(kPageSize, 0);
+      for (PageId p : scrub_freed_pages_) {
+        BULKDEL_RETURN_IF_ERROR(db_->disk().WritePage(p, zeros.data()));
+      }
+    }
+    scrub_freed_pages_.clear();
+    if (dead.empty() && freed.empty()) return Status::OK();
+    return db_->disk().Flush();
+  }
+
+  void NoteFreedPage(PageId p) {
+    if (db_->options().scrub_deleted_pages) scrub_freed_pages_.push_back(p);
   }
 
   /// Always runs, success or failure: release the lock, restore index modes
@@ -1231,6 +1282,12 @@ class VerticalRun {
   /// and orphaned side-file spill pages to reclaim after the End record.
   std::vector<RecoveredBulkDelete::UpdaterOp> updater_replay_;
   std::vector<PageId> recovered_sidefile_pages_;
+
+  /// scrub_deleted_pages only: dead RIDs from the no-access-path scan (the
+  /// other table passes leave them in rids_), and every page this statement
+  /// freed — both consumed by ScrubAfterEnd.
+  std::vector<Rid> scrub_rids_;
+  std::vector<PageId> scrub_freed_pages_;
 
   BulkDeleteReport report_;
 

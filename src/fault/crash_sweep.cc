@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <random>
@@ -311,6 +312,266 @@ Status PrepareCase(const SweepConfig& config, int threads, bool with_injector,
   return Status::OK();
 }
 
+enum class CaseOutcome { kPassed, kUnreached, kFailed };
+
+// ---------------------------------------------------------------------------
+// Cascade sweep (config.cascade): the "forget user X" statement.
+//
+// A deterministic three-level schema — user u owns orders {2u, 2u+1}, order
+// o owns events {2o, 2o+1} — with cascading FKs. The swept statement deletes
+// every stride-th user; the engine flattens that into three WAL statements
+// (EVENTS leg, ORDERS leg, USERS parent, deepest first). A crash can land
+// between legs, and recovery rolls only the *begun* statement forward, so
+// the acceptable recovered states are exactly the leg prefixes S0..S3.
+// ---------------------------------------------------------------------------
+
+const char* const kCascadeTables[] = {"USERS", "ORDERS", "EVENTS"};
+
+struct CascadeCaseSetup {
+  std::unique_ptr<Database> db;
+  std::shared_ptr<FaultInjector> injector;
+  /// The statement under test: delete the doomed users from USERS.
+  BulkDeleteSpec spec;
+  std::vector<int64_t> doomed_users;
+  std::vector<int64_t> doomed_orders;
+};
+
+Status PrepareCascadeCase(const SweepConfig& config, int threads,
+                          bool with_injector, CascadeCaseSetup* out) {
+  if (config.concurrency != ConcurrencyProtocol::kNone) {
+    return Status::InvalidArgument(
+        "cascade sweep does not take a concurrent updater");
+  }
+  DatabaseOptions options;
+  options.memory_budget_bytes = config.memory_budget_bytes;
+  options.enable_recovery_log = true;
+  options.exec_threads = threads;
+  if (config.backend == "file") {
+    options.path = config.scratch_dir;
+  } else if (config.backend != "sim") {
+    return Status::InvalidArgument("unknown sweep backend: " + config.backend);
+  }
+  if (with_injector) {
+    out->injector = std::make_shared<FaultInjector>(config.injector_seed);
+    options.fault_injector = out->injector;
+  }
+  auto db = Database::Create(options);
+  BULKDEL_RETURN_IF_ERROR(db.status());
+  out->db = std::move(db).TakeValue();
+
+  // u + 2u + 4u rows total: size the user population from n_tuples.
+  int64_t n_users = static_cast<int64_t>(config.n_tuples / 7);
+  if (n_users < 8) n_users = 8;
+  Schema schema = *Schema::PaperStyle(3, config.tuple_size);
+  for (const char* table : kCascadeTables) {
+    BULKDEL_RETURN_IF_ERROR(out->db->CreateTable(table, schema).status());
+    BULKDEL_RETURN_IF_ERROR(
+        out->db->CreateIndex(table, "A", {.unique = true}).status());
+  }
+  BULKDEL_RETURN_IF_ERROR(out->db->CreateIndex("ORDERS", "B").status());
+  BULKDEL_RETURN_IF_ERROR(out->db->CreateIndex("EVENTS", "B").status());
+  for (int64_t u = 0; u < n_users; ++u) {
+    BULKDEL_RETURN_IF_ERROR(
+        out->db->InsertRow("USERS", {u, u * 3 + 1, u * 7}).status());
+    for (int64_t o = 2 * u; o < 2 * u + 2; ++o) {
+      BULKDEL_RETURN_IF_ERROR(
+          out->db->InsertRow("ORDERS", {o, u, o * 5}).status());
+      for (int64_t e = 2 * o; e < 2 * o + 2; ++e) {
+        BULKDEL_RETURN_IF_ERROR(
+            out->db->InsertRow("EVENTS", {e, o, e * 11}).status());
+      }
+    }
+  }
+  BULKDEL_RETURN_IF_ERROR(
+      out->db->AddForeignKey("ORDERS", "B", "USERS", "A", FkAction::kCascade));
+  BULKDEL_RETURN_IF_ERROR(
+      out->db->AddForeignKey("EVENTS", "B", "ORDERS", "A", FkAction::kCascade));
+  BULKDEL_RETURN_IF_ERROR(out->db->Checkpoint());
+
+  int64_t stride = config.delete_fraction > 0
+                       ? static_cast<int64_t>(1.0 / config.delete_fraction)
+                       : n_users;
+  if (stride < 1) stride = 1;
+  for (int64_t u = 0; u < n_users; u += stride) {
+    out->doomed_users.push_back(u);
+    out->doomed_orders.push_back(2 * u);
+    out->doomed_orders.push_back(2 * u + 1);
+  }
+  out->spec.table = "USERS";
+  out->spec.key_column = "A";
+  out->spec.keys = out->doomed_users;
+  out->spec.keys_sorted = true;
+  return Status::OK();
+}
+
+Status CaptureCascadeDigests(Database* db, std::vector<StateDigest>* out) {
+  out->assign(std::size(kCascadeTables), StateDigest{});
+  for (size_t i = 0; i < std::size(kCascadeTables); ++i) {
+    BULKDEL_RETURN_IF_ERROR(CaptureDigest(db, kCascadeTables[i], &(*out)[i]));
+  }
+  return Status::OK();
+}
+
+bool CascadeDigestsEqual(const std::vector<StateDigest>& a,
+                         const std::vector<StateDigest>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!DigestsEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+std::string DescribeCascadeDiff(const std::vector<StateDigest>& ref,
+                                const std::vector<StateDigest>& got) {
+  for (size_t i = 0; i < ref.size() && i < got.size(); ++i) {
+    if (!DigestsEqual(ref[i], got[i])) {
+      return std::string(kCascadeTables[i]) + ": " +
+             DescribeDiff(ref[i], got[i]);
+    }
+  }
+  return "digests equal";
+}
+
+/// `(*states)[k]` is the database after the first k cascade legs: S0 the
+/// untouched load, S1 after the EVENTS leg, S2 after the ORDERS leg, S3 the
+/// completed statement. Built by replaying the engine's own leg specs one
+/// statement at a time on an uninjected database (already-deleted children
+/// make the later legs' own cascade planning a no-op, so the end states are
+/// identical to the real statement's prefixes).
+Status CaptureCascadeReferences(
+    const SweepConfig& config,
+    std::vector<std::vector<StateDigest>>* states) {
+  CascadeCaseSetup setup;
+  BULKDEL_RETURN_IF_ERROR(
+      PrepareCascadeCase(config, /*threads=*/1, /*with_injector=*/false,
+                         &setup));
+  states->assign(4, {});
+  BULKDEL_RETURN_IF_ERROR(
+      CaptureCascadeDigests(setup.db.get(), &(*states)[0]));
+
+  BulkDeleteSpec events_leg;
+  events_leg.table = "EVENTS";
+  events_leg.key_column = "B";
+  events_leg.keys = setup.doomed_orders;
+  events_leg.keys_sorted = true;
+  BULKDEL_RETURN_IF_ERROR(
+      setup.db->BulkDelete(events_leg, Strategy::kVerticalSortMerge)
+          .status());
+  BULKDEL_RETURN_IF_ERROR(
+      CaptureCascadeDigests(setup.db.get(), &(*states)[1]));
+
+  BulkDeleteSpec orders_leg;
+  orders_leg.table = "ORDERS";
+  orders_leg.key_column = "B";
+  orders_leg.keys = setup.doomed_users;
+  orders_leg.keys_sorted = true;
+  BULKDEL_RETURN_IF_ERROR(
+      setup.db->BulkDelete(orders_leg, Strategy::kVerticalSortMerge)
+          .status());
+  BULKDEL_RETURN_IF_ERROR(
+      CaptureCascadeDigests(setup.db.get(), &(*states)[2]));
+
+  BULKDEL_RETURN_IF_ERROR(
+      setup.db->BulkDelete(setup.spec, Strategy::kVerticalSortMerge)
+          .status());
+  BULKDEL_RETURN_IF_ERROR(setup.db->VerifyIntegrity());
+  BULKDEL_RETURN_IF_ERROR(
+      CaptureCascadeDigests(setup.db.get(), &(*states)[3]));
+  return Status::OK();
+}
+
+/// Uninjected counting run for one (strategy, threads) pair of the cascade
+/// statement, cross-checked against the completed-statement reference.
+Status CountCascadeOccurrences(const SweepConfig& config, Strategy strategy,
+                               int threads,
+                               const std::vector<StateDigest>& reference,
+                               std::map<std::string, uint64_t>* counts) {
+  CascadeCaseSetup setup;
+  BULKDEL_RETURN_IF_ERROR(
+      PrepareCascadeCase(config, threads, /*with_injector=*/true, &setup));
+  setup.injector->ResetCounts();
+  BULKDEL_RETURN_IF_ERROR(setup.db->BulkDelete(setup.spec, strategy).status());
+  *counts = setup.injector->HitCounts();
+  std::vector<StateDigest> digests;
+  BULKDEL_RETURN_IF_ERROR(CaptureCascadeDigests(setup.db.get(), &digests));
+  if (!CascadeDigestsEqual(digests, reference)) {
+    return Status::Internal(
+        std::string("cascade counting run for ") + StrategyName(strategy) +
+        " diverged from the reference state: " +
+        DescribeCascadeDiff(reference, digests));
+  }
+  return Status::OK();
+}
+
+CaseOutcome RunOneCascadeCase(
+    const SweepConfig& config, Strategy strategy, int threads,
+    const std::string& site, uint64_t occurrence, FaultMode mode,
+    const std::vector<std::vector<StateDigest>>& states, std::string* why) {
+  CascadeCaseSetup setup;
+  Status s = PrepareCascadeCase(config, threads, /*with_injector=*/true,
+                                &setup);
+  if (!s.ok()) {
+    *why = "setup failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  setup.injector->ResetCounts();
+  setup.injector->Arm(site.c_str(), occurrence, mode);
+  auto report = setup.db->BulkDelete(setup.spec, strategy);
+
+  if (!setup.injector->tripped()) {
+    setup.injector->Disarm();
+    if (!report.ok()) {
+      *why = "uninjected-path delete failed: " + report.status().ToString();
+      return CaseOutcome::kFailed;
+    }
+    if (threads <= 1) {
+      *why = "serial run never reached the armed occurrence";
+      return CaseOutcome::kFailed;
+    }
+    return CaseOutcome::kUnreached;
+  }
+  if (report.ok()) {
+    *why = "fault tripped [" + setup.injector->trip_description() +
+           "] but BulkDelete reported success";
+    return CaseOutcome::kFailed;
+  }
+
+  setup.injector->Disarm();
+  s = setup.db->SimulateCrashAndRecover();
+  if (!s.ok()) {
+    *why = "recovery failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  s = setup.db->VerifyIntegrity();
+  if (!s.ok()) {
+    *why = "post-recovery integrity check failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  if (setup.db->log().durable_size() != 0) {
+    *why = "recovery left " + std::to_string(setup.db->log().durable_size()) +
+           " log records behind";
+    return CaseOutcome::kFailed;
+  }
+  std::vector<StateDigest> recovered;
+  s = CaptureCascadeDigests(setup.db.get(), &recovered);
+  if (!s.ok()) {
+    *why = "post-recovery digest failed: " + s.ToString();
+    return CaseOutcome::kFailed;
+  }
+  // Recovery rolls the one begun statement forward; completed legs stay
+  // completed, unbegun legs stay unbegun. Anything that is not an exact leg
+  // prefix is lost work, a partially-applied leg, or cross-table skew.
+  for (size_t k = 0; k < states.size(); ++k) {
+    if (CascadeDigestsEqual(recovered, states[k])) {
+      return CaseOutcome::kPassed;
+    }
+  }
+  *why = "recovered state matches no cascade leg prefix S0..S3: vs S3: " +
+         DescribeCascadeDiff(states.back(), recovered) +
+         "; vs S0: " + DescribeCascadeDiff(states.front(), recovered);
+  return CaseOutcome::kFailed;
+}
+
 const char* ConcurrencyFlagName(ConcurrencyProtocol protocol) {
   switch (protocol) {
     case ConcurrencyProtocol::kNone:
@@ -345,7 +606,11 @@ std::string CaseName(const SweepConfig& config, Strategy strategy, int threads,
   name += " concurrency=";
   name += ConcurrencyFlagName(config.concurrency);
   name += " backend=" + config.backend;
-  name += " predicate=" + config.predicate;
+  if (config.cascade) {
+    name += " cascade=yes";
+  } else {
+    name += " predicate=" + config.predicate;
+  }
   name += " site=" + site;
   name += " occurrence=" + std::to_string(occurrence);
   name += " mode=";
@@ -368,7 +633,9 @@ std::string ReproCommand(const SweepConfig& config, Strategy strategy,
     cmd += " --backend=" + config.backend;
     cmd += " --dir=" + config.scratch_dir;
   }
-  if (config.predicate != "keys") {
+  if (config.cascade) {
+    cmd += " --cascade";
+  } else if (config.predicate != "keys") {
     cmd += " --predicate=" + config.predicate;
   }
   cmd += " --site=" + site;
@@ -380,8 +647,6 @@ std::string ReproCommand(const SweepConfig& config, Strategy strategy,
   cmd += " --injector-seed=" + std::to_string(config.injector_seed);
   return cmd;
 }
-
-enum class CaseOutcome { kPassed, kUnreached, kFailed };
 
 /// Runs one armed case end to end. `references[k]` is the uninjected
 /// post-delete digest with the first k updater ops applied (size 1, just the
@@ -619,6 +884,60 @@ bool ModeMatchesFilter(const SweepConfig& config, FaultMode mode) {
   return config.only_mode.empty() || config.only_mode == ModeFlagName(mode);
 }
 
+/// The cascade variant of RunCrashSweep's main loop: same site x occurrence
+/// x mode enumeration, but the armed statement is the multi-table cascade
+/// and acceptance is the leg-prefix check of RunOneCascadeCase.
+Status RunCascadeCrashSweep(const SweepConfig& config, SweepStats* stats) {
+  std::vector<std::vector<StateDigest>> states;
+  BULKDEL_RETURN_IF_ERROR(CaptureCascadeReferences(config, &states));
+
+  for (Strategy strategy : config.strategies) {
+    for (int threads : config.thread_counts) {
+      std::map<std::string, uint64_t> counts;
+      BULKDEL_RETURN_IF_ERROR(CountCascadeOccurrences(
+          config, strategy, threads, states.back(), &counts));
+      for (const FaultSiteInfo& site : FaultInjector::KnownSites()) {
+        if (!config.only_site.empty() && config.only_site != site.name) {
+          continue;
+        }
+        uint64_t count = 0;
+        auto it = counts.find(site.name);
+        if (it != counts.end()) count = it->second;
+        if (count == 0 && config.only_occurrence == 0) continue;
+
+        std::vector<uint64_t> occurrences;
+        if (config.only_occurrence != 0) {
+          occurrences.push_back(config.only_occurrence);
+        } else {
+          occurrences =
+              SampleOccurrences(count, config.occurrences_per_site);
+        }
+        for (uint64_t occurrence : occurrences) {
+          if (ModeMatchesFilter(config, FaultMode::kCrash)) {
+            std::string why;
+            CaseOutcome outcome =
+                RunOneCascadeCase(config, strategy, threads, site.name,
+                                  occurrence, FaultMode::kCrash, states, &why);
+            RecordOutcome(config, strategy, threads, site.name, occurrence,
+                          FaultMode::kCrash, outcome, why, stats);
+          }
+          if (config.include_torn_log_sync &&
+              std::string(site.name) == fault_sites::kLogSync &&
+              ModeMatchesFilter(config, FaultMode::kTornWrite)) {
+            std::string why;
+            CaseOutcome outcome = RunOneCascadeCase(
+                config, strategy, threads, site.name, occurrence,
+                FaultMode::kTornWrite, states, &why);
+            RecordOutcome(config, strategy, threads, site.name, occurrence,
+                          FaultMode::kTornWrite, outcome, why, stats);
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string SweepStats::Summary() const {
@@ -628,6 +947,7 @@ std::string SweepStats::Summary() const {
 }
 
 Status RunCrashSweep(const SweepConfig& config, SweepStats* stats) {
+  if (config.cascade) return RunCascadeCrashSweep(config, stats);
   std::vector<StateDigest> references;
   BULKDEL_RETURN_IF_ERROR(CaptureReferences(config, &references));
 
@@ -684,6 +1004,11 @@ Status RunCrashSweep(const SweepConfig& config, SweepStats* stats) {
 
 Status RunTortureSweep(const SweepConfig& config, int seconds, uint64_t seed,
                        SweepStats* stats) {
+  if (config.cascade) {
+    return Status::InvalidArgument(
+        "the torture sweep does not take --cascade; use the deterministic "
+        "sweep");
+  }
   std::vector<StateDigest> references;
   BULKDEL_RETURN_IF_ERROR(CaptureReferences(config, &references));
 

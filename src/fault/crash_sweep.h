@@ -58,6 +58,16 @@ struct SweepConfig {
   /// Seeds the injector's partial-write RNG (torn log tails).
   uint64_t injector_seed = 1;
 
+  /// Sweep a multi-table CASCADE statement instead of the single-table
+  /// workload: a deterministic USERS -> ORDERS -> EVENTS schema with
+  /// cascading FKs, deleting `delete_fraction` of the users. The cascade
+  /// executes as flattened per-table legs (EVENTS, then ORDERS, then the
+  /// USERS parent), each its own WAL statement, so the acceptable recovered
+  /// states are exactly the leg prefixes S0..S3 — S0 the untouched
+  /// database, S3 the fully-forgotten state — each checked across all three
+  /// tables. Ignores `predicate` and requires `concurrency == kNone`.
+  bool cascade = false;
+
   /// Durability backend under test: "sim" (in-memory pages + WAL image, the
   /// default) or "file" (real page file + WAL under `scratch_dir`, crashes
   /// simulated by discarding all process state and reopening from disk).

@@ -558,6 +558,32 @@ Status HeapTable::FreeDroppedPages(const std::vector<PageId>& pages) {
   return Status::OK();
 }
 
+Status HeapTable::ScrubDeadSlots(const std::vector<Rid>& rids,
+                                 const std::unordered_set<PageId>& skip_pages) {
+  const uint32_t tuple_size = schema_->tuple_size();
+  for (size_t i = 0; i < rids.size();) {
+    PageId pid = rids[i].page;
+    size_t j = i;
+    while (j < rids.size() && rids[j].page == pid) ++j;
+    if (skip_pages.count(pid) == 0) {
+      BULKDEL_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(pid));
+      HeapPage hp(page.data(), tuple_size);
+      bool dirtied = false;
+      for (size_t k = i; k < j; ++k) {
+        uint16_t slot = rids[k].slot;
+        // Occupied slots are skipped: the RID may have been reused by an
+        // insert since the delete (side-file / updater interleaving).
+        if (slot >= hp.capacity() || hp.SlotOccupied(slot)) continue;
+        std::memset(hp.TupleAt(slot), 0, tuple_size);
+        dirtied = true;
+      }
+      if (dirtied) page.MarkDirty();
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
 Status HeapTable::RecountFromScan() {
   uint64_t count = 0;
   BULKDEL_RETURN_IF_ERROR(Scan([&](const Rid&, const char*) {

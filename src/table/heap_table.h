@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -119,6 +120,15 @@ class HeapTable {
   /// Frees pages previously detached by the extent-drop pass (idempotent —
   /// DiskManager::FreePage tolerates re-frees after a crash replay).
   Status FreeDroppedPages(const std::vector<PageId>& pages);
+
+  /// Verified-erasure support (DatabaseOptions::scrub_deleted_pages): zeroes
+  /// the tuple bytes of every *unoccupied* slot among `rids` (grouped by
+  /// page — one fetch per distinct page for a sorted list). Pages in
+  /// `skip_pages` are skipped (extent-dropped pages get zeroed whole by the
+  /// caller); occupied slots are skipped too, so RIDs reused by later
+  /// inserts are safe. Dirties pages through the pool; the caller flushes.
+  Status ScrubDeadSlots(const std::vector<Rid>& rids,
+                        const std::unordered_set<PageId>& skip_pages);
 
   /// Builds the in-memory extent map (chain-order page list + per-page live
   /// counts) if it is not current: one sequential chain walk. Create() starts

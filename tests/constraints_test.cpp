@@ -201,6 +201,152 @@ TEST_F(ConstraintsTest, SelfReferenceCycleRejected) {
   EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST_F(ConstraintsTest, CascadeBeforeRestrictLeavesChildrenUntouched) {
+  // Catalog order {CASCADE, RESTRICT}: the RESTRICT comes *after* the
+  // cascade in FK order, but planning evaluates every RESTRICT before any
+  // mutation, so the cascade must not have run when the statement fails.
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  Schema inv_schema = *Schema::PaperStyle(2, 32);  // INV(A=id, B=cust)
+  ASSERT_TRUE(db_->CreateTable("INV", inv_schema).ok());
+  ASSERT_TRUE(db_->CreateIndex("INV", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db_->CreateIndex("INV", "B").ok());
+  ASSERT_TRUE(db_->InsertRow("INV", {0, 10}).ok());  // invoice for customer 10
+  ASSERT_TRUE(db_->AddForeignKey("INV", "B", "CUSTOMER", "A").ok());
+
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  spec.keys = {10, 60};  // 10 is RESTRICT-referenced by INV
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition)
+      << report.status().ToString();
+  // The cascade leg (customer 10 has 3 orders) must not have fired.
+  EXPECT_EQ(db_->GetTable("CUSTOMER")->table->tuple_count(), 100u);
+  EXPECT_EQ(db_->GetTable("ORD")->table->tuple_count(), 150u);
+  EXPECT_EQ(db_->GetTable("INV")->table->tuple_count(), 1u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, RestrictBeforeCascadeLeavesChildrenUntouched) {
+  // Mirror ordering {RESTRICT, CASCADE}: same outcome regardless of the
+  // position of the violated RESTRICT in the FK catalog.
+  Schema inv_schema = *Schema::PaperStyle(2, 32);
+  ASSERT_TRUE(db_->CreateTable("INV", inv_schema).ok());
+  ASSERT_TRUE(db_->CreateIndex("INV", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db_->CreateIndex("INV", "B").ok());
+  ASSERT_TRUE(db_->InsertRow("INV", {0, 10}).ok());
+  ASSERT_TRUE(db_->AddForeignKey("INV", "B", "CUSTOMER", "A").ok());
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  spec.keys = {10, 60};
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db_->GetTable("CUSTOMER")->table->tuple_count(), 100u);
+  EXPECT_EQ(db_->GetTable("ORD")->table->tuple_count(), 150u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, RowDeleteCascadeBeforeRestrictLeavesChildrenUntouched) {
+  // Same two-phase guarantee on the row-level DML path.
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  Schema inv_schema = *Schema::PaperStyle(2, 32);
+  ASSERT_TRUE(db_->CreateTable("INV", inv_schema).ok());
+  ASSERT_TRUE(db_->CreateIndex("INV", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db_->CreateIndex("INV", "B").ok());
+  ASSERT_TRUE(db_->InsertRow("INV", {0, 10}).ok());
+  ASSERT_TRUE(db_->AddForeignKey("INV", "B", "CUSTOMER", "A").ok());
+
+  Rid customer10 = db_->GetIndex("CUSTOMER", "A")->tree->Search(10)->at(0);
+  Status s = db_->DeleteRow("CUSTOMER", customer10);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+  EXPECT_TRUE(db_->GetRow("CUSTOMER", customer10).ok());
+  EXPECT_EQ(db_->GetTable("ORD")->table->tuple_count(), 150u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, TransitiveRestrictThroughCascadeChain) {
+  // CUSTOMER -> ORD is CASCADE but ORD <- LINE is RESTRICT: deleting a
+  // customer whose orders are referenced must fail with nothing deleted —
+  // the RESTRICT is evaluated against pre-statement state even though it
+  // only becomes relevant through the cascade chain.
+  Schema line_schema = *Schema::PaperStyle(2, 32);
+  ASSERT_TRUE(db_->CreateTable("LINE", line_schema).ok());
+  ASSERT_TRUE(db_->CreateIndex("LINE", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db_->CreateIndex("LINE", "B").ok());
+  ASSERT_TRUE(db_->InsertRow("LINE", {0, 3}).ok());  // references order 3
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  ASSERT_TRUE(db_->AddForeignKey("LINE", "B", "ORD", "A").ok());
+
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  spec.keys = {1};  // customer 1 owns orders 3,4,5; order 3 is referenced
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db_->GetTable("CUSTOMER")->table->tuple_count(), 100u);
+  EXPECT_EQ(db_->GetTable("ORD")->table->tuple_count(), 150u);
+  EXPECT_EQ(db_->GetTable("LINE")->table->tuple_count(), 1u);
+  // Customer 2's orders are unreferenced: deletable.
+  spec.keys = {2};
+  auto ok_report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(ok_report.ok()) << ok_report.status().ToString();
+  EXPECT_EQ(ok_report->cascaded_rows, 3u);
+  ASSERT_TRUE(db_->VerifyIntegrity().ok());
+}
+
+TEST_F(ConstraintsTest, CascadeTableAttributionAndJsonRoundTrip) {
+  // Per-table cascade attribution in the report, deepest leg first, and a
+  // lossless JSON round-trip of the new field.
+  Schema line_schema = *Schema::PaperStyle(2, 32);
+  ASSERT_TRUE(db_->CreateTable("LINE", line_schema).ok());
+  ASSERT_TRUE(db_->CreateIndex("LINE", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db_->CreateIndex("LINE", "B").ok());
+  int64_t lid = 0;
+  for (int64_t o = 0; o < 30; ++o) {
+    ASSERT_TRUE(db_->InsertRow("LINE", {lid++, o}).ok());
+    ASSERT_TRUE(db_->InsertRow("LINE", {lid++, o}).ok());
+  }
+  ASSERT_TRUE(
+      db_->AddForeignKey("ORD", "B", "CUSTOMER", "A", FkAction::kCascade)
+          .ok());
+  ASSERT_TRUE(
+      db_->AddForeignKey("LINE", "B", "ORD", "A", FkAction::kCascade).ok());
+
+  BulkDeleteSpec spec;
+  spec.table = "CUSTOMER";
+  spec.key_column = "A";
+  spec.keys = {0, 1};
+  auto report = db_->BulkDelete(spec, Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->cascade_tables.size(), 2u);
+  EXPECT_EQ(report->cascade_tables[0], (CascadeTableRows{"LINE", 12}));
+  EXPECT_EQ(report->cascade_tables[1], (CascadeTableRows{"ORD", 6}));
+
+  auto round = BulkDeleteReport::FromJson(report->ToJson());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->cascaded_rows, report->cascaded_rows);
+  EXPECT_EQ(round->cascade_tables, report->cascade_tables);
+}
+
+TEST_F(ConstraintsTest, NonUniqueParentIndexRefused) {
+  // A *non-unique* index on the parent column is not enough: cascading from
+  // a duplicated parent value could doom children of surviving parents.
+  ASSERT_TRUE(db_->CreateIndex("CUSTOMER", "B").ok());  // non-unique
+  EXPECT_EQ(db_->AddForeignKey("ORD", "C", "CUSTOMER", "B").code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(ConstraintsTest, DroppingFkBackingIndexRefused) {
   ASSERT_TRUE(db_->AddForeignKey("ORD", "B", "CUSTOMER", "A").ok());
   EXPECT_EQ(db_->DropIndex("CUSTOMER", "A").code(),

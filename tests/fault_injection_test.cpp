@@ -342,6 +342,31 @@ TEST_P(CrashSweepTest, EverySiteRecoversToTheReferenceState) {
   EXPECT_EQ(stats.failures, 0u) << reports;
 }
 
+/// The multi-table "forget user X" statement: USERS -> ORDERS -> EVENTS with
+/// cascading FKs. A crash at any site must recover to an exact leg prefix
+/// (S0 untouched .. S3 fully forgotten) across all three tables — never a
+/// partially-applied leg or cross-table skew. Swept on both backends so the
+/// file WAL's statement boundaries get the same scrutiny as the sim image.
+TEST_P(CrashSweepTest, CascadeRecoversToALegPrefixOnBothBackends) {
+  for (const char* backend : {"sim", "file"}) {
+    SweepConfig config;
+    config.cascade = true;
+    config.backend = backend;
+    config.scratch_dir = ::testing::TempDir() + "/bd_cascade_sweep";
+    config.n_tuples = 700;  // 100 users -> 200 orders -> 400 events
+    config.strategies = {GetParam()};
+    config.thread_counts = {1};
+    config.occurrences_per_site = SweepBudgetFromEnv();
+    SweepStats stats;
+    Status s = RunCrashSweep(config, &stats);
+    ASSERT_TRUE(s.ok()) << backend << ": " << s.ToString();
+    EXPECT_GT(stats.cases_run, 0u) << backend;
+    std::string reports;
+    for (const std::string& r : stats.failure_reports) reports += r + "\n";
+    EXPECT_EQ(stats.failures, 0u) << backend << "\n" << reports;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Vertical, CrashSweepTest,
     ::testing::Values(Strategy::kVerticalSortMerge, Strategy::kVerticalHash,

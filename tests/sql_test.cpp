@@ -141,6 +141,55 @@ TEST_F(SqlTest, ExecuteStatementFullSession) {
   ASSERT_TRUE(db->VerifyIntegrity().ok());
 }
 
+// A DELETE that cascades reports the per-table attribution inline — "forget
+// user X" answers show where the collateral rows went — and the report's
+// phase trace carries the fk-plan and cascade:<table> labels that
+// sys.statements surfaces while the statement runs.
+TEST_F(SqlTest, DeleteCascadeSummaryLineAndPhases) {
+  DatabaseOptions options;
+  options.memory_budget_bytes = 256 * 1024;
+  auto db = *Database::Create(options);
+  Schema schema = *Schema::PaperStyle(2, 32);
+  ASSERT_TRUE(db->CreateTable("USERS", schema).ok());
+  ASSERT_TRUE(db->CreateIndex("USERS", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db->CreateTable("ORD", schema).ok());
+  ASSERT_TRUE(db->CreateIndex("ORD", "A", {.unique = true}).ok());
+  ASSERT_TRUE(db->CreateIndex("ORD", "B").ok());
+  for (int64_t u = 0; u < 20; ++u) {
+    ASSERT_TRUE(db->InsertRow("USERS", {u, u * 2}).ok());
+    ASSERT_TRUE(db->InsertRow("ORD", {2 * u, u}).ok());
+    ASSERT_TRUE(db->InsertRow("ORD", {2 * u + 1, u}).ok());
+  }
+  ASSERT_TRUE(
+      db->AddForeignKey("ORD", "B", "USERS", "A", FkAction::kCascade).ok());
+
+  auto line = ExecuteStatement(db.get(), "DELETE FROM USERS WHERE A IN (3, 7)");
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_NE(line->find("deleted 2 row(s)"), std::string::npos) << *line;
+  EXPECT_NE(line->find("cascaded 4 row(s) (ORD: 4)"), std::string::npos)
+      << *line;
+
+  // Same statement class through ExecuteSql: the report's phase trace must
+  // carry the planning and per-leg cascade labels.
+  auto report = ExecuteSql(db.get(), "DELETE FROM USERS WHERE A IN (11, 12)",
+                           Strategy::kVerticalSortMerge);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_deleted, 2u);
+  EXPECT_EQ(report->cascaded_rows, 4u);
+  bool saw_fk_plan = false, saw_cascade_leg = false;
+  for (const PhaseStats& phase : report->phases) {
+    if (phase.name == "fk-plan") saw_fk_plan = true;
+    if (phase.name == "cascade:ORD") saw_cascade_leg = true;
+  }
+  EXPECT_TRUE(saw_fk_plan) << report->ToString();
+  EXPECT_TRUE(saw_cascade_leg) << report->ToString();
+  // A DELETE with nothing to cascade keeps the plain result line.
+  auto plain = ExecuteStatement(db.get(), "DELETE FROM ORD WHERE A IN (40)");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->find("cascaded"), std::string::npos) << *plain;
+  ASSERT_TRUE(db->VerifyIntegrity().ok());
+}
+
 TEST_F(SqlTest, ExecuteStatementErrors) {
   DatabaseOptions options;
   options.memory_budget_bytes = 256 * 1024;

@@ -4,6 +4,7 @@
 Usage:
   bench_smoke_summary.py --out=OUT_JSON --fig7=TRACE_JSONL [--fig9=TRACE_JSONL]
                          [--concurrency=BENCH_JSONL] [--predicate=BENCH_JSONL]
+                         [--cascade=BENCH_JSONL]
                          [--server=LOADGEN_JSON]...
                          [--require-file-backend]
                          [--commit=SHA] [--date=YYYY-MM-DD]
@@ -37,6 +38,16 @@ vs the same doomed set expanded into an IN-list, plus the range-advantage
 ratio in page transfers. Ingestion *fails* unless every recorded run shows
 the range plan at least 5x cheaper — the bench-smoke job must not record a
 regression of the range path as a normal entry.
+
+--cascade ingests the JSONL written by `bench_ablation_cascade
+--json-out=...`: simulated I/O and wall time of the "forget user X"
+multi-table cascade delete under the shared-sort FK planner vs the per-FK
+re-derivation baseline vs a row-at-a-time loop, plus the shared-sort
+advantage ratio in page transfers. Ingestion *fails* unless every recorded
+run shows shared-sort at least 1.05x cheaper than per-FK-naive — the
+bench-smoke job must not record a regression of the cascade planner as a
+normal entry. (The bench binary itself gates at 1.10x; the looser ingest
+bound only guards against stale/hand-edited traces.)
 
 --server (repeatable, one file per backend leg) ingests the summary JSON
 written by `bulkdel_loadgen --json-out=...`: per backend it records sustained
@@ -154,6 +165,45 @@ def summarize_predicate(bench_path):
     return series, None
 
 
+def summarize_cascade(bench_path):
+    """Shared-sort vs per-FK-naive vs row-at-a-time series from
+    bench_ablation_cascade --json-out JSONL (one line per bench invocation,
+    in run order). Returns (series, error): a run missing the shared-sort
+    advantage ratio — or recording one below 1.05x — must fail the job, not
+    be recorded as a hollow entry."""
+    series = {}
+    with open(bench_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            run = json.loads(line)
+            if "ratio" not in run:
+                return None, f"{bench_path}: no shared-sort advantage ratio"
+            if run["ratio"] < 1.05:
+                return None, (f"{bench_path}: shared-sort only {run['ratio']}x"
+                              " cheaper than per-FK-naive (need 1.05x)")
+            for plan in ("shared", "naive", "row_at_a_time"):
+                if plan not in run:
+                    return None, f"{bench_path}: no {plan} record"
+                r = run[plan]
+                per = series.setdefault(
+                    plan,
+                    {"sim_minutes": [], "wall_millis": [], "io_reads": [],
+                     "io_writes": []})
+                per["sim_minutes"].append(round(r["sim_micros"] / 60e6, 3))
+                per["wall_millis"].append(round(r["wall_micros"] / 1e3, 1))
+                per["io_reads"].append(r["io_reads"])
+                per["io_writes"].append(r["io_writes"])
+            per = series.setdefault(
+                "shared_sort_advantage",
+                {"ratio": [], "users_deleted": [], "cascaded_rows": []})
+            per["ratio"].append(run["ratio"])
+            per["users_deleted"].append(run.get("users_deleted"))
+            per["cascaded_rows"].append(run.get("cascaded_rows"))
+    return series, None
+
+
 def summarize_server(paths):
     """Per-backend series from bulkdel_loadgen --json-out files. Returns
     (series, error): error is a string when a run is unusable (missing tail
@@ -201,6 +251,7 @@ def main() -> int:
     out_path = None
     concurrency_path = None
     predicate_path = None
+    cascade_path = None
     server_paths = []
     traces = {}  # bench name -> path
     commit = "unknown"
@@ -220,6 +271,8 @@ def main() -> int:
             concurrency_path = arg[len("--concurrency="):]
         elif arg.startswith("--predicate="):
             predicate_path = arg[len("--predicate="):]
+        elif arg.startswith("--cascade="):
+            cascade_path = arg[len("--cascade="):]
         elif arg.startswith("--server="):
             server_paths.append(arg[len("--server="):])
         elif arg.startswith("--commit="):
@@ -240,7 +293,8 @@ def main() -> int:
         if len(positional) > 3:
             date = positional[3]
     if out_path is None or (not traces and concurrency_path is None and
-                            predicate_path is None and not server_paths):
+                            predicate_path is None and cascade_path is None and
+                            not server_paths):
         print(__doc__, file=sys.stderr)
         return 2
 
@@ -275,6 +329,18 @@ def main() -> int:
             print(f"no bench records in {predicate_path}", file=sys.stderr)
             return 1
         benches["ablation_predicate"] = series
+    if cascade_path is not None:
+        if not os.path.exists(cascade_path):
+            print(f"missing bench file {cascade_path}", file=sys.stderr)
+            return 1
+        series, error = summarize_cascade(cascade_path)
+        if error is not None:
+            print(f"--cascade: {error}", file=sys.stderr)
+            return 1
+        if not series:
+            print(f"no bench records in {cascade_path}", file=sys.stderr)
+            return 1
+        benches["ablation_cascade"] = series
     if server_paths:
         for path in server_paths:
             if not os.path.exists(path):

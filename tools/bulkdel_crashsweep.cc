@@ -63,6 +63,8 @@ int Usage(const char* argv0) {
       "  --concurrency=none|sidefile|direct   §3.1 updater protocol\n"
       "  --backend=sim|file   durability backend (default sim)\n"
       "  --predicate=keys|range   statement predicate class (default keys)\n"
+      "  --cascade            sweep the multi-table cascade statement\n"
+      "                       (USERS->ORDERS->EVENTS; leg-prefix acceptance)\n"
       "  --dir=PATH           scratch dir for --backend=file\n"
       "  --updater-ops=N      concurrent-updater DML ops per case (default 6)\n"
       "  --tuples=N --fraction=F --memory=BYTES   workload shape\n"
@@ -94,6 +96,8 @@ int main(int argc, char** argv) {
       config.occurrences_per_site = 0;
     } else if (std::strcmp(argv[i], "--torture") == 0) {
       torture = true;
+    } else if (std::strcmp(argv[i], "--cascade") == 0) {
+      config.cascade = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       config.verbose = true;
     } else if (ParseFlag(argv[i], "site", &value)) {
